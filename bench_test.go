@@ -1,0 +1,275 @@
+// Package repro's top-level benchmarks regenerate each figure of the
+// paper's evaluation at benchmark scale and report the figure's headline
+// quantity as a custom metric, plus ablation benchmarks for the design
+// choices called out in DESIGN.md.
+//
+// Full-scale figure regeneration (the paper's 5000-job traces, 5 seeds)
+// runs through cmd/marketsim; these benchmarks exercise the identical
+// pipeline on reduced grids so `go test -bench` stays tractable.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/market"
+	"repro/internal/site"
+	"repro/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Jobs: 1000, Seeds: 2}
+}
+
+// BenchmarkFig3PresentValue regenerates Figure 3 (PV vs FirstPrice across
+// discount rates and value skews). Reported metric: the improvement (%) at
+// the highest discount rate for the highest skew series.
+func BenchmarkFig3PresentValue(b *testing.B) {
+	cfg := experiments.DefaultFig3()
+	cfg.DiscountRatesPct = []float64{0.01, 1, 10}
+	cfg.ValueSkews = []float64{9, 2.15}
+	cfg.Options = benchOpts()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		fig := experiments.RunFig3(cfg)
+		last, _ = fig.Series[0].YAt(10)
+	}
+	b.ReportMetric(last, "improvement_%")
+}
+
+// BenchmarkFig4AlphaBounded regenerates Figure 4 (FirstReward vs FirstPrice
+// with bounded penalties). Reported metric: peak improvement across alpha
+// for decay skew 7.
+func BenchmarkFig4AlphaBounded(b *testing.B) {
+	cfg := experiments.DefaultFig4()
+	cfg.Alphas = []float64{0, 0.3, 0.6, 0.9}
+	cfg.DecaySkews = []float64{7}
+	cfg.Options = benchOpts()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		fig := experiments.RunAlphaSweep(cfg)
+		p, _ := fig.Series[0].Peak()
+		peak = p.Y
+	}
+	b.ReportMetric(peak, "peak_improvement_%")
+}
+
+// BenchmarkFig5AlphaUnbounded regenerates Figure 5 (unbounded penalties).
+// Reported metric: the cost-only (alpha=0) improvement for decay skew 7.
+func BenchmarkFig5AlphaUnbounded(b *testing.B) {
+	cfg := experiments.DefaultFig5()
+	cfg.Alphas = []float64{0, 0.5, 0.9}
+	cfg.DecaySkews = []float64{7}
+	cfg.Options = benchOpts()
+	var atZero float64
+	for i := 0; i < b.N; i++ {
+		fig := experiments.RunAlphaSweep(cfg)
+		atZero, _ = fig.Series[0].YAt(0)
+	}
+	b.ReportMetric(atZero, "alpha0_improvement_%")
+}
+
+// BenchmarkFig6AdmissionControl regenerates Figure 6 (yield rate vs load
+// with slack admission control). Reported metric: admission-controlled
+// yield rate at the highest load.
+func BenchmarkFig6AdmissionControl(b *testing.B) {
+	cfg := experiments.DefaultFig6()
+	cfg.Loads = []float64{0.5, 2, 4}
+	cfg.Alphas = []float64{0, 0.4}
+	cfg.Options = benchOpts()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		fig := experiments.RunFig6(cfg)
+		rate, _ = fig.Series[0].YAt(4)
+	}
+	b.ReportMetric(rate, "yield_rate_at_load4")
+}
+
+// BenchmarkFig7SlackThreshold regenerates Figure 7 (threshold sweep).
+// Reported metric: the peak threshold for load 2 — the paper's claim is
+// that this peak moves right as load grows.
+func BenchmarkFig7SlackThreshold(b *testing.B) {
+	cfg := experiments.DefaultFig7()
+	cfg.Loads = []float64{2, 0.67}
+	cfg.Thresholds = []float64{-200, 0, 100, 300, 700}
+	cfg.Absolute = true
+	cfg.Options = benchOpts()
+	var peakAt float64
+	for i := 0; i < b.N; i++ {
+		fig := experiments.RunFig7(cfg)
+		p, _ := fig.Series[0].Peak()
+		peakAt = p.X
+	}
+	b.ReportMetric(peakAt, "peak_threshold_load2")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+func ablationTrace(b *testing.B, mutate func(*workload.Spec)) *workload.Trace {
+	b.Helper()
+	spec := workload.Default()
+	spec.Jobs = 1000
+	spec.ValueSkew = 3
+	spec.DecaySkew = 5
+	if mutate != nil {
+		mutate(&spec)
+	}
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkAblationPreemption compares the FirstReward schedule with and
+// without preemption on the same mix (Section 4 allows both).
+func BenchmarkAblationPreemption(b *testing.B) {
+	tr := ablationTrace(b, nil)
+	policy := core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}
+	for _, preempt := range []bool{false, true} {
+		name := "off"
+		if preempt {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var yield float64
+			for i := 0; i < b.N; i++ {
+				m := site.RunTrace(tr.Clone(), site.Config{
+					Processors: tr.Spec.Processors, Policy: policy, Preemptive: preempt,
+				})
+				yield = m.TotalYield
+			}
+			b.ReportMetric(yield, "yield")
+		})
+	}
+}
+
+// BenchmarkAblationExpiredParking compares running expired bounded tasks at
+// the back of the schedule versus parking them immediately (Section 5.3's
+// "deferred to the end of the schedule with no further cost").
+func BenchmarkAblationExpiredParking(b *testing.B) {
+	tr := ablationTrace(b, func(s *workload.Spec) {
+		s.Bound = 0
+		s.Load = 1.5
+		s.ZeroCrossFactor = 1.5
+	})
+	policy := core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}
+	for _, park := range []bool{false, true} {
+		name := "run-expired"
+		if park {
+			name = "park-expired"
+		}
+		b.Run(name, func(b *testing.B) {
+			var yield float64
+			for i := 0; i < b.N; i++ {
+				m := site.RunTrace(tr.Clone(), site.Config{
+					Processors: tr.Spec.Processors, Policy: policy, ParkExpired: park,
+				})
+				yield = m.TotalYield
+			}
+			b.ReportMetric(yield, "yield")
+		})
+	}
+}
+
+// BenchmarkAblationBroker compares broker best-of-3 site selection against
+// pinning every task to one site of equal aggregate capacity.
+func BenchmarkAblationBroker(b *testing.B) {
+	tr := ablationTrace(b, func(s *workload.Spec) {
+		s.Processors = 12
+		s.Load = 1.2
+	})
+	mkCfg := func(procs int) site.Config {
+		return site.Config{
+			Processors:   procs,
+			Policy:       core.FirstReward{Alpha: 0.2, DiscountRate: 0.01},
+			Admission:    admission.SlackThreshold{Threshold: 0},
+			DiscountRate: 0.01,
+		}
+	}
+	b.Run("broker-3-sites", func(b *testing.B) {
+		var yield float64
+		for i := 0; i < b.N; i++ {
+			ex := market.NewExchange(market.BestYield{}, []site.Config{mkCfg(4), mkCfg(4), mkCfg(4)})
+			ex.ScheduleArrivals(tr.Clone())
+			ex.Run()
+			yield = ex.TotalYield()
+		}
+		b.ReportMetric(yield, "yield")
+	})
+	b.Run("single-site", func(b *testing.B) {
+		var yield float64
+		for i := 0; i < b.N; i++ {
+			m := site.RunTrace(tr.Clone(), mkCfg(12))
+			yield = m.TotalYield
+		}
+		b.ReportMetric(yield, "yield")
+	})
+}
+
+// BenchmarkAblationRestartRanking compares the two preemption-ranking
+// bases under restart semantics (the Figure 3 regime choice).
+func BenchmarkAblationRestartRanking(b *testing.B) {
+	spec := workload.Millennium()
+	spec.Jobs = 1000
+	spec.ValueSkew = 4
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ranking := range []site.PreemptRanking{site.ShieldProgress, site.RestartCost} {
+		name := "shield-progress"
+		if ranking == site.RestartCost {
+			name = "restart-cost"
+		}
+		b.Run(name, func(b *testing.B) {
+			var yield float64
+			for i := 0; i < b.N; i++ {
+				m := site.RunTrace(tr.Clone(), site.Config{
+					Processors: 16, Policy: core.FirstPrice{},
+					Preemptive: true, PreemptionRestart: true, PreemptRanking: ranking,
+				})
+				yield = m.TotalYield
+			}
+			b.ReportMetric(yield, "yield")
+		})
+	}
+}
+
+// BenchmarkAblationScheduledPrice compares the immediate-start FirstPrice
+// ranking against Millennium's in-schedule price formulation on a bounded
+// overloaded mix.
+func BenchmarkAblationScheduledPrice(b *testing.B) {
+	tr := ablationTrace(b, func(s *workload.Spec) {
+		s.Bound = 0
+		s.Load = 1.5
+		s.ZeroCrossFactor = 1.5
+	})
+	for _, p := range []core.Policy{core.FirstPrice{}, core.ScheduledPrice{Processors: 16}} {
+		b.Run(p.Name(), func(b *testing.B) {
+			var yield float64
+			for i := 0; i < b.N; i++ {
+				m := site.RunTrace(tr.Clone(), site.Config{Processors: 16, Policy: p})
+				yield = m.TotalYield
+			}
+			b.ReportMetric(yield, "yield")
+		})
+	}
+}
+
+// BenchmarkSiteThroughput measures raw simulator throughput: tasks pushed
+// through a saturated FirstReward site per second.
+func BenchmarkSiteThroughput(b *testing.B) {
+	tr := ablationTrace(b, func(s *workload.Spec) { s.Jobs = 2000; s.Load = 2 })
+	policy := core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		site.RunTrace(tr.Clone(), site.Config{
+			Processors: tr.Spec.Processors, Policy: policy,
+			Admission: admission.SlackThreshold{Threshold: 0}, DiscountRate: 0.01,
+		})
+	}
+	b.ReportMetric(float64(2000*b.N)/b.Elapsed().Seconds(), "tasks/s")
+}

@@ -1,0 +1,60 @@
+// Command brokerd runs a standalone negotiation broker (Figure 1): clients
+// submit bids to the broker exactly as they would to a site, and the
+// broker fans each bid out to its configured task-service sites, selects
+// the best server bid, forwards the award, and relays settlements.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/market"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7700", "listen address for clients")
+		sites    = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
+		selector = flag.String("selector", "best-yield", "best-yield|earliest")
+		quiet    = flag.Bool("quiet", false, "suppress brokering logs")
+	)
+	flag.Parse()
+
+	var sel market.Selector
+	switch *selector {
+	case "best-yield":
+		sel = market.BestYield{}
+	case "earliest":
+		sel = market.EarliestCompletion{}
+	default:
+		fmt.Fprintf(os.Stderr, "brokerd: unknown selector %q\n", *selector)
+		os.Exit(2)
+	}
+
+	cfg := wire.BrokerConfig{Selector: sel}
+	for _, sa := range strings.Split(*sites, ",") {
+		cfg.SiteAddrs = append(cfg.SiteAddrs, strings.TrimSpace(sa))
+	}
+	if !*quiet {
+		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+	}
+
+	b, err := wire.NewBrokerServer(*addr, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brokerd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("broker listening on %s for %d site(s)\n", b.Addr(), len(cfg.SiteAddrs))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	_ = b.Close()
+}

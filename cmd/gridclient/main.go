@@ -1,0 +1,111 @@
+// Command gridclient submits a stream of task bids to one or more
+// siteserver instances, negotiating each placement per Figure 1 and
+// reporting the contracts and settlements it obtains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/market"
+	"repro/internal/task"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		sites = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
+		n     = flag.Int("n", 20, "tasks to submit")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		mean  = flag.Duration("interarrival", 200*time.Millisecond, "mean wall-clock gap between submissions")
+		scale = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit (must match the servers)")
+	)
+	flag.Parse()
+
+	var clients []*wire.SiteClient
+	var mu sync.Mutex
+	settledCount := 0
+	revenue := 0.0
+	var wg sync.WaitGroup
+
+	for _, addr := range strings.Split(*sites, ",") {
+		c, err := wire.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridclient:", err)
+			os.Exit(1)
+		}
+		c.OnSettled = func(e wire.Envelope) {
+			mu.Lock()
+			settledCount++
+			revenue += e.FinalPrice
+			mu.Unlock()
+			fmt.Printf("settled  task %d at %s: price %.2f\n", e.TaskID, e.SiteID, e.FinalPrice)
+			wg.Done()
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	neg := &wire.Negotiator{Sites: clients, Selector: market.BestYield{}}
+
+	spec := workload.Default()
+	spec.Jobs = *n
+	spec.Seed = *seed
+	spec.MeanRuntime = 20 // simulation units; 200ms of wall clock at the default scale
+	spec.ValueSkew = 3
+	spec.DecaySkew = 5
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridclient:", err)
+		os.Exit(1)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	placed, declined := 0, 0
+	for i, t := range tr.Tasks {
+		if i > 0 {
+			time.Sleep(time.Duration(rng.ExpFloat64() * float64(*mean)))
+		}
+		bid := market.BidFromTask(cloneForWire(t))
+		terms, ok, err := neg.Negotiate(bid)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridclient:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			declined++
+			fmt.Printf("declined task %d (no site accepted)\n", bid.TaskID)
+			continue
+		}
+		placed++
+		wg.Add(1)
+		fmt.Printf("contract task %d -> %s: expected completion %.1f, price %.2f\n",
+			bid.TaskID, terms.SiteID, terms.ExpectedCompletion, terms.ExpectedPrice)
+	}
+
+	// Wait for outstanding settlements, bounded by the worst-case drain time.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Duration(float64(*scale) * 20 * float64(*n) * 5)):
+		fmt.Println("timed out waiting for settlements")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\nplaced %d, declined %d, settled %d, revenue %.2f\n", placed, declined, settledCount, revenue)
+}
+
+// cloneForWire strips the generated arrival stamp: in the live protocol a
+// bid's release time is its submission instant.
+func cloneForWire(t *task.Task) *task.Task {
+	c := t.Clone()
+	c.Arrival = 0
+	return c
+}

@@ -1,0 +1,168 @@
+// Command marketsim regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	marketsim [flags] fig3|fig4|fig5|fig6|fig7|all
+//
+// Each figure prints the same series the paper plots, as an aligned table.
+// With -csvdir, each figure is additionally written as CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		jobs    = flag.Int("jobs", 5000, "jobs per trace (the paper uses 5000)")
+		seeds   = flag.Int("seeds", 5, "trace replications averaged per point")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "base seed for replication streams")
+		csvdir  = flag.String("csvdir", "", "directory to write per-figure CSV files")
+
+		// Workload calibration overrides (0 keeps each figure's default).
+		// The paper does not publish its decay magnitudes; EXPERIMENTS.md
+		// records the calibration used for the committed results.
+		zcf     = flag.Float64("zcf", 0, "zero-cross factor override: mean delay (in mean runtimes) at which value reaches zero")
+		valueCV = flag.Float64("valuecv", 0, "within-class value-rate coefficient of variation override")
+		decayCV = flag.Float64("decaycv", 0, "within-class decay-rate coefficient of variation override")
+		preempt = flag.Bool("preempt", false, "enable preemption in the fig4/fig5 alpha sweeps")
+		fig7abs = flag.Bool("fig7abs", false, "plot fig7 as absolute admission-controlled yield instead of improvement %")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: marketsim [flags] fig3|fig4|fig5|fig6|fig7|regimes|multisite|sens-decay|sens-load|economy|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Jobs: *jobs, Seeds: *seeds, Workers: *workers, BaseSeed: *seed}
+	override := func(spec *workload.Spec) {
+		if *zcf > 0 {
+			spec.ZeroCrossFactor = *zcf
+		}
+		if *valueCV > 0 {
+			spec.ValueCV = *valueCV
+		}
+		if *decayCV > 0 {
+			spec.DecayCV = *decayCV
+		}
+	}
+	runners := map[string]func() *experiments.Figure{
+		"fig3": func() *experiments.Figure {
+			cfg := experiments.DefaultFig3()
+			cfg.Options = opts
+			override(&cfg.Spec)
+			return experiments.RunFig3(cfg)
+		},
+		"fig4": func() *experiments.Figure {
+			cfg := experiments.DefaultFig4()
+			cfg.Options = opts
+			cfg.Preemptive = *preempt
+			override(&cfg.Spec)
+			return experiments.RunAlphaSweep(cfg)
+		},
+		"fig5": func() *experiments.Figure {
+			cfg := experiments.DefaultFig5()
+			cfg.Options = opts
+			cfg.Preemptive = *preempt
+			override(&cfg.Spec)
+			return experiments.RunAlphaSweep(cfg)
+		},
+		"fig6": func() *experiments.Figure {
+			cfg := experiments.DefaultFig6()
+			cfg.Options = opts
+			override(&cfg.Spec)
+			return experiments.RunFig6(cfg)
+		},
+		"fig7": func() *experiments.Figure {
+			cfg := experiments.DefaultFig7()
+			cfg.Options = opts
+			cfg.Absolute = *fig7abs
+			override(&cfg.Spec)
+			return experiments.RunFig7(cfg)
+		},
+		"regimes": func() *experiments.Figure {
+			cfg := experiments.DefaultRegimes()
+			cfg.Options = opts
+			override(&cfg.Spec)
+			return experiments.RunRegimes(cfg)
+		},
+		"multisite": func() *experiments.Figure {
+			cfg := experiments.DefaultMultiSite()
+			cfg.Options = opts
+			override(&cfg.Spec)
+			return experiments.RunMultiSite(cfg)
+		},
+		"sens-decay": func() *experiments.Figure {
+			cfg := experiments.DefaultDecaySensitivity()
+			cfg.Options = opts
+			override(&cfg.Spec)
+			return experiments.RunDecaySensitivity(cfg)
+		},
+		"sens-load": func() *experiments.Figure {
+			cfg := experiments.DefaultLoadSensitivity()
+			cfg.Options = opts
+			override(&cfg.Spec)
+			return experiments.RunLoadSensitivity(cfg)
+		},
+		"economy": func() *experiments.Figure {
+			cfg := experiments.DefaultEconomy()
+			cfg.Options = opts
+			override(&cfg.Spec)
+			return experiments.RunEconomy(cfg)
+		},
+	}
+
+	var names []string
+	switch arg := flag.Arg(0); arg {
+	case "all":
+		names = []string{"fig3", "fig4", "fig5", "fig6", "fig7"}
+	default:
+		if _, ok := runners[arg]; !ok {
+			fmt.Fprintf(os.Stderr, "marketsim: unknown figure %q\n", arg)
+			flag.Usage()
+			os.Exit(2)
+		}
+		names = []string{arg}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		fig := runners[name]()
+		fig.Print(os.Stdout)
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvdir != "" {
+			if err := writeCSV(*csvdir, fig); err != nil {
+				fmt.Fprintf(os.Stderr, "marketsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, fig *experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fig.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fig.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

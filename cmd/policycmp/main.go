@@ -1,0 +1,112 @@
+// Command policycmp compares scheduling policies head-to-head on a single
+// workload specification: total yield, yield rate, delays, preemptions, and
+// improvement over a chosen baseline, averaged over replicated traces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		jobs      = flag.Int("jobs", 2000, "jobs per trace")
+		seeds     = flag.Int("seeds", 3, "trace replications")
+		procs     = flag.Int("procs", 16, "processors at the site")
+		load      = flag.Float64("load", 1, "load factor")
+		vskew     = flag.Float64("vskew", 2, "value skew ratio")
+		dskew     = flag.Float64("dskew", 1, "decay skew ratio")
+		zcf       = flag.Float64("zcf", 3, "zero-cross factor (mean runtimes of delay to zero value)")
+		bound     = flag.Float64("bound", -1, "penalty bound (-1 = unbounded)")
+		preempt   = flag.Bool("preempt", false, "enable preemption")
+		restart   = flag.Bool("restart", false, "preemption loses progress")
+		noshield  = flag.Bool("noshield", false, "rank running tasks at full restart cost for preemption")
+		millen    = flag.Bool("millennium", false, "use the Millennium mix (normal dists, 16-job batches, bound 0)")
+		runtimeCV = flag.Float64("runtimecv", 0, "override runtime CV (>0)")
+		valueCV   = flag.Float64("valuecv", 0, "override within-class value CV (>0)")
+		discount  = flag.Float64("discount", 0.01, "discount rate for PV and FirstReward")
+		alpha     = flag.Float64("alpha", 0.3, "alpha for FirstReward")
+	)
+	flag.Parse()
+
+	spec := workload.Default()
+	if *millen {
+		spec = workload.Millennium()
+	}
+	spec.Jobs = *jobs
+	spec.Processors = *procs
+	spec.Load = *load
+	spec.ValueSkew = *vskew
+	spec.DecaySkew = *dskew
+	spec.ZeroCrossFactor = *zcf
+	if *bound >= 0 {
+		spec.Bound = *bound
+	}
+	if *runtimeCV > 0 {
+		spec.RuntimeCV = *runtimeCV
+	}
+	if *valueCV > 0 {
+		spec.ValueCV = *valueCV
+	}
+
+	policies := []core.Policy{
+		core.FCFS{},
+		core.SRPT{},
+		core.SWPT{},
+		core.FirstPrice{},
+		core.PresentValue{DiscountRate: *discount},
+		core.FirstReward{Alpha: *alpha, DiscountRate: *discount},
+	}
+
+	type row struct {
+		name                string
+		yield, delay, preem stats.Summary
+	}
+	rows := make([]row, 0, len(policies))
+	for _, p := range policies {
+		results := sweep.Replicate(1, *seeds, 0, func(seed int64) [3]float64 {
+			sp := spec
+			sp.Seed = seed
+			tr, err := workload.Generate(sp)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "policycmp:", err)
+				os.Exit(1)
+			}
+			sc := site.Config{
+				Processors:        sp.Processors,
+				Policy:            p,
+				Preemptive:        *preempt,
+				PreemptionRestart: *restart,
+			}
+			if *noshield {
+				sc.PreemptRanking = site.RestartCost
+			}
+			m := site.RunTrace(tr.Clone(), sc)
+			return [3]float64{m.TotalYield, m.MeanDelay(), float64(m.Preemptions)}
+		})
+		var y, d, pr []float64
+		for _, r := range results {
+			y = append(y, r[0])
+			d = append(d, r[1])
+			pr = append(pr, r[2])
+		}
+		rows = append(rows, row{p.Name(), stats.Summarize(y), stats.Summarize(d), stats.Summarize(pr)})
+	}
+
+	base := rows[3].yield.Mean // FirstPrice
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tyield\tvs FirstPrice (%)\tmean delay\tpreemptions")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%+.2f\t%.1f\t%.0f\n",
+			r.name, r.yield.Mean, stats.Improvement(r.yield.Mean, base), r.delay.Mean, r.preem.Mean)
+	}
+	w.Flush()
+}

@@ -1,0 +1,60 @@
+// Command siteserver runs one network task-service site speaking the
+// Figure 1 negotiation protocol (JSON over TCP). Pair it with gridclient,
+// or drive it from any newline-delimited-JSON client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7600", "listen address")
+		id       = flag.String("id", "site-0", "site identifier")
+		procs    = flag.Int("procs", 4, "processors")
+		alpha    = flag.Float64("alpha", 0.3, "FirstReward alpha")
+		discount = flag.Float64("discount", 0.01, "discount rate")
+		slack    = flag.Float64("slack", 0, "slack admission threshold")
+		useAdm   = flag.Bool("admission", true, "enable slack-threshold admission control")
+		scale    = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit")
+		quiet    = flag.Bool("quiet", false, "suppress serving logs")
+	)
+	flag.Parse()
+
+	cfg := wire.ServerConfig{
+		SiteID:       *id,
+		Processors:   *procs,
+		Policy:       core.FirstReward{Alpha: *alpha, DiscountRate: *discount},
+		DiscountRate: *discount,
+		TimeScale:    *scale,
+	}
+	if *useAdm {
+		cfg.Admission = admission.SlackThreshold{Threshold: *slack}
+	}
+	if !*quiet {
+		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+	}
+
+	srv, err := wire.NewServer(*addr, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siteserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("site %s listening on %s (%d processors, %s)\n", *id, srv.Addr(), *procs, cfg.Policy.Name())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	_ = srv.Close()
+}

@@ -1,0 +1,90 @@
+// Command sitesim replays a trace file (from tracegen) through a single
+// simulated task-service site and reports the outcome: total yield, yield
+// rate, acceptance, delays.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/admission"
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		in       = flag.String("trace", "", "trace file from tracegen (required)")
+		procs    = flag.Int("procs", 0, "processors (default: trace's spec)")
+		policy   = flag.String("policy", "firstprice", "fcfs|srpt|swpt|firstprice|pv|firstreward")
+		alpha    = flag.Float64("alpha", 0.3, "alpha for firstreward")
+		discount = flag.Float64("discount", 0.01, "discount rate for pv/firstreward and slack quoting")
+		preempt  = flag.Bool("preempt", false, "enable preemption")
+		restart  = flag.Bool("restart", false, "preemption loses progress")
+		slack    = flag.Float64("slack", 0, "slack admission threshold (with -admission)")
+		useAdm   = flag.Bool("admission", false, "enable slack-threshold admission control")
+		report   = flag.Bool("report", false, "print the per-class distributional report")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "sitesim: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tr, err := workload.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitesim:", err)
+		os.Exit(1)
+	}
+
+	var pol core.Policy
+	switch *policy {
+	case "pv":
+		pol = core.PresentValue{DiscountRate: *discount}
+	case "firstreward":
+		pol = core.FirstReward{Alpha: *alpha, DiscountRate: *discount}
+	default:
+		pol, err = core.ByName(*policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sitesim:", err)
+			os.Exit(2)
+		}
+	}
+
+	p := tr.Spec.Processors
+	if *procs > 0 {
+		p = *procs
+	}
+	cfg := site.Config{
+		Processors:        p,
+		Policy:            pol,
+		Preemptive:        *preempt,
+		PreemptionRestart: *restart,
+		DiscountRate:      *discount,
+	}
+	if *useAdm {
+		cfg.Admission = admission.SlackThreshold{Threshold: *slack}
+	}
+
+	tasks := tr.Clone()
+	m := site.RunTrace(tasks, cfg)
+	fmt.Printf("policy:          %s\n", pol.Name())
+	fmt.Printf("processors:      %d\n", p)
+	fmt.Printf("submitted:       %d\n", m.Submitted)
+	fmt.Printf("accepted:        %d (%.1f%%)\n", m.Accepted, 100*m.AcceptanceRate())
+	fmt.Printf("completed:       %d\n", m.Completed)
+	fmt.Printf("preemptions:     %d\n", m.Preemptions)
+	fmt.Printf("total yield:     %.2f\n", m.TotalYield)
+	fmt.Printf("yield rate:      %.4f\n", m.YieldRate())
+	fmt.Printf("mean delay:      %.2f\n", m.MeanDelay())
+	fmt.Printf("active interval: %.1f\n", m.ActiveInterval())
+	if *report {
+		fmt.Println()
+		analysis.Analyze(tasks).Print(os.Stdout)
+		fmt.Printf("gini(yield):     %.3f\n", analysis.GiniYield(tasks))
+	}
+}

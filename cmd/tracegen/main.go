@@ -1,0 +1,77 @@
+// Command tracegen generates synthetic workload traces (Section 4.1 of the
+// paper) and writes them as JSON for later replay by sitesim or custom
+// harnesses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output file (default stdout)")
+		jobs    = flag.Int("jobs", 5000, "number of jobs")
+		procs   = flag.Int("procs", 16, "site processors the load factor is computed against")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		load    = flag.Float64("load", 1, "load factor")
+		meanRun = flag.Float64("meanruntime", 100, "mean minimum run time")
+		runKind = flag.String("runtimes", "exp", "runtime distribution: exp|normal|const|pareto|lognormal")
+		arrKind = flag.String("arrivals", "exp", "inter-arrival distribution: exp|normal|const|pareto|lognormal")
+		batch   = flag.Int("batch", 1, "jobs per arrival batch")
+		vskew   = flag.Float64("vskew", 1, "value skew ratio")
+		dskew   = flag.Float64("dskew", 1, "decay skew ratio")
+		zcf     = flag.Float64("zcf", 3, "zero-cross factor (mean runtimes of delay until value hits zero)")
+		bound   = flag.Float64("bound", -1, "penalty bound (-1 = unbounded)")
+		summary = flag.Bool("summary", false, "print a trace summary to stderr")
+	)
+	flag.Parse()
+
+	spec := workload.Default()
+	spec.Jobs = *jobs
+	spec.Processors = *procs
+	spec.Seed = *seed
+	spec.Load = *load
+	spec.MeanRuntime = *meanRun
+	spec.RuntimeKind = workload.DistKind(*runKind)
+	spec.ArrivalKind = workload.DistKind(*arrKind)
+	spec.BatchSize = *batch
+	spec.ValueSkew = *vskew
+	spec.DecaySkew = *dskew
+	spec.ZeroCrossFactor = *zcf
+	if *bound >= 0 {
+		spec.Bound = *bound
+	} else {
+		spec.Bound = math.Inf(1)
+	}
+
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if *summary {
+		first, last := tr.Span()
+		fmt.Fprintf(os.Stderr, "trace: %d jobs over [%.1f, %.1f], total work %.0f, offered load %.3f\n",
+			len(tr.Tasks), first, last, tr.TotalWork(), tr.OfferedLoad())
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Balancing Risk and Reward in a Market-based
+// Task Service" (Irwin, Grit, Chase — HPDC 2004): value-based task
+// scheduling with linear-decay value functions, the FirstReward
+// risk/reward heuristic, slack-based admission control, and the
+// surrounding bidding economy.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// inventory), runnable demonstrations under examples/, and command-line
+// tools under cmd/. EXPERIMENTS.md records the paper-vs-measured
+// comparison for every figure in the paper's evaluation; the benchmarks in
+// bench_test.go regenerate each figure at reduced scale.
+package repro

@@ -1,0 +1,60 @@
+// Deadline: the paper's motivating scenario from Section 1 — "the results
+// of a five-hour batch job that is submitted six hours before a deadline
+// are worthless in seven hours."
+//
+// The example encodes that job as a linear-decay value function (worth
+// $600, fully decayed two hours after its minimum completion), places it in
+// a congested site, and shows how a value-blind scheduler (FCFS) squanders
+// it while FirstReward runs it while it still pays.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/task"
+)
+
+func main() {
+	// Time unit: one minute.
+	const hour = 60.0
+
+	// Background: a queue of routine overnight jobs, each ~90 minutes,
+	// modestly valuable, and patient (low decay).
+	makeBackground := func() []*task.Task {
+		var tasks []*task.Task
+		for i := 0; i < 8; i++ {
+			t := task.New(task.ID(i+1), 0, 1.5*hour, 90, 0.05, 1e9)
+			tasks = append(tasks, t)
+		}
+		return tasks
+	}
+
+	// The urgent job: five hours long, submitted at t=0 with a six-hour
+	// deadline; results are worthless one hour past the deadline (seven
+	// hours out), i.e. two hours of tolerable delay past its minimum
+	// completion. Worth $600 on time, decaying $5/minute to zero.
+	makeUrgent := func() *task.Task {
+		return task.New(100, 0, 5*hour, 600, 5.0, 0)
+	}
+
+	for _, policy := range []core.Policy{core.FCFS{}, core.FirstReward{Alpha: 0.3, DiscountRate: 0.001}} {
+		engine := sim.New()
+		s := site.New(engine, "cluster", site.Config{Processors: 2, Policy: policy})
+
+		urgent := makeUrgent()
+		tasks := append(makeBackground(), urgent)
+		site.ScheduleArrivals(engine, s, tasks)
+		engine.Run()
+
+		m := s.Metrics()
+		fmt.Printf("%-34s urgent job: completed t=%.0f min (deadline 360, worthless at 420), earned $%.0f\n",
+			policy.Name(), urgent.Completion, urgent.Yield)
+		fmt.Printf("%-34s total earned: $%.0f across %d jobs\n\n", "", m.TotalYield, m.Completed)
+	}
+
+	fmt.Println("FCFS burns the urgent job's value behind the overnight queue; the")
+	fmt.Println("value-based scheduler runs it first because its decay dominates the mix.")
+}

@@ -1,0 +1,105 @@
+// Netmarket: the Figure 1 negotiation over real sockets — three site
+// servers speaking the JSON/TCP protocol, and a client that bids, awards,
+// and collects settlements, all in one process for easy running.
+//
+// The same protocol runs across machines via cmd/siteserver and
+// cmd/gridclient.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/task"
+	"repro/internal/wire"
+)
+
+func main() {
+	const timeScale = 2 * time.Millisecond // one sim unit = 2ms wall clock
+
+	// Start three sites with different capacities and admission postures.
+	var servers []*wire.Server
+	for i, sc := range []struct {
+		procs int
+		slack float64
+	}{{4, 100}, {2, 0}, {1, -1e18 /* accept anything quotable */}} {
+		srv, err := wire.NewServer("127.0.0.1:0", wire.ServerConfig{
+			SiteID:       fmt.Sprintf("site-%d", i),
+			Processors:   sc.procs,
+			Policy:       core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+			Admission:    admission.SlackThreshold{Threshold: sc.slack},
+			DiscountRate: 0.01,
+			TimeScale:    timeScale,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+		fmt.Printf("started %s on %s (%d processors, slack threshold %g)\n",
+			fmt.Sprintf("site-%d", i), srv.Addr(), sc.procs, sc.slack)
+	}
+
+	// Connect a client to every site and negotiate a burst of tasks.
+	var clients []*wire.SiteClient
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	revenue := 0.0
+	for _, srv := range servers {
+		c, err := wire.Dial(srv.Addr())
+		if err != nil {
+			panic(err)
+		}
+		c.OnSettled = func(e wire.Envelope) {
+			mu.Lock()
+			revenue += e.FinalPrice
+			mu.Unlock()
+			fmt.Printf("  settled task %d at %s for %.1f\n", e.TaskID, e.SiteID, e.FinalPrice)
+			wg.Done()
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	neg := &wire.Negotiator{Sites: clients, Selector: market.BestYield{}}
+
+	placed := 0
+	for i := 1; i <= 12; i++ {
+		// Tasks of varying length and urgency; value 10x runtime, decaying
+		// to zero after ~3 runtimes of delay.
+		runtime := float64(10 + 15*(i%4))
+		t := task.New(task.ID(i), 0, runtime, 10*runtime, 10.0/3.0, 1e9)
+		terms, ok, err := neg.Negotiate(market.BidFromTask(t))
+		if err != nil {
+			panic(err)
+		}
+		if !ok {
+			fmt.Printf("task %d declined by every site\n", i)
+			continue
+		}
+		placed++
+		wg.Add(1)
+		fmt.Printf("task %d -> %s (expected completion %.0f, price %.1f)\n",
+			i, terms.SiteID, terms.ExpectedCompletion, terms.ExpectedPrice)
+		time.Sleep(5 * timeScale)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		fmt.Println("timed out waiting for settlements")
+	}
+
+	mu.Lock()
+	fmt.Printf("\nplaced %d tasks, total revenue %.1f\n", placed, revenue)
+	mu.Unlock()
+	for _, srv := range servers {
+		fmt.Printf("%s: accepted=%d rejected=%d completed=%d revenue=%.1f\n",
+			srv.Addr(), srv.Accepted, srv.Rejected, srv.Completed, srv.Revenue)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: generate a value-annotated batch workload, run it through a
+// task-service site under two scheduling policies, and compare the yield.
+//
+// This is the smallest end-to-end use of the library: a workload spec, a
+// site config, and the metrics that come back.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A mix of 1000 single-node batch jobs at a load factor of one: 20% of
+	// jobs are 4x more valuable per unit of work, 20% are 5x more urgent.
+	spec := workload.Default()
+	spec.Jobs = 1000
+	spec.ValueSkew = 4
+	spec.DecaySkew = 5
+	spec.Seed = 42
+
+	trace, err := workload.Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	first, last := trace.Span()
+	fmt.Printf("workload: %d jobs over [%.0f, %.0f], offered load %.2f\n\n",
+		len(trace.Tasks), first, last, trace.OfferedLoad())
+
+	policies := []core.Policy{
+		core.FCFS{},
+		core.SWPT{},
+		core.FirstPrice{},
+		core.FirstReward{Alpha: 0, DiscountRate: 0.01},
+		core.FirstReward{Alpha: 0.5, DiscountRate: 0.01},
+	}
+
+	var baseline float64
+	for i, policy := range policies {
+		// Each run gets fresh clones: tasks carry mutable scheduling state.
+		m := site.RunTrace(trace.Clone(), site.Config{
+			Processors: spec.Processors,
+			Policy:     policy,
+		})
+		if i == 0 {
+			baseline = m.TotalYield
+		}
+		fmt.Printf("%-34s yield %12.0f   (%+7.2f%% vs FCFS)   mean delay %7.1f\n",
+			policy.Name(), m.TotalYield, stats.Improvement(m.TotalYield, baseline), m.MeanDelay())
+	}
+
+	fmt.Println("\nWith unbounded penalties, greedily chasing the highest-value task")
+	fmt.Println("(FirstPrice) backfires: urgent tasks rot in the queue and their")
+	fmt.Println("penalties swamp the gains. Heuristics that weigh opportunity cost —")
+	fmt.Println("SWPT and FirstReward at low alpha — keep the mix profitable, the")
+	fmt.Println("paper's central result (Figure 5).")
+}

@@ -1,0 +1,242 @@
+// Package analysis turns raw per-task outcomes into the user-centric
+// performance breakdowns the Millennium study popularized: who earned
+// what, how long each class waited, and where the yield went. The paper
+// evaluates schedulers by aggregate yield; this package exposes the
+// distributional view underneath (per-class yields, delay percentiles,
+// expiry and penalty accounting) for the examples, the sitesim CLI, and
+// ad-hoc investigation.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/task"
+)
+
+// ClassStats aggregates outcomes for one value class.
+type ClassStats struct {
+	Count        int
+	TotalValue   float64 // sum of maximum values (what was at stake)
+	TotalYield   float64 // what was realized
+	TotalPenalty float64 // sum of negative yields, as a positive number
+	Expired      int     // bounded tasks that bottomed out
+	Delays       Percentiles
+}
+
+// CaptureRate is the fraction of the class's maximum value realized.
+// Negative rates mean penalties exceeded gains.
+func (c ClassStats) CaptureRate() float64 {
+	if c.TotalValue == 0 {
+		return 0
+	}
+	return c.TotalYield / c.TotalValue
+}
+
+// Percentiles summarizes a sample distribution.
+type Percentiles struct {
+	N                  int
+	Mean               float64
+	P50, P90, P99, Max float64
+}
+
+// computePercentiles sorts a copy of xs and reads the usual quantiles.
+func computePercentiles(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return Percentiles{
+		N:    len(sorted),
+		Mean: sum / float64(len(sorted)),
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Report is the full distributional breakdown of a run's outcomes.
+type Report struct {
+	Tasks     int
+	Completed int
+
+	TotalYield   float64
+	TotalValue   float64
+	TotalPenalty float64
+
+	ByClass map[task.Class]*ClassStats
+
+	// Delay and stretch across all completed tasks. Stretch is
+	// (delay+runtime)/runtime, the slowdown factor.
+	Delays    Percentiles
+	Stretches Percentiles
+
+	// Preemptions across all tasks.
+	Preemptions int
+}
+
+// Analyze builds a report from realized task outcomes. Tasks that never
+// completed (rejected) contribute to Tasks but nothing else.
+func Analyze(tasks []*task.Task) *Report {
+	r := &Report{ByClass: map[task.Class]*ClassStats{}}
+	var delays, stretches []float64
+	classDelays := map[task.Class][]float64{}
+
+	for _, t := range tasks {
+		r.Tasks++
+		if t.State != task.Completed {
+			continue
+		}
+		r.Completed++
+		r.Preemptions += t.Preemptions
+
+		cs := r.ByClass[t.Class]
+		if cs == nil {
+			cs = &ClassStats{}
+			r.ByClass[t.Class] = cs
+		}
+		cs.Count++
+		cs.TotalValue += t.Value
+		cs.TotalYield += t.Yield
+		r.TotalValue += t.Value
+		r.TotalYield += t.Yield
+		if t.Yield < 0 {
+			cs.TotalPenalty += -t.Yield
+			r.TotalPenalty += -t.Yield
+		}
+		if !t.Unbounded() && t.Yield <= -t.Bound {
+			cs.Expired++
+		}
+
+		d := t.Delay(t.Completion)
+		if d < 0 {
+			d = 0
+		}
+		delays = append(delays, d)
+		classDelays[t.Class] = append(classDelays[t.Class], d)
+		if t.Runtime > 0 {
+			stretches = append(stretches, (d+t.Runtime)/t.Runtime)
+		}
+	}
+	r.Delays = computePercentiles(delays)
+	r.Stretches = computePercentiles(stretches)
+	for class, ds := range classDelays {
+		r.ByClass[class].Delays = computePercentiles(ds)
+	}
+	return r
+}
+
+// CaptureRate is the overall fraction of at-stake value realized.
+func (r *Report) CaptureRate() float64 {
+	if r.TotalValue == 0 {
+		return 0
+	}
+	return r.TotalYield / r.TotalValue
+}
+
+// Print renders the report as an aligned, human-readable block.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "tasks %d, completed %d, preemptions %d\n", r.Tasks, r.Completed, r.Preemptions)
+	fmt.Fprintf(w, "yield %.1f of %.1f at stake (capture %.1f%%), penalties %.1f\n",
+		r.TotalYield, r.TotalValue, 100*r.CaptureRate(), r.TotalPenalty)
+	fmt.Fprintf(w, "delay:   %s\n", formatPct(r.Delays))
+	fmt.Fprintf(w, "stretch: %s\n", formatPct(r.Stretches))
+
+	classes := make([]task.Class, 0, len(r.ByClass))
+	for c := range r.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		cs := r.ByClass[c]
+		fmt.Fprintf(w, "class %-5s n=%-5d capture %6.1f%%  penalties %8.1f  expired %-4d delay %s\n",
+			c, cs.Count, 100*cs.CaptureRate(), cs.TotalPenalty, cs.Expired, formatPct(cs.Delays))
+	}
+}
+
+func formatPct(p Percentiles) string {
+	if p.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("mean %.1f p50 %.1f p90 %.1f p99 %.1f max %.1f",
+		p.Mean, p.P50, p.P90, p.P99, p.Max)
+}
+
+// Compare renders two reports side by side with deltas — the view used
+// when judging one policy against another on the same trace.
+func Compare(w io.Writer, nameA string, a *Report, nameB string, b *Report) {
+	rows := [][3]string{
+		{"completed", fmt.Sprintf("%d", a.Completed), fmt.Sprintf("%d", b.Completed)},
+		{"yield", fmt.Sprintf("%.1f", a.TotalYield), fmt.Sprintf("%.1f", b.TotalYield)},
+		{"capture %", fmt.Sprintf("%.1f", 100*a.CaptureRate()), fmt.Sprintf("%.1f", 100*b.CaptureRate())},
+		{"penalties", fmt.Sprintf("%.1f", a.TotalPenalty), fmt.Sprintf("%.1f", b.TotalPenalty)},
+		{"mean delay", fmt.Sprintf("%.1f", a.Delays.Mean), fmt.Sprintf("%.1f", b.Delays.Mean)},
+		{"p99 delay", fmt.Sprintf("%.1f", a.Delays.P99), fmt.Sprintf("%.1f", b.Delays.P99)},
+		{"preemptions", fmt.Sprintf("%d", a.Preemptions), fmt.Sprintf("%d", b.Preemptions)},
+	}
+	width := len("preemptions")
+	for _, row := range rows {
+		if len(row[0]) > width {
+			width = len(row[0])
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s\n", width, "", trunc(nameA, 14), trunc(nameB, 14))
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-*s  %14s  %14s\n", width, row[0], row[1], row[2])
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// GiniYield computes the Gini coefficient of per-task realized yields
+// shifted to non-negative, a dispersion measure for fairness discussions.
+// It returns 0 for fewer than two completed tasks.
+func GiniYield(tasks []*task.Task) float64 {
+	var ys []float64
+	min := math.Inf(1)
+	for _, t := range tasks {
+		if t.State == task.Completed {
+			ys = append(ys, t.Yield)
+			if t.Yield < min {
+				min = t.Yield
+			}
+		}
+	}
+	if len(ys) < 2 {
+		return 0
+	}
+	// Shift to non-negative; Gini is defined for non-negative quantities.
+	if min < 0 {
+		for i := range ys {
+			ys[i] -= min
+		}
+	}
+	sort.Float64s(ys)
+	var cum, total float64
+	for i, y := range ys {
+		cum += float64(i+1) * y
+		total += y
+	}
+	n := float64(len(ys))
+	if total == 0 {
+		return 0
+	}
+	return (2*cum - (n+1)*total) / (n * total)
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func completedTask(id task.ID, class task.Class, value, yield, runtime, delay float64) *task.Task {
+	t := task.New(id, 0, runtime, value, 1, math.Inf(1))
+	t.Class = class
+	t.State = task.Completed
+	t.Completion = t.Arrival + runtime + delay
+	t.Yield = yield
+	return t
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	tasks := []*task.Task{
+		completedTask(1, task.HighValue, 100, 90, 10, 5),
+		completedTask(2, task.LowValue, 50, -10, 10, 60),
+		completedTask(3, task.LowValue, 50, 50, 10, 0),
+		task.New(4, 0, 10, 100, 1, 0), // never completed
+	}
+	tasks[3].State = task.Rejected
+
+	r := Analyze(tasks)
+	if r.Tasks != 4 || r.Completed != 3 {
+		t.Fatalf("tasks/completed = %d/%d", r.Tasks, r.Completed)
+	}
+	if r.TotalValue != 200 || r.TotalYield != 130 {
+		t.Fatalf("value/yield = %v/%v", r.TotalValue, r.TotalYield)
+	}
+	if r.TotalPenalty != 10 {
+		t.Fatalf("penalty = %v, want 10", r.TotalPenalty)
+	}
+	if got := r.CaptureRate(); math.Abs(got-0.65) > 1e-9 {
+		t.Fatalf("capture = %v, want 0.65", got)
+	}
+
+	hi := r.ByClass[task.HighValue]
+	if hi.Count != 1 || hi.CaptureRate() != 0.9 {
+		t.Fatalf("high class = %+v", hi)
+	}
+	lo := r.ByClass[task.LowValue]
+	if lo.Count != 2 || lo.TotalPenalty != 10 {
+		t.Fatalf("low class = %+v", lo)
+	}
+	if r.Delays.Max != 60 || r.Delays.N != 3 {
+		t.Fatalf("delays = %+v", r.Delays)
+	}
+	// Stretch of the 60-delayed 10-runtime task is 7.
+	if r.Stretches.Max != 7 {
+		t.Fatalf("stretch max = %v, want 7", r.Stretches.Max)
+	}
+}
+
+func TestAnalyzeExpiredCount(t *testing.T) {
+	exp := completedTask(1, task.LowValue, 10, 0, 10, 100)
+	exp.Bound = 0 // bounded at zero, yield hit the floor
+	live := completedTask(2, task.LowValue, 10, 5, 10, 5)
+	live.Bound = 0
+	r := Analyze([]*task.Task{exp, live})
+	if got := r.ByClass[task.LowValue].Expired; got != 1 {
+		t.Fatalf("expired = %d, want 1", got)
+	}
+}
+
+func TestPercentilesOrdering(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(99 - i) // reversed; must sort internally
+	}
+	p := computePercentiles(xs)
+	if p.P50 != 49 || p.P90 != 89 || p.P99 != 98 || p.Max != 99 {
+		t.Fatalf("percentiles = %+v", p)
+	}
+	if p.Mean != 49.5 {
+		t.Fatalf("mean = %v", p.Mean)
+	}
+	if got := computePercentiles(nil); got.N != 0 {
+		t.Fatal("empty percentiles should be zero")
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := Analyze(nil)
+	if r.CaptureRate() != 0 {
+		t.Fatal("empty capture rate should be 0")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf) // must not panic
+}
+
+func TestPrintAndCompare(t *testing.T) {
+	spec := workload.Default()
+	spec.Jobs = 300
+	spec.ValueSkew = 3
+	spec.DecaySkew = 5
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runA := tr.Clone()
+	site.RunTrace(runA, site.Config{Processors: 16, Policy: core.FirstPrice{}})
+	runB := tr.Clone()
+	site.RunTrace(runB, site.Config{Processors: 16, Policy: core.SWPT{}})
+
+	a, b := Analyze(runA), Analyze(runB)
+	var buf bytes.Buffer
+	a.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"capture", "class high", "class low", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	Compare(&buf, "FirstPrice", a, "SWPT", b)
+	cmp := buf.String()
+	if !strings.Contains(cmp, "FirstPrice") || !strings.Contains(cmp, "SWPT") ||
+		!strings.Contains(cmp, "yield") {
+		t.Errorf("Compare output malformed:\n%s", cmp)
+	}
+}
+
+func TestGiniYield(t *testing.T) {
+	// Perfectly equal yields: Gini 0.
+	equal := []*task.Task{
+		completedTask(1, 0, 10, 5, 10, 0),
+		completedTask(2, 0, 10, 5, 10, 0),
+		completedTask(3, 0, 10, 5, 10, 0),
+	}
+	if g := GiniYield(equal); math.Abs(g) > 1e-9 {
+		t.Errorf("equal Gini = %v, want 0", g)
+	}
+	// One winner takes all: Gini approaches (n-1)/n.
+	skewed := []*task.Task{
+		completedTask(1, 0, 10, 0, 10, 0),
+		completedTask(2, 0, 10, 0, 10, 0),
+		completedTask(3, 0, 10, 90, 10, 0),
+	}
+	if g := GiniYield(skewed); math.Abs(g-2.0/3.0) > 1e-9 {
+		t.Errorf("winner-take-all Gini = %v, want 2/3", g)
+	}
+	if g := GiniYield(nil); g != 0 {
+		t.Errorf("empty Gini = %v", g)
+	}
+	// Negative yields are shifted, not dropped.
+	mixed := []*task.Task{
+		completedTask(1, 0, 10, -5, 10, 0),
+		completedTask(2, 0, 10, 5, 10, 0),
+	}
+	if g := GiniYield(mixed); g <= 0 || g > 1 {
+		t.Errorf("mixed Gini = %v, want in (0, 1]", g)
+	}
+}

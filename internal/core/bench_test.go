@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func benchTasks(n int, bounded bool) []*task.Task {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]*task.Task, n)
+	for i := range out {
+		bound := math.Inf(1)
+		if bounded {
+			bound = 0
+		}
+		tk := task.New(task.ID(i+1), rng.Float64()*1000, 1+rng.Float64()*200,
+			rng.Float64()*400, rng.Float64()*2, bound)
+		out[i] = tk
+	}
+	return out
+}
+
+func benchPolicy(b *testing.B, p Policy, n int, bounded bool) {
+	tasks := benchTasks(n, bounded)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Priorities(1000, tasks)
+	}
+	b.ReportMetric(float64(n), "tasks")
+}
+
+func BenchmarkPrioritiesFirstPrice(b *testing.B) { benchPolicy(b, FirstPrice{}, 512, false) }
+func BenchmarkPrioritiesPV(b *testing.B) {
+	benchPolicy(b, PresentValue{DiscountRate: 0.01}, 512, false)
+}
+func BenchmarkPrioritiesFirstRewardUnbounded(b *testing.B) {
+	benchPolicy(b, FirstReward{Alpha: 0.3, DiscountRate: 0.01}, 512, false)
+}
+func BenchmarkPrioritiesFirstRewardBounded(b *testing.B) {
+	benchPolicy(b, FirstReward{Alpha: 0.3, DiscountRate: 0.01}, 512, true)
+}
+func BenchmarkPrioritiesScheduledPrice(b *testing.B) {
+	benchPolicy(b, ScheduledPrice{Processors: 16}, 512, true)
+}
+
+func BenchmarkRankOrder(b *testing.B) {
+	tasks := benchTasks(512, false)
+	p := FirstReward{Alpha: 0.3, DiscountRate: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RankOrder(p, 1000, tasks)
+	}
+}
+
+func BenchmarkBuildCandidate(b *testing.B) {
+	tasks := benchTasks(512, false)
+	busy := []float64{1010, 1050, 1100, 1200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCandidate(SWPT{}, 1000, 16, busy, tasks)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestUnboundedCostsEquation5(t *testing.T) {
+	tasks := []*task.Task{
+		mk(1, 0, 10, 100, 2),
+		mk(2, 0, 20, 100, 3),
+		mk(3, 0, 5, 100, 5),
+	}
+	costs := OpportunityCosts(0, tasks, false)
+	// cost_i = RPT_i * (sum(d) - d_i); sum(d) = 10.
+	want := []float64{10 * 8, 20 * 7, 5 * 5}
+	for i := range want {
+		if math.Abs(costs[i]-want[i]) > 1e-9 {
+			t.Errorf("cost[%d] = %v, want %v", i, costs[i], want[i])
+		}
+	}
+}
+
+func TestGeneralCostCapsAtExpiry(t *testing.T) {
+	// Task 2 expires after 5 more units of delay; its contribution to
+	// task 1's cost caps at 5.
+	t1 := mk(1, 0, 100, 100, 1, 0) // bound 0
+	t2 := mk(2, 0, 10, 10, 2, 0)   // expiry delay = 10/2 = 5
+	// At now=0: t2's completion-if-started-now is 10, ideal completion 10,
+	// so remaining decay time = 5.
+	costs := OpportunityCosts(0, []*task.Task{t1, t2}, false)
+	// cost_1 = d_2 * min(RPT_1=100, rem_2=5) = 10.
+	if math.Abs(costs[0]-10) > 1e-9 {
+		t.Errorf("cost_1 = %v, want 10", costs[0])
+	}
+	// cost_2 = d_1 * min(RPT_2=10, rem_1=(100+0)/1 - 100... ) — t1's own
+	// expiry delay is 100, completion-if-now is 100, remaining = 0+100-100
+	// = 0? No: expiry time = arrival+runtime+expiryDelay = 0+100+100 = 200;
+	// completion if started now = 100; remaining = 100.
+	// So cost_2 = 1 * min(10, 100) = 10.
+	if math.Abs(costs[1]-10) > 1e-9 {
+		t.Errorf("cost_2 = %v, want 10", costs[1])
+	}
+}
+
+func TestExpiredCompetitorContributesNothing(t *testing.T) {
+	live := mk(1, 0, 10, 1000, 1, 0)   // expiry delay 1000: far from expiring
+	expired := mk(2, 0, 10, 10, 10, 0) // expiry delay 1; waited long past it
+	now := 100.0
+	costs := OpportunityCosts(now, []*task.Task{live, expired}, false)
+	if costs[0] != 0 {
+		t.Errorf("cost of running live task = %v, want 0 (competitor expired)", costs[0])
+	}
+	if costs[1] <= 0 {
+		t.Errorf("cost of running expired task = %v, want > 0 (live competitor decays)", costs[1])
+	}
+}
+
+func TestSortedCostsMatchGeneralCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		tasks := make([]*task.Task, n)
+		for i := range tasks {
+			bound := math.Inf(1)
+			switch rng.Intn(3) {
+			case 0:
+				bound = 0
+			case 1:
+				bound = rng.Float64() * 100
+			}
+			tk := task.New(task.ID(i+1), rng.Float64()*50, 1+rng.Float64()*100,
+				rng.Float64()*200, rng.Float64()*3, bound)
+			tk.RPT = tk.Runtime * (0.1 + 0.9*rng.Float64()) // some partially done
+			tasks[i] = tk
+		}
+		now := 50 + rng.Float64()*100
+		fast := OpportunityCosts(now, tasks, false)
+		slow := OpportunityCosts(now, tasks, true)
+		for i := range tasks {
+			if math.Abs(fast[i]-slow[i]) > 1e-6*(1+math.Abs(slow[i])) {
+				t.Fatalf("trial %d task %d: fast cost %v != general cost %v", trial, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestCostsEmptyAndSingle(t *testing.T) {
+	if got := OpportunityCosts(0, nil, false); len(got) != 0 {
+		t.Errorf("costs of empty set = %v", got)
+	}
+	single := []*task.Task{mk(1, 0, 10, 100, 2, 0)}
+	for _, force := range []bool{false, true} {
+		got := OpportunityCosts(0, single, force)
+		if len(got) != 1 || got[0] != 0 {
+			t.Errorf("cost of singleton (force=%v) = %v, want [0]", force, got)
+		}
+	}
+}
+
+func TestZeroDecayCompetitorsAreFree(t *testing.T) {
+	a := mk(1, 0, 10, 100, 0) // no urgency
+	b := mk(2, 0, 10, 100, 0)
+	costs := OpportunityCosts(0, []*task.Task{a, b}, false)
+	if costs[0] != 0 || costs[1] != 0 {
+		t.Errorf("costs with zero decay = %v, want zeros", costs)
+	}
+}
+
+func TestBoundedZeroDecayTaskDoesNotBreakFastPath(t *testing.T) {
+	// A bounded task with zero decay never expires (infinite expiry) and
+	// must not push the computation off the consistent path.
+	a := mk(1, 0, 10, 100, 0, 0) // bounded, zero decay
+	b := mk(2, 0, 10, 100, 2)    // unbounded, decaying
+	fast := OpportunityCosts(0, []*task.Task{a, b}, false)
+	slow := OpportunityCosts(0, []*task.Task{a, b}, true)
+	for i := range fast {
+		if math.Abs(fast[i]-slow[i]) > 1e-9 {
+			t.Errorf("cost[%d]: fast %v != general %v", i, fast[i], slow[i])
+		}
+	}
+}
+
+func BenchmarkCostsUnboundedFastPath(b *testing.B) {
+	tasks := costBenchTasks(500, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OpportunityCosts(100, tasks, false)
+	}
+}
+
+func BenchmarkCostsBoundedSorted(b *testing.B) {
+	tasks := costBenchTasks(500, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OpportunityCosts(100, tasks, false)
+	}
+}
+
+func BenchmarkCostsBoundedGeneralON2(b *testing.B) {
+	tasks := costBenchTasks(500, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OpportunityCosts(100, tasks, true)
+	}
+}
+
+func costBenchTasks(n int, unbounded bool) []*task.Task {
+	rng := rand.New(rand.NewSource(1))
+	tasks := make([]*task.Task, n)
+	for i := range tasks {
+		bound := math.Inf(1)
+		if !unbounded {
+			bound = rng.Float64() * 50
+		}
+		tasks[i] = task.New(task.ID(i+1), rng.Float64()*100, 1+rng.Float64()*100,
+			rng.Float64()*200, rng.Float64()*2, bound)
+	}
+	return tasks
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's primary contribution: value-based
+// scheduling heuristics that balance risk and reward (Sections 4-5).
+//
+// A scheduling policy ranks the tasks competing for processors. Baseline
+// policies (FCFS, SRPT) ignore value; value-based policies (SWPT,
+// FirstPrice, PresentValue, FirstReward) rank by combinations of expected
+// gain, discounted gain, and opportunity cost. The package also provides
+// the candidate-schedule builder used to estimate completion times during
+// negotiation and admission control (Section 6).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// Policy ranks a set of competing tasks at an instant. Priorities returns
+// one priority per task, aligned with the input slice; higher priorities
+// run first. Policies receive the entire competing set at once so that
+// heuristics with cross-task terms (opportunity cost) can share work across
+// tasks.
+type Policy interface {
+	Name() string
+	Priorities(now float64, tasks []*task.Task) []float64
+}
+
+// FCFS is First Come First Served: tasks run in arrival order. It is one
+// of the paper's two value-blind baselines (Section 4).
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// Priorities implements Policy: earlier arrivals get higher priority.
+func (FCFS) Priorities(_ float64, tasks []*task.Task) []float64 {
+	p := make([]float64, len(tasks))
+	for i, t := range tasks {
+		p[i] = -t.Arrival
+	}
+	return p
+}
+
+// SRPT is Shortest Remaining Processing Time, the paper's second
+// value-blind baseline (Section 4).
+type SRPT struct{}
+
+// Name implements Policy.
+func (SRPT) Name() string { return "SRPT" }
+
+// Priorities implements Policy: shorter remaining time gets higher
+// priority.
+func (SRPT) Priorities(_ float64, tasks []*task.Task) []float64 {
+	p := make([]float64, len(tasks))
+	for i, t := range tasks {
+		p[i] = -t.RPT
+	}
+	return p
+}
+
+// SWPT is Shortest Weighted Processing Time, the classical heuristic for
+// Total Weighted Completion Time (Section 4): rank by decay_i / RPT_i. It
+// is optimal for TWCT when all tasks arrive together, and is the pure-cost
+// limit the paper compares FirstReward against.
+type SWPT struct{}
+
+// Name implements Policy.
+func (SWPT) Name() string { return "SWPT" }
+
+// Priorities implements Policy: higher decay per unit of remaining work
+// gets higher priority.
+func (SWPT) Priorities(_ float64, tasks []*task.Task) []float64 {
+	p := make([]float64, len(tasks))
+	for i, t := range tasks {
+		p[i] = t.Decay / t.RPT
+	}
+	return p
+}
+
+// FirstPrice is Millennium's greedy value heuristic (Section 4): rank by
+// the task's unit gain — expected yield per unit of resource per unit of
+// time, yield_i / RPT_i, with the yield evaluated as if the task started
+// now.
+type FirstPrice struct{}
+
+// Name implements Policy.
+func (FirstPrice) Name() string { return "FirstPrice" }
+
+// Priorities implements Policy.
+func (FirstPrice) Priorities(now float64, tasks []*task.Task) []float64 {
+	p := make([]float64, len(tasks))
+	for i, t := range tasks {
+		p[i] = t.ExpectedYield(now) / t.RPT
+	}
+	return p
+}
+
+// PresentValue discounts future gains (Section 5.1): rank by PV_i / RPT_i
+// where PV_i = yield_i / (1 + DiscountRate*RPT_i) (Equation 3). Higher
+// discount rates make the scheduler more risk-averse, preferring short
+// tasks whose gains are realized quickly. DiscountRate 0 reduces to
+// FirstPrice.
+type PresentValue struct {
+	DiscountRate float64
+}
+
+// Name implements Policy.
+func (p PresentValue) Name() string { return fmt.Sprintf("PV(rate=%g)", p.DiscountRate) }
+
+// Priorities implements Policy.
+func (p PresentValue) Priorities(now float64, tasks []*task.Task) []float64 {
+	out := make([]float64, len(tasks))
+	for i, t := range tasks {
+		out[i] = PV(t, now, p.DiscountRate) / t.RPT
+	}
+	return out
+}
+
+// PV computes a task's present value at an instant per Equation 3:
+// yield_i / (1 + discountRate * RPT_i), with yield evaluated for an
+// immediate start.
+func PV(t *task.Task, now, discountRate float64) float64 {
+	return t.ExpectedYield(now) / (1 + discountRate*t.RPT)
+}
+
+// FirstReward is the paper's configurable risk/reward heuristic
+// (Equation 6): rank by
+//
+//	reward_i = (alpha*PV_i - (1-alpha)*cost_i) / RPT_i
+//
+// where cost_i is the opportunity cost of running i next (Equation 4).
+// Alpha 1 with DiscountRate 0 reduces to FirstPrice; alpha 0 reduces to a
+// variant of SWPT that considers only cost.
+type FirstReward struct {
+	Alpha        float64
+	DiscountRate float64
+	// ForceGeneralCost disables the O(n log n) unbounded-penalty fast path
+	// (Equation 5) and always evaluates the general bounded-penalty cost
+	// (Equation 4). It exists for the ablation benchmarks; leave false in
+	// production use.
+	ForceGeneralCost bool
+}
+
+// Name implements Policy.
+func (p FirstReward) Name() string {
+	return fmt.Sprintf("FirstReward(alpha=%g,rate=%g)", p.Alpha, p.DiscountRate)
+}
+
+// Priorities implements Policy.
+func (p FirstReward) Priorities(now float64, tasks []*task.Task) []float64 {
+	costs := OpportunityCosts(now, tasks, p.ForceGeneralCost)
+	out := make([]float64, len(tasks))
+	for i, t := range tasks {
+		out[i] = (p.Alpha*PV(t, now, p.DiscountRate) - (1-p.Alpha)*costs[i]) / t.RPT
+	}
+	return out
+}
+
+// ByName returns the named baseline policy. It recognizes the value-blind
+// baselines and the parameter-free FirstPrice; parameterized policies are
+// constructed directly.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "fcfs", "FCFS":
+		return FCFS{}, nil
+	case "srpt", "SRPT":
+		return SRPT{}, nil
+	case "swpt", "SWPT":
+		return SWPT{}, nil
+	case "firstprice", "FirstPrice":
+		return FirstPrice{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/pqueue"
+	"repro/internal/task"
+)
+
+// Slot is one entry in a candidate schedule: a task with its expected start
+// and completion time if the schedule runs without further arrivals or
+// preemptions.
+type Slot struct {
+	Task       *task.Task
+	Start      float64
+	Completion float64
+}
+
+// ExpectedYield evaluates the slot's value function at its expected
+// completion time.
+func (s Slot) ExpectedYield() float64 {
+	return s.Task.YieldAtCompletion(s.Completion)
+}
+
+// Candidate is a site's candidate schedule (Section 6): the priority order
+// its pending tasks would run in, with expected start and completion times
+// from list-scheduling that order onto the site's processors behind the
+// currently running work.
+type Candidate struct {
+	Now   float64
+	Slots []Slot // in expected start order
+	index map[task.ID]int
+}
+
+// BuildCandidate constructs a candidate schedule. busyUntil holds one entry
+// per processor occupied by a running task — the time that processor frees
+// up; processors beyond len(busyUntil) (up to procs) are idle now. pending
+// is ranked by the policy and list-scheduled greedily: each task in
+// priority order claims the earliest-free processor.
+func BuildCandidate(policy Policy, now float64, procs int, busyUntil []float64, pending []*task.Task) *Candidate {
+	return buildCandidateOrdered(now, procs, busyUntil, RankOrder(policy, now, pending))
+}
+
+// buildCandidateOrdered list-schedules an explicit dispatch order onto the
+// processors.
+func buildCandidateOrdered(now float64, procs int, busyUntil []float64, ordered []*task.Task) *Candidate {
+	if procs < 1 {
+		procs = 1
+	}
+	free := pqueue.New(func(a, b float64) bool { return a < b })
+	for _, t := range busyUntil {
+		free.Push(math.Max(t, now))
+	}
+	for i := len(busyUntil); i < procs; i++ {
+		free.Push(now)
+	}
+
+	c := &Candidate{Now: now, Slots: make([]Slot, 0, len(ordered)), index: make(map[task.ID]int, len(ordered))}
+	for _, t := range ordered {
+		at := free.Pop().Value
+		done := at + t.RPT
+		free.Push(done)
+		c.index[t.ID] = len(c.Slots)
+		c.Slots = append(c.Slots, Slot{Task: t, Start: at, Completion: done})
+	}
+	return c
+}
+
+// RankOrder returns the pending tasks sorted by the policy's priorities,
+// highest first. Ties break by task ID so candidate schedules are
+// deterministic.
+func RankOrder(policy Policy, now float64, pending []*task.Task) []*task.Task {
+	prios := policy.Priorities(now, pending)
+	idx := make([]int, len(pending))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := prios[idx[a]], prios[idx[b]]
+		if pa != pb {
+			return pa > pb
+		}
+		return pending[idx[a]].ID < pending[idx[b]].ID
+	})
+	out := make([]*task.Task, len(pending))
+	for i, j := range idx {
+		out[i] = pending[j]
+	}
+	return out
+}
+
+// Slot returns the slot for a task, if present.
+func (c *Candidate) Slot(id task.ID) (Slot, bool) {
+	i, ok := c.index[id]
+	if !ok {
+		return Slot{}, false
+	}
+	return c.Slots[i], true
+}
+
+// Behind returns the tasks scheduled after the given task in the candidate
+// schedule — the tasks that accepting it would delay (Equation 8's
+// summation set).
+func (c *Candidate) Behind(id task.ID) []*task.Task {
+	i, ok := c.index[id]
+	if !ok {
+		return nil
+	}
+	out := make([]*task.Task, 0, len(c.Slots)-i-1)
+	for _, s := range c.Slots[i+1:] {
+		out = append(out, s.Task)
+	}
+	return out
+}
+
+// TotalExpectedYield sums the expected yields across the schedule. It is
+// the planner's estimate of the value the current mix will earn absent
+// further arrivals.
+func (c *Candidate) TotalExpectedYield() float64 {
+	var sum float64
+	for _, s := range c.Slots {
+		sum += s.ExpectedYield()
+	}
+	return sum
+}
+
+// Makespan returns the latest expected completion in the schedule, or Now
+// if it is empty.
+func (c *Candidate) Makespan() float64 {
+	m := c.Now
+	for _, s := range c.Slots {
+		if s.Completion > m {
+			m = s.Completion
+		}
+	}
+	return m
+}

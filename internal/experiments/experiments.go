@@ -1,0 +1,233 @@
+// Package experiments regenerates every figure in the paper's evaluation
+// (Figures 3-7). Each figure has a Config with the paper's published
+// parameters as defaults, a Run function that sweeps the figure's axes over
+// replicated traces, and a printable Figure result holding the same series
+// the paper plots.
+//
+// Comparisons are paired: for each replication seed, every policy under
+// comparison runs on clones of the same generated trace, so improvement
+// percentages measure policy differences rather than trace noise.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/site"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// Options controls experiment scale and parallelism; it does not change any
+// paper parameter.
+type Options struct {
+	// Jobs per trace. 0 means the paper's 5000.
+	Jobs int
+	// Seeds is the number of trace replications averaged per point. 0 means 5.
+	Seeds int
+	// Workers bounds sweep parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// BaseSeed derives the replication seeds. 0 means 1.
+	BaseSeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Jobs == 0 {
+		o.Jobs = 5000
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 5
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	return o
+}
+
+// Quick returns options scaled down for tests and benchmarks: smaller
+// traces and fewer replications, same parameters otherwise.
+func Quick() Options {
+	return Options{Jobs: 800, Seeds: 2}
+}
+
+// Figure is a regenerated paper figure: named series over a shared x-axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []stats.Series
+	Notes  []string
+}
+
+// Print renders the figure as an aligned table, one row per x value and one
+// column per series — the textual equivalent of the paper's plot.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "x = %s; y = %s\n", f.XLabel, f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for i := range f.xs() {
+		row := make([]string, 0, len(header))
+		row = append(row, trimFloat(f.xs()[i]))
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.2f", s.Points[i].Y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	printAligned(w, rows)
+}
+
+// WriteCSV emits the figure as CSV with one row per x value.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name, s.Name+"_ci95")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(quoteAll(cols), ",")); err != nil {
+		return err
+	}
+	for i, x := range f.xs() {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%g", s.Points[i].Y), fmt.Sprintf("%g", s.Points[i].Err))
+			} else {
+				row = append(row, "", "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xs returns the x values of the longest series.
+func (f *Figure) xs() []float64 {
+	var longest []stats.Point
+	for _, s := range f.Series {
+		if len(s.Points) > len(longest) {
+			longest = s.Points
+		}
+	}
+	out := make([]float64, len(longest))
+	for i, p := range longest {
+		out[i] = p.X
+	}
+	return out
+}
+
+// FindSeries returns the series with the given name, if present.
+func (f *Figure) FindSeries(name string) (stats.Series, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return stats.Series{}, false
+}
+
+func trimFloat(x float64) string { return fmt.Sprintf("%g", x) }
+
+func quoteAll(cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		if strings.ContainsAny(c, ", ") {
+			c = `"` + c + `"`
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func printAligned(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// runSpec generates the spec's trace and runs it through a site with the
+// given configuration.
+func runSpec(spec workload.Spec, cfg site.Config) site.Metrics {
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		panic(err) // experiment specs are code-defined; failure is a bug
+	}
+	return site.RunTrace(tr.Clone(), cfg)
+}
+
+// pairedMetrics runs candidate and baseline configurations on clones of the
+// same trace per seed and returns the per-seed metric values for each.
+func pairedMetrics(spec workload.Spec, opts Options,
+	candidate, baseline site.Config, metric func(site.Metrics) float64) (cand, base []float64) {
+	type pair struct{ c, b float64 }
+	pairs := sweep.Replicate(opts.BaseSeed, opts.Seeds, opts.Workers, func(seed int64) pair {
+		sp := spec
+		sp.Seed = seed
+		tr, err := workload.Generate(sp)
+		if err != nil {
+			panic(err)
+		}
+		c := site.RunTrace(tr.Clone(), candidate)
+		b := site.RunTrace(tr.Clone(), baseline)
+		return pair{metric(c), metric(b)}
+	})
+	cand = make([]float64, len(pairs))
+	base = make([]float64, len(pairs))
+	for i, p := range pairs {
+		cand[i], base[i] = p.c, p.b
+	}
+	return cand, base
+}
+
+// improvementPoint turns paired per-seed metrics into a series point: the
+// improvement of the pooled candidate mean over the pooled baseline mean
+// (robust to near-zero per-seed baselines), with the spread of per-seed
+// improvements as the error bar.
+func improvementPoint(x float64, cand, base []float64) stats.Point {
+	y := stats.Improvement(stats.Mean(cand), stats.Mean(base))
+	perSeed := make([]float64, len(cand))
+	for i := range cand {
+		perSeed[i] = stats.Improvement(cand[i], base[i])
+	}
+	return stats.Point{X: x, Y: y, Err: stats.Summarize(perSeed).CI95}
+}
+
+// meanPoint folds replication values into a series point at x.
+func meanPoint(x float64, values []float64) stats.Point {
+	s := stats.Summarize(values)
+	return stats.Point{X: x, Y: s.Mean, Err: s.CI95}
+}

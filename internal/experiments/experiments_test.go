@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Shape tests run the real experiment pipeline at reduced scale (smaller
+// traces, fewer replications, sparser grids) and assert the relations the
+// paper reports, not absolute numbers.
+
+func TestFig3Structure(t *testing.T) {
+	cfg := DefaultFig3()
+	cfg.DiscountRatesPct = []float64{0.001, 3}
+	cfg.ValueSkews = []float64{9, 1}
+	cfg.Options = Options{Jobs: 600, Seeds: 2}
+	fig := RunFig3(cfg)
+
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+		// At a vanishing discount rate PV is near-identical to FirstPrice.
+		if math.Abs(s.Points[0].Y) > 1.5 {
+			t.Errorf("series %q improvement at 0.001%% = %v, want ~0", s.Name, s.Points[0].Y)
+		}
+	}
+}
+
+func TestFig3DiscountingPaysUnderRestartRisk(t *testing.T) {
+	cfg := DefaultFig3()
+	cfg.DiscountRatesPct = []float64{10}
+	cfg.ValueSkews = []float64{2.15}
+	cfg.Options = Options{Jobs: 1500, Seeds: 2}
+	fig := RunFig3(cfg)
+	y := fig.Series[0].Points[0].Y
+	if y <= 0 {
+		t.Errorf("PV improvement at 10%% discount = %v, want > 0 in the restart-risk regime", y)
+	}
+}
+
+func TestFig5CostDominatesGains(t *testing.T) {
+	cfg := DefaultFig5()
+	cfg.Alphas = []float64{0, 0.9}
+	cfg.DecaySkews = []float64{5}
+	cfg.Options = Options{Jobs: 1200, Seeds: 2}
+	fig := RunAlphaSweep(cfg)
+
+	s := fig.Series[0]
+	atZero, _ := s.YAt(0)
+	atNine, _ := s.YAt(0.9)
+	if atZero <= atNine {
+		t.Errorf("unbounded penalties: alpha=0 improvement %v should beat alpha=0.9's %v", atZero, atNine)
+	}
+	if atZero < 5 {
+		t.Errorf("alpha=0 improvement over FirstPrice = %v, want clearly positive", atZero)
+	}
+}
+
+func TestFig4BoundedPenaltiesFavorHybrid(t *testing.T) {
+	cfg := DefaultFig4()
+	cfg.Alphas = []float64{0.3, 0.9}
+	cfg.DecaySkews = []float64{7}
+	cfg.Options = Options{Jobs: 1500, Seeds: 3}
+	fig := RunAlphaSweep(cfg)
+	if fig.ID != "fig4" {
+		t.Fatalf("fig id = %q", fig.ID)
+	}
+	s := fig.Series[0]
+	hybrid, _ := s.YAt(0.3)
+	gains, _ := s.YAt(0.9)
+	if hybrid <= gains {
+		t.Errorf("bounded penalties: hybrid alpha 0.3 (%v) should beat gains-heavy 0.9 (%v)", hybrid, gains)
+	}
+}
+
+func TestFig5MagnitudeDwarfsFig4(t *testing.T) {
+	opts := Options{Jobs: 1000, Seeds: 2}
+	f4 := DefaultFig4()
+	f4.Alphas = []float64{0}
+	f4.DecaySkews = []float64{5}
+	f4.Options = opts
+	f5 := DefaultFig5()
+	f5.Alphas = []float64{0}
+	f5.DecaySkews = []float64{5}
+	f5.Options = opts
+
+	y4, _ := RunAlphaSweep(f4).Series[0].YAt(0)
+	y5, _ := RunAlphaSweep(f5).Series[0].YAt(0)
+	if y5 < 5*math.Max(y4, 1) {
+		t.Errorf("unbounded improvement %v should dwarf bounded %v (order of magnitude in the paper)", y5, y4)
+	}
+}
+
+func TestFig6AdmissionControlShape(t *testing.T) {
+	cfg := DefaultFig6()
+	cfg.Loads = []float64{0.5, 3}
+	cfg.Alphas = []float64{0.2}
+	cfg.Options = Options{Jobs: 900, Seeds: 2}
+	fig := RunFig6(cfg)
+
+	ac, ok := fig.FindSeries("FirstReward alpha=0.2")
+	if !ok {
+		t.Fatal("missing admission-control series")
+	}
+	noac, ok := fig.FindSeries("FirstPrice w/o admission control")
+	if !ok {
+		t.Fatal("missing no-admission series")
+	}
+
+	acLow, _ := ac.YAt(0.5)
+	acHigh, _ := ac.YAt(3)
+	if acHigh <= acLow {
+		t.Errorf("admission control yield rate should grow with load: %v -> %v", acLow, acHigh)
+	}
+	noacHigh, _ := noac.YAt(3)
+	if noacHigh >= 0 {
+		t.Errorf("no-admission yield rate at load 3 = %v, want negative collapse", noacHigh)
+	}
+	if acHigh <= noacHigh {
+		t.Error("admission control should beat no admission at overload")
+	}
+}
+
+func TestFig7ThresholdPeaks(t *testing.T) {
+	cfg := DefaultFig7()
+	cfg.Loads = []float64{2}
+	cfg.Thresholds = []float64{-200, 100, 700}
+	cfg.Absolute = true
+	cfg.Options = Options{Jobs: 900, Seeds: 2}
+	fig := RunFig7(cfg)
+
+	s := fig.Series[0]
+	left, _ := s.YAt(-200)
+	mid, _ := s.YAt(100)
+	right, _ := s.YAt(700)
+	if !(mid > left && mid > right) {
+		t.Errorf("load 2 yield should peak at an interior threshold: %v, %v, %v", left, mid, right)
+	}
+}
+
+func TestFig7ImprovementMode(t *testing.T) {
+	cfg := DefaultFig7()
+	cfg.Loads = []float64{1.33}
+	cfg.Thresholds = []float64{0}
+	cfg.Options = Options{Jobs: 700, Seeds: 2}
+	fig := RunFig7(cfg)
+	y, ok := fig.Series[0].YAt(0)
+	if !ok {
+		t.Fatal("missing point")
+	}
+	if y <= 0 {
+		t.Errorf("improvement over no admission at load 1.33 = %v, want > 0", y)
+	}
+}
+
+func TestFigurePrintAndCSV(t *testing.T) {
+	cfg := DefaultFig5()
+	cfg.Alphas = []float64{0, 0.5}
+	cfg.DecaySkews = []float64{3}
+	cfg.Options = Options{Jobs: 300, Seeds: 2}
+	fig := RunAlphaSweep(cfg)
+
+	var out bytes.Buffer
+	fig.Print(&out)
+	text := out.String()
+	if !strings.Contains(text, "fig5") || !strings.Contains(text, "decay skew 3") {
+		t.Errorf("Print output missing headers:\n%s", text)
+	}
+	if !strings.Contains(text, "alpha") {
+		t.Errorf("Print output missing x label:\n%s", text)
+	}
+
+	var csv bytes.Buffer
+	if err := fig.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 { // header + 2 alpha rows
+		t.Errorf("CSV has %d lines, want 3:\n%s", len(lines), csv.String())
+	}
+	if !strings.Contains(lines[0], "ci95") {
+		t.Errorf("CSV header missing error column: %s", lines[0])
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Jobs != 5000 || o.Seeds != 5 || o.BaseSeed != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+	q := Quick()
+	if q.Jobs >= 5000 {
+		t.Error("Quick() should be smaller than the paper scale")
+	}
+}
+
+func TestFindSeriesMissing(t *testing.T) {
+	fig := &Figure{}
+	if _, ok := fig.FindSeries("nope"); ok {
+		t.Error("found series in empty figure")
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/market"
+)
+
+func TestRegimesStructure(t *testing.T) {
+	cfg := DefaultRegimes()
+	cfg.ValueSkews = []float64{2}
+	cfg.Options = Options{Jobs: 500, Seeds: 2}
+	fig := RunRegimes(cfg)
+
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d, want 4 regimes", len(fig.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range fig.Series {
+		names[s.Name] = true
+		if len(s.Points) != 1 {
+			t.Fatalf("series %q points = %d, want 1", s.Name, len(s.Points))
+		}
+	}
+	for _, want := range []string{"no-preemption", "suspend-resume", "restart+shield", "restart+price"} {
+		if !names[want] {
+			t.Errorf("missing regime series %q", want)
+		}
+	}
+}
+
+func TestMultiSiteSelectorOrdering(t *testing.T) {
+	cfg := DefaultMultiSite()
+	cfg.Loads = []float64{2}
+	cfg.Options = Options{Jobs: 600, Seeds: 2}
+	fig := RunMultiSite(cfg)
+
+	best, ok := fig.FindSeries("best-yield")
+	if !ok {
+		t.Fatal("missing best-yield series")
+	}
+	rr, ok := fig.FindSeries("round-robin")
+	if !ok {
+		t.Fatal("missing round-robin series")
+	}
+	by, _ := best.YAt(2)
+	rby, _ := rr.YAt(2)
+	if by <= 0 || rby <= 0 {
+		t.Fatalf("yield rates should be positive: best-yield %v, round-robin %v", by, rby)
+	}
+	// An informed buyer should not lose to blind placement at overload.
+	if by < rby*0.95 {
+		t.Errorf("best-yield %v materially below round-robin %v", by, rby)
+	}
+}
+
+func TestRoundRobinSelector(t *testing.T) {
+	r := &roundRobin{}
+	if got := r.Select(market.Bid{}, nil); got != -1 {
+		t.Fatalf("empty offers -> %d, want -1", got)
+	}
+	offers := []market.ServerBid{{SiteID: "a"}, {SiteID: "b"}}
+	first := r.Select(market.Bid{}, offers)
+	second := r.Select(market.Bid{}, offers)
+	if first == second {
+		t.Error("round-robin did not rotate")
+	}
+}

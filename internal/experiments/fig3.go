@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig3Config parameterizes Figure 3: yield improvement of PresentValue over
+// FirstPrice as the discount rate varies, for Millennium-style task mixes
+// with different value skew ratios. Defaults follow the paper: normal
+// inter-arrival times and durations with 16 jobs per batch, uniform decay,
+// penalties bounded at zero, preemption enabled, load factor 1.
+type Fig3Config struct {
+	// DiscountRatesPct are the x-axis points, in percent (the paper sweeps
+	// 0.001% to 10% on a log axis).
+	DiscountRatesPct []float64
+	// ValueSkews are the per-series value skew ratios.
+	ValueSkews []float64
+	// RestartOnPreempt makes preemption lose progress (no checkpointing).
+	// This is the regime where deferring gains is genuinely risky — a long
+	// task's investment can be wiped out by a high-value arrival — and is
+	// required to reproduce the published benefit of discounting (see
+	// EXPERIMENTS.md).
+	RestartOnPreempt bool
+	Spec             workload.Spec
+	Options          Options
+}
+
+// DefaultFig3 returns the paper's Figure 3 setup.
+func DefaultFig3() Fig3Config {
+	return Fig3Config{
+		DiscountRatesPct: []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10},
+		ValueSkews:       []float64{9, 4, 2.15, 1.5, 1},
+		RestartOnPreempt: true,
+		Spec:             workload.Millennium(),
+	}
+}
+
+// RunFig3 regenerates Figure 3. At discount rate 0, PV is definitionally
+// FirstPrice, so every series is anchored at zero improvement; improvements
+// grow with the value skew ratio for moderate discount rates.
+func RunFig3(cfg Fig3Config) *Figure {
+	opts := cfg.Options.withDefaults()
+	fig := &Figure{
+		ID:     "fig3",
+		Title:  "Yield improvement of Present Value (PV) over FirstPrice",
+		XLabel: "discount rate (%)",
+		YLabel: "improvement over FirstPrice (%)",
+		Notes: []string{
+			"Millennium-style mix: normal arrivals/durations, 16-job batches, uniform decay, penalties bounded at 0, preemption enabled, load factor 1",
+			fmt.Sprintf("jobs=%d seeds=%d", opts.Jobs, opts.Seeds),
+		},
+	}
+
+	for _, skew := range cfg.ValueSkews {
+		spec := cfg.Spec
+		spec.Jobs = opts.Jobs
+		spec.ValueSkew = skew
+
+		series := stats.Series{Name: fmt.Sprintf("value skew %g", skew)}
+		for _, pct := range cfg.DiscountRatesPct {
+			rate := pct / 100
+			candidate := fig3Site(core.PresentValue{DiscountRate: rate}, cfg.RestartOnPreempt)
+			baseline := fig3Site(core.FirstPrice{}, cfg.RestartOnPreempt)
+			cand, base := pairedMetrics(spec, opts, candidate, baseline, totalYield)
+			series.Points = append(series.Points, improvementPoint(pct, cand, base))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig
+}
+
+func fig3Site(policy core.Policy, restart bool) site.Config {
+	cfg := site.Config{
+		Processors: 16,
+		Policy:     policy,
+		Preemptive: true,
+	}
+	if restart {
+		cfg.PreemptionRestart = true
+		cfg.PreemptRanking = site.RestartCost
+	}
+	return cfg
+}
+
+func totalYield(m site.Metrics) float64 { return m.TotalYield }

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AlphaSweepConfig parameterizes Figures 4 and 5: the improvement of
+// FirstReward over FirstPrice as the risk/reward weight alpha varies, for
+// job mixes with different decay skew ratios. Figure 4 bounds penalties at
+// zero; Figure 5 leaves them unbounded. Both hold the value skew ratio at 2
+// and the discount rate at 1%.
+type AlphaSweepConfig struct {
+	Alphas     []float64
+	DecaySkews []float64
+	Bounded    bool // true reproduces Figure 4, false Figure 5
+	Preemptive bool
+	Spec       workload.Spec
+	Options    Options
+}
+
+func defaultAlphaSweep(bounded bool) AlphaSweepConfig {
+	spec := workload.Default()
+	spec.ValueSkew = 2
+	// Calibration: the paper does not publish decay magnitudes. A slow
+	// mean decay (values zeroing after ~20 mean runtimes) reproduces the
+	// published shapes — hybrid alpha near 0.3 best with bounded penalties,
+	// cost-only dominating unbounded — because it keeps the opportunity
+	// cost of Equation 4 in the regime where few competitors sit at their
+	// expiry caps. See EXPERIMENTS.md.
+	spec.ZeroCrossFactor = 20
+	if bounded {
+		spec.Bound = 0
+	} else {
+		spec.Bound = math.Inf(1)
+	}
+	return AlphaSweepConfig{
+		Alphas:     []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		DecaySkews: []float64{7, 5, 3},
+		Bounded:    bounded,
+		Spec:       spec,
+	}
+}
+
+// DefaultFig4 returns the paper's Figure 4 setup (bounded penalties).
+func DefaultFig4() AlphaSweepConfig { return defaultAlphaSweep(true) }
+
+// DefaultFig5 returns the paper's Figure 5 setup (unbounded penalties).
+func DefaultFig5() AlphaSweepConfig { return defaultAlphaSweep(false) }
+
+// RunAlphaSweep regenerates Figure 4 or 5 per cfg.Bounded. The expected
+// shapes: with bounded penalties a hybrid alpha (around 0.3) is best and
+// improvements are a few percent; with unbounded penalties considering
+// gains never helps — alpha 0 dominates — and the magnitude over
+// FirstPrice is roughly an order of magnitude larger.
+func RunAlphaSweep(cfg AlphaSweepConfig) *Figure {
+	opts := cfg.Options.withDefaults()
+	id, title := "fig4", "FirstReward vs FirstPrice, bounded penalties"
+	if !cfg.Bounded {
+		id, title = "fig5", "FirstReward vs FirstPrice, unbounded penalties"
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "alpha",
+		YLabel: "improvement over FirstPrice (%)",
+		Notes: []string{
+			"value skew 2, discount rate 1%, load factor 1, exponential arrivals/durations",
+			fmt.Sprintf("jobs=%d seeds=%d", opts.Jobs, opts.Seeds),
+		},
+	}
+	const discountRate = 0.01
+
+	for _, dskew := range cfg.DecaySkews {
+		spec := cfg.Spec
+		spec.Jobs = opts.Jobs
+		spec.DecaySkew = dskew
+
+		series := stats.Series{Name: fmt.Sprintf("decay skew %g", dskew)}
+		for _, alpha := range cfg.Alphas {
+			candidate := alphaSweepSite(core.FirstReward{Alpha: alpha, DiscountRate: discountRate}, cfg.Preemptive)
+			baseline := alphaSweepSite(core.FirstPrice{}, cfg.Preemptive)
+			cand, base := pairedMetrics(spec, opts, candidate, baseline, totalYield)
+			series.Points = append(series.Points, improvementPoint(alpha, cand, base))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig
+}
+
+func alphaSweepSite(policy core.Policy, preemptive bool) site.Config {
+	return site.Config{
+		Processors: 16,
+		Policy:     policy,
+		Preemptive: preemptive,
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/site"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// MultiSiteConfig parameterizes the multi-site economy extension study:
+// aggregate yield across a federation of task-service sites as load grows,
+// for different buyer-side selectors (Figure 1's client policy). The paper
+// proposes the negotiation framework; this experiment characterizes it.
+type MultiSiteConfig struct {
+	Loads          []float64
+	Sites          int
+	ProcsPerSite   int
+	SlackThreshold float64
+	DiscountRate   float64
+	Spec           workload.Spec
+	Options        Options
+}
+
+// DefaultMultiSite uses three four-node sites with the Figure 6 mix.
+func DefaultMultiSite() MultiSiteConfig {
+	spec := workload.Default()
+	spec.ValueSkew = 3
+	spec.DecaySkew = 5
+	return MultiSiteConfig{
+		Loads:          []float64{0.5, 1, 1.5, 2, 3},
+		Sites:          3,
+		ProcsPerSite:   4,
+		SlackThreshold: 0,
+		DiscountRate:   0.01,
+		Spec:           spec,
+	}
+}
+
+// selectorCase is one buyer-side policy under study. randomSelector is
+// implemented via round-robin: deterministic, and equivalent in aggregate
+// to uniform random placement for these mixes.
+type selectorCase struct {
+	name string
+	mk   func() market.Selector
+}
+
+// roundRobin cycles through accepting sites without regard to offers.
+type roundRobin struct{ next int }
+
+// Select implements market.Selector.
+func (r *roundRobin) Select(_ market.Bid, offers []market.ServerBid) int {
+	if len(offers) == 0 {
+		return -1
+	}
+	i := r.next % len(offers)
+	r.next++
+	return i
+}
+
+// RunMultiSite regenerates the extension study: one series per selector,
+// aggregate yield rate versus load factor.
+func RunMultiSite(cfg MultiSiteConfig) *Figure {
+	opts := cfg.Options.withDefaults()
+	fig := &Figure{
+		ID:     "ext-multisite",
+		Title:  "Multi-site economy: buyer selector vs aggregate yield rate",
+		XLabel: "load factor",
+		YLabel: "aggregate yield rate",
+		Notes: []string{
+			fmt.Sprintf("%d sites x %d processors, slack threshold %g, FirstReward alpha=0.2",
+				cfg.Sites, cfg.ProcsPerSite, cfg.SlackThreshold),
+			fmt.Sprintf("jobs=%d seeds=%d", opts.Jobs, opts.Seeds),
+		},
+	}
+
+	cases := []selectorCase{
+		{"best-yield", func() market.Selector { return market.BestYield{} }},
+		{"earliest-completion", func() market.Selector { return market.EarliestCompletion{} }},
+		{"round-robin", func() market.Selector { return &roundRobin{} }},
+	}
+
+	for _, sc := range cases {
+		series := stats.Series{Name: sc.name}
+		for _, load := range cfg.Loads {
+			ys := sweep.Replicate(opts.BaseSeed, opts.Seeds, opts.Workers, func(seed int64) float64 {
+				spec := cfg.Spec
+				spec.Jobs = opts.Jobs
+				spec.Processors = cfg.Sites * cfg.ProcsPerSite
+				spec.Load = load
+				spec.Seed = seed
+				tr, err := workload.Generate(spec)
+				if err != nil {
+					panic(err)
+				}
+				ex := market.NewExchange(sc.mk(), multiSiteConfigs(cfg))
+				ex.ScheduleArrivals(tr.Clone())
+				ex.Run()
+
+				var yield, first, last float64
+				first = -1
+				for _, s := range ex.Sites {
+					m := s.Metrics()
+					yield += m.TotalYield
+					if m.Completed > 0 {
+						if first < 0 || m.FirstArrival < first {
+							first = m.FirstArrival
+						}
+						if m.LastCompletion > last {
+							last = m.LastCompletion
+						}
+					}
+				}
+				if last <= first || first < 0 {
+					return 0
+				}
+				return yield / (last - first)
+			})
+			series.Points = append(series.Points, meanPoint(load, ys))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig
+}
+
+func multiSiteConfigs(cfg MultiSiteConfig) []site.Config {
+	out := make([]site.Config, cfg.Sites)
+	for i := range out {
+		out[i] = site.Config{
+			Processors:   cfg.ProcsPerSite,
+			Policy:       core.FirstReward{Alpha: 0.2, DiscountRate: cfg.DiscountRate},
+			Admission:    admission.SlackThreshold{Threshold: cfg.SlackThreshold},
+			DiscountRate: cfg.DiscountRate,
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RegimesConfig parameterizes the preemption-regime study backing the
+// Figure 3 reproduction notes: the same PV-vs-FirstPrice comparison across
+// the four combinations of progress accounting that the paper leaves
+// unspecified.
+type RegimesConfig struct {
+	DiscountRatePct float64
+	ValueSkews      []float64
+	Spec            workload.Spec
+	Options         Options
+}
+
+// DefaultRegimes compares at the paper's interesting discount region.
+func DefaultRegimes() RegimesConfig {
+	return RegimesConfig{
+		DiscountRatePct: 1,
+		ValueSkews:      []float64{9, 1},
+		Spec:            workload.Millennium(),
+	}
+}
+
+// regime is one preemption-accounting variant.
+type regime struct {
+	name    string
+	mutate  func(*site.Config)
+	comment string
+}
+
+func regimes() []regime {
+	return []regime{
+		{"no-preemption", func(c *site.Config) {
+			c.Preemptive = false
+		}, "tasks run to completion once started"},
+		{"suspend-resume", func(c *site.Config) {
+			c.Preemptive = true
+		}, "free suspend/resume, progress-shielded ranking"},
+		{"restart+shield", func(c *site.Config) {
+			c.Preemptive = true
+			c.PreemptionRestart = true
+		}, "preemption loses progress, progress-shielded ranking"},
+		{"restart+price", func(c *site.Config) {
+			c.Preemptive = true
+			c.PreemptionRestart = true
+			c.PreemptRanking = site.RestartCost
+		}, "preemption loses progress, full-restart-cost ranking (Figure 3 default)"},
+	}
+}
+
+// RunRegimes produces one series per preemption regime: PV improvement
+// over FirstPrice at the configured discount rate, across value skews.
+// EXPERIMENTS.md uses this to document which regime reproduces which of
+// the paper's Figure 3 claims.
+func RunRegimes(cfg RegimesConfig) *Figure {
+	opts := cfg.Options.withDefaults()
+	fig := &Figure{
+		ID:     "fig3-regimes",
+		Title:  "PV vs FirstPrice across preemption regimes",
+		XLabel: "value skew ratio",
+		YLabel: fmt.Sprintf("improvement over FirstPrice at %g%% discount (%%)", cfg.DiscountRatePct),
+		Notes: []string{
+			"Millennium mix; the paper does not specify its preemption accounting",
+			fmt.Sprintf("jobs=%d seeds=%d", opts.Jobs, opts.Seeds),
+		},
+	}
+	rate := cfg.DiscountRatePct / 100
+
+	for _, reg := range regimes() {
+		series := stats.Series{Name: reg.name}
+		for _, skew := range cfg.ValueSkews {
+			spec := cfg.Spec
+			spec.Jobs = opts.Jobs
+			spec.ValueSkew = skew
+
+			candidate := regimeSite(core.PresentValue{DiscountRate: rate}, reg)
+			baseline := regimeSite(core.FirstPrice{}, reg)
+			cand, base := pairedMetrics(spec, opts, candidate, baseline, totalYield)
+			series.Points = append(series.Points, improvementPoint(skew, cand, base))
+		}
+		fig.Series = append(fig.Series, series)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: %s", reg.name, reg.comment))
+	}
+	return fig
+}
+
+func regimeSite(policy core.Policy, reg regime) site.Config {
+	cfg := site.Config{Processors: 16, Policy: policy}
+	reg.mutate(&cfg)
+	return cfg
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// DecaySensitivityConfig parameterizes the calibration-robustness study:
+// how the FirstReward alpha sweep's best operating point moves as the
+// unpublished decay magnitude (the zero-cross factor) varies. EXPERIMENTS.md
+// commits to one calibration; this study shows which conclusions survive
+// across a decade of alternatives.
+type DecaySensitivityConfig struct {
+	ZeroCrossFactors []float64
+	Alphas           []float64
+	Bounded          bool
+	Spec             workload.Spec
+	Options          Options
+}
+
+// DefaultDecaySensitivity sweeps the alpha grid across decay calibrations
+// for the Figure 4 (bounded) setting.
+func DefaultDecaySensitivity() DecaySensitivityConfig {
+	spec := workload.Default()
+	spec.ValueSkew = 2
+	spec.DecaySkew = 5
+	spec.Bound = 0
+	return DecaySensitivityConfig{
+		ZeroCrossFactors: []float64{2, 5, 10, 20, 40},
+		Alphas:           []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Bounded:          true,
+		Spec:             spec,
+	}
+}
+
+// RunDecaySensitivity produces one series per zero-cross factor:
+// FirstReward improvement over FirstPrice across alpha. The paper-relevant
+// readouts are each series' peak alpha and whether low alpha beats high.
+func RunDecaySensitivity(cfg DecaySensitivityConfig) *Figure {
+	opts := cfg.Options.withDefaults()
+	bound := math.Inf(1)
+	regime := "unbounded"
+	if cfg.Bounded {
+		bound = 0
+		regime = "bounded"
+	}
+	fig := &Figure{
+		ID:     "sens-decay",
+		Title:  fmt.Sprintf("Alpha sweep robustness across decay calibrations (%s penalties)", regime),
+		XLabel: "alpha",
+		YLabel: "improvement over FirstPrice (%)",
+		Notes: []string{
+			"zero-cross factor = mean runtimes of delay until a task's value reaches zero",
+			fmt.Sprintf("jobs=%d seeds=%d", opts.Jobs, opts.Seeds),
+		},
+	}
+	const discountRate = 0.01
+
+	for _, zcf := range cfg.ZeroCrossFactors {
+		spec := cfg.Spec
+		spec.Jobs = opts.Jobs
+		spec.ZeroCrossFactor = zcf
+		spec.Bound = bound
+
+		series := stats.Series{Name: fmt.Sprintf("zcf %g", zcf)}
+		for _, alpha := range cfg.Alphas {
+			candidate := alphaSweepSite(core.FirstReward{Alpha: alpha, DiscountRate: discountRate}, false)
+			baseline := alphaSweepSite(core.FirstPrice{}, false)
+			cand, base := pairedMetrics(spec, opts, candidate, baseline, totalYield)
+			series.Points = append(series.Points, improvementPoint(alpha, cand, base))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig
+}
+
+// LoadSensitivityConfig sweeps the load factor for a fixed alpha grid,
+// showing how saturation moves the value of cost-awareness.
+type LoadSensitivityConfig struct {
+	Loads   []float64
+	Alphas  []float64
+	Spec    workload.Spec
+	Options Options
+}
+
+// DefaultLoadSensitivity uses the Figure 5 (unbounded) setting across
+// loads around saturation.
+func DefaultLoadSensitivity() LoadSensitivityConfig {
+	spec := workload.Default()
+	spec.ValueSkew = 2
+	spec.DecaySkew = 5
+	spec.ZeroCrossFactor = 20
+	spec.Bound = math.Inf(1)
+	return LoadSensitivityConfig{
+		Loads:  []float64{0.7, 0.9, 1, 1.1, 1.3},
+		Alphas: []float64{0, 0.5, 0.9},
+		Spec:   spec,
+	}
+}
+
+// RunLoadSensitivity produces one series per alpha: improvement over
+// FirstPrice as load varies. Expected: cost-awareness matters little below
+// saturation and increasingly past it.
+func RunLoadSensitivity(cfg LoadSensitivityConfig) *Figure {
+	opts := cfg.Options.withDefaults()
+	fig := &Figure{
+		ID:     "sens-load",
+		Title:  "FirstReward improvement vs load factor (unbounded penalties)",
+		XLabel: "load factor",
+		YLabel: "improvement over FirstPrice (%)",
+		Notes: []string{
+			"Figure 5 mix, decay skew 5",
+			fmt.Sprintf("jobs=%d seeds=%d", opts.Jobs, opts.Seeds),
+		},
+	}
+	const discountRate = 0.01
+
+	for _, alpha := range cfg.Alphas {
+		series := stats.Series{Name: fmt.Sprintf("alpha %g", alpha)}
+		for _, load := range cfg.Loads {
+			spec := cfg.Spec
+			spec.Jobs = opts.Jobs
+			spec.Load = load
+			candidate := alphaSweepSite(core.FirstReward{Alpha: alpha, DiscountRate: discountRate}, false)
+			baseline := alphaSweepSite(core.FirstPrice{}, false)
+			cand, base := pairedMetrics(spec, opts, candidate, baseline, totalYield)
+			series.Points = append(series.Points, improvementPoint(load, cand, base))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import "testing"
+
+func TestDecaySensitivityStructure(t *testing.T) {
+	cfg := DefaultDecaySensitivity()
+	cfg.ZeroCrossFactors = []float64{3, 20}
+	cfg.Alphas = []float64{0, 0.3, 0.9}
+	cfg.Options = Options{Jobs: 500, Seeds: 2}
+	fig := RunDecaySensitivity(cfg)
+
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %q points = %d, want 3", s.Name, len(s.Points))
+		}
+	}
+}
+
+func TestLoadSensitivityCostMattersPastSaturation(t *testing.T) {
+	cfg := DefaultLoadSensitivity()
+	cfg.Loads = []float64{0.7, 1.3}
+	cfg.Alphas = []float64{0}
+	cfg.Options = Options{Jobs: 800, Seeds: 2}
+	fig := RunLoadSensitivity(cfg)
+
+	s := fig.Series[0]
+	below, _ := s.YAt(0.7)
+	above, _ := s.YAt(1.3)
+	if above <= below {
+		t.Errorf("cost-awareness should matter more past saturation: %v at 0.7 vs %v at 1.3", below, above)
+	}
+	if above < 5 {
+		t.Errorf("improvement at load 1.3 = %v, want clearly positive", above)
+	}
+}
+
+func TestEconomyBudgetThrottle(t *testing.T) {
+	cfg := DefaultEconomy()
+	cfg.BudgetScales = []float64{5, 400}
+	cfg.Options = Options{Jobs: 600, Seeds: 2}
+	fig := RunEconomy(cfg)
+
+	placed, ok := fig.FindSeries("placed")
+	if !ok {
+		t.Fatal("missing placed series")
+	}
+	scarce, _ := placed.YAt(5)
+	rich, _ := placed.YAt(400)
+	if !(scarce < 0.5 && rich > 0.9) {
+		t.Errorf("placement should rise from scarcity (%v) to abundance (%v)", scarce, rich)
+	}
+
+	util, ok := fig.FindSeries("budget utilization")
+	if !ok {
+		t.Fatal("missing utilization series")
+	}
+	uScarce, _ := util.YAt(5)
+	uRich, _ := util.YAt(400)
+	if uScarce < 0.8 {
+		t.Errorf("scarce budget should be nearly fully spent, got %v", uScarce)
+	}
+	if uRich > uScarce {
+		t.Errorf("utilization should fall with abundance: %v -> %v", uScarce, uRich)
+	}
+	if uScarce > 1.05 {
+		t.Errorf("utilization %v exceeds budget: accounting bug", uScarce)
+	}
+
+	un, ok := fig.FindSeries("unaffordable")
+	if !ok {
+		t.Fatal("missing unaffordable series")
+	}
+	if y, _ := un.YAt(400); y > 0.05 {
+		t.Errorf("abundant budget still withholds %v of tasks", y)
+	}
+}

@@ -1,0 +1,136 @@
+package market
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/task"
+)
+
+// Broker coordinates the Figure 1 negotiation on a client's behalf: it fans
+// a sealed bid out to every site, collects the server bids, selects a
+// winner under the client's selector, and awards the task. A nil selector
+// uses BestYield.
+type Broker struct {
+	services []Service
+	selector Selector
+	pricer   Pricer
+
+	// Stats over brokered negotiations.
+	Negotiated int
+	Placed     int
+	Declined   int // every site rejected, or the selector declined all offers
+}
+
+// NewBroker constructs a broker over the given services.
+func NewBroker(selector Selector, services ...Service) *Broker {
+	if selector == nil {
+		selector = BestYield{}
+	}
+	return &Broker{services: services, selector: selector, pricer: FullPrice{}}
+}
+
+// SetPricer installs the pricing discipline applied to awarded contracts.
+// The default is FullPrice, the paper's bid-derived price.
+func (br *Broker) SetPricer(p Pricer) {
+	if p != nil {
+		br.pricer = p
+	}
+}
+
+// Negotiate runs one full negotiation for the task. It returns the contract
+// from the winning site, or ErrNoAcceptingSite if no site accepted (or the
+// selector declined every offer).
+//
+// If the winning site's mix changed between proposal and award and the
+// award bounces, the broker falls back to the remaining offers in selector
+// order before giving up.
+func (br *Broker) Negotiate(t *task.Task) (*Contract, error) {
+	br.Negotiated++
+	bid := BidFromTask(t)
+
+	offers := make([]ServerBid, 0, len(br.services))
+	offerSvc := make([]Service, 0, len(br.services))
+	for _, svc := range br.services {
+		if sb, ok := svc.Propose(bid); ok {
+			offers = append(offers, sb)
+			offerSvc = append(offerSvc, svc)
+		}
+	}
+
+	allOffers := append([]ServerBid(nil), offers...)
+	for len(offers) > 0 {
+		i := br.selector.Select(bid, offers)
+		if i < 0 {
+			break
+		}
+		c, err := offerSvc[i].Award(t, offers[i])
+		if err == nil {
+			c.NegotiatedPrice = br.pricer.Price(offers[i], allOffers)
+			br.Placed++
+			return c, nil
+		}
+		if err != ErrNoAcceptingSite {
+			return nil, err
+		}
+		offers = append(offers[:i], offers[i+1:]...)
+		offerSvc = append(offerSvc[:i], offerSvc[i+1:]...)
+	}
+	br.Declined++
+	t.State = task.Rejected
+	return nil, ErrNoAcceptingSite
+}
+
+// Exchange is an in-process multi-site economy: one simulation engine, a
+// set of sites wrapped as services, and a broker. It is the harness for
+// multi-site experiments and the grid example.
+type Exchange struct {
+	Engine   *sim.Engine
+	Sites    []*site.Site
+	Services []*SiteService
+	Broker   *Broker
+}
+
+// NewExchange builds one site per configuration on a fresh engine and wires
+// them to a broker.
+func NewExchange(selector Selector, cfgs []site.Config) *Exchange {
+	eng := sim.New()
+	ex := &Exchange{Engine: eng}
+	services := make([]Service, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		s := site.New(eng, fmt.Sprintf("site-%d", i), cfg)
+		svc := NewSiteService(s)
+		ex.Sites = append(ex.Sites, s)
+		ex.Services = append(ex.Services, svc)
+		services = append(services, svc)
+	}
+	ex.Broker = NewBroker(selector, services...)
+	return ex
+}
+
+// ScheduleArrivals registers one negotiation per task at its arrival time.
+// Tasks that no site accepts are dropped (the client keeps its currency).
+func (ex *Exchange) ScheduleArrivals(tasks []*task.Task) {
+	for _, t := range tasks {
+		t := t
+		ex.Engine.At(t.Arrival, func() {
+			_, err := ex.Broker.Negotiate(t)
+			if err != nil && err != ErrNoAcceptingSite {
+				panic(err)
+			}
+		})
+	}
+}
+
+// Run drives the exchange until all accepted work completes.
+func (ex *Exchange) Run() { ex.Engine.Run() }
+
+// TotalYield sums realized yield across all sites.
+func (ex *Exchange) TotalYield() float64 {
+	var sum float64
+	for _, s := range ex.Sites {
+		sum += s.Metrics().TotalYield
+	}
+	return sum
+}

@@ -1,0 +1,190 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func exchangeConfigs(n int, adm admission.Policy) []site.Config {
+	cfgs := make([]site.Config, n)
+	for i := range cfgs {
+		cfgs[i] = site.Config{
+			Processors:   2,
+			Policy:       core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+			Admission:    adm,
+			DiscountRate: 0.01,
+		}
+	}
+	return cfgs
+}
+
+func TestExchangePlacesAndSettles(t *testing.T) {
+	ex := NewExchange(BestYield{}, exchangeConfigs(3, admission.AcceptAll{}))
+	spec := workload.Default()
+	spec.Jobs = 60
+	spec.Processors = 6
+	spec.Seed = 5
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := tr.Clone()
+	ex.ScheduleArrivals(tasks)
+	ex.Run()
+
+	if ex.Broker.Placed != len(tasks) || ex.Broker.Declined != 0 {
+		t.Fatalf("broker placed %d declined %d of %d", ex.Broker.Placed, ex.Broker.Declined, len(tasks))
+	}
+	settled, completed := 0, 0
+	var revenue, yield float64
+	for i, svc := range ex.Services {
+		led := svc.Ledger()
+		settled += led.Settled
+		revenue += led.Revenue
+		if led.Open != 0 {
+			t.Errorf("site %d has %d open contracts after drain", i, led.Open)
+		}
+		m := ex.Sites[i].Metrics()
+		completed += m.Completed
+		yield += m.TotalYield
+	}
+	if settled != len(tasks) || completed != len(tasks) {
+		t.Fatalf("settled %d completed %d of %d", settled, completed, len(tasks))
+	}
+	if math.Abs(revenue-yield) > 1e-6 {
+		t.Fatalf("contract revenue %v != site yield %v", revenue, yield)
+	}
+	if math.Abs(ex.TotalYield()-yield) > 1e-6 {
+		t.Fatalf("TotalYield() = %v, want %v", ex.TotalYield(), yield)
+	}
+}
+
+func TestBrokerPrefersIdleSite(t *testing.T) {
+	ex := NewExchange(BestYield{}, exchangeConfigs(2, admission.AcceptAll{}))
+	eng := ex.Engine
+
+	// Occupy site 0 with a long task, then negotiate a new one: it must
+	// land on the idle site 1.
+	blocker := task.New(1, 0, 1000, 100, 0.01, math.Inf(1))
+	blocker2 := task.New(2, 0, 1000, 100, 0.01, math.Inf(1))
+	probe := task.New(3, 1, 10, 100, 1, math.Inf(1))
+
+	eng.At(0, func() {
+		if _, err := ex.Services[0].Award(blocker, ServerBid{SiteID: "site-0", TaskID: 1}); err != nil {
+			t.Error(err)
+		}
+		if _, err := ex.Services[0].Award(blocker2, ServerBid{SiteID: "site-0", TaskID: 2}); err != nil {
+			t.Error(err)
+		}
+	})
+	var contract *Contract
+	eng.At(1, func() {
+		c, err := ex.Broker.Negotiate(probe)
+		if err != nil {
+			t.Error(err)
+		}
+		contract = c
+	})
+	eng.Run()
+
+	if contract == nil || contract.Server.SiteID != "site-1" {
+		t.Fatalf("probe placed on %+v, want site-1", contract)
+	}
+	if !contract.Settled {
+		t.Error("contract not settled after run")
+	}
+	if contract.FinalPrice != 100 {
+		t.Errorf("final price = %v, want 100 (ran immediately)", contract.FinalPrice)
+	}
+}
+
+func TestBrokerDeclinesWhenAllReject(t *testing.T) {
+	ex := NewExchange(BestYield{}, exchangeConfigs(2, admission.SlackThreshold{Threshold: 1e18}))
+	probe := task.New(1, 0, 10, 100, 1, math.Inf(1))
+	ex.Engine.At(0, func() {
+		if _, err := ex.Broker.Negotiate(probe); err != ErrNoAcceptingSite {
+			t.Errorf("Negotiate = %v, want ErrNoAcceptingSite", err)
+		}
+	})
+	ex.Engine.Run()
+	if probe.State != task.Rejected {
+		t.Errorf("probe state = %v, want rejected", probe.State)
+	}
+	if ex.Broker.Declined != 1 {
+		t.Errorf("Declined = %d, want 1", ex.Broker.Declined)
+	}
+}
+
+func TestAwardMismatchedServerBid(t *testing.T) {
+	ex := NewExchange(BestYield{}, exchangeConfigs(1, admission.AcceptAll{}))
+	tk := task.New(1, 0, 10, 100, 1, math.Inf(1))
+	ex.Engine.At(0, func() {
+		if _, err := ex.Services[0].Award(tk, ServerBid{TaskID: 99}); err == nil {
+			t.Error("award with mismatched task id should fail")
+		}
+	})
+	ex.Engine.Run()
+}
+
+func TestLateContractPaysPenalty(t *testing.T) {
+	// One slow site: a second task waits behind the first and settles below
+	// its negotiated price.
+	cfgs := exchangeConfigs(1, admission.AcceptAll{})
+	cfgs[0].Processors = 1
+	ex := NewExchange(BestYield{}, cfgs)
+
+	a := task.New(1, 0, 50, 100, 1, math.Inf(1))
+	b := task.New(2, 0, 50, 100, 1, math.Inf(1))
+	var cb *Contract
+	ex.Engine.At(0, func() {
+		if _, err := ex.Broker.Negotiate(a); err != nil {
+			t.Error(err)
+		}
+		c, err := ex.Broker.Negotiate(b)
+		if err != nil {
+			t.Error(err)
+		}
+		cb = c
+	})
+	ex.Engine.Run()
+
+	if cb == nil || !cb.Settled {
+		t.Fatal("second contract not settled")
+	}
+	// b was quoted knowing a is queued: expected completion 100, price 50.
+	if cb.Server.ExpectedPrice != 50 || cb.FinalPrice != 50 {
+		t.Errorf("expected price %v / final %v, want 50/50 (quote foresaw the wait)",
+			cb.Server.ExpectedPrice, cb.FinalPrice)
+	}
+	if cb.Penalty() != 0 {
+		t.Errorf("penalty = %v, want 0: the quote already priced the delay", cb.Penalty())
+	}
+
+	led := ex.Services[0].Ledger()
+	if led.Settled != 2 {
+		t.Errorf("settled = %d, want 2", led.Settled)
+	}
+}
+
+func TestContractLookup(t *testing.T) {
+	ex := NewExchange(BestYield{}, exchangeConfigs(1, admission.AcceptAll{}))
+	tk := task.New(1, 0, 10, 100, 1, math.Inf(1))
+	ex.Engine.At(0, func() {
+		if _, err := ex.Broker.Negotiate(tk); err != nil {
+			t.Error(err)
+		}
+	})
+	ex.Engine.Run()
+	if _, ok := ex.Services[0].Contract(1); !ok {
+		t.Error("Contract(1) not found")
+	}
+	if _, ok := ex.Services[0].Contract(42); ok {
+		t.Error("Contract(42) found unexpectedly")
+	}
+}

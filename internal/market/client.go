@@ -1,0 +1,177 @@
+package market
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// BidStrategy shapes the value function a client actually submits for a
+// task. The paper assumes truthful bids but notes that pricing mechanisms
+// exist precisely because buyers may shade; strategies make that dimension
+// explorable.
+type BidStrategy interface {
+	Name() string
+	// Shape returns the bid the client submits for the task. It must not
+	// mutate the task.
+	Shape(t *task.Task) Bid
+}
+
+// Truthful submits the task's own value function unchanged.
+type Truthful struct{}
+
+// Name implements BidStrategy.
+func (Truthful) Name() string { return "truthful" }
+
+// Shape implements BidStrategy.
+func (Truthful) Shape(t *task.Task) Bid { return BidFromTask(t) }
+
+// Shaded understates the task's maximum value by a fixed fraction,
+// gambling that the site accepts anyway and charges less.
+type Shaded struct {
+	// Fraction of true value bid, in (0, 1].
+	Fraction float64
+}
+
+// Name implements BidStrategy.
+func (s Shaded) Name() string { return fmt.Sprintf("shaded(%g)", s.Fraction) }
+
+// Shape implements BidStrategy.
+func (s Shaded) Shape(t *task.Task) Bid {
+	b := BidFromTask(t)
+	f := s.Fraction
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	b.Value *= f
+	return b
+}
+
+// ClientConfig parameterizes a budgeted client.
+type ClientConfig struct {
+	Name string
+	// Budget is the currency granted at the start of each interval.
+	// Unspent budget does not roll over, matching the per-interval grants
+	// the paper envisions for economic resource managers.
+	Budget float64
+	// Interval is the replenishment period in simulation time units.
+	Interval float64
+	// Strategy shapes bids; nil means Truthful.
+	Strategy BidStrategy
+}
+
+// Client is a budget-constrained buyer: it negotiates tasks through a
+// broker, committing budget for each contract at its negotiated price, and
+// replenishes its budget every interval. Tasks whose negotiated price
+// exceeds the remaining budget are withheld (counted as unaffordable)
+// rather than submitted.
+type Client struct {
+	cfg    ClientConfig
+	engine *sim.Engine
+	broker *Broker
+
+	remaining float64
+	interval  int // index of the interval `remaining` belongs to
+
+	// Stats.
+	Submitted    int
+	Placed       int
+	Declined     int
+	Unaffordable int
+	SpentTotal   float64
+	Contracts    []*Contract
+}
+
+// NewClient attaches a client to an engine and broker. Budget
+// replenishment is lazy — evaluated against the clock at each submission —
+// so an idle client never keeps the simulation alive.
+func NewClient(engine *sim.Engine, broker *Broker, cfg ClientConfig) *Client {
+	if cfg.Strategy == nil {
+		cfg.Strategy = Truthful{}
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = math.Inf(1)
+	}
+	return &Client{cfg: cfg, engine: engine, broker: broker, remaining: cfg.Budget}
+}
+
+// refresh rolls the budget forward to the interval containing now.
+func (c *Client) refresh() {
+	if math.IsInf(c.cfg.Interval, 1) {
+		return
+	}
+	idx := int(c.engine.Now() / c.cfg.Interval)
+	if idx != c.interval {
+		c.interval = idx
+		c.remaining = c.cfg.Budget
+	}
+}
+
+// Remaining reports the client's unspent budget in the current interval.
+func (c *Client) Remaining() float64 {
+	c.refresh()
+	return c.remaining
+}
+
+// SubmitTask negotiates one task placement now, under the client's
+// strategy and budget. It returns the contract if the task was placed.
+func (c *Client) SubmitTask(t *task.Task) (*Contract, error) {
+	c.Submitted++
+	c.refresh()
+	bid := c.cfg.Strategy.Shape(t)
+
+	// Affordability gate: the most the client can be charged is the bid's
+	// maximum value (the negotiated price never exceeds it).
+	if bid.Value > c.remaining {
+		c.Unaffordable++
+		t.State = task.Rejected
+		return nil, nil
+	}
+
+	contract, err := c.negotiateShaped(t, bid)
+	if err == ErrNoAcceptingSite {
+		c.Declined++
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.Placed++
+	c.remaining -= contract.NegotiatedPrice
+	c.SpentTotal += contract.NegotiatedPrice
+	c.Contracts = append(c.Contracts, contract)
+	return contract, nil
+}
+
+// negotiateShaped mirrors Broker.Negotiate but submits the shaped bid
+// while awarding the real task (the site schedules what actually runs; the
+// shaded value function governs what it earns).
+func (c *Client) negotiateShaped(t *task.Task, bid Bid) (*Contract, error) {
+	// With a truthful strategy the plain broker path is identical.
+	if _, truthful := c.cfg.Strategy.(Truthful); truthful {
+		return c.broker.Negotiate(t)
+	}
+	shadow := task.New(t.ID, t.Arrival, bid.Runtime, bid.Value, bid.Decay, bid.Bound)
+	shadow.Class = t.Class
+	contract, err := c.broker.Negotiate(shadow)
+	if err != nil {
+		return nil, err
+	}
+	// Reflect the shadow's lifecycle onto the caller's task record.
+	t.State = shadow.State
+	return contract, nil
+}
+
+// ScheduleArrivals registers the client's tasks at their arrival times.
+func (c *Client) ScheduleArrivals(tasks []*task.Task) {
+	for _, t := range tasks {
+		t := t
+		c.engine.At(t.Arrival, func() {
+			if _, err := c.SubmitTask(t); err != nil {
+				panic(err)
+			}
+		})
+	}
+}

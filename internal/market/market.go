@@ -1,0 +1,192 @@
+// Package market implements the bidding, negotiation, and contract layer of
+// the task-service economy (Sections 2 and 6, Figure 1).
+//
+// Clients submit sealed task bids — a resource request plus a value
+// function — to one or more task-service sites, directly or through a
+// broker. Each site evaluates the bid against its candidate schedule and
+// either rejects it or answers with a server bid: an expected completion
+// time and an expected price derived from the value function. The client
+// awards the task to the site whose server bid it values most; a contract
+// forms, and at completion the site is paid the value function evaluated at
+// the actual completion time — late completions earn a reduced price or pay
+// a penalty.
+package market
+
+import (
+	"fmt"
+
+	"repro/internal/admission"
+	"repro/internal/task"
+	"repro/internal/valuefn"
+)
+
+// Bid is a client's sealed bid for running one task: the paper's tuple
+// (runtime_i, value_i, decay_i, bound_i) plus the task identity and release
+// time the buyer measures delay from.
+type Bid struct {
+	TaskID  task.ID `json:"task_id"`
+	Arrival float64 `json:"arrival"`
+	Runtime float64 `json:"runtime"`
+	Value   float64 `json:"value"`
+	Decay   float64 `json:"decay"`
+	Bound   float64 `json:"-"` // +Inf for unbounded; the wire codec encodes it as a string
+}
+
+// BidFromTask extracts the bid fields from a task.
+func BidFromTask(t *task.Task) Bid {
+	return Bid{TaskID: t.ID, Arrival: t.Arrival, Runtime: t.Runtime, Value: t.Value, Decay: t.Decay, Bound: t.Bound}
+}
+
+// ValueFn returns the bid's value function.
+func (b Bid) ValueFn() valuefn.Linear {
+	return valuefn.Linear{Value: b.Value, Decay: b.Decay, Bound: b.Bound}
+}
+
+// YieldAtCompletion evaluates the bid's value function at an absolute
+// completion time.
+func (b Bid) YieldAtCompletion(completion float64) float64 {
+	return b.ValueFn().YieldAt(completion - (b.Arrival + b.Runtime))
+}
+
+// ServerBid is a site's response to a client bid it is willing to accept:
+// the expected completion time in the site's candidate schedule and the
+// expected price. Site policies treat bid value and price as equivalent
+// (Section 6); a pricing strategy could lower the price without changing
+// anything here.
+type ServerBid struct {
+	SiteID             string  `json:"site_id"`
+	TaskID             task.ID `json:"task_id"`
+	ExpectedCompletion float64 `json:"expected_completion"`
+	ExpectedPrice      float64 `json:"expected_price"`
+}
+
+// Contract binds a client and a site to a negotiated expectation. If the
+// site delays the task beyond the negotiated completion time, the value
+// function determines the reduced price or penalty.
+type Contract struct {
+	Bid       Bid
+	Server    ServerBid
+	AwardedAt float64
+
+	// NegotiatedPrice is the price agreed at award time. It equals the
+	// server bid's expected price under the paper's default policy; a
+	// Pricer (e.g. SecondPrice) may set it lower.
+	NegotiatedPrice float64
+
+	// Settlement, populated at completion.
+	Settled     bool
+	CompletedAt float64
+	FinalPrice  float64 // value function at actual completion
+}
+
+// ChargedPrice is what the client actually pays: the negotiated price,
+// reduced by the value function if the site delivered late (a late task
+// can never be charged more than its delivered value; a deep-late task
+// charges the penalty).
+func (c Contract) ChargedPrice() float64 {
+	if !c.Settled {
+		return 0
+	}
+	if c.FinalPrice < c.NegotiatedPrice {
+		return c.FinalPrice
+	}
+	return c.NegotiatedPrice
+}
+
+// Violation reports how far the actual completion overran the negotiated
+// expectation (0 if unsettled or on time).
+func (c Contract) Violation() float64 {
+	if !c.Settled {
+		return 0
+	}
+	v := c.CompletedAt - c.Server.ExpectedCompletion
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Penalty reports the price shortfall versus the negotiated expectation
+// (0 if unsettled or paid in full).
+func (c Contract) Penalty() float64 {
+	if !c.Settled {
+		return 0
+	}
+	p := c.Server.ExpectedPrice - c.FinalPrice
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Service is the seller-side negotiation interface a site (or a remote
+// proxy for one) exposes to clients and brokers.
+type Service interface {
+	// SiteID names the site for contract records.
+	SiteID() string
+	// Propose evaluates a bid against the current candidate schedule. It
+	// returns the server bid and true to accept, or false to reject. A
+	// proposal must not commit resources: only Award does.
+	Propose(b Bid) (ServerBid, bool)
+	// Award commits the task under a previously proposed server bid. The
+	// site schedules the task; its eventual completion settles the contract.
+	Award(t *task.Task, sb ServerBid) (*Contract, error)
+}
+
+// Selector ranks server bids for a client. Given the client's bid and the
+// accepting sites' server bids, it returns the index of the winning offer,
+// or -1 to decline them all.
+type Selector interface {
+	Select(b Bid, offers []ServerBid) int
+}
+
+// BestYield selects the server bid whose expected completion the client
+// values most under its own value function, breaking ties toward the
+// earlier completion. For linear decay this favors the earliest completion;
+// the explicit evaluation keeps the selector correct for clamped and
+// piecewise value functions too.
+type BestYield struct{}
+
+// Select implements Selector.
+func (BestYield) Select(b Bid, offers []ServerBid) int {
+	best := -1
+	var bestYield float64
+	for i, o := range offers {
+		y := b.YieldAtCompletion(o.ExpectedCompletion)
+		better := best < 0 || y > bestYield ||
+			(y == bestYield && o.ExpectedCompletion < offers[best].ExpectedCompletion)
+		if better {
+			best, bestYield = i, y
+		}
+	}
+	return best
+}
+
+// EarliestCompletion selects the offer with the soonest expected
+// completion, a value-blind buyer used as a comparison point.
+type EarliestCompletion struct{}
+
+// Select implements Selector.
+func (EarliestCompletion) Select(_ Bid, offers []ServerBid) int {
+	best := -1
+	for i, o := range offers {
+		if best < 0 || o.ExpectedCompletion < offers[best].ExpectedCompletion {
+			best = i
+		}
+	}
+	return best
+}
+
+// quoteToServerBid converts a site's admission quote into the server bid
+// sent back to the client.
+func quoteToServerBid(siteID string, q admission.Quote) ServerBid {
+	return ServerBid{
+		SiteID:             siteID,
+		TaskID:             q.TaskID,
+		ExpectedCompletion: q.ExpectedCompletion,
+		ExpectedPrice:      q.ExpectedYield,
+	}
+}
+
+// ErrNoAcceptingSite indicates every site rejected the bid.
+var ErrNoAcceptingSite = fmt.Errorf("market: no site accepted the bid")

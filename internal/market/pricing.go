@@ -1,0 +1,81 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pricer sets the price a site actually charges for an accepted task,
+// given its own server bid and the full set of competing server bids the
+// client collected. The paper's site policies charge the bid-derived price
+// (value function at completion); Section 2 notes that charging below the
+// bid — e.g. a Vickrey-style second price — gives buyers an incentive to
+// bid truthfully. Pricing strategies are orthogonal to the scheduling and
+// admission heuristics, which is exactly how this interface treats them.
+type Pricer interface {
+	Name() string
+	// Price returns the charged price for the winning offer, given every
+	// offer the negotiation produced (including the winner).
+	Price(winner ServerBid, offers []ServerBid) float64
+}
+
+// FullPrice charges the winning server bid's own expected price — the
+// paper's default, where bid value and price are equivalent.
+type FullPrice struct{}
+
+// Name implements Pricer.
+func (FullPrice) Name() string { return "full-price" }
+
+// Price implements Pricer.
+func (FullPrice) Price(winner ServerBid, _ []ServerBid) float64 {
+	return winner.ExpectedPrice
+}
+
+// SecondPrice charges the best competing expected price, capped at the
+// winner's own — the single-commodity Vickrey discipline used by Spawn,
+// transplanted to the server-bid setting: the winning site cannot extract
+// more than the runner-up offer would have. With a single offer the winner
+// pays its own price (there is no competing bid to anchor on).
+type SecondPrice struct{}
+
+// Name implements Pricer.
+func (SecondPrice) Name() string { return "second-price" }
+
+// Price implements Pricer.
+func (SecondPrice) Price(winner ServerBid, offers []ServerBid) float64 {
+	competing := make([]float64, 0, len(offers))
+	for _, o := range offers {
+		if o.SiteID == winner.SiteID && o.TaskID == winner.TaskID {
+			continue
+		}
+		competing = append(competing, o.ExpectedPrice)
+	}
+	if len(competing) == 0 {
+		return winner.ExpectedPrice
+	}
+	sort.Float64s(competing)
+	best := competing[len(competing)-1]
+	if best > winner.ExpectedPrice {
+		return winner.ExpectedPrice
+	}
+	return best
+}
+
+// Rebate charges a fixed fraction of the bid-derived price, a simple
+// price-signal knob for studying demand elasticity.
+type Rebate struct {
+	// Fraction of the bid-derived price charged, in (0, 1].
+	Fraction float64
+}
+
+// Name implements Pricer.
+func (r Rebate) Name() string { return fmt.Sprintf("rebate(%g)", r.Fraction) }
+
+// Price implements Pricer.
+func (r Rebate) Price(winner ServerBid, _ []ServerBid) float64 {
+	f := r.Fraction
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	return winner.ExpectedPrice * f
+}

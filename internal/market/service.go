@@ -1,0 +1,110 @@
+package market
+
+import (
+	"fmt"
+
+	"repro/internal/site"
+	"repro/internal/task"
+)
+
+// SiteService adapts a simulated site to the seller-side negotiation
+// interface and settles contracts as tasks complete.
+type SiteService struct {
+	s         *site.Site
+	contracts map[task.ID]*Contract
+	ledger    Ledger
+}
+
+// NewSiteService wraps a site. It installs a completion observer on the
+// site, so construct the service before the simulation starts. The site
+// must not already have an OnComplete hook.
+func NewSiteService(s *site.Site) *SiteService {
+	svc := &SiteService{s: s, contracts: make(map[task.ID]*Contract)}
+	cfg := s.Config()
+	if cfg.OnComplete != nil {
+		panic("market: site already has a completion observer")
+	}
+	s.SetOnComplete(svc.settle)
+	return svc
+}
+
+// SiteID implements Service.
+func (svc *SiteService) SiteID() string { return svc.s.ID }
+
+// Site returns the wrapped site.
+func (svc *SiteService) Site() *site.Site { return svc.s }
+
+// Propose implements Service: it quotes the bid against the site's
+// candidate schedule and applies the site's admission policy, without
+// committing resources.
+func (svc *SiteService) Propose(b Bid) (ServerBid, bool) {
+	probe := task.New(b.TaskID, b.Arrival, b.Runtime, b.Value, b.Decay, b.Bound)
+	q, err := svc.s.Quote(probe)
+	if err != nil {
+		return ServerBid{}, false
+	}
+	if !svc.s.Admission().Admit(q) {
+		return ServerBid{}, false
+	}
+	return quoteToServerBid(svc.s.ID, q), true
+}
+
+// Award implements Service: it submits the task to the site and opens a
+// contract. The site re-evaluates admission at award time; if the mix
+// changed since the proposal and the task no longer clears the bar, the
+// award fails with ErrNoAcceptingSite and the client may retry elsewhere.
+func (svc *SiteService) Award(t *task.Task, sb ServerBid) (*Contract, error) {
+	if t.ID != sb.TaskID {
+		return nil, fmt.Errorf("market: award task %d does not match server bid for task %d", t.ID, sb.TaskID)
+	}
+	_, accepted, err := svc.s.Submit(t)
+	if err != nil {
+		return nil, err
+	}
+	if !accepted {
+		return nil, ErrNoAcceptingSite
+	}
+	c := &Contract{Bid: BidFromTask(t), Server: sb, NegotiatedPrice: sb.ExpectedPrice, AwardedAt: svc.s.Engine().Now()}
+	svc.contracts[t.ID] = c
+	svc.ledger.Open++
+	return c, nil
+}
+
+// settle closes the contract for a completed task at the value function's
+// price for the actual completion time.
+func (svc *SiteService) settle(t *task.Task) {
+	c, ok := svc.contracts[t.ID]
+	if !ok {
+		return // task was submitted directly, outside the market
+	}
+	c.Settled = true
+	c.CompletedAt = t.Completion
+	c.FinalPrice = t.Yield
+	svc.ledger.Open--
+	svc.ledger.Settled++
+	svc.ledger.Revenue += c.FinalPrice
+	svc.ledger.Penalties += c.Penalty()
+	if c.Violation() > 0 {
+		svc.ledger.Violations++
+	}
+}
+
+// Ledger summarizes a service's contract economics.
+type Ledger struct {
+	Open       int
+	Settled    int
+	Violations int     // contracts completed after their negotiated time
+	Revenue    float64 // sum of final prices
+	Penalties  float64 // sum of price shortfalls vs. negotiated expectations
+}
+
+// Ledger returns a snapshot of the service's contract ledger.
+func (svc *SiteService) Ledger() Ledger { return svc.ledger }
+
+// Contract returns the contract for a task, if one was awarded here.
+func (svc *SiteService) Contract(id task.ID) (*Contract, bool) {
+	c, ok := svc.contracts[id]
+	return c, ok
+}
+
+var _ Service = (*SiteService)(nil)

@@ -1,0 +1,150 @@
+// Package pqueue provides a generic indexed priority queue.
+//
+// The queue is a binary min-heap ordered by a user-supplied comparison
+// function. Unlike container/heap, items receive stable handles (Item) so
+// callers can update or remove arbitrary entries in O(log n) — the
+// capability the event loop needs to cancel pending events and schedulers
+// need to reprioritize queued tasks.
+package pqueue
+
+// Item is a handle to a queued value. It remains valid until the value is
+// removed from the queue.
+type Item[T any] struct {
+	Value T
+	index int // position in the heap array, -1 once removed
+}
+
+// Index reports the item's current heap position, or -1 if it has been
+// removed. It is exposed for tests and debugging; the ordering of positions
+// carries no meaning beyond the heap invariant.
+func (it *Item[T]) Index() int { return it.index }
+
+// Queue is a priority queue of T. The zero value is not usable; construct
+// with New.
+type Queue[T any] struct {
+	items []*Item[T]
+	less  func(a, b T) bool
+}
+
+// New returns an empty queue ordered by less. The item for which
+// less(item, other) holds against all others is dequeued first.
+func New[T any](less func(a, b T) bool) *Queue[T] {
+	return &Queue[T]{less: less}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push inserts v and returns its handle.
+func (q *Queue[T]) Push(v T) *Item[T] {
+	it := &Item[T]{Value: v, index: len(q.items)}
+	q.items = append(q.items, it)
+	q.up(it.index)
+	return it
+}
+
+// Peek returns the minimum item without removing it. It returns nil if the
+// queue is empty.
+func (q *Queue[T]) Peek() *Item[T] {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Pop removes and returns the minimum item, or nil if the queue is empty.
+func (q *Queue[T]) Pop() *Item[T] {
+	if len(q.items) == 0 {
+		return nil
+	}
+	it := q.items[0]
+	q.remove(0)
+	return it
+}
+
+// Remove deletes it from the queue. Removing an item twice is a no-op.
+func (q *Queue[T]) Remove(it *Item[T]) {
+	if it == nil || it.index < 0 || it.index >= len(q.items) || q.items[it.index] != it {
+		return
+	}
+	q.remove(it.index)
+}
+
+// Fix re-establishes the heap invariant after it.Value's ordering key has
+// changed in place.
+func (q *Queue[T]) Fix(it *Item[T]) {
+	if it == nil || it.index < 0 || it.index >= len(q.items) || q.items[it.index] != it {
+		return
+	}
+	if !q.up(it.index) {
+		q.down(it.index)
+	}
+}
+
+// Items returns the queued handles in heap order (not sorted order). The
+// returned slice aliases internal storage and must not be modified.
+func (q *Queue[T]) Items() []*Item[T] { return q.items }
+
+// Drain removes all items and returns their values in priority order.
+func (q *Queue[T]) Drain() []T {
+	out := make([]T, 0, len(q.items))
+	for q.Len() > 0 {
+		out = append(out, q.Pop().Value)
+	}
+	return out
+}
+
+func (q *Queue[T]) remove(i int) {
+	it := q.items[i]
+	last := len(q.items) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.items = q.items[:last]
+	it.index = -1
+	if i < last {
+		if !q.up(i) {
+			q.down(i)
+		}
+	}
+}
+
+func (q *Queue[T]) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+// up sifts the item at i toward the root; it reports whether the item moved.
+func (q *Queue[T]) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i].Value, q.items[parent].Value) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && q.less(q.items[right].Value, q.items[left].Value) {
+			child = right
+		}
+		if !q.less(q.items[child].Value, q.items[i].Value) {
+			return
+		}
+		q.swap(i, child)
+		i = child
+	}
+}

@@ -1,0 +1,227 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intQueue() *Queue[int] {
+	return New(func(a, b int) bool { return a < b })
+}
+
+func TestEmptyQueue(t *testing.T) {
+	q := intQueue()
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", q.Len())
+	}
+	if q.Peek() != nil {
+		t.Fatalf("Peek() on empty queue = %v, want nil", q.Peek())
+	}
+	if q.Pop() != nil {
+		t.Fatalf("Pop() on empty queue = %v, want nil", q.Pop())
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	q := intQueue()
+	for _, v := range []int{5, 3, 8, 1, 9, 2, 7} {
+		q.Push(v)
+	}
+	want := []int{1, 2, 3, 5, 7, 8, 9}
+	for i, w := range want {
+		it := q.Pop()
+		if it == nil || it.Value != w {
+			t.Fatalf("Pop() #%d = %v, want %d", i, it, w)
+		}
+		if it.Index() != -1 {
+			t.Errorf("popped item index = %d, want -1", it.Index())
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := intQueue()
+	q.Push(4)
+	q.Push(2)
+	if got := q.Peek().Value; got != 2 {
+		t.Fatalf("Peek() = %d, want 2", got)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len() after Peek = %d, want 2", q.Len())
+	}
+}
+
+func TestRemoveArbitrary(t *testing.T) {
+	q := intQueue()
+	items := make([]*Item[int], 0, 10)
+	for i := 0; i < 10; i++ {
+		items = append(items, q.Push(i))
+	}
+	q.Remove(items[5])
+	q.Remove(items[0])
+	q.Remove(items[9])
+
+	got := q.Drain()
+	want := []int{1, 2, 3, 4, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("Drain() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRemoveTwiceIsNoop(t *testing.T) {
+	q := intQueue()
+	it := q.Push(1)
+	q.Push(2)
+	q.Remove(it)
+	q.Remove(it) // must not corrupt the heap
+	q.Remove(nil)
+	if q.Len() != 1 || q.Pop().Value != 2 {
+		t.Fatal("queue corrupted by double remove")
+	}
+}
+
+func TestFixAfterKeyChange(t *testing.T) {
+	type job struct{ prio int }
+	q := New(func(a, b *job) bool { return a.prio < b.prio })
+	a := q.Push(&job{prio: 1})
+	q.Push(&job{prio: 2})
+	q.Push(&job{prio: 3})
+
+	a.Value.prio = 10
+	q.Fix(a)
+	if got := q.Pop().Value.prio; got != 2 {
+		t.Fatalf("after raising key, min = %d, want 2", got)
+	}
+
+	// Lower a key toward the root.
+	c := q.Push(&job{prio: 99})
+	c.Value.prio = 0
+	q.Fix(c)
+	if got := q.Pop().Value.prio; got != 0 {
+		t.Fatalf("after lowering key, min = %d, want 0", got)
+	}
+}
+
+func TestFixRemovedItemIsNoop(t *testing.T) {
+	q := intQueue()
+	it := q.Push(3)
+	q.Push(1)
+	q.Remove(it)
+	q.Fix(it) // must not panic or corrupt
+	if got := q.Pop().Value; got != 1 {
+		t.Fatalf("Pop() = %d, want 1", got)
+	}
+}
+
+// TestHeapSortMatchesSort is the core property: draining the queue yields a
+// sorted permutation of any input.
+func TestHeapSortMatchesSort(t *testing.T) {
+	f := func(values []int16) bool {
+		q := intQueue()
+		for _, v := range values {
+			q.Push(int(v))
+		}
+		got := q.Drain()
+		want := make([]int, len(values))
+		for i, v := range values {
+			want[i] = int(v)
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomizedMixedOps interleaves pushes, removes, fixes, and pops and
+// checks the invariant that every pop is the current minimum.
+func TestRandomizedMixedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type entry struct{ key int }
+	q := New(func(a, b *entry) bool { return a.key < b.key })
+	live := make(map[*Item[*entry]]bool)
+
+	reference := func() []int {
+		keys := make([]int, 0, len(live))
+		for it := range live {
+			keys = append(keys, it.Value.key)
+		}
+		sort.Ints(keys)
+		return keys
+	}
+
+	for op := 0; op < 5000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5 || len(live) == 0:
+			it := q.Push(&entry{key: rng.Intn(1000)})
+			live[it] = true
+		case r < 7:
+			for it := range live {
+				q.Remove(it)
+				delete(live, it)
+				break
+			}
+		case r < 8:
+			for it := range live {
+				it.Value.key = rng.Intn(1000)
+				q.Fix(it)
+				break
+			}
+		default:
+			want := reference()
+			it := q.Pop()
+			if it == nil {
+				t.Fatalf("op %d: Pop() = nil with %d live items", op, len(live))
+			}
+			delete(live, it)
+			if it.Value.key != want[0] {
+				t.Fatalf("op %d: Pop() = %d, want min %d", op, it.Value.key, want[0])
+			}
+		}
+		if q.Len() != len(live) {
+			t.Fatalf("op %d: Len() = %d, want %d", op, q.Len(), len(live))
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := intQueue()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(rng.Intn(1 << 20))
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkRemoveMiddle(b *testing.B) {
+	q := intQueue()
+	var items []*Item[int]
+	for i := 0; i < 1024; i++ {
+		items = append(items, q.Push(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		q.Remove(it)
+		items[i%len(items)] = q.Push(it.Value)
+	}
+}

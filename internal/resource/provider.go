@@ -1,0 +1,172 @@
+package resource
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/site"
+)
+
+// ProviderConfig parameterizes an adaptive task-service provider.
+type ProviderConfig struct {
+	// EvalInterval is how often the provider re-evaluates its capacity.
+	EvalInterval float64
+	// Until stops evaluations at this simulation time; the lease then runs
+	// down naturally. Required: an unbounded ticker would keep the
+	// simulation alive forever.
+	Until float64
+	// MaxNodes caps the provider's leased capacity (including its seed
+	// capacity). Zero means the pool's full capacity.
+	MaxNodes int
+	// Step is the number of nodes leased or released per adjustment.
+	// Zero means 1.
+	Step int
+}
+
+// Provider adapts a site's capacity against a resource pool: every
+// EvalInterval it estimates the marginal value of capacity from the site's
+// realized yield and backlog, leases nodes while the estimate clears the
+// pool's posted price, and releases idle nodes when it does not. Lease
+// costs accrue per node per unit time.
+type Provider struct {
+	engine *sim.Engine
+	s      *site.Site
+	pool   *Pool
+	cfg    ProviderConfig
+
+	leasedNodes int
+	lastEval    float64
+	lastYield   float64
+
+	// Accounting.
+	LeaseCost   float64
+	Adjustments int
+	History     []Adjustment
+}
+
+// Adjustment records one capacity decision for analysis.
+type Adjustment struct {
+	Time     float64
+	Nodes    int // positive leased, negative released
+	Price    float64
+	Estimate MarginalValue
+}
+
+// NewProvider wires a provider to an engine, site, and pool, and schedules
+// its evaluation ticks. The site keeps its configured seed capacity; the
+// provider manages additional leased nodes on top.
+func NewProvider(engine *sim.Engine, s *site.Site, pool *Pool, cfg ProviderConfig) (*Provider, error) {
+	if cfg.EvalInterval <= 0 {
+		return nil, fmt.Errorf("resource: eval interval %v must be positive", cfg.EvalInterval)
+	}
+	if cfg.Until <= engine.Now() {
+		return nil, fmt.Errorf("resource: until %v must be in the future", cfg.Until)
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = pool.cfg.Capacity
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	p := &Provider{engine: engine, s: s, pool: pool, cfg: cfg, lastEval: engine.Now()}
+	p.scheduleNext()
+	return p, nil
+}
+
+// LeasedNodes reports nodes currently leased from the pool.
+func (p *Provider) LeasedNodes() int { return p.leasedNodes }
+
+// NetYield is the site's realized yield minus accrued lease costs.
+func (p *Provider) NetYield() float64 {
+	p.accrue()
+	return p.s.Metrics().TotalYield - p.LeaseCost
+}
+
+func (p *Provider) scheduleNext() {
+	next := p.engine.Now() + p.cfg.EvalInterval
+	if next > p.cfg.Until {
+		// Final accrual at the horizon closes the books; leases release.
+		p.engine.At(p.cfg.Until, p.shutdown)
+		return
+	}
+	p.engine.At(next, p.evaluate)
+}
+
+// accrue charges lease costs from the last evaluation to now.
+func (p *Provider) accrue() {
+	now := p.engine.Now()
+	if now > p.lastEval {
+		p.LeaseCost += float64(p.leasedNodes) * p.pool.Price() * (now - p.lastEval)
+		p.lastEval = now
+	}
+}
+
+// estimate derives the marginal value of capacity from the site's recent
+// yield rate and current backlog.
+func (p *Provider) estimate() MarginalValue {
+	m := p.s.Metrics()
+	procs := p.s.Config().Processors
+
+	recentYield := m.TotalYield - p.lastYield
+	yieldPerNodeTime := recentYield / (float64(procs) * p.cfg.EvalInterval)
+
+	pressure := 0.0
+	if procs > 0 {
+		pressure = p.s.QueuedWork() / (float64(procs) * p.cfg.EvalInterval)
+	}
+	return MarginalValue{YieldPerNodeTime: yieldPerNodeTime, QueuePressure: pressure}
+}
+
+// evaluate is the periodic capacity decision.
+func (p *Provider) evaluate() {
+	p.accrue()
+	est := p.estimate()
+	p.lastYield = p.s.Metrics().TotalYield
+	price := p.pool.Price()
+
+	switch {
+	case est.Attractive(price) && p.leasedNodes < p.cfg.MaxNodes:
+		want := p.cfg.Step
+		if p.leasedNodes+want > p.cfg.MaxNodes {
+			want = p.cfg.MaxNodes - p.leasedNodes
+		}
+		granted := p.pool.Lease(want)
+		if granted > 0 {
+			p.s.GrowCapacity(granted)
+			p.leasedNodes += granted
+			p.Adjustments++
+			p.History = append(p.History, Adjustment{Time: p.engine.Now(), Nodes: granted, Price: price, Estimate: est})
+		}
+	case est.Unattractive(price) && p.leasedNodes > 0:
+		want := p.cfg.Step
+		if want > p.leasedNodes {
+			want = p.leasedNodes
+		}
+		released := p.s.ShrinkCapacity(want)
+		if released > 0 {
+			p.pool.Release(released)
+			p.leasedNodes -= released
+			p.Adjustments++
+			p.History = append(p.History, Adjustment{Time: p.engine.Now(), Nodes: -released, Price: price, Estimate: est})
+		}
+	}
+	p.scheduleNext()
+}
+
+// shutdown closes the books at the horizon and returns all leases that can
+// be returned immediately; busy leased nodes finish their tasks and are
+// reclaimed without further charge.
+func (p *Provider) shutdown() {
+	p.accrue()
+	if p.leasedNodes > 0 {
+		released := p.s.ShrinkCapacity(p.leasedNodes)
+		p.pool.Release(released)
+		p.leasedNodes -= released
+		// Remaining leased nodes are busy; they are reclaimed for free at
+		// the horizon in this model (the pool absorbs drain time).
+		if p.leasedNodes > 0 {
+			p.pool.Release(p.leasedNodes)
+			p.leasedNodes = 0
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package resource implements the raw-resource market the paper positions
+// underneath the task service (Sections 2 and 7): a shared pool of
+// processors that task-service providers lease and release, using their
+// internal per-unit gain and risk measures as the basis for a bidding
+// strategy. The task service acts as a reseller of resources acquired from
+// the pool, as envisioned for SHARP/Muse/Cluster-on-Demand.
+//
+// The pool posts a demand-sensitive price per node per unit of simulation
+// time; providers periodically compare their marginal value of capacity
+// against that price and adjust their leases.
+package resource
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoolConfig parameterizes a resource pool.
+type PoolConfig struct {
+	// Capacity is the total number of leasable nodes.
+	Capacity int
+	// BasePrice is the lease price per node per unit time when the pool is
+	// idle.
+	BasePrice float64
+	// Surge scales the price with utilization: price = BasePrice *
+	// (1 + Surge * leasedFraction). Zero posts a flat price.
+	Surge float64
+}
+
+// Pool is a shared supply of processors leased at a posted,
+// demand-sensitive price.
+type Pool struct {
+	cfg    PoolConfig
+	leased int
+
+	// Stats.
+	Grants   int
+	Denials  int
+	Releases int
+}
+
+// NewPool constructs a pool. It panics on a non-positive capacity: pools
+// are constructed from code, and an empty pool is a programming error.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.Capacity <= 0 {
+		panic(fmt.Sprintf("resource: capacity %d must be positive", cfg.Capacity))
+	}
+	if cfg.BasePrice < 0 || cfg.Surge < 0 {
+		panic("resource: price parameters must be non-negative")
+	}
+	return &Pool{cfg: cfg}
+}
+
+// Price returns the current lease price per node per unit time.
+func (p *Pool) Price() float64 {
+	frac := float64(p.leased) / float64(p.cfg.Capacity)
+	return p.cfg.BasePrice * (1 + p.cfg.Surge*frac)
+}
+
+// Available reports unleased nodes.
+func (p *Pool) Available() int { return p.cfg.Capacity - p.leased }
+
+// Leased reports nodes currently out on lease.
+func (p *Pool) Leased() int { return p.leased }
+
+// Lease grants up to n nodes and returns the number granted.
+func (p *Pool) Lease(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	granted := n
+	if avail := p.Available(); granted > avail {
+		granted = avail
+	}
+	p.leased += granted
+	if granted > 0 {
+		p.Grants++
+	}
+	if granted < n {
+		p.Denials++
+	}
+	return granted
+}
+
+// Release returns n nodes to the pool. Releasing more than leased panics:
+// it indicates corrupted provider accounting.
+func (p *Pool) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > p.leased {
+		panic(fmt.Sprintf("resource: release %d exceeds leased %d", n, p.leased))
+	}
+	p.leased -= n
+	p.Releases++
+}
+
+// MarginalValue is a provider's estimate of the value of one more node per
+// unit of time, derived from the site's own yield measures — the paper's
+// suggestion that per-unit gain drives the resource-market bidding
+// strategy.
+type MarginalValue struct {
+	// YieldPerNodeTime is the realized yield per node per unit time over
+	// the recent window.
+	YieldPerNodeTime float64
+	// QueuePressure is the ratio of queued work to capacity, a leading
+	// indicator that extra nodes would earn close to the current rate.
+	QueuePressure float64
+}
+
+// Attractive reports whether leasing at the given price is worthwhile: the
+// recent per-node gain must clear the price with work queued to absorb a
+// new node.
+func (m MarginalValue) Attractive(price float64) bool {
+	return m.QueuePressure > 1 && m.YieldPerNodeTime > price
+}
+
+// Unattractive reports whether a node should be returned: gains below the
+// price, or capacity idling.
+func (m MarginalValue) Unattractive(price float64) bool {
+	return m.YieldPerNodeTime < price || m.QueuePressure < 0.5
+}
+
+// String renders the estimate compactly.
+func (m MarginalValue) String() string {
+	v := m.YieldPerNodeTime
+	if math.IsNaN(v) {
+		v = 0
+	}
+	return fmt.Sprintf("marginal(yield/node/t=%.3f pressure=%.2f)", v, m.QueuePressure)
+}

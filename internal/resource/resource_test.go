@@ -1,0 +1,252 @@
+package resource
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func TestPoolLeaseRelease(t *testing.T) {
+	p := NewPool(PoolConfig{Capacity: 10, BasePrice: 1})
+	if got := p.Lease(4); got != 4 {
+		t.Fatalf("Lease(4) = %d", got)
+	}
+	if p.Available() != 6 || p.Leased() != 4 {
+		t.Fatalf("available/leased = %d/%d", p.Available(), p.Leased())
+	}
+	if got := p.Lease(100); got != 6 {
+		t.Fatalf("over-lease granted %d, want 6", got)
+	}
+	if p.Denials != 1 {
+		t.Errorf("denials = %d, want 1", p.Denials)
+	}
+	p.Release(10)
+	if p.Leased() != 0 {
+		t.Fatalf("leased after release = %d", p.Leased())
+	}
+	if p.Lease(0) != 0 {
+		t.Error("Lease(0) granted nodes")
+	}
+	p.Release(0) // no-op
+}
+
+func TestPoolReleaseTooManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	NewPool(PoolConfig{Capacity: 2, BasePrice: 1}).Release(1)
+}
+
+func TestPoolSurgePricing(t *testing.T) {
+	p := NewPool(PoolConfig{Capacity: 10, BasePrice: 2, Surge: 1})
+	if p.Price() != 2 {
+		t.Fatalf("idle price = %v, want 2", p.Price())
+	}
+	p.Lease(5)
+	if p.Price() != 3 { // 2 * (1 + 0.5)
+		t.Fatalf("half-leased price = %v, want 3", p.Price())
+	}
+	flat := NewPool(PoolConfig{Capacity: 10, BasePrice: 2})
+	flat.Lease(9)
+	if flat.Price() != 2 {
+		t.Fatalf("flat pool price moved: %v", flat.Price())
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	for _, cfg := range []PoolConfig{
+		{Capacity: 0, BasePrice: 1},
+		{Capacity: 5, BasePrice: -1},
+		{Capacity: 5, BasePrice: 1, Surge: -2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPool(%+v) did not panic", cfg)
+				}
+			}()
+			NewPool(cfg)
+		}()
+	}
+}
+
+func TestMarginalValuePredicates(t *testing.T) {
+	hot := MarginalValue{YieldPerNodeTime: 5, QueuePressure: 3}
+	if !hot.Attractive(1) {
+		t.Error("hot estimate should attract at low price")
+	}
+	if hot.Attractive(10) {
+		t.Error("hot estimate should not attract above its gain")
+	}
+	cold := MarginalValue{YieldPerNodeTime: 0.1, QueuePressure: 0.1}
+	if !cold.Unattractive(1) {
+		t.Error("cold estimate should release")
+	}
+	if cold.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSiteCapacityGrowShrink(t *testing.T) {
+	engine := sim.New()
+	s := site.New(engine, "s", site.Config{Processors: 2, Policy: core.FCFS{}})
+
+	// Queue 4 ten-unit tasks at t=0 onto 2 processors.
+	for i := 1; i <= 4; i++ {
+		tk := task.New(task.ID(i), 0, 10, 100, 0.1, math.Inf(1))
+		engine.At(0, func() { s.Submit(tk) })
+	}
+	engine.At(1, func() {
+		if s.PendingLen() != 2 {
+			t.Errorf("pending = %d, want 2", s.PendingLen())
+		}
+		if got := s.QueuedWork(); got != 20 {
+			t.Errorf("QueuedWork = %v, want 20", got)
+		}
+		s.GrowCapacity(2) // absorbs the backlog immediately
+		if s.PendingLen() != 0 {
+			t.Errorf("pending after grow = %d, want 0", s.PendingLen())
+		}
+	})
+	engine.At(12, func() {
+		// All four done by ~11; all processors idle. Shrink below 1 clamps.
+		if got := s.ShrinkCapacity(10); got != 3 {
+			t.Errorf("ShrinkCapacity(10) = %d, want 3 (floor of one processor)", got)
+		}
+		if s.Config().Processors != 1 {
+			t.Errorf("processors = %d, want 1", s.Config().Processors)
+		}
+	})
+	engine.Run()
+}
+
+func TestShrinkNeverRevokesBusyProcessors(t *testing.T) {
+	engine := sim.New()
+	s := site.New(engine, "s", site.Config{Processors: 3, Policy: core.FCFS{}})
+	for i := 1; i <= 2; i++ {
+		tk := task.New(task.ID(i), 0, 100, 100, 0.1, math.Inf(1))
+		engine.At(0, func() { s.Submit(tk) })
+	}
+	engine.At(1, func() {
+		// 2 busy, 1 idle: only the idle one can go.
+		if got := s.ShrinkCapacity(3); got != 1 {
+			t.Errorf("ShrinkCapacity(3) = %d, want 1", got)
+		}
+	})
+	engine.Run()
+	if s.Metrics().Completed != 2 {
+		t.Fatal("busy tasks lost to shrink")
+	}
+}
+
+// TestProviderAdaptsToLoad drives a small site with an overload burst and
+// checks that the provider leases under pressure, pays for it, and returns
+// capacity when the burst passes.
+func TestProviderAdaptsToLoad(t *testing.T) {
+	engine := sim.New()
+	s := site.New(engine, "s", site.Config{
+		Processors: 2,
+		Policy:     core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+	})
+	pool := NewPool(PoolConfig{Capacity: 16, BasePrice: 0.05})
+	prov, err := NewProvider(engine, s, pool, ProviderConfig{
+		EvalInterval: 50, Until: 4000, Step: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Burst: 60 jobs in [0, 500] vastly exceed two processors; then quiet.
+	spec := workload.Default()
+	spec.Jobs = 60
+	spec.Processors = 2
+	spec.Load = 6
+	spec.Seed = 9
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.ScheduleArrivals(engine, s, tr.Clone())
+	engine.Run()
+
+	if prov.Adjustments == 0 {
+		t.Fatal("provider never adjusted capacity under a 6x burst")
+	}
+	grew := false
+	for _, adj := range prov.History {
+		if adj.Nodes > 0 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("provider never leased under pressure")
+	}
+	if prov.LeaseCost <= 0 {
+		t.Fatal("leasing accrued no cost")
+	}
+	if prov.LeasedNodes() != 0 {
+		t.Fatalf("leases outstanding after horizon: %d", prov.LeasedNodes())
+	}
+	if pool.Leased() != 0 {
+		t.Fatalf("pool still shows %d leased", pool.Leased())
+	}
+	if s.Metrics().Completed != 60 {
+		t.Fatalf("completed %d of 60", s.Metrics().Completed)
+	}
+	if prov.NetYield() >= s.Metrics().TotalYield {
+		t.Error("net yield should be below gross yield by the lease cost")
+	}
+}
+
+// TestProviderBeatsFixedCapacityUnderBurst: the economic point — an
+// adaptive provider nets more than the fixed site when load spikes and
+// lease prices are fair.
+func TestProviderBeatsFixedCapacityUnderBurst(t *testing.T) {
+	spec := workload.Default()
+	spec.Jobs = 150
+	spec.Processors = 2
+	spec.Load = 4
+	spec.ZeroCrossFactor = 2 // urgent mix: idle capacity is very costly
+	spec.Seed = 17
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := core.FirstReward{Alpha: 0.2, DiscountRate: 0.01}
+
+	fixed := site.RunTrace(tr.Clone(), site.Config{Processors: 2, Policy: policy})
+
+	engine := sim.New()
+	s := site.New(engine, "adaptive", site.Config{Processors: 2, Policy: policy})
+	pool := NewPool(PoolConfig{Capacity: 16, BasePrice: 0.02})
+	prov, err := NewProvider(engine, s, pool, ProviderConfig{EvalInterval: 50, Until: 50000, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site.ScheduleArrivals(engine, s, tr.Clone())
+	engine.Run()
+
+	if prov.NetYield() <= fixed.TotalYield {
+		t.Errorf("adaptive net yield %v should beat fixed capacity %v under a 4x burst",
+			prov.NetYield(), fixed.TotalYield)
+	}
+}
+
+func TestNewProviderValidation(t *testing.T) {
+	engine := sim.New()
+	s := site.New(engine, "s", site.Config{Processors: 1, Policy: core.FCFS{}})
+	pool := NewPool(PoolConfig{Capacity: 4, BasePrice: 1})
+	if _, err := NewProvider(engine, s, pool, ProviderConfig{EvalInterval: 0, Until: 10}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewProvider(engine, s, pool, ProviderConfig{EvalInterval: 1, Until: 0}); err == nil {
+		t.Error("past horizon accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package sim implements the discrete-event simulation engine underlying
+// the task-service economy simulator.
+//
+// The engine maintains a virtual clock and an agenda of future events.
+// Events scheduled for the same instant fire in scheduling order, which
+// makes runs fully deterministic: a simulation driven by a fixed trace and
+// a fixed seed produces identical results on every run.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/pqueue"
+)
+
+// Handle identifies a scheduled event and allows it to be canceled, e.g.
+// when a running task is preempted and its completion event must be
+// withdrawn.
+type Handle struct {
+	item     *pqueue.Item[*event]
+	engine   *Engine
+	canceled bool
+}
+
+// Cancel withdraws the event if it has not fired yet. Canceling twice, or
+// canceling after the event fired, is a no-op.
+func (h *Handle) Cancel() {
+	if h == nil || h.canceled {
+		return
+	}
+	h.canceled = true
+	h.engine.agenda.Remove(h.item)
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (h *Handle) Canceled() bool { return h != nil && h.canceled }
+
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with New.
+type Engine struct {
+	now    float64
+	seq    uint64
+	agenda *pqueue.Queue[*event]
+	steps  uint64
+}
+
+// New returns an engine with the clock at zero and an empty agenda.
+func New() *Engine {
+	return &Engine{
+		agenda: pqueue.New(func(a, b *event) bool {
+			if a.time != b.time {
+				return a.time < b.time
+			}
+			return a.seq < b.seq
+		}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns the number of events fired so far, a cheap progress and
+// determinism probe.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending reports the number of scheduled, unfired events.
+func (e *Engine) Pending() int { return e.agenda.Len() }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a logic error in the caller, and silently reordering
+// time would corrupt every downstream statistic.
+func (e *Engine) At(t float64, fn func()) *Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{time: t, seq: e.seq, fn: fn}
+	return &Handle{item: e.agenda.Push(ev), engine: e}
+}
+
+// After schedules fn to run d time units from now. Negative d panics.
+func (e *Engine) After(d float64, fn func()) *Handle {
+	return e.At(e.now+d, fn)
+}
+
+// Step fires the earliest pending event and reports whether one fired.
+func (e *Engine) Step() bool {
+	it := e.agenda.Pop()
+	if it == nil {
+		return false
+	}
+	ev := it.Value
+	e.now = ev.time
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the agenda is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to t. Events
+// scheduled after t remain pending.
+func (e *Engine) RunUntil(t float64) {
+	for {
+		it := e.agenda.Peek()
+		if it == nil || it.Value.time > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

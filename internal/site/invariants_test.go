@@ -1,0 +1,131 @@
+package site
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// TestRandomizedInvariants sweeps randomized small workloads through every
+// policy and preemption combination and checks the invariants that must
+// hold for any configuration:
+//
+//   - every submitted task ends Completed or Rejected;
+//   - accepted + rejected == submitted;
+//   - no task completes before arrival + runtime (minus preemption-restart
+//     re-execution, which only delays);
+//   - realized yield always equals the task's value function at its
+//     completion time;
+//   - per-processor utilization never exceeds capacity: total busy time
+//     fits within procs * (makespan - first arrival);
+//   - the run is deterministic.
+func TestRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	policies := []core.Policy{
+		core.FCFS{}, core.SRPT{}, core.SWPT{}, core.FirstPrice{},
+		core.PresentValue{DiscountRate: 0.01},
+		core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+		core.FirstReward{Alpha: 0},
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		spec := workload.Default()
+		spec.Jobs = 40 + rng.Intn(120)
+		spec.Processors = 1 + rng.Intn(8)
+		spec.Load = 0.3 + rng.Float64()*2.5
+		spec.ValueSkew = 1 + rng.Float64()*8
+		spec.DecaySkew = 1 + rng.Float64()*6
+		spec.ZeroCrossFactor = 0.5 + rng.Float64()*10
+		spec.Seed = rng.Int63()
+		switch rng.Intn(3) {
+		case 0:
+			spec.Bound = 0
+		case 1:
+			spec.Bound = rng.Float64() * 100
+		default:
+			spec.Bound = math.Inf(1)
+		}
+		tr, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cfg := Config{
+			Processors:        spec.Processors,
+			Policy:            policies[rng.Intn(len(policies))],
+			Preemptive:        rng.Intn(2) == 1,
+			PreemptionRestart: rng.Intn(2) == 1,
+			DiscountRate:      0.01,
+		}
+		if cfg.PreemptionRestart && rng.Intn(2) == 1 {
+			cfg.PreemptRanking = RestartCost
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Admission = admission.SlackThreshold{Threshold: rng.Float64()*400 - 100}
+		}
+		if rng.Intn(4) == 0 && !math.IsInf(spec.Bound, 1) {
+			cfg.ParkExpired = true
+		}
+
+		tasks := tr.Clone()
+		m := RunTrace(tasks, cfg)
+
+		if m.Accepted+m.Rejected != m.Submitted || m.Submitted != len(tasks) {
+			t.Fatalf("trial %d (%+v): accounting %d+%d != %d", trial, cfg, m.Accepted, m.Rejected, m.Submitted)
+		}
+		if m.Completed != m.Accepted {
+			t.Fatalf("trial %d: completed %d != accepted %d", trial, m.Completed, m.Accepted)
+		}
+		var busy float64
+		for _, tk := range tasks {
+			switch tk.State {
+			case task.Completed:
+				// Parked tasks never ran: RPT stays at the full runtime and
+				// the realized "yield" is the full penalty by construction.
+				parked := tk.RPT > 0
+				if parked {
+					if !cfg.ParkExpired {
+						t.Fatalf("trial %d task %d: unparked task has RPT %v", trial, tk.ID, tk.RPT)
+					}
+					if tk.Yield != -tk.Bound {
+						t.Fatalf("trial %d task %d: parked yield %v != -bound %v", trial, tk.ID, tk.Yield, -tk.Bound)
+					}
+					continue
+				}
+				if tk.Yield != tk.YieldAtCompletion(tk.Completion) {
+					t.Fatalf("trial %d task %d: yield %v != value fn %v",
+						trial, tk.ID, tk.Yield, tk.YieldAtCompletion(tk.Completion))
+				}
+				if tk.Completion < tk.Arrival+tk.Runtime-1e-9 {
+					t.Fatalf("trial %d task %d: completed %v before minimum %v",
+						trial, tk.ID, tk.Completion, tk.Arrival+tk.Runtime)
+				}
+				busy += tk.Runtime
+			case task.Rejected:
+				if tk.Yield != 0 {
+					t.Fatalf("trial %d task %d: rejected task carries yield %v", trial, tk.ID, tk.Yield)
+				}
+			default:
+				t.Fatalf("trial %d task %d: terminal state %v", trial, tk.ID, tk.State)
+			}
+		}
+		if iv := m.ActiveInterval(); iv > 0 {
+			capacity := float64(cfg.Processors) * iv
+			// Preemption restarts re-execute work, so only the no-restart
+			// runs admit a tight capacity check.
+			if !cfg.PreemptionRestart && busy > capacity+1e-6 {
+				t.Fatalf("trial %d: busy %v exceeds capacity %v", trial, busy, capacity)
+			}
+		}
+
+		again := RunTrace(tr.Clone(), cfg)
+		if again.TotalYield != m.TotalYield || again.Completed != m.Completed {
+			t.Fatalf("trial %d: nondeterministic (%v vs %v)", trial, again.TotalYield, m.TotalYield)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package site
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	log := &Log{}
+	engine, s := newSite(t, Config{
+		Policy:     core.FirstPrice{},
+		Preemptive: true,
+		Recorder:   log,
+	})
+	low := task.New(1, 0, 100, 100, 0.1, math.Inf(1))
+	high := task.New(2, 50, 10, 1000, 0.1, math.Inf(1))
+	submitAt(engine, s, low)
+	submitAt(engine, s, high)
+	engine.Run()
+
+	if got := log.Count(EventSubmit); got != 2 {
+		t.Errorf("submits = %d, want 2", got)
+	}
+	// low starts, is preempted by high, resumes: 3 starts total.
+	if got := log.Count(EventStart); got != 3 {
+		t.Errorf("starts = %d, want 3", got)
+	}
+	if got := log.Count(EventPreempt); got != 1 {
+		t.Errorf("preempts = %d, want 1", got)
+	}
+	if got := log.Count(EventComplete); got != 2 {
+		t.Errorf("completes = %d, want 2", got)
+	}
+
+	// Events are time-ordered and the final completion carries the yield.
+	var prev float64
+	for _, e := range log.Events {
+		if e.Time < prev {
+			t.Fatalf("events out of order: %v after %v", e.Time, prev)
+		}
+		prev = e.Time
+	}
+	last := log.Events[len(log.Events)-1]
+	if last.Kind != EventComplete || last.Value != low.Yield {
+		t.Errorf("final event = %+v, want completion of low with its yield", last)
+	}
+}
+
+func TestRecorderRejectAndPark(t *testing.T) {
+	log := &Log{}
+	engine, s := newSite(t, Config{
+		Policy:      core.FirstPrice{},
+		Admission:   admission.SlackThreshold{Threshold: 1e18},
+		Recorder:    log,
+		ParkExpired: true,
+	})
+	submitAt(engine, s, task.New(1, 0, 10, 100, 1, math.Inf(1)))
+	engine.Run()
+	if got := log.Count(EventReject); got != 1 {
+		t.Errorf("rejects = %d, want 1", got)
+	}
+
+	// Parking: a blocked bounded task expires in queue.
+	log2 := &Log{}
+	engine2, s2 := newSite(t, Config{Policy: core.FirstPrice{}, ParkExpired: true, Recorder: log2})
+	blocker := task.New(1, 0, 100, 1000, 0.1, math.Inf(1))
+	doomed := task.New(2, 1, 10, 10, 5, 5)
+	submitAt(engine2, s2, blocker)
+	submitAt(engine2, s2, doomed)
+	engine2.Run()
+	if got := log2.Count(EventPark); got != 1 {
+		t.Errorf("parks = %d, want 1", got)
+	}
+}
+
+func TestLogDerivedViews(t *testing.T) {
+	log := &Log{}
+	engine, s := newSite(t, Config{Processors: 2, Recorder: log})
+	for i := 1; i <= 6; i++ {
+		submitAt(engine, s, task.New(task.ID(i), 0, 10, 100, 1, math.Inf(1)))
+	}
+	engine.Run()
+
+	if got := log.MaxQueued(); got != 4 {
+		t.Errorf("MaxQueued = %d, want 4 (6 arrivals on 2 procs)", got)
+	}
+	times, busy := log.UtilizationSeries()
+	if len(times) != len(log.Events) || len(busy) != len(times) {
+		t.Fatal("utilization series length mismatch")
+	}
+	peak := 0
+	for _, b := range busy {
+		if b > peak {
+			peak = b
+		}
+	}
+	if peak != 2 {
+		t.Errorf("peak busy = %d, want 2", peak)
+	}
+
+	var buf bytes.Buffer
+	log.Dump(&buf)
+	if lines := strings.Count(buf.String(), "\n"); lines != len(log.Events) {
+		t.Errorf("Dump wrote %d lines for %d events", lines, len(log.Events))
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		EventSubmit: "submit", EventReject: "reject", EventStart: "start",
+		EventPreempt: "preempt", EventComplete: "complete", EventPark: "park",
+		EventKind(42): "EventKind(42)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("EventKind(%d) = %q, want %q", int(kind), got, want)
+		}
+	}
+	e := Event{Time: 1.5, Kind: EventStart, TaskID: 3}
+	if !strings.Contains(e.String(), "start") {
+		t.Error("Event.String missing kind")
+	}
+}

@@ -1,0 +1,152 @@
+package site
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func integrationSpec(jobs int) workload.Spec {
+	spec := workload.Default()
+	spec.Jobs = jobs
+	spec.ValueSkew = 3
+	spec.DecaySkew = 5
+	spec.Seed = 11
+	return spec
+}
+
+// TestRunTraceConservation checks the bookkeeping invariants every
+// experiment relies on: all accepted tasks complete, realized yields match
+// the per-task value functions, and completion times respect capacity.
+func TestRunTraceConservation(t *testing.T) {
+	tr, err := workload.Generate(integrationSpec(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, preempt := range []bool{false, true} {
+		tasks := tr.Clone()
+		m := RunTrace(tasks, Config{
+			Processors: tr.Spec.Processors,
+			Policy:     core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+			Preemptive: preempt,
+		})
+		if m.Accepted != len(tasks) || m.Completed != len(tasks) {
+			t.Fatalf("preempt=%v: accepted %d completed %d of %d", preempt, m.Accepted, m.Completed, len(tasks))
+		}
+		var yield float64
+		for _, tk := range tasks {
+			if tk.State != task.Completed {
+				t.Fatalf("task %d state %v", tk.ID, tk.State)
+			}
+			if tk.Completion < tk.Arrival+tk.Runtime-1e-9 {
+				t.Fatalf("task %d finished impossibly early: %v < %v",
+					tk.ID, tk.Completion, tk.Arrival+tk.Runtime)
+			}
+			want := tk.YieldAtCompletion(tk.Completion)
+			if math.Abs(tk.Yield-want) > 1e-9 {
+				t.Fatalf("task %d yield %v != value function %v", tk.ID, tk.Yield, want)
+			}
+			yield += tk.Yield
+		}
+		if math.Abs(yield-m.TotalYield) > 1e-6 {
+			t.Fatalf("metrics yield %v != sum of task yields %v", m.TotalYield, yield)
+		}
+	}
+}
+
+// TestRunTraceDeterminism: identical inputs produce identical outcomes.
+func TestRunTraceDeterminism(t *testing.T) {
+	tr, err := workload.Generate(integrationSpec(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Processors: tr.Spec.Processors,
+		Policy:     core.FirstReward{Alpha: 0.5, DiscountRate: 0.01},
+		Preemptive: true,
+	}
+	a := RunTrace(tr.Clone(), cfg)
+	b := RunTrace(tr.Clone(), cfg)
+	if a.TotalYield != b.TotalYield || a.Preemptions != b.Preemptions ||
+		a.LastCompletion != b.LastCompletion {
+		t.Fatalf("non-deterministic runs: %+v vs %+v", a, b)
+	}
+}
+
+// TestWorkConservingMakespan: with one processor and no preemption, the
+// last completion is exactly first arrival + total work when the queue
+// never drains (here: all tasks arrive at time 0).
+func TestWorkConservingMakespan(t *testing.T) {
+	var tasks []*task.Task
+	var work float64
+	for i := 0; i < 20; i++ {
+		tk := task.New(task.ID(i+1), 0, float64(5+i), 100, 1, math.Inf(1))
+		work += tk.Runtime
+		tasks = append(tasks, tk)
+	}
+	m := RunTrace(tasks, Config{Processors: 1, Policy: core.SWPT{}})
+	if math.Abs(m.LastCompletion-work) > 1e-9 {
+		t.Fatalf("makespan %v != total work %v", m.LastCompletion, work)
+	}
+}
+
+// TestAdmissionReducesAcceptanceUnderLoad: at heavy load a slack threshold
+// must reject a meaningful share and yield more than accept-all.
+func TestAdmissionReducesAcceptanceUnderLoad(t *testing.T) {
+	spec := integrationSpec(600)
+	spec.Processors = 1
+	spec.Load = 3
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := core.FirstReward{Alpha: 0.2, DiscountRate: 0.01}
+
+	all := RunTrace(tr.Clone(), Config{Processors: 1, Policy: policy, DiscountRate: 0.01})
+	controlled := RunTrace(tr.Clone(), Config{
+		Processors: 1, Policy: policy, DiscountRate: 0.01,
+		Admission: admission.SlackThreshold{Threshold: 100},
+	})
+
+	if controlled.Rejected == 0 {
+		t.Fatal("no rejections at load 3 with threshold 100")
+	}
+	if controlled.Accepted+controlled.Rejected != controlled.Submitted {
+		t.Fatalf("accept/reject accounting broken: %+v", controlled)
+	}
+	if controlled.TotalYield <= all.TotalYield {
+		t.Fatalf("admission control yield %v should beat accept-all %v at load 3",
+			controlled.TotalYield, all.TotalYield)
+	}
+}
+
+// TestPreemptionNeverLosesTasks: heavy preemption churn must not leak or
+// duplicate tasks.
+func TestPreemptionNeverLosesTasks(t *testing.T) {
+	spec := integrationSpec(500)
+	spec.ValueSkew = 9
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranking := range []PreemptRanking{ShieldProgress, RestartCost} {
+		tasks := tr.Clone()
+		m := RunTrace(tasks, Config{
+			Processors:        tr.Spec.Processors,
+			Policy:            core.FirstPrice{},
+			Preemptive:        true,
+			PreemptionRestart: ranking == RestartCost,
+			PreemptRanking:    ranking,
+		})
+		if m.Completed != len(tasks) {
+			t.Fatalf("ranking %v: completed %d of %d", ranking, m.Completed, len(tasks))
+		}
+		if ranking == RestartCost && m.Preemptions == 0 {
+			t.Error("RestartCost ranking on a skewed mix should preempt at least once")
+		}
+	}
+}

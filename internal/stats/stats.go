@@ -1,0 +1,226 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: streaming moments, confidence intervals, series, and the
+// relative-improvement and peak-finding helpers the paper's figures report.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming mean and variance (Welford's algorithm).
+// The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a sample in.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the sample count.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 for no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest sample (0 for no samples).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 for no samples).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// samples).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval on the mean.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Summary is a frozen snapshot of an accumulator.
+type Summary struct {
+	N            int
+	Mean, StdDev float64
+	Min, Max     float64
+	CI95         float64
+}
+
+// Summarize freezes the accumulator.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{N: a.n, Mean: a.Mean(), StdDev: a.StdDev(), Min: a.min, Max: a.max, CI95: a.CI95()}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g [%.4g, %.4g]", s.N, s.Mean, s.CI95, s.Min, s.Max)
+}
+
+// Mean averages a slice (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Summarize computes a Summary over a slice.
+func Summarize(xs []float64) Summary {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Summarize()
+}
+
+// Improvement returns the percentage improvement of x over baseline:
+// (x-baseline)/|baseline| * 100. A zero baseline yields 0 to keep series
+// plottable; callers comparing against genuinely zero baselines should use
+// absolute numbers instead.
+func Improvement(x, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (x - baseline) / math.Abs(baseline) * 100
+}
+
+// Point is one (x, y) sample in a figure series, with the replication
+// spread retained for error bars.
+type Point struct {
+	X   float64
+	Y   float64
+	Err float64 // 95% CI half-width across replications
+}
+
+// Series is a named sequence of points, one paper curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Peak returns the point with the maximum Y and its index (-1 for an empty
+// series).
+func (s Series) Peak() (Point, int) {
+	best := -1
+	for i, p := range s.Points {
+		if best < 0 || p.Y > s.Points[best].Y {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Point{}, -1
+	}
+	return s.Points[best], best
+}
+
+// YAt returns the Y for a given X, if present.
+func (s Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Crossover locates the first X at which series a falls below series b,
+// scanning their shared Xs in ascending order. It reports whether such a
+// point exists. Figures with regime changes (e.g. admission control vs.
+// none across load) use this to report where the ordering flips.
+func Crossover(a, b Series) (float64, bool) {
+	type pair struct{ ya, yb float64 }
+	shared := map[float64]*pair{}
+	for _, p := range a.Points {
+		shared[p.X] = &pair{ya: p.Y}
+	}
+	xs := make([]float64, 0, len(shared))
+	for _, p := range b.Points {
+		if sp, ok := shared[p.X]; ok {
+			sp.yb = p.Y
+			xs = append(xs, p.X)
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		if sp := shared[x]; sp.ya < sp.yb {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram counts samples into equal-width bins over [lo, hi]; samples
+// outside the range clamp to the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram constructs a histogram with the given bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add bins a sample.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	var idx int
+	if h.Hi > h.Lo {
+		idx = int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of binned samples.
+func (h *Histogram) Total() int {
+	var t int
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var acc Accumulator
+	var sum float64
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*10 + 5
+		acc.Add(xs[i])
+		sum += xs[i]
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+
+	if math.Abs(acc.Mean()-mean) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", acc.Mean(), mean)
+	}
+	if math.Abs(acc.Variance()-variance) > 1e-9 {
+		t.Errorf("Variance = %v, want %v", acc.Variance(), variance)
+	}
+	if acc.N() != 1000 {
+		t.Errorf("N = %d", acc.N())
+	}
+}
+
+func TestAccumulatorEdgeCases(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Error("empty accumulator should return zeros")
+	}
+	a.Add(5)
+	if a.Mean() != 5 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Error("single-sample accumulator: mean 5, variance/CI 0")
+	}
+	if a.Min() != 5 || a.Max() != 5 {
+		t.Error("min/max of single sample")
+	}
+	a.Add(3)
+	a.Add(9)
+	if a.Min() != 3 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 3/9", a.Min(), a.Max())
+	}
+}
+
+// Property: mean lies within [min, max] and stddev is non-negative.
+func TestAccumulatorBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var a Accumulator
+		any := false
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes in a range where intermediate arithmetic
+			// cannot overflow; the accumulator targets metric-scale data.
+			a.Add(math.Mod(x, 1e12))
+			any = true
+		}
+		if !any {
+			return true
+		}
+		s := a.Summarize()
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndSummarize(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("Mean wrong")
+	}
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String empty")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	cases := []struct{ x, base, want float64 }{
+		{110, 100, 10},
+		{90, 100, -10},
+		{100, 100, 0},
+		{50, -100, 150}, // negative baseline: normalized by |baseline|
+		{-150, -100, -50},
+		{5, 0, 0}, // zero baseline guarded
+	}
+	for _, c := range cases {
+		if got := Improvement(c.x, c.base); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Improvement(%v, %v) = %v, want %v", c.x, c.base, got, c.want)
+		}
+	}
+}
+
+func TestSeriesPeakAndYAt(t *testing.T) {
+	s := Series{Name: "s", Points: []Point{{X: 1, Y: 5}, {X: 2, Y: 9}, {X: 3, Y: 7}}}
+	p, i := s.Peak()
+	if i != 1 || p.Y != 9 {
+		t.Errorf("Peak = %+v at %d", p, i)
+	}
+	if y, ok := s.YAt(3); !ok || y != 7 {
+		t.Errorf("YAt(3) = %v, %v", y, ok)
+	}
+	if _, ok := s.YAt(99); ok {
+		t.Error("YAt(99) found")
+	}
+	if _, i := (Series{}).Peak(); i != -1 {
+		t.Error("empty series peak index should be -1")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	a := Series{Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 10}, {X: 3, Y: 10}}}
+	b := Series{Points: []Point{{X: 1, Y: 5}, {X: 2, Y: 12}, {X: 3, Y: 20}}}
+	x, ok := Crossover(a, b)
+	if !ok || x != 2 {
+		t.Errorf("Crossover = %v, %v; want 2, true", x, ok)
+	}
+	_, ok = Crossover(b, Series{Points: []Point{{X: 1, Y: 0}}})
+	if ok {
+		t.Error("crossover found where none exists")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if h.Counts[0] != 3 { // -1 (clamped), 0, 1.9
+		t.Errorf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 9.9, 10 (clamped), 100 (clamped)
+		t.Errorf("bin 4 = %d, want 3", h.Counts[4])
+	}
+	degenerate := NewHistogram(5, 5, 0)
+	degenerate.Add(1)
+	if degenerate.Total() != 1 {
+		t.Error("degenerate histogram lost a sample")
+	}
+}

@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	params := make([]int, 100)
+	for i := range params {
+		params[i] = i
+	}
+	got := Map(params, 8, func(p int) int { return p * p })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapRunsConcurrently(t *testing.T) {
+	var inFlight, peak int64
+	params := make([]int, 32)
+	Map(params, 8, func(int) int {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		atomic.AddInt64(&inFlight, -1)
+		return 0
+	})
+	if peak < 2 {
+		t.Errorf("peak concurrency %d, want >= 2", peak)
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if got := Map(nil, 4, func(int) int { return 1 }); len(got) != 0 {
+		t.Error("Map(nil) should return empty")
+	}
+	// workers <= 0 defaults; workers > len clamps; workers == 1 is serial.
+	for _, w := range []int{-1, 0, 1, 100} {
+		got := Map([]int{1, 2, 3}, w, func(p int) int { return p + 1 })
+		if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+			t.Fatalf("workers=%d: %v", w, got)
+		}
+	}
+}
+
+func TestSeedsDeterministicAndDistinct(t *testing.T) {
+	a := Seeds(42, 50)
+	b := Seeds(42, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Seeds not deterministic")
+		}
+		if a[i] < 0 {
+			t.Fatalf("seed %d negative", i)
+		}
+	}
+	seen := map[int64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatal("duplicate seed")
+		}
+		seen[s] = true
+	}
+	c := Seeds(43, 50)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d seeds collide across bases", same)
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	got := Replicate(7, 10, 4, func(seed int64) int64 { return seed })
+	want := Seeds(7, 10)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("Replicate does not pass seeds in order")
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package task defines the batch-task model shared by the scheduler, the
+// admission controller, and the market layer.
+//
+// Per the paper's premises (Section 2), a task is a batch job that consumes
+// resources but delivers no value until it completes; a submission carries
+// a correct minimum run time and a user-specified linear-decay value
+// function (runtime, value, decay, bound).
+package task
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/valuefn"
+)
+
+// ID identifies a task within a trace or a site.
+type ID uint64
+
+// Class labels which mode of the paper's bimodal value distribution a task
+// was drawn from. It has no scheduling semantics; it exists so experiments
+// can report per-class outcomes.
+type Class int
+
+// Task value classes.
+const (
+	LowValue Class = iota
+	HighValue
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case LowValue:
+		return "low"
+	case HighValue:
+		return "high"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// State tracks a task through its lifecycle at a site.
+type State int
+
+// Task lifecycle states.
+const (
+	Submitted State = iota // created, not yet offered to a site
+	Rejected               // refused by admission control
+	Queued                 // accepted and awaiting dispatch
+	Running                // occupying a processor
+	Completed              // finished; yield realized
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Submitted:
+		return "submitted"
+	case Rejected:
+		return "rejected"
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Task is a single batch job and its bid. The scheduling-relevant fields
+// mirror the paper's tuple (runtime_i, value_i, decay_i, bound_i) plus the
+// arrival time from the trace.
+type Task struct {
+	ID      ID
+	Arrival float64 // release time
+	Runtime float64 // minimum run time, assumed accurate (Section 4)
+	Value   float64 // maximum value, earned at zero delay
+	Decay   float64 // linear decay rate (urgency)
+	Bound   float64 // penalty bound; math.Inf(1) for unbounded
+	Class   Class
+
+	// Dynamic scheduling state.
+	State       State
+	RPT         float64 // remaining processing time; initially Runtime
+	Start       float64 // most recent dispatch time (valid while Running)
+	Completion  float64 // completion time (valid once Completed)
+	Yield       float64 // realized yield (valid once Completed)
+	Preemptions int     // number of times the task was preempted
+}
+
+// New constructs a task in the Submitted state with RPT initialized to the
+// minimum run time.
+func New(id ID, arrival, runtime, value, decay, bound float64) *Task {
+	return &Task{
+		ID:      id,
+		Arrival: arrival,
+		Runtime: runtime,
+		Value:   value,
+		Decay:   decay,
+		Bound:   bound,
+		State:   Submitted,
+		RPT:     runtime,
+	}
+}
+
+// Validate reports whether the task's static fields are usable.
+func (t *Task) Validate() error {
+	if t.Runtime <= 0 || math.IsNaN(t.Runtime) || math.IsInf(t.Runtime, 0) {
+		return fmt.Errorf("task %d: runtime %v must be positive and finite", t.ID, t.Runtime)
+	}
+	if t.Arrival < 0 || math.IsNaN(t.Arrival) {
+		return fmt.Errorf("task %d: arrival %v must be non-negative", t.ID, t.Arrival)
+	}
+	if err := t.ValueFn().Validate(); err != nil {
+		return fmt.Errorf("task %d: %w", t.ID, err)
+	}
+	return nil
+}
+
+// ValueFn returns the task's value function.
+func (t *Task) ValueFn() valuefn.Linear {
+	return valuefn.Linear{Value: t.Value, Decay: t.Decay, Bound: t.Bound}
+}
+
+// Delay returns the task's delay for a given completion time per Equation 2:
+// completion - (arrival + runtime). It is the queuing (and preemption) time
+// the task accumulated beyond its minimum run time.
+func (t *Task) Delay(completion float64) float64 {
+	return completion - (t.Arrival + t.Runtime)
+}
+
+// YieldAtCompletion evaluates the value function for a completion time
+// (Equations 1-2), respecting the penalty bound.
+func (t *Task) YieldAtCompletion(completion float64) float64 {
+	return t.ValueFn().YieldAt(t.Delay(completion))
+}
+
+// ExpectedCompletion returns the completion time if the task starts (or
+// resumes) at the given time and runs for its remaining processing time
+// without further preemption.
+func (t *Task) ExpectedCompletion(start float64) float64 {
+	return start + t.RPT
+}
+
+// ExpectedYield returns the yield the task earns if started at the given
+// time and not preempted afterward.
+func (t *Task) ExpectedYield(start float64) float64 {
+	return t.YieldAtCompletion(t.ExpectedCompletion(start))
+}
+
+// ExpiryTime returns the absolute time at which the task's value function
+// stops decaying — when even immediate completion yields the full penalty.
+// Unbounded tasks never expire (+Inf).
+func (t *Task) ExpiryTime() float64 {
+	ed := t.ValueFn().ExpiryDelay()
+	if math.IsInf(ed, 1) {
+		return math.Inf(1)
+	}
+	return t.Arrival + t.Runtime + ed
+}
+
+// RemainingDecayTime returns how much longer the task's value keeps
+// decaying if it were started at the given time: the time from its expected
+// completion to its expiry, floored at zero. This is the expire_j term in
+// the opportunity-cost formula (Equation 4).
+func (t *Task) RemainingDecayTime(start float64) float64 {
+	exp := t.ExpiryTime()
+	if math.IsInf(exp, 1) {
+		return math.Inf(1)
+	}
+	rem := exp - t.ExpectedCompletion(start)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// ExpiredAt reports whether the task has expired by the given time: its
+// penalty is bounded and even completing as soon as possible earns -Bound.
+func (t *Task) ExpiredAt(now float64) bool {
+	return t.ExpectedCompletion(now) >= t.ExpiryTime()
+}
+
+// Unbounded reports whether the task's penalty is unbounded.
+func (t *Task) Unbounded() bool { return math.IsInf(t.Bound, 1) }
+
+// Clone returns a copy of the task reset to the Submitted state with full
+// remaining processing time. Traces hand out clones so repeated experiments
+// over the same trace do not contaminate each other's dynamic state.
+func (t *Task) Clone() *Task {
+	c := *t
+	c.State = Submitted
+	c.RPT = c.Runtime
+	c.Start = 0
+	c.Completion = 0
+	c.Yield = 0
+	c.Preemptions = 0
+	return &c
+}
+
+// String renders the task compactly for logs and test failures.
+func (t *Task) String() string {
+	return fmt.Sprintf("task %d (arrive=%.2f run=%.2f value=%.2f decay=%.3f state=%s rpt=%.2f)",
+		t.ID, t.Arrival, t.Runtime, t.Value, t.Decay, t.State, t.RPT)
+}

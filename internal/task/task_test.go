@@ -1,0 +1,184 @@
+package task
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Task {
+	// Arrives at 100, runs 50, worth 200, decays 4/unit, penalty bounded at 100.
+	return New(1, 100, 50, 200, 4, 100)
+}
+
+func TestNewInitializesState(t *testing.T) {
+	tk := sample()
+	if tk.State != Submitted {
+		t.Errorf("State = %v, want Submitted", tk.State)
+	}
+	if tk.RPT != tk.Runtime {
+		t.Errorf("RPT = %v, want runtime %v", tk.RPT, tk.Runtime)
+	}
+}
+
+func TestDelayEquation2(t *testing.T) {
+	tk := sample()
+	// Ideal completion is arrival+runtime = 150.
+	if got := tk.Delay(150); got != 0 {
+		t.Errorf("Delay(150) = %v, want 0", got)
+	}
+	if got := tk.Delay(180); got != 30 {
+		t.Errorf("Delay(180) = %v, want 30", got)
+	}
+	if got := tk.Delay(140); got != -10 {
+		t.Errorf("Delay(140) = %v, want -10", got)
+	}
+}
+
+func TestYieldAtCompletion(t *testing.T) {
+	tk := sample()
+	if got := tk.YieldAtCompletion(150); got != 200 {
+		t.Errorf("on-time yield = %v, want 200", got)
+	}
+	if got := tk.YieldAtCompletion(175); got != 100 { // 25 delay * 4
+		t.Errorf("yield at delay 25 = %v, want 100", got)
+	}
+	if got := tk.YieldAtCompletion(1e9); got != -100 { // clamped at -bound
+		t.Errorf("deep-late yield = %v, want -100", got)
+	}
+}
+
+func TestExpectedCompletionAndYield(t *testing.T) {
+	tk := sample()
+	if got := tk.ExpectedCompletion(200); got != 250 {
+		t.Errorf("ExpectedCompletion(200) = %v, want 250", got)
+	}
+	// Started at 200: delay = 250-150 = 100 -> yield = 200 - 400 = -200,
+	// clamped to -100.
+	if got := tk.ExpectedYield(200); got != -100 {
+		t.Errorf("ExpectedYield(200) = %v, want -100", got)
+	}
+	// Partially executed task completes sooner.
+	tk.RPT = 10
+	if got := tk.ExpectedCompletion(200); got != 210 {
+		t.Errorf("ExpectedCompletion with RPT=10 = %v, want 210", got)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	tk := sample()
+	// Expiry delay = (200+100)/4 = 75, so expiry time = 150+75 = 225.
+	if got := tk.ExpiryTime(); got != 225 {
+		t.Errorf("ExpiryTime() = %v, want 225", got)
+	}
+	if tk.ExpiredAt(100) {
+		t.Error("fresh task reported expired")
+	}
+	// Starting at 175 completes exactly at expiry.
+	if !tk.ExpiredAt(175) {
+		t.Error("task completing at expiry should report expired")
+	}
+	if !tk.ExpiredAt(300) {
+		t.Error("deep-late task should report expired")
+	}
+
+	unbounded := New(2, 0, 10, 100, 1, math.Inf(1))
+	if !math.IsInf(unbounded.ExpiryTime(), 1) {
+		t.Error("unbounded task should never expire")
+	}
+	if unbounded.ExpiredAt(1e12) {
+		t.Error("unbounded task reported expired")
+	}
+}
+
+func TestRemainingDecayTime(t *testing.T) {
+	tk := sample()
+	// Started at arrival (100): completes 150, expiry 225 -> 75 remaining.
+	if got := tk.RemainingDecayTime(100); got != 75 {
+		t.Errorf("RemainingDecayTime(100) = %v, want 75", got)
+	}
+	// Started at 200: completes 250, past expiry -> 0.
+	if got := tk.RemainingDecayTime(200); got != 0 {
+		t.Errorf("RemainingDecayTime(200) = %v, want 0", got)
+	}
+	unbounded := New(2, 0, 10, 100, 1, math.Inf(1))
+	if !math.IsInf(unbounded.RemainingDecayTime(0), 1) {
+		t.Error("unbounded RemainingDecayTime should be +Inf")
+	}
+}
+
+func TestCloneResetsDynamicState(t *testing.T) {
+	tk := sample()
+	tk.State = Completed
+	tk.RPT = 3
+	tk.Start = 7
+	tk.Completion = 9
+	tk.Yield = 42
+	tk.Preemptions = 2
+
+	c := tk.Clone()
+	if c.State != Submitted || c.RPT != tk.Runtime || c.Start != 0 ||
+		c.Completion != 0 || c.Yield != 0 || c.Preemptions != 0 {
+		t.Errorf("Clone() did not reset dynamic state: %+v", c)
+	}
+	if c.ID != tk.ID || c.Arrival != tk.Arrival || c.Value != tk.Value ||
+		c.Decay != tk.Decay || c.Bound != tk.Bound {
+		t.Errorf("Clone() altered static fields: %+v", c)
+	}
+	c.Value = 1
+	if tk.Value == 1 {
+		t.Error("Clone() aliases the original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sample()
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil", err)
+	}
+	bad := []*Task{
+		New(1, 0, 0, 1, 1, 0),           // zero runtime
+		New(1, 0, -5, 1, 1, 0),          // negative runtime
+		New(1, -1, 10, 1, 1, 0),         // negative arrival
+		New(1, 0, math.NaN(), 1, 1, 0),  // NaN runtime
+		New(1, 0, 10, math.NaN(), 1, 0), // NaN value
+		New(1, 0, 10, 1, -1, 0),         // negative decay
+		New(1, 0, 10, 1, 1, -2),         // negative bound
+		New(1, 0, math.Inf(1), 1, 1, 0), // infinite runtime
+	}
+	for i, tk := range bad {
+		if err := tk.Validate(); err == nil {
+			t.Errorf("case %d: Validate() = nil, want error (%s)", i, tk)
+		}
+	}
+}
+
+func TestStateAndClassStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Submitted: "submitted", Rejected: "rejected", Queued: "queued",
+		Running: "running", Completed: "completed", State(99): "State(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+	for c, want := range map[Class]string{
+		LowValue: "low", HighValue: "high", Class(9): "Class(9)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if !strings.Contains(sample().String(), "task 1") {
+		t.Error("Task.String() missing identity")
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	if sample().Unbounded() {
+		t.Error("bounded task reported unbounded")
+	}
+	if !New(1, 0, 1, 1, 1, math.Inf(1)).Unbounded() {
+		t.Error("unbounded task reported bounded")
+	}
+}

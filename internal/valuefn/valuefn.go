@@ -1,0 +1,209 @@
+// Package valuefn implements the user-specified value (utility) functions
+// from Section 3 of the paper.
+//
+// A value function maps a task's completion delay — time spent waiting
+// beyond its minimum run time — to the value the user pays for the service.
+// The paper's primary form is linear decay with an optional penalty bound
+// (Figure 2): a task earns its maximum value when it completes within its
+// minimum run time, the value decays linearly at a constant rate while the
+// task waits, and the decay stops once the (possibly unbounded) penalty
+// bound is reached.
+package valuefn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Function is a value function over completion delay. Delay is measured
+// from the task's ideal completion (arrival + minimum run time); delay 0
+// yields the maximum value.
+type Function interface {
+	// YieldAt returns the value earned when the task completes after the
+	// given delay. Negative yields are penalties.
+	YieldAt(delay float64) float64
+	// MaxValue returns the value at zero delay.
+	MaxValue() float64
+	// ExpiryDelay returns the delay at which the function stops decaying
+	// (the task "expires"), or +Inf if it decays forever.
+	ExpiryDelay() float64
+}
+
+// Linear is the paper's linear-decay value function: a maximum value, a
+// constant decay rate per unit of delay, and a penalty bound. Bound is the
+// largest penalty the function can impose: YieldAt never returns less than
+// -Bound. Bound 0 reproduces Millennium's functions bounded at zero;
+// math.Inf(1) gives the unbounded-penalty variant.
+type Linear struct {
+	Value float64 // maximum value, earned at delay 0
+	Decay float64 // value lost per unit of delay (>= 0)
+	Bound float64 // penalty bound (>= 0); +Inf for unbounded
+}
+
+// Validate reports whether the parameters describe a usable function.
+func (f Linear) Validate() error {
+	switch {
+	case math.IsNaN(f.Value) || math.IsInf(f.Value, 0):
+		return fmt.Errorf("valuefn: value %v must be finite", f.Value)
+	case f.Decay < 0 || math.IsNaN(f.Decay) || math.IsInf(f.Decay, 0):
+		return fmt.Errorf("valuefn: decay %v must be finite and non-negative", f.Decay)
+	case f.Bound < 0 || math.IsNaN(f.Bound):
+		return fmt.Errorf("valuefn: bound %v must be non-negative", f.Bound)
+	}
+	return nil
+}
+
+// YieldAt implements Equation 1, clamped at the penalty bound:
+// yield = value - delay*decay, never below -Bound. Negative delays are
+// treated as zero: completing early earns no more than the maximum value.
+func (f Linear) YieldAt(delay float64) float64 {
+	if delay < 0 {
+		delay = 0
+	}
+	y := f.Value - delay*f.Decay
+	if floor := -f.Bound; y < floor {
+		return floor
+	}
+	return y
+}
+
+// MaxValue returns the value earned at zero delay.
+func (f Linear) MaxValue() float64 { return f.Value }
+
+// ExpiryDelay returns the delay at which the value function stops decaying:
+// the point where yield reaches -Bound. For unbounded penalties or zero
+// decay it returns +Inf.
+func (f Linear) ExpiryDelay() float64 {
+	if math.IsInf(f.Bound, 1) || f.Decay == 0 {
+		return math.Inf(1)
+	}
+	return (f.Value + f.Bound) / f.Decay
+}
+
+// ZeroDelay returns the delay at which the yield crosses zero, or +Inf if
+// it never does (zero decay with positive value). A task completing after
+// ZeroDelay loses the site money.
+func (f Linear) ZeroDelay() float64 {
+	if f.Decay == 0 {
+		if f.Value <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	d := f.Value / f.Decay
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Bounded reports whether the penalty is bounded.
+func (f Linear) Bounded() bool { return !math.IsInf(f.Bound, 1) }
+
+// String renders the function compactly for logs and test failures.
+func (f Linear) String() string {
+	if f.Bounded() {
+		return fmt.Sprintf("linear(value=%g decay=%g bound=%g)", f.Value, f.Decay, f.Bound)
+	}
+	return fmt.Sprintf("linear(value=%g decay=%g unbounded)", f.Value, f.Decay)
+}
+
+// Segment is one piece of a piecewise-linear value function: from Start
+// delay onward the value decays at Rate, until the next segment begins.
+type Segment struct {
+	Start float64 // delay at which this segment begins
+	Rate  float64 // decay rate over this segment (>= 0)
+}
+
+// Piecewise is the variable-rate generalization the paper mentions in
+// Section 3 ("the framework can generalize to value functions that decay at
+// variable rates"). It decays piecewise-linearly and honors the same
+// penalty bound semantics as Linear.
+type Piecewise struct {
+	Value    float64
+	Bound    float64
+	Segments []Segment // sorted by Start; Segments[0].Start must be 0
+}
+
+// ErrBadSegments reports a malformed segment list.
+var ErrBadSegments = errors.New("valuefn: segments must start at 0, be sorted, and have non-negative rates")
+
+// NewPiecewise validates and constructs a piecewise value function.
+func NewPiecewise(value, bound float64, segments []Segment) (Piecewise, error) {
+	if len(segments) == 0 || segments[0].Start != 0 {
+		return Piecewise{}, ErrBadSegments
+	}
+	for i, s := range segments {
+		if s.Rate < 0 || math.IsNaN(s.Rate) {
+			return Piecewise{}, ErrBadSegments
+		}
+		if i > 0 && s.Start <= segments[i-1].Start {
+			return Piecewise{}, ErrBadSegments
+		}
+	}
+	if bound < 0 || math.IsNaN(bound) {
+		return Piecewise{}, ErrBadSegments
+	}
+	segs := make([]Segment, len(segments))
+	copy(segs, segments)
+	return Piecewise{Value: value, Bound: bound, Segments: segs}, nil
+}
+
+// YieldAt evaluates the piecewise decay at the given delay, clamped at the
+// penalty bound.
+func (f Piecewise) YieldAt(delay float64) float64 {
+	if delay < 0 {
+		delay = 0
+	}
+	y := f.Value
+	for i, s := range f.Segments {
+		end := delay
+		if i+1 < len(f.Segments) && f.Segments[i+1].Start < delay {
+			end = f.Segments[i+1].Start
+		}
+		if end <= s.Start {
+			break
+		}
+		y -= (end - s.Start) * s.Rate
+	}
+	if floor := -f.Bound; y < floor {
+		return floor
+	}
+	return y
+}
+
+// MaxValue returns the value at zero delay.
+func (f Piecewise) MaxValue() float64 { return f.Value }
+
+// ExpiryDelay returns the delay at which the decayed value reaches -Bound,
+// or +Inf if it never does.
+func (f Piecewise) ExpiryDelay() float64 {
+	if math.IsInf(f.Bound, 1) {
+		return math.Inf(1)
+	}
+	target := -f.Bound
+	y := f.Value
+	for i, s := range f.Segments {
+		var end float64
+		last := i+1 >= len(f.Segments)
+		if !last {
+			end = f.Segments[i+1].Start
+		}
+		if s.Rate > 0 {
+			cross := s.Start + (y-target)/s.Rate
+			if last || cross <= end {
+				return cross
+			}
+		}
+		if !last {
+			y -= (end - s.Start) * s.Rate
+		}
+	}
+	return math.Inf(1)
+}
+
+var (
+	_ Function = Linear{}
+	_ Function = Piecewise{}
+)

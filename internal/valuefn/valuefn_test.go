@@ -1,0 +1,219 @@
+package valuefn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFigure2Shape(t *testing.T) {
+	// The Figure 2 example: maximum value if the job completes within its
+	// minimum run time, linear decay with queuing delay, possibly negative
+	// (a penalty), stopping at the bound.
+	f := Linear{Value: 100, Decay: 2, Bound: 50}
+
+	for _, c := range []struct {
+		delay float64
+		want  float64
+	}{
+		{-5, 100}, // early completion earns no bonus
+		{0, 100},
+		{10, 80},
+		{50, 0},    // zero crossing at value/decay
+		{60, -20},  // penalty region
+		{75, -50},  // exactly at the bound
+		{500, -50}, // decay stops at the bound
+	} {
+		if got := f.YieldAt(c.delay); got != c.want {
+			t.Errorf("YieldAt(%v) = %v, want %v", c.delay, got, c.want)
+		}
+	}
+}
+
+func TestLinearExpiryAndZero(t *testing.T) {
+	f := Linear{Value: 100, Decay: 2, Bound: 50}
+	if got := f.ZeroDelay(); got != 50 {
+		t.Errorf("ZeroDelay() = %v, want 50", got)
+	}
+	if got := f.ExpiryDelay(); got != 75 {
+		t.Errorf("ExpiryDelay() = %v, want 75", got)
+	}
+	if f.Bounded() != true {
+		t.Error("Bounded() = false for finite bound")
+	}
+
+	unbounded := Linear{Value: 100, Decay: 2, Bound: math.Inf(1)}
+	if !math.IsInf(unbounded.ExpiryDelay(), 1) {
+		t.Error("unbounded ExpiryDelay() should be +Inf")
+	}
+	if unbounded.Bounded() {
+		t.Error("Bounded() = true for infinite bound")
+	}
+
+	noDecay := Linear{Value: 100, Decay: 0, Bound: 0}
+	if !math.IsInf(noDecay.ExpiryDelay(), 1) {
+		t.Error("zero-decay ExpiryDelay() should be +Inf")
+	}
+	if !math.IsInf(noDecay.ZeroDelay(), 1) {
+		t.Error("zero-decay positive-value ZeroDelay() should be +Inf")
+	}
+}
+
+func TestLinearZeroDelayEdges(t *testing.T) {
+	if got := (Linear{Value: -5, Decay: 0}).ZeroDelay(); got != 0 {
+		t.Errorf("negative-value zero-decay ZeroDelay() = %v, want 0", got)
+	}
+	if got := (Linear{Value: -5, Decay: 1}).ZeroDelay(); got != 0 {
+		t.Errorf("negative-value ZeroDelay() = %v, want 0", got)
+	}
+}
+
+func TestLinearValidate(t *testing.T) {
+	valid := []Linear{
+		{Value: 1, Decay: 0, Bound: 0},
+		{Value: 0, Decay: 5, Bound: math.Inf(1)},
+		{Value: -3, Decay: 1, Bound: 2},
+	}
+	for _, f := range valid {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", f, err)
+		}
+	}
+	invalid := []Linear{
+		{Value: math.NaN(), Decay: 1, Bound: 0},
+		{Value: math.Inf(1), Decay: 1, Bound: 0},
+		{Value: 1, Decay: -1, Bound: 0},
+		{Value: 1, Decay: math.NaN(), Bound: 0},
+		{Value: 1, Decay: math.Inf(1), Bound: 0},
+		{Value: 1, Decay: 1, Bound: -1},
+		{Value: 1, Decay: 1, Bound: math.NaN()},
+	}
+	for _, f := range invalid {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", f)
+		}
+	}
+}
+
+// Property: yield never increases with delay, never exceeds the maximum
+// value, and never drops below the bound.
+func TestLinearMonotoneAndClamped(t *testing.T) {
+	f := func(value, decay, bound, d1, d2 float64) bool {
+		fn := Linear{
+			Value: math.Mod(math.Abs(value), 1e6),
+			Decay: math.Mod(math.Abs(decay), 1e3),
+			Bound: math.Mod(math.Abs(bound), 1e6),
+		}
+		a, b := math.Mod(math.Abs(d1), 1e6), math.Mod(math.Abs(d2), 1e6)
+		if a > b {
+			a, b = b, a
+		}
+		ya, yb := fn.YieldAt(a), fn.YieldAt(b)
+		return ya >= yb && ya <= fn.MaxValue() && yb >= -fn.Bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPiecewiseMatchesLinearForOneSegment(t *testing.T) {
+	lin := Linear{Value: 80, Decay: 1.5, Bound: 20}
+	pw, err := NewPiecewise(80, 20, []Segment{{Start: 0, Rate: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{0, 1, 10, 53.3, 66.7, 100, 1e6} {
+		if got, want := pw.YieldAt(d), lin.YieldAt(d); math.Abs(got-want) > 1e-9 {
+			t.Errorf("piecewise YieldAt(%v) = %v, linear = %v", d, got, want)
+		}
+	}
+	if got, want := pw.ExpiryDelay(), lin.ExpiryDelay(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("piecewise ExpiryDelay() = %v, linear = %v", got, want)
+	}
+}
+
+func TestPiecewiseTwoSegments(t *testing.T) {
+	// Slow decay for 10 units, then fast: the "soft deadline" shape.
+	pw, err := NewPiecewise(100, math.Inf(1), []Segment{{0, 1}, {10, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ delay, want float64 }{
+		{0, 100}, {5, 95}, {10, 90}, {12, 80}, {20, 40},
+	}
+	for _, c := range cases {
+		if got := pw.YieldAt(c.delay); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("YieldAt(%v) = %v, want %v", c.delay, got, c.want)
+		}
+	}
+	if !math.IsInf(pw.ExpiryDelay(), 1) {
+		t.Error("unbounded piecewise should never expire")
+	}
+}
+
+func TestPiecewiseExpiryInLaterSegment(t *testing.T) {
+	pw, err := NewPiecewise(100, 0, []Segment{{0, 1}, {10, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 - 10*1 = 90 left at delay 10; 90/5 = 18 more units -> expiry 28.
+	if got := pw.ExpiryDelay(); math.Abs(got-28) > 1e-9 {
+		t.Errorf("ExpiryDelay() = %v, want 28", got)
+	}
+	if got := pw.YieldAt(1000); got != 0 {
+		t.Errorf("YieldAt past expiry = %v, want 0", got)
+	}
+}
+
+func TestPiecewiseZeroRateSegmentNeverExpires(t *testing.T) {
+	pw, err := NewPiecewise(10, 0, []Segment{{0, 1}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decays to 5 then plateaus above the bound forever.
+	if !math.IsInf(pw.ExpiryDelay(), 1) {
+		t.Errorf("ExpiryDelay() = %v, want +Inf", pw.ExpiryDelay())
+	}
+	if got := pw.YieldAt(100); got != 5 {
+		t.Errorf("YieldAt(100) = %v, want 5", got)
+	}
+}
+
+func TestNewPiecewiseValidation(t *testing.T) {
+	bad := [][]Segment{
+		nil,
+		{},
+		{{Start: 1, Rate: 1}},    // must start at 0
+		{{0, 1}, {0, 2}},         // not strictly increasing
+		{{0, 1}, {5, -1}},        // negative rate
+		{{0, math.NaN()}},        // NaN rate
+		{{0, 1}, {3, 2}, {2, 1}}, // out of order
+	}
+	for _, segs := range bad {
+		if _, err := NewPiecewise(10, 0, segs); err == nil {
+			t.Errorf("NewPiecewise(%v) accepted invalid segments", segs)
+		}
+	}
+	if _, err := NewPiecewise(10, -1, []Segment{{0, 1}}); err == nil {
+		t.Error("NewPiecewise accepted negative bound")
+	}
+	// The constructor must copy its input.
+	segs := []Segment{{0, 1}, {5, 2}}
+	pw, err := NewPiecewise(10, 0, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs[0].Rate = 99
+	if pw.Segments[0].Rate != 1 {
+		t.Error("NewPiecewise aliased caller's segment slice")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if got := (Linear{Value: 1, Decay: 2, Bound: 3}).String(); got == "" {
+		t.Error("bounded String() empty")
+	}
+	if got := (Linear{Value: 1, Decay: 2, Bound: math.Inf(1)}).String(); got == "" {
+		t.Error("unbounded String() empty")
+	}
+}

@@ -1,0 +1,248 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/market"
+	"repro/internal/task"
+)
+
+// BrokerConfig parameterizes a network broker.
+type BrokerConfig struct {
+	// SiteAddrs are the task-service sites the broker negotiates with.
+	SiteAddrs []string
+	// Selector ranks server bids on the clients' behalf; nil is BestYield.
+	Selector market.Selector
+	// Logger receives brokering events; nil silences them.
+	Logger *log.Logger
+}
+
+// BrokerServer is Figure 1's broker as a standalone process: clients speak
+// the ordinary bid/award protocol to it, and it coordinates the fan-out,
+// selection, and award against the site servers, relaying settlements back
+// to the client that owns each task.
+type BrokerServer struct {
+	cfg   BrokerConfig
+	ln    net.Listener
+	sites []*SiteClient
+
+	mu     sync.Mutex
+	chosen map[task.ID]*SiteClient // accepted proposal awaiting award
+	owners map[task.ID]*serverConn // awarded task -> client connection
+
+	wg sync.WaitGroup
+
+	// Stats, guarded by mu.
+	Negotiated int
+	Placed     int
+	Declined   int
+}
+
+// NewBrokerServer connects to every site and starts listening on addr.
+func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
+	if len(cfg.SiteAddrs) == 0 {
+		return nil, fmt.Errorf("wire: broker needs at least one site")
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = market.BestYield{}
+	}
+	b := &BrokerServer{
+		cfg:    cfg,
+		chosen: make(map[task.ID]*SiteClient),
+		owners: make(map[task.ID]*serverConn),
+	}
+	for _, sa := range cfg.SiteAddrs {
+		sc, err := Dial(sa)
+		if err != nil {
+			b.closeSites()
+			return nil, fmt.Errorf("wire: broker dialing site %s: %w", sa, err)
+		}
+		sc.OnSettled = b.relaySettlement
+		b.sites = append(b.sites, sc)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		b.closeSites()
+		return nil, err
+	}
+	b.ln = ln
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *BrokerServer) Addr() string { return b.ln.Addr().String() }
+
+// Close shuts the broker down, closing the client listener and the site
+// connections.
+func (b *BrokerServer) Close() error {
+	err := b.ln.Close()
+	b.wg.Wait()
+	b.closeSites()
+	return err
+}
+
+func (b *BrokerServer) closeSites() {
+	for _, sc := range b.sites {
+		_ = sc.Close()
+	}
+}
+
+func (b *BrokerServer) logf(format string, args ...any) {
+	if b.cfg.Logger != nil {
+		b.cfg.Logger.Printf("[broker] "+format, args...)
+	}
+}
+
+func (b *BrokerServer) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.serve(conn)
+		}()
+	}
+}
+
+func (b *BrokerServer) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn)}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		env, err := Unmarshal(scanner.Bytes())
+		if err != nil {
+			_ = sc.send(Envelope{Type: TypeError, Reason: err.Error()})
+			continue
+		}
+		var reply Envelope
+		switch env.Type {
+		case TypeBid:
+			reply = b.handleBid(env)
+		case TypeAward:
+			reply = b.handleAward(env, sc)
+		default:
+			reply = Envelope{Type: TypeError, Reason: fmt.Sprintf("unexpected message %q", env.Type)}
+		}
+		if err := sc.send(reply); err != nil {
+			return
+		}
+	}
+}
+
+// handleBid fans the bid out to every site and answers with the selected
+// server bid, remembering the winning site for the award.
+func (b *BrokerServer) handleBid(env Envelope) Envelope {
+	bid, err := env.Bid()
+	if err != nil {
+		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+	b.mu.Lock()
+	b.Negotiated++
+	b.mu.Unlock()
+
+	var offers []market.ServerBid
+	var offerSites []*SiteClient
+	for _, site := range b.sites {
+		sb, ok, perr := site.Propose(bid)
+		if perr != nil {
+			b.logf("site propose error: %v", perr)
+			continue
+		}
+		if ok {
+			offers = append(offers, sb)
+			offerSites = append(offerSites, site)
+		}
+	}
+	i := -1
+	if len(offers) > 0 {
+		i = b.cfg.Selector.Select(bid, offers)
+	}
+	if i < 0 {
+		b.mu.Lock()
+		b.Declined++
+		b.mu.Unlock()
+		return Envelope{Type: TypeReject, TaskID: bid.TaskID, Reason: "no site accepted"}
+	}
+
+	b.mu.Lock()
+	b.chosen[bid.TaskID] = offerSites[i]
+	b.mu.Unlock()
+	win := offers[i]
+	b.logf("task %d -> %s (completion %.1f, price %.2f)", bid.TaskID, win.SiteID, win.ExpectedCompletion, win.ExpectedPrice)
+	return Envelope{
+		Type:               TypeServerBid,
+		TaskID:             win.TaskID,
+		SiteID:             win.SiteID,
+		ExpectedCompletion: win.ExpectedCompletion,
+		ExpectedPrice:      win.ExpectedPrice,
+	}
+}
+
+// handleAward forwards the award to the site selected during the bid and
+// registers the client connection for settlement relay.
+func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
+	bid, err := env.Bid()
+	if err != nil {
+		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+	sb, err := env.ServerBid()
+	if err != nil {
+		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+
+	b.mu.Lock()
+	site := b.chosen[bid.TaskID]
+	delete(b.chosen, bid.TaskID)
+	b.mu.Unlock()
+	if site == nil {
+		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: "award without a standing proposal"}
+	}
+
+	terms, ok, err := site.Award(bid, sb)
+	if err != nil {
+		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: err.Error()}
+	}
+	if !ok {
+		b.mu.Lock()
+		b.Declined++
+		b.mu.Unlock()
+		return Envelope{Type: TypeReject, TaskID: bid.TaskID, Reason: "site mix changed since proposal"}
+	}
+	b.mu.Lock()
+	b.owners[bid.TaskID] = owner
+	b.Placed++
+	b.mu.Unlock()
+	return Envelope{
+		Type:               TypeContract,
+		TaskID:             terms.TaskID,
+		SiteID:             terms.SiteID,
+		ExpectedCompletion: terms.ExpectedCompletion,
+		ExpectedPrice:      terms.ExpectedPrice,
+	}
+}
+
+// relaySettlement pushes a site's settlement to the owning client.
+func (b *BrokerServer) relaySettlement(e Envelope) {
+	b.mu.Lock()
+	owner := b.owners[e.TaskID]
+	delete(b.owners, e.TaskID)
+	b.mu.Unlock()
+	if owner == nil {
+		b.logf("settlement for unknown task %d", e.TaskID)
+		return
+	}
+	if err := owner.send(e); err != nil {
+		b.logf("settlement relay to client failed: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/market"
+	"repro/internal/task"
+)
+
+// startBrokerTopology spins up n site servers and a broker in front of
+// them, returning the broker and a client dialed to it.
+func startBrokerTopology(t *testing.T, n int) (*BrokerServer, *SiteClient, []*Server) {
+	t.Helper()
+	var sites []*Server
+	var addrs []string
+	for i := 0; i < n; i++ {
+		srv := startServer(t, ServerConfig{
+			SiteID:     "site-" + string(rune('a'+i)),
+			Processors: 2,
+		})
+		sites = append(sites, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	b, err := NewBrokerServer("127.0.0.1:0", BrokerConfig{SiteAddrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	c := dialBroker(t, b)
+	return b, c, sites
+}
+
+func dialBroker(t *testing.T, b *BrokerServer) *SiteClient {
+	t.Helper()
+	c, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBrokerEndToEnd(t *testing.T) {
+	b, c, sites := startBrokerTopology(t, 2)
+
+	settled := make(chan Envelope, 4)
+	c.OnSettled = func(e Envelope) { settled <- e }
+
+	for i := 1; i <= 4; i++ {
+		bid := testBid(task.ID(i), 10)
+		sb, ok, err := c.Propose(bid)
+		if err != nil || !ok {
+			t.Fatalf("propose %d: %v %v", i, ok, err)
+		}
+		if _, ok, err := c.Award(bid, sb); err != nil || !ok {
+			t.Fatalf("award %d: %v %v", i, ok, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case <-settled:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("settlement %d never arrived", i)
+		}
+	}
+	if b.Placed != 4 {
+		t.Errorf("broker placed %d, want 4", b.Placed)
+	}
+	total := 0
+	for _, s := range sites {
+		total += s.Completed
+	}
+	if total != 4 {
+		t.Errorf("sites completed %d, want 4", total)
+	}
+}
+
+func TestBrokerRejectsWhenAllSitesReject(t *testing.T) {
+	srv := startServer(t, ServerConfig{Admission: admission.SlackThreshold{Threshold: 1e18}})
+	b, err := NewBrokerServer("127.0.0.1:0", BrokerConfig{SiteAddrs: []string{srv.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	c := dialBroker(t, b)
+
+	_, ok, err := c.Propose(testBid(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("broker accepted when every site rejects")
+	}
+	if b.Declined != 1 {
+		t.Errorf("declined = %d, want 1", b.Declined)
+	}
+}
+
+func TestBrokerAwardWithoutProposal(t *testing.T) {
+	_, c, _ := startBrokerTopology(t, 1)
+	bid := testBid(9, 10)
+	ghost := market.ServerBid{TaskID: 9, SiteID: "ghost"}
+	if _, _, err := c.Award(bid, ghost); err == nil {
+		t.Fatal("award without proposal accepted")
+	}
+}
+
+func TestBrokerConcurrentClients(t *testing.T) {
+	b, _, _ := startBrokerTopology(t, 2)
+
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			c, err := Dial(b.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			var settle sync.WaitGroup
+			c.OnSettled = func(Envelope) { settle.Done() }
+			for j := 0; j < 3; j++ {
+				bid := testBid(task.ID(base*100+j+1), 5)
+				sb, ok, err := c.Propose(bid)
+				if err != nil || !ok {
+					errs <- err
+					return
+				}
+				settle.Add(1)
+				if _, ok, err := c.Award(bid, sb); err != nil || !ok {
+					errs <- err
+					return
+				}
+			}
+			settle.Wait()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Placed != clients*3 {
+		t.Errorf("placed %d, want %d", b.Placed, clients*3)
+	}
+}
+
+func TestNewBrokerServerValidation(t *testing.T) {
+	if _, err := NewBrokerServer("127.0.0.1:0", BrokerConfig{}); err == nil {
+		t.Error("broker with no sites accepted")
+	}
+	if _, err := NewBrokerServer("127.0.0.1:0", BrokerConfig{SiteAddrs: []string{"127.0.0.1:1"}}); err == nil {
+		t.Error("broker with unreachable site accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/market"
+)
+
+// SiteClient is one client connection to a network site. Request/response
+// traffic is serialized; settlement pushes are demultiplexed to OnSettled.
+type SiteClient struct {
+	siteID string
+	conn   net.Conn
+	bw     *bufio.Writer
+
+	mu      sync.Mutex // serializes request/response exchanges
+	replies chan Envelope
+	readErr error
+	done    chan struct{}
+
+	// OnSettled, if set before any award, observes contract settlements.
+	OnSettled func(Envelope)
+}
+
+// Dial connects to a site server.
+func Dial(addr string) (*SiteClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &SiteClient{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		replies: make(chan Envelope, 16),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down.
+func (c *SiteClient) Close() error { return c.conn.Close() }
+
+// SiteID returns the site identifier learned from the first reply, if any.
+func (c *SiteClient) SiteID() string { return c.siteID }
+
+func (c *SiteClient) readLoop() {
+	defer close(c.done)
+	scanner := bufio.NewScanner(c.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		env, err := Unmarshal(scanner.Bytes())
+		if err != nil {
+			c.readErr = err
+			break
+		}
+		if env.SiteID != "" {
+			c.siteID = env.SiteID
+		}
+		if env.Type == TypeSettled {
+			if c.OnSettled != nil {
+				c.OnSettled(env)
+			}
+			continue
+		}
+		c.replies <- env
+	}
+	if err := scanner.Err(); err != nil && c.readErr == nil {
+		c.readErr = err
+	}
+	close(c.replies)
+}
+
+// roundTrip sends one envelope and waits for the next non-push reply.
+func (c *SiteClient) roundTrip(e Envelope) (Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, err := Marshal(e)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if _, err := c.bw.Write(b); err != nil {
+		return Envelope{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Envelope{}, err
+	}
+	reply, ok := <-c.replies
+	if !ok {
+		if c.readErr != nil {
+			return Envelope{}, c.readErr
+		}
+		return Envelope{}, fmt.Errorf("wire: connection closed")
+	}
+	return reply, nil
+}
+
+// Propose submits a sealed bid and returns the server bid, or ok=false on
+// rejection.
+func (c *SiteClient) Propose(b market.Bid) (market.ServerBid, bool, error) {
+	reply, err := c.roundTrip(BidEnvelope(b))
+	if err != nil {
+		return market.ServerBid{}, false, err
+	}
+	switch reply.Type {
+	case TypeServerBid:
+		sb, err := reply.ServerBid()
+		return sb, err == nil, err
+	case TypeReject:
+		return market.ServerBid{}, false, nil
+	case TypeError:
+		return market.ServerBid{}, false, fmt.Errorf("wire: site error: %s", reply.Reason)
+	default:
+		return market.ServerBid{}, false, fmt.Errorf("wire: unexpected reply %q", reply.Type)
+	}
+}
+
+// Award commits the task to this site under a previously proposed server
+// bid and returns the contract terms, or ok=false if the site's mix changed
+// and it now rejects.
+func (c *SiteClient) Award(b market.Bid, sb market.ServerBid) (market.ServerBid, bool, error) {
+	reply, err := c.roundTrip(AwardEnvelope(b, sb))
+	if err != nil {
+		return market.ServerBid{}, false, err
+	}
+	switch reply.Type {
+	case TypeContract:
+		terms, err := reply.ServerBid()
+		return terms, err == nil, err
+	case TypeReject:
+		return market.ServerBid{}, false, nil
+	case TypeError:
+		return market.ServerBid{}, false, fmt.Errorf("wire: site error: %s", reply.Reason)
+	default:
+		return market.ServerBid{}, false, fmt.Errorf("wire: unexpected reply %q", reply.Type)
+	}
+}
+
+// Negotiator fans bids out to several network sites and picks the best
+// offer under a selector, completing the Figure 1 exchange end to end.
+type Negotiator struct {
+	Sites    []*SiteClient
+	Selector market.Selector
+}
+
+// Negotiate runs the full exchange for one bid. It returns the winning
+// contract terms, or ok=false if every site rejected.
+func (n *Negotiator) Negotiate(b market.Bid) (market.ServerBid, bool, error) {
+	sel := n.Selector
+	if sel == nil {
+		sel = market.BestYield{}
+	}
+	var offers []market.ServerBid
+	var offerSites []*SiteClient
+	for _, sc := range n.Sites {
+		sb, ok, err := sc.Propose(b)
+		if err != nil {
+			return market.ServerBid{}, false, err
+		}
+		if ok {
+			offers = append(offers, sb)
+			offerSites = append(offerSites, sc)
+		}
+	}
+	for len(offers) > 0 {
+		i := sel.Select(b, offers)
+		if i < 0 {
+			break
+		}
+		terms, ok, err := offerSites[i].Award(b, offers[i])
+		if err != nil {
+			return market.ServerBid{}, false, err
+		}
+		if ok {
+			return terms, true, nil
+		}
+		offers = append(offers[:i], offers[i+1:]...)
+		offerSites = append(offerSites[:i], offerSites[i+1:]...)
+	}
+	return market.ServerBid{}, false, nil
+}

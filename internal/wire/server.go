@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/task"
+)
+
+// ServerConfig parameterizes a network task-service site.
+type ServerConfig struct {
+	SiteID     string
+	Processors int
+	Policy     core.Policy
+	Admission  admission.Policy
+	// DiscountRate feeds the slack quote, as in site.Config.
+	DiscountRate float64
+	// TimeScale converts one simulation time unit of task runtime into wall
+	// clock. Examples use millisecond-scale units so demos finish quickly.
+	TimeScale time.Duration
+	// Logger receives serving events; nil silences them.
+	Logger *log.Logger
+}
+
+// Server is a real-time task-service site: the same policy, quoting, and
+// admission logic as the simulated site, executing tasks on wall-clock
+// timers and serving the Figure 1 protocol over TCP. Scheduling is
+// non-preemptive.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	start   time.Time
+	pending []*task.Task
+	owners  map[task.ID]*serverConn
+	prices  map[task.ID]market.ServerBid
+	running map[task.ID]*task.Task
+	closed  bool
+
+	wg sync.WaitGroup
+
+	// Stats, guarded by mu.
+	Accepted  int
+	Rejected  int
+	Completed int
+	Revenue   float64
+}
+
+type serverConn struct {
+	mu   sync.Mutex // serializes writes; settlements race with replies
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+func (c *serverConn) send(e Envelope) error {
+	b, err := Marshal(e)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.bw.Write(b); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// NewServer starts a site listening on addr ("host:port"; port 0 picks a
+// free port).
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Processors < 1 {
+		return nil, fmt.Errorf("wire: processors %d must be >= 1", cfg.Processors)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("wire: policy is required")
+	}
+	if cfg.Admission == nil {
+		cfg.Admission = admission.AcceptAll{}
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = time.Millisecond
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		start:   time.Now(),
+		owners:  make(map[task.ID]*serverConn),
+		prices:  make(map[task.ID]market.ServerBid),
+		running: make(map[task.ID]*task.Task),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections and shuts the server down. In-flight
+// tasks are abandoned; Close is for tests and demo teardown.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// now returns the current time in simulation units since server start.
+func (s *Server) now() float64 {
+	return float64(time.Since(s.start)) / float64(s.cfg.TimeScale)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("[%s] "+format, append([]any{s.cfg.SiteID}, args...)...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn)}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		env, err := Unmarshal(scanner.Bytes())
+		if err != nil {
+			_ = sc.send(Envelope{Type: TypeError, Reason: err.Error()})
+			continue
+		}
+		var reply Envelope
+		switch env.Type {
+		case TypeBid:
+			reply = s.handleBid(env)
+		case TypeAward:
+			reply = s.handleAward(env, sc)
+		default:
+			reply = Envelope{Type: TypeError, Reason: fmt.Sprintf("unexpected message %q", env.Type)}
+		}
+		if err := sc.send(reply); err != nil {
+			return
+		}
+	}
+}
+
+// handleBid quotes a bid against the current candidate schedule without
+// committing resources.
+func (s *Server) handleBid(env Envelope) Envelope {
+	bid, err := env.Bid()
+	if err != nil {
+		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, err := s.quoteLocked(bid)
+	if err != nil {
+		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+	if !s.cfg.Admission.Admit(q) {
+		s.Rejected++
+		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
+			Reason: fmt.Sprintf("slack %.2f below threshold", q.Slack)}
+	}
+	return Envelope{
+		Type:               TypeServerBid,
+		TaskID:             bid.TaskID,
+		SiteID:             s.cfg.SiteID,
+		ExpectedCompletion: q.ExpectedCompletion,
+		ExpectedPrice:      q.ExpectedYield,
+	}
+}
+
+// handleAward re-quotes, admits, and schedules the task; the contract
+// settles when the task's wall-clock run completes.
+func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
+	bid, err := env.Bid()
+	if err != nil {
+		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.owners[bid.TaskID]; dup {
+		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: "task already awarded"}
+	}
+	q, err := s.quoteLocked(bid)
+	if err != nil {
+		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+	if !s.cfg.Admission.Admit(q) {
+		s.Rejected++
+		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
+			Reason: "mix changed since proposal"}
+	}
+	t := s.bidTask(bid)
+	t.State = task.Queued
+	s.pending = append(s.pending, t)
+	s.owners[t.ID] = sc
+	sb := market.ServerBid{SiteID: s.cfg.SiteID, TaskID: t.ID,
+		ExpectedCompletion: q.ExpectedCompletion, ExpectedPrice: q.ExpectedYield}
+	s.prices[t.ID] = sb
+	s.Accepted++
+	s.logf("accepted task %d (runtime %.1f, expected completion %.1f)", t.ID, t.Runtime, q.ExpectedCompletion)
+	s.dispatchLocked()
+	return Envelope{
+		Type:               TypeContract,
+		TaskID:             t.ID,
+		SiteID:             s.cfg.SiteID,
+		ExpectedCompletion: sb.ExpectedCompletion,
+		ExpectedPrice:      sb.ExpectedPrice,
+	}
+}
+
+// bidTask materializes the bid as a task arriving now in server time. The
+// client's own arrival stamp is not meaningful in the server's clock
+// domain, so delay is measured from receipt — the negotiated completion
+// time plays the contractual role.
+func (s *Server) bidTask(bid market.Bid) *task.Task {
+	return task.New(bid.TaskID, s.now(), bid.Runtime, bid.Value, bid.Decay, bid.Bound)
+}
+
+func (s *Server) quoteLocked(bid market.Bid) (admission.Quote, error) {
+	probe := s.bidTask(bid)
+	with := make([]*task.Task, 0, len(s.pending)+1)
+	with = append(with, s.pending...)
+	with = append(with, probe)
+	now := s.now()
+	busy := make([]float64, 0, len(s.running))
+	for _, rt := range s.running {
+		rem := rt.Start + rt.Runtime - now
+		if rem < 0 {
+			rem = 0
+		}
+		busy = append(busy, now+rem)
+	}
+	cand := core.BuildCandidate(s.cfg.Policy, now, s.cfg.Processors, busy, with)
+	return admission.Evaluate(probe, cand, s.cfg.DiscountRate)
+}
+
+// dispatchLocked starts pending tasks while processors are free.
+func (s *Server) dispatchLocked() {
+	now := s.now()
+	for len(s.running) < s.cfg.Processors && len(s.pending) > 0 && !s.closed {
+		ordered := core.RankOrder(s.cfg.Policy, now, s.pending)
+		t := ordered[0]
+		s.removePendingLocked(t)
+		t.State = task.Running
+		t.Start = now
+		s.running[t.ID] = t
+		s.logf("running task %d for %.1f units", t.ID, t.Runtime)
+		dur := time.Duration(t.Runtime * float64(s.cfg.TimeScale))
+		time.AfterFunc(dur, func() { s.complete(t) })
+	}
+}
+
+func (s *Server) complete(t *task.Task) {
+	s.mu.Lock()
+	now := s.now()
+	t.State = task.Completed
+	t.Completion = now
+	t.Yield = t.YieldAtCompletion(now)
+	delete(s.running, t.ID)
+	s.Completed++
+	s.Revenue += t.Yield
+	owner := s.owners[t.ID]
+	delete(s.owners, t.ID)
+	delete(s.prices, t.ID)
+	s.dispatchLocked()
+	closed := s.closed
+	s.mu.Unlock()
+
+	if owner != nil && !closed {
+		_ = owner.send(Envelope{
+			Type:        TypeSettled,
+			TaskID:      t.ID,
+			SiteID:      s.cfg.SiteID,
+			CompletedAt: now,
+			FinalPrice:  t.Yield,
+		})
+	}
+	s.logf("settled task %d at %.1f for %.2f", t.ID, now, t.Yield)
+}
+
+func (s *Server) removePendingLocked(t *task.Task) {
+	for i, p := range s.pending {
+		if p == t {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/task"
+)
+
+func startServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	if cfg.SiteID == "" {
+		cfg.SiteID = "test-site"
+	}
+	if cfg.Processors == 0 {
+		cfg.Processors = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 100 * time.Microsecond
+	}
+	srv, err := NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dialServer(t *testing.T, srv *Server) *SiteClient {
+	t.Helper()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func testBid(id task.ID, runtime float64) market.Bid {
+	return market.Bid{
+		TaskID:  id,
+		Runtime: runtime,
+		Value:   runtime * 10,
+		Decay:   1,
+		Bound:   math.Inf(1),
+	}
+}
+
+func TestProposeAwardSettle(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	c := dialServer(t, srv)
+
+	settled := make(chan Envelope, 1)
+	c.OnSettled = func(e Envelope) { settled <- e }
+
+	bid := testBid(1, 10)
+	sb, ok, err := c.Propose(bid)
+	if err != nil || !ok {
+		t.Fatalf("Propose = %+v, %v, %v", sb, ok, err)
+	}
+	if sb.SiteID != "test-site" || sb.TaskID != 1 {
+		t.Fatalf("server bid = %+v", sb)
+	}
+	if sb.ExpectedPrice <= 0 {
+		t.Fatalf("expected price %v, want > 0", sb.ExpectedPrice)
+	}
+
+	terms, ok, err := c.Award(bid, sb)
+	if err != nil || !ok {
+		t.Fatalf("Award = %+v, %v, %v", terms, ok, err)
+	}
+
+	select {
+	case e := <-settled:
+		if e.TaskID != 1 {
+			t.Fatalf("settled task %d, want 1", e.TaskID)
+		}
+		if e.FinalPrice <= 0 {
+			t.Errorf("final price %v, want > 0 for an on-time run", e.FinalPrice)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no settlement within 5s")
+	}
+	if srv.Completed != 1 {
+		t.Errorf("server completed = %d, want 1", srv.Completed)
+	}
+}
+
+func TestRejectBySlackThreshold(t *testing.T) {
+	srv := startServer(t, ServerConfig{
+		Admission: admission.SlackThreshold{Threshold: 1e18},
+	})
+	c := dialServer(t, srv)
+	_, ok, err := c.Propose(testBid(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("site accepted past an impossible threshold")
+	}
+	if srv.Rejected != 1 {
+		t.Errorf("server rejected = %d, want 1", srv.Rejected)
+	}
+}
+
+func TestDuplicateAwardRejected(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	c := dialServer(t, srv)
+	var wg sync.WaitGroup
+	c.OnSettled = func(Envelope) { wg.Done() }
+
+	bid := testBid(1, 50)
+	sb, ok, err := c.Propose(bid)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	if _, ok, err := c.Award(bid, sb); err != nil || !ok {
+		t.Fatalf("first award failed: %v %v", ok, err)
+	}
+	if _, _, err := c.Award(bid, sb); err == nil {
+		t.Fatal("duplicate award accepted")
+	}
+	wg.Wait()
+}
+
+func TestNegotiatorPicksSomeSiteAndSettles(t *testing.T) {
+	fast := startServer(t, ServerConfig{SiteID: "fast", Processors: 4})
+	slow := startServer(t, ServerConfig{SiteID: "slow", Processors: 1})
+
+	cFast := dialServer(t, fast)
+	cSlow := dialServer(t, slow)
+	var wg sync.WaitGroup
+	done := func(Envelope) { wg.Done() }
+	cFast.OnSettled = done
+	cSlow.OnSettled = done
+
+	neg := &Negotiator{Sites: []*SiteClient{cFast, cSlow}}
+	for i := 1; i <= 6; i++ {
+		wg.Add(1)
+		_, ok, err := neg.Negotiate(testBid(task.ID(i), 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("task %d declined", i)
+			wg.Done()
+		}
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("settlements did not drain")
+	}
+	if fast.Accepted+slow.Accepted != 6 {
+		t.Fatalf("accepted %d + %d, want 6", fast.Accepted, slow.Accepted)
+	}
+	if fast.Accepted == 0 {
+		t.Error("the larger site should win at least one negotiation")
+	}
+}
+
+func TestServerRejectsMalformedMessages(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	c := dialServer(t, srv)
+	// A well-formed envelope of an unexpected type gets an error reply.
+	reply, err := c.roundTrip(Envelope{Type: TypeSettled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeError {
+		t.Fatalf("reply = %+v, want error", reply)
+	}
+	// And the connection still works afterward.
+	if _, ok, err := c.Propose(testBid(2, 5)); err != nil || !ok {
+		t.Fatalf("connection unusable after error reply: %v %v", ok, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := startServer(t, ServerConfig{Processors: 8})
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			var settleWG sync.WaitGroup
+			c.OnSettled = func(Envelope) { settleWG.Done() }
+			for j := 0; j < 5; j++ {
+				bid := testBid(task.ID(base*100+j+1), 5)
+				sb, ok, err := c.Propose(bid)
+				if err != nil || !ok {
+					errs <- err
+					return
+				}
+				settleWG.Add(1)
+				if _, ok, err := c.Award(bid, sb); err != nil || !ok {
+					errs <- err
+					return
+				}
+			}
+			settleWG.Wait()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Completed != clients*5 {
+		t.Fatalf("completed %d, want %d", srv.Completed, clients*5)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", ServerConfig{Processors: 0, Policy: core.FCFS{}}); err == nil {
+		t.Error("accepted zero processors")
+	}
+	if _, err := NewServer("127.0.0.1:0", ServerConfig{Processors: 1}); err == nil {
+		t.Error("accepted nil policy")
+	}
+}

@@ -1,0 +1,165 @@
+// Package wire implements the negotiation protocol of Figure 1 over TCP
+// with JSON framing, so a client or broker can negotiate with real
+// task-service site processes.
+//
+// The protocol is the paper's single exchange pair plus the award:
+//
+//	client -> site: {"type":"bid", ...}            sealed bid
+//	site -> client: {"type":"serverbid", ...}      accept: expected completion+price
+//	                {"type":"reject", ...}         or reject
+//	client -> site: {"type":"award", ...}          commit the winning site
+//	site -> client: {"type":"contract", ...}       contract opened
+//	site -> client: {"type":"settled", ...}        pushed at task completion
+//
+// Messages are newline-delimited JSON objects. Each connection carries one
+// client's traffic; a site serves many connections concurrently.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/market"
+	"repro/internal/task"
+)
+
+// Message types.
+const (
+	TypeBid       = "bid"
+	TypeServerBid = "serverbid"
+	TypeReject    = "reject"
+	TypeAward     = "award"
+	TypeContract  = "contract"
+	TypeSettled   = "settled"
+	TypeError     = "error"
+)
+
+// Envelope frames every message with its type; the payload fields are
+// flattened alongside.
+type Envelope struct {
+	Type string `json:"type"`
+
+	// Bid / Award fields.
+	TaskID  task.ID `json:"task_id,omitempty"`
+	Arrival float64 `json:"arrival,omitempty"`
+	Runtime float64 `json:"runtime,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	Decay   float64 `json:"decay,omitempty"`
+	Bound   string  `json:"bound,omitempty"` // "inf" or a number, so +Inf survives JSON
+
+	// ServerBid / Contract / Settled fields.
+	SiteID             string  `json:"site_id,omitempty"`
+	ExpectedCompletion float64 `json:"expected_completion,omitempty"`
+	ExpectedPrice      float64 `json:"expected_price,omitempty"`
+	CompletedAt        float64 `json:"completed_at,omitempty"`
+	FinalPrice         float64 `json:"final_price,omitempty"`
+
+	// Error / Reject detail.
+	Reason string `json:"reason,omitempty"`
+}
+
+// EncodeBound renders a penalty bound for the wire.
+func EncodeBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// DecodeBound parses a wire bound. An empty field means unbounded, matching
+// EncodeBound's treatment of +Inf as the common case in the experiments.
+func DecodeBound(s string) (float64, error) {
+	if s == "" || s == "inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || math.IsNaN(v) {
+		return 0, fmt.Errorf("wire: bad bound %q", s)
+	}
+	return v, nil
+}
+
+// BidEnvelope frames a market bid.
+func BidEnvelope(b market.Bid) Envelope {
+	return Envelope{
+		Type:    TypeBid,
+		TaskID:  b.TaskID,
+		Arrival: b.Arrival,
+		Runtime: b.Runtime,
+		Value:   b.Value,
+		Decay:   b.Decay,
+		Bound:   EncodeBound(b.Bound),
+	}
+}
+
+// AwardEnvelope frames an award for a previously proposed bid.
+func AwardEnvelope(b market.Bid, sb market.ServerBid) Envelope {
+	e := BidEnvelope(b)
+	e.Type = TypeAward
+	e.SiteID = sb.SiteID
+	e.ExpectedCompletion = sb.ExpectedCompletion
+	e.ExpectedPrice = sb.ExpectedPrice
+	return e
+}
+
+// Bid extracts the market bid from a bid or award envelope.
+func (e Envelope) Bid() (market.Bid, error) {
+	if e.Type != TypeBid && e.Type != TypeAward {
+		return market.Bid{}, fmt.Errorf("wire: %q envelope has no bid", e.Type)
+	}
+	bound, err := DecodeBound(e.Bound)
+	if err != nil {
+		return market.Bid{}, err
+	}
+	b := market.Bid{
+		TaskID:  e.TaskID,
+		Arrival: e.Arrival,
+		Runtime: e.Runtime,
+		Value:   e.Value,
+		Decay:   e.Decay,
+		Bound:   bound,
+	}
+	if b.Runtime <= 0 || math.IsNaN(b.Runtime) {
+		return market.Bid{}, fmt.Errorf("wire: bid for task %d has bad runtime %v", b.TaskID, b.Runtime)
+	}
+	if b.Decay < 0 || math.IsNaN(b.Decay) || math.IsInf(b.Decay, 0) {
+		return market.Bid{}, fmt.Errorf("wire: bid for task %d has bad decay %v", b.TaskID, b.Decay)
+	}
+	return b, nil
+}
+
+// ServerBid extracts the server bid from a serverbid or award envelope.
+func (e Envelope) ServerBid() (market.ServerBid, error) {
+	if e.Type != TypeServerBid && e.Type != TypeAward && e.Type != TypeContract {
+		return market.ServerBid{}, fmt.Errorf("wire: %q envelope has no server bid", e.Type)
+	}
+	return market.ServerBid{
+		SiteID:             e.SiteID,
+		TaskID:             e.TaskID,
+		ExpectedCompletion: e.ExpectedCompletion,
+		ExpectedPrice:      e.ExpectedPrice,
+	}, nil
+}
+
+// Marshal renders the envelope as one JSON line.
+func Marshal(e Envelope) ([]byte, error) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Unmarshal parses one JSON line into an envelope.
+func Unmarshal(line []byte) (Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(line, &e); err != nil {
+		return Envelope{}, fmt.Errorf("wire: %w", err)
+	}
+	if e.Type == "" {
+		return Envelope{}, fmt.Errorf("wire: missing message type")
+	}
+	return e, nil
+}

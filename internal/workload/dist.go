@@ -1,0 +1,154 @@
+// Package workload generates the synthetic task traces used throughout the
+// paper's evaluation (Section 4.1): exponential or normal inter-arrival
+// times and durations, optional batch arrivals, bimodal value and decay
+// distributions parameterized by skew ratios, and a load-factor knob that
+// scales the arrival rate against site capacity.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist samples a distribution.
+type Dist interface {
+	Sample(r *rand.Rand) float64
+	Mean() float64
+	String() string
+}
+
+// Constant always returns V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (d Constant) Sample(*rand.Rand) float64 { return d.V }
+
+// Mean implements Dist.
+func (d Constant) Mean() float64 { return d.V }
+
+// String implements Dist.
+func (d Constant) String() string { return fmt.Sprintf("const(%g)", d.V) }
+
+// Exponential has the given mean. Batch-workload trace studies cited by the
+// paper find exponential inter-arrival times are common.
+type Exponential struct{ M float64 }
+
+// Sample implements Dist.
+func (d Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() * d.M }
+
+// Mean implements Dist.
+func (d Exponential) Mean() float64 { return d.M }
+
+// String implements Dist.
+func (d Exponential) String() string { return fmt.Sprintf("exp(mean=%g)", d.M) }
+
+// Normal is a truncated normal: samples below Min are redrawn (up to a
+// bounded number of attempts, then clamped) so runtimes and inter-arrival
+// gaps stay positive.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+	Min   float64
+}
+
+// Sample implements Dist.
+func (d Normal) Sample(r *rand.Rand) float64 {
+	for i := 0; i < 64; i++ {
+		v := r.NormFloat64()*d.Sigma + d.Mu
+		if v >= d.Min {
+			return v
+		}
+	}
+	return d.Min
+}
+
+// Mean implements Dist. The truncation bias is negligible for the
+// parameterizations used here (Min several sigma below Mu).
+func (d Normal) Mean() float64 { return d.Mu }
+
+// String implements Dist.
+func (d Normal) String() string {
+	return fmt.Sprintf("normal(mu=%g,sigma=%g,min=%g)", d.Mu, d.Sigma, d.Min)
+}
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (d Uniform) Sample(r *rand.Rand) float64 { return d.Lo + r.Float64()*(d.Hi-d.Lo) }
+
+// Mean implements Dist.
+func (d Uniform) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+
+// String implements Dist.
+func (d Uniform) String() string { return fmt.Sprintf("uniform(%g,%g)", d.Lo, d.Hi) }
+
+// Pareto is a bounded Pareto with shape Alpha and scale Xm — a heavy-tailed
+// alternative for stress-testing schedulers beyond the paper's mixes.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample implements Dist.
+func (d Pareto) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return d.Xm / math.Pow(u, 1/d.Alpha)
+}
+
+// Mean implements Dist. For Alpha <= 1 the mean diverges; +Inf is returned.
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// String implements Dist.
+func (d Pareto) String() string { return fmt.Sprintf("pareto(xm=%g,alpha=%g)", d.Xm, d.Alpha) }
+
+// LogNormal has log-space parameters Mu and Sigma.
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample implements Dist.
+func (d LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(r.NormFloat64()*d.Sigma + d.Mu)
+}
+
+// Mean implements Dist.
+func (d LogNormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// String implements Dist.
+func (d LogNormal) String() string { return fmt.Sprintf("lognormal(mu=%g,sigma=%g)", d.Mu, d.Sigma) }
+
+// DistByName constructs a distribution of the given kind with the given
+// mean, using the package's conventional shapes: normal uses cv for its
+// coefficient of variation with a minimum of mean/100; pareto uses shape
+// 1.5. It exists for CLI flag parsing.
+func DistByName(kind string, mean, cv float64) (Dist, error) {
+	switch kind {
+	case "const", "constant":
+		return Constant{V: mean}, nil
+	case "exp", "exponential":
+		return Exponential{M: mean}, nil
+	case "normal":
+		return Normal{Mu: mean, Sigma: cv * mean, Min: mean / 100}, nil
+	case "uniform":
+		return Uniform{Lo: mean / 2, Hi: mean * 3 / 2}, nil
+	case "pareto":
+		alpha := 1.5
+		return Pareto{Xm: mean * (alpha - 1) / alpha, Alpha: alpha}, nil
+	case "lognormal":
+		sigma := math.Sqrt(math.Log(1 + cv*cv))
+		return LogNormal{Mu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q", kind)
+	}
+}

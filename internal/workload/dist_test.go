@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sampleMean(d Dist, n int, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestDistributionMeans(t *testing.T) {
+	const n = 200000
+	dists := []Dist{
+		Constant{V: 7},
+		Exponential{M: 50},
+		Normal{Mu: 100, Sigma: 10, Min: 1},
+		Uniform{Lo: 10, Hi: 30},
+		Pareto{Xm: 10, Alpha: 2.5},
+		LogNormal{Mu: 2, Sigma: 0.5},
+	}
+	for _, d := range dists {
+		want := d.Mean()
+		got := sampleMean(d, n, 3)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: sample mean %v vs analytic %v", d, got, want)
+		}
+	}
+}
+
+func TestNormalTruncation(t *testing.T) {
+	d := Normal{Mu: 1, Sigma: 10, Min: 0.5}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v < 0.5 {
+			t.Fatalf("truncated normal produced %v < min", v)
+		}
+	}
+}
+
+func TestParetoPositiveAndHeavy(t *testing.T) {
+	d := Pareto{Xm: 5, Alpha: 1.2}
+	r := rand.New(rand.NewSource(2))
+	sawBig := false
+	for i := 0; i < 100000; i++ {
+		v := d.Sample(r)
+		if v < 5 {
+			t.Fatalf("pareto produced %v below scale", v)
+		}
+		if v > 100 {
+			sawBig = true
+		}
+	}
+	if !sawBig {
+		t.Error("pareto tail produced nothing above 20x the scale in 1e5 draws")
+	}
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 0.9}.Mean(), 1) {
+		t.Error("pareto with alpha<=1 should report infinite mean")
+	}
+}
+
+func TestDistByName(t *testing.T) {
+	for _, kind := range []string{"const", "exp", "normal", "uniform", "pareto", "lognormal"} {
+		d, err := DistByName(kind, 100, 0.3)
+		if err != nil {
+			t.Fatalf("DistByName(%q): %v", kind, err)
+		}
+		if kind != "pareto" { // pareto's mean is exact by construction too
+			if math.Abs(d.Mean()-100)/100 > 0.01 {
+				t.Errorf("DistByName(%q).Mean() = %v, want ~100", kind, d.Mean())
+			}
+		}
+	}
+	if _, err := DistByName("cauchy", 1, 1); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestLogNormalMeanMatchesCV(t *testing.T) {
+	d, err := DistByName("lognormal", 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sampleMean(d, 200000, 4)
+	if math.Abs(got-100)/100 > 0.05 {
+		t.Errorf("lognormal sample mean %v, want ~100", got)
+	}
+}
+
+func TestDistStringsNonEmpty(t *testing.T) {
+	for _, d := range []Dist{Constant{1}, Exponential{1}, Normal{1, 1, 0},
+		Uniform{0, 1}, Pareto{1, 2}, LogNormal{0, 1}} {
+		if d.String() == "" {
+			t.Errorf("%T String() empty", d)
+		}
+	}
+}

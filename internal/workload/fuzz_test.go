@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the trace decoder against malformed input: it must
+// return an error or a valid trace, never panic, and every accepted trace
+// must re-encode and re-decode to the same task set.
+func FuzzRead(f *testing.F) {
+	spec := Default()
+	spec.Jobs = 5
+	tr, err := Generate(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := tr.Write(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"spec":{},"tasks":[]}`)
+	f.Add(`{"spec":{"jobs":1},"tasks":[{"id":1,"runtime":5,"bound":"inf"}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"spec":{"bound":"-3"}}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, tk := range got.Tasks {
+			if vErr := tk.Validate(); vErr != nil {
+				t.Fatalf("Read accepted invalid task: %v", vErr)
+			}
+		}
+		var buf bytes.Buffer
+		if err := got.Write(&buf); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted trace failed: %v", err)
+		}
+		if len(back.Tasks) != len(got.Tasks) {
+			t.Fatalf("round trip changed task count %d -> %d", len(got.Tasks), len(back.Tasks))
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/task"
+)
+
+// DistKind selects a stock distribution shape for runtimes or
+// inter-arrival gaps.
+type DistKind string
+
+// Stock distribution kinds.
+const (
+	DistExponential DistKind = "exp"
+	DistNormal      DistKind = "normal"
+	DistConstant    DistKind = "const"
+	DistPareto      DistKind = "pareto"
+	DistLogNormal   DistKind = "lognormal"
+)
+
+// Spec describes a synthetic trace per the paper's methodology
+// (Section 4.1). All defaults reproduce the "unless otherwise specified"
+// settings: 20% of jobs draw from the high value_i/runtime_i class,
+// exponential inter-arrival times and durations, and a load factor of one.
+type Spec struct {
+	Jobs       int   `json:"jobs"`
+	Processors int   `json:"processors"`
+	Seed       int64 `json:"seed"`
+
+	// Load is the load factor: total requested work per unit time divided
+	// by total capacity. The arrival rate is Load*Processors/MeanRuntime.
+	Load float64 `json:"load"`
+
+	// MeanRuntime is the mean minimum run time in simulation time units.
+	MeanRuntime float64  `json:"mean_runtime"`
+	RuntimeKind DistKind `json:"runtime_kind"`
+	// RuntimeCV is the coefficient of variation for normal (and lognormal)
+	// runtimes; ignored for exponential.
+	RuntimeCV float64 `json:"runtime_cv"`
+
+	ArrivalKind DistKind `json:"arrival_kind"`
+	// ArrivalCV is the coefficient of variation for normal inter-arrival
+	// gaps; ignored for exponential.
+	ArrivalCV float64 `json:"arrival_cv"`
+	// BatchSize submits this many jobs per arrival instant (the Millennium
+	// mixes submit 16 jobs in a batch on each arrival). 0 or 1 disables
+	// batching. The inter-arrival mean scales by BatchSize so the load
+	// factor is preserved.
+	BatchSize int `json:"batch_size"`
+
+	// MeanValueRate is the mean of value_i/runtime_i across the mix.
+	MeanValueRate float64 `json:"mean_value_rate"`
+	// ValueSkew is the ratio of the high class's mean value rate to the low
+	// class's (the value skew ratio). 1 collapses the classes.
+	ValueSkew float64 `json:"value_skew"`
+	// HighValueFrac is the fraction of jobs in the high value class (0.2).
+	HighValueFrac float64 `json:"high_value_frac"`
+	// ValueCV is the within-class coefficient of variation of the normal
+	// value-rate distributions.
+	ValueCV float64 `json:"value_cv"`
+
+	// ZeroCrossFactor calibrates the mean decay rate: an average task's
+	// value reaches zero after ZeroCrossFactor mean runtimes of delay. The
+	// paper does not publish its decay magnitudes; this single knob is the
+	// substitution, recorded in EXPERIMENTS.md.
+	ZeroCrossFactor float64 `json:"zero_cross_factor"`
+	// DecaySkew is the decay skew ratio between the high- and low-decay
+	// class means. 1 plus DecayCV 0 gives the uniform decay of the
+	// Millennium mixes.
+	DecaySkew float64 `json:"decay_skew"`
+	// HighDecayFrac is the fraction of jobs in the high decay class. Decay
+	// class membership is drawn independently of value class ("decay rates
+	// are not correlated with value", Section 5.3).
+	HighDecayFrac float64 `json:"high_decay_frac"`
+	// DecayCV is the within-class coefficient of variation of decay rates.
+	DecayCV float64 `json:"decay_cv"`
+
+	// CycleAmplitude modulates the arrival rate sinusoidally in [0, 1):
+	// rate(t) = base * (1 + amplitude * sin(2*pi*t/CyclePeriod)), sampled
+	// via Lewis-Shedler thinning. Zero disables modulation. Diurnal load
+	// cycles are the canonical stress for capacity-adaptive providers.
+	// Requires exponential arrivals.
+	CycleAmplitude float64 `json:"cycle_amplitude"`
+	// CyclePeriod is the modulation period in simulation time units.
+	CyclePeriod float64 `json:"cycle_period"`
+
+	// Bound is the penalty bound applied to every task: 0 reproduces
+	// Millennium's functions bounded at zero; math.Inf(1) is the unbounded
+	// case. (JSON encodes +Inf as the string "inf"; see MarshalJSON.)
+	Bound float64 `json:"-"`
+}
+
+// Default returns the paper's baseline mix: exponential arrivals and
+// durations, load factor 1, 20% high-value jobs, mean value rate 1, decay
+// calibrated so an average task's value zeroes after 3 mean runtimes.
+func Default() Spec {
+	return Spec{
+		Jobs:            5000,
+		Processors:      16,
+		Seed:            1,
+		Load:            1.0,
+		MeanRuntime:     100,
+		RuntimeKind:     DistExponential,
+		RuntimeCV:       0.3,
+		ArrivalKind:     DistExponential,
+		ArrivalCV:       0.3,
+		BatchSize:       1,
+		MeanValueRate:   1.0,
+		ValueSkew:       1.0,
+		HighValueFrac:   0.2,
+		ValueCV:         0.1,
+		ZeroCrossFactor: 3.0,
+		DecaySkew:       1.0,
+		HighDecayFrac:   0.2,
+		DecayCV:         0.1,
+		Bound:           math.Inf(1),
+	}
+}
+
+// Millennium returns the Figure 3 mix: normal inter-arrival times and
+// durations with 16 jobs submitted per batch, uniform decay rates, and
+// penalties bounded at zero.
+func Millennium() Spec {
+	s := Default()
+	s.RuntimeKind = DistNormal
+	s.ArrivalKind = DistNormal
+	s.BatchSize = 16
+	s.DecaySkew = 1.0
+	s.DecayCV = 0
+	s.Bound = 0
+	return s
+}
+
+// Validate reports whether the spec is generable.
+func (s Spec) Validate() error {
+	switch {
+	case s.Jobs <= 0:
+		return fmt.Errorf("workload: jobs %d must be positive", s.Jobs)
+	case s.Processors <= 0:
+		return fmt.Errorf("workload: processors %d must be positive", s.Processors)
+	case s.Load <= 0:
+		return fmt.Errorf("workload: load %g must be positive", s.Load)
+	case s.MeanRuntime <= 0:
+		return fmt.Errorf("workload: mean runtime %g must be positive", s.MeanRuntime)
+	case s.MeanValueRate <= 0:
+		return fmt.Errorf("workload: mean value rate %g must be positive", s.MeanValueRate)
+	case s.ValueSkew < 1 || s.DecaySkew < 1:
+		return fmt.Errorf("workload: skew ratios (%g, %g) must be >= 1", s.ValueSkew, s.DecaySkew)
+	case s.HighValueFrac < 0 || s.HighValueFrac > 1 || s.HighDecayFrac < 0 || s.HighDecayFrac > 1:
+		return fmt.Errorf("workload: class fractions must lie in [0,1]")
+	case s.ZeroCrossFactor <= 0:
+		return fmt.Errorf("workload: zero-cross factor %g must be positive", s.ZeroCrossFactor)
+	case s.Bound < 0 || math.IsNaN(s.Bound):
+		return fmt.Errorf("workload: bound %g must be non-negative", s.Bound)
+	case s.CycleAmplitude < 0 || s.CycleAmplitude >= 1:
+		return fmt.Errorf("workload: cycle amplitude %g must lie in [0, 1)", s.CycleAmplitude)
+	case s.CycleAmplitude > 0 && s.CyclePeriod <= 0:
+		return fmt.Errorf("workload: cycle period %g must be positive with a cycle amplitude", s.CyclePeriod)
+	case s.CycleAmplitude > 0 && s.ArrivalKind != DistExponential:
+		return fmt.Errorf("workload: cyclic load requires exponential arrivals, got %q", s.ArrivalKind)
+	}
+	return nil
+}
+
+// classMeans splits an overall mean into high/low class means with the
+// given skew ratio and high-class fraction, preserving the overall mean:
+// frac*hi + (1-frac)*lo = mean, hi = skew*lo.
+func classMeans(mean, skew, frac float64) (hi, lo float64) {
+	lo = mean / (frac*skew + (1 - frac))
+	return skew * lo, lo
+}
+
+// MeanDecayRate returns the mix's mean decay rate implied by the
+// calibration knob: mean value / (ZeroCrossFactor * MeanRuntime).
+func (s Spec) MeanDecayRate() float64 {
+	return s.MeanValueRate * s.MeanRuntime / (s.ZeroCrossFactor * s.MeanRuntime)
+}
+
+// ArrivalRate returns jobs per unit time implied by the load factor.
+func (s Spec) ArrivalRate() float64 {
+	return s.Load * float64(s.Processors) / s.MeanRuntime
+}
+
+func (s Spec) runtimeDist() (Dist, error) {
+	return DistByName(string(s.RuntimeKind), s.MeanRuntime, s.RuntimeCV)
+}
+
+func (s Spec) arrivalDist() (Dist, error) {
+	batch := s.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	mean := float64(batch) / s.ArrivalRate()
+	return DistByName(string(s.ArrivalKind), mean, s.ArrivalCV)
+}
+
+// Generate builds the trace: Jobs tasks with arrival times, runtimes, and
+// bimodal value/decay draws, sorted by arrival. Generation is deterministic
+// in Seed.
+func Generate(s Spec) (*Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	runtimes, err := s.runtimeDist()
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := s.arrivalDist()
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(s.Seed))
+
+	hiV, loV := classMeans(s.MeanValueRate, s.ValueSkew, s.HighValueFrac)
+	hiD, loD := classMeans(s.MeanDecayRate(), s.DecaySkew, s.HighDecayFrac)
+
+	batch := s.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+
+	// With cyclic load, arrivals come from a non-homogeneous Poisson
+	// process sampled by thinning: candidates at the peak rate, accepted
+	// with probability rate(t)/peak.
+	nextGap := func(clock float64) float64 {
+		if s.CycleAmplitude == 0 {
+			return math.Max(0, arrivals.Sample(r))
+		}
+		peak := 1 + s.CycleAmplitude
+		t := clock
+		for {
+			t += math.Max(0, arrivals.Sample(r)) / peak
+			rate := 1 + s.CycleAmplitude*math.Sin(2*math.Pi*t/s.CyclePeriod)
+			if r.Float64()*peak <= rate {
+				return t - clock
+			}
+		}
+	}
+
+	tasks := make([]*task.Task, 0, s.Jobs)
+	clock := 0.0
+	for len(tasks) < s.Jobs {
+		clock += nextGap(clock)
+		for b := 0; b < batch && len(tasks) < s.Jobs; b++ {
+			id := task.ID(len(tasks) + 1)
+			runtime := math.Max(1e-6, runtimes.Sample(r))
+
+			class := task.LowValue
+			vMean := loV
+			if r.Float64() < s.HighValueFrac {
+				class = task.HighValue
+				vMean = hiV
+			}
+			rate := truncatedNormal(r, vMean, s.ValueCV*vMean)
+			value := rate * runtime
+
+			dMean := loD
+			if r.Float64() < s.HighDecayFrac {
+				dMean = hiD
+			}
+			decay := truncatedNormal(r, dMean, s.DecayCV*dMean)
+
+			t := task.New(id, clock, runtime, value, decay, s.Bound)
+			t.Class = class
+			tasks = append(tasks, t)
+		}
+	}
+	return &Trace{Spec: s, Tasks: tasks}, nil
+}
+
+// truncatedNormal redraws below a small positive floor so rates and decays
+// stay strictly positive; sigma 0 returns the mean directly.
+func truncatedNormal(r *rand.Rand, mean, sigma float64) float64 {
+	if sigma == 0 {
+		return mean
+	}
+	floor := mean / 100
+	for i := 0; i < 64; i++ {
+		v := r.NormFloat64()*sigma + mean
+		if v >= floor {
+			return v
+		}
+	}
+	return floor
+}

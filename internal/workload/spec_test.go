@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 2000
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != 2000 {
+		t.Fatalf("generated %d tasks, want 2000", len(tr.Tasks))
+	}
+	var prev float64
+	for _, tk := range tr.Tasks {
+		if err := tk.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tk.Arrival < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = tk.Arrival
+		if !tk.Unbounded() {
+			t.Fatal("default spec should be unbounded")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 200
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tasks {
+		x, y := a.Tasks[i], b.Tasks[i]
+		if *x != *y {
+			t.Fatalf("task %d differs across identical generations", i)
+		}
+	}
+	spec.Seed = 2
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i].Runtime != c.Tasks[i].Runtime {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestOfferedLoadMatchesSpec(t *testing.T) {
+	for _, load := range []float64{0.5, 1, 2} {
+		spec := Default()
+		spec.Jobs = 8000
+		spec.Load = load
+		tr, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.OfferedLoad()
+		if math.Abs(got-load)/load > 0.1 {
+			t.Errorf("load %v: offered %v", load, got)
+		}
+	}
+}
+
+func TestHighValueClassFractionAndSkew(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 20000
+	spec.ValueSkew = 4
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hi, lo int
+	var hiRate, loRate float64
+	for _, tk := range tr.Tasks {
+		rate := tk.Value / tk.Runtime
+		if tk.Class == task.HighValue {
+			hi++
+			hiRate += rate
+		} else {
+			lo++
+			loRate += rate
+		}
+	}
+	frac := float64(hi) / float64(hi+lo)
+	if math.Abs(frac-0.2) > 0.02 {
+		t.Errorf("high-value fraction = %v, want ~0.2", frac)
+	}
+	ratio := (hiRate / float64(hi)) / (loRate / float64(lo))
+	if math.Abs(ratio-4)/4 > 0.05 {
+		t.Errorf("realized value skew = %v, want ~4", ratio)
+	}
+	// Overall mean value rate is preserved at 1 regardless of skew.
+	mean := (hiRate + loRate) / float64(hi+lo)
+	if math.Abs(mean-1) > 0.03 {
+		t.Errorf("mean value rate = %v, want ~1", mean)
+	}
+}
+
+func TestDecayCalibration(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 20000
+	spec.ZeroCrossFactor = 5
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tk := range tr.Tasks {
+		sum += tk.Decay
+	}
+	mean := sum / float64(len(tr.Tasks))
+	want := spec.MeanDecayRate() // mean value rate / zcf = 0.2
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("mean decay = %v, want ~%v", mean, want)
+	}
+}
+
+func TestBatchArrivals(t *testing.T) {
+	spec := Millennium()
+	spec.Jobs = 1600
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct arrival instants: with batches of 16, ~100 instants.
+	instants := map[float64]int{}
+	for _, tk := range tr.Tasks {
+		instants[tk.Arrival]++
+	}
+	if len(instants) != 100 {
+		t.Errorf("distinct arrival instants = %d, want 100", len(instants))
+	}
+	for at, n := range instants {
+		if n != 16 {
+			t.Errorf("batch at %v has %d jobs, want 16", at, n)
+		}
+	}
+	// Millennium decay is uniform.
+	d0 := tr.Tasks[0].Decay
+	for _, tk := range tr.Tasks {
+		if tk.Decay != d0 {
+			t.Fatal("Millennium mix should have uniform decay")
+		}
+	}
+	// And bounded at zero.
+	if tr.Tasks[0].Bound != 0 {
+		t.Error("Millennium mix should bound penalties at zero")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Jobs = 0 },
+		func(s *Spec) { s.Processors = 0 },
+		func(s *Spec) { s.Load = 0 },
+		func(s *Spec) { s.MeanRuntime = -1 },
+		func(s *Spec) { s.MeanValueRate = 0 },
+		func(s *Spec) { s.ValueSkew = 0.5 },
+		func(s *Spec) { s.DecaySkew = 0 },
+		func(s *Spec) { s.HighValueFrac = 1.5 },
+		func(s *Spec) { s.HighDecayFrac = -0.1 },
+		func(s *Spec) { s.ZeroCrossFactor = 0 },
+		func(s *Spec) { s.Bound = -1 },
+		func(s *Spec) { s.Bound = math.NaN() },
+	}
+	for i, mutate := range bad {
+		spec := Default()
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: bad spec validated", i)
+		}
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("case %d: bad spec generated", i)
+		}
+	}
+}
+
+func TestCyclicLoad(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 30000
+	spec.CycleAmplitude = 0.8
+	spec.CyclePeriod = 4000
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals in the rising half versus the falling half of each
+	// cycle; with amplitude 0.8 the peak half must carry far more.
+	var peakHalf, troughHalf int
+	for _, tk := range tr.Tasks {
+		phase := math.Mod(tk.Arrival, spec.CyclePeriod) / spec.CyclePeriod
+		if phase < 0.5 {
+			peakHalf++
+		} else {
+			troughHalf++
+		}
+	}
+	ratio := float64(peakHalf) / float64(troughHalf)
+	if ratio < 1.5 {
+		t.Errorf("peak/trough arrival ratio = %v, want > 1.5 at amplitude 0.8", ratio)
+	}
+	// Long-run load is preserved to first order.
+	if got := tr.OfferedLoad(); math.Abs(got-1) > 0.15 {
+		t.Errorf("offered load = %v, want ~1", got)
+	}
+}
+
+func TestCyclicValidation(t *testing.T) {
+	spec := Default()
+	spec.CycleAmplitude = 1.2
+	if err := spec.Validate(); err == nil {
+		t.Error("amplitude >= 1 accepted")
+	}
+	spec = Default()
+	spec.CycleAmplitude = 0.5
+	if err := spec.Validate(); err == nil {
+		t.Error("missing period accepted")
+	}
+	spec.CyclePeriod = 100
+	spec.ArrivalKind = DistNormal
+	if err := spec.Validate(); err == nil {
+		t.Error("cyclic non-exponential arrivals accepted")
+	}
+}
+
+func TestGenerateUnknownDistributions(t *testing.T) {
+	spec := Default()
+	spec.RuntimeKind = "bogus"
+	if _, err := Generate(spec); err == nil {
+		t.Error("bogus runtime distribution accepted")
+	}
+	spec = Default()
+	spec.ArrivalKind = "bogus"
+	if _, err := Generate(spec); err == nil {
+		t.Error("bogus arrival distribution accepted")
+	}
+}
+
+func TestClassMeansPreserveOverallMean(t *testing.T) {
+	for _, skew := range []float64{1, 2, 5, 9} {
+		for _, frac := range []float64{0.1, 0.2, 0.5} {
+			hi, lo := classMeans(1.0, skew, frac)
+			if got := frac*hi + (1-frac)*lo; math.Abs(got-1.0) > 1e-12 {
+				t.Errorf("skew %v frac %v: overall mean %v, want 1", skew, frac, got)
+			}
+			if math.Abs(hi/lo-skew) > 1e-12 {
+				t.Errorf("skew %v: realized ratio %v", skew, hi/lo)
+			}
+		}
+	}
+}
+
+func TestTruncatedNormalStaysPositive(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 5000
+	spec.ValueCV = 0.9 // aggressive spread forces the truncation path
+	spec.DecayCV = 0.9
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tr.Tasks {
+		if tk.Value <= 0 || tk.Decay <= 0 {
+			t.Fatalf("non-positive draw: value %v decay %v", tk.Value, tk.Decay)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/task"
+)
+
+// Trace is a generated workload: the spec it came from and the tasks in
+// arrival order.
+type Trace struct {
+	Spec  Spec
+	Tasks []*task.Task
+}
+
+// Clone returns fresh copies of the trace's tasks, reset to the Submitted
+// state. Every simulation run must consume its own clones: tasks carry
+// mutable scheduling state.
+func (tr *Trace) Clone() []*task.Task {
+	out := make([]*task.Task, len(tr.Tasks))
+	for i, t := range tr.Tasks {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// TotalWork sums the minimum run times across the trace.
+func (tr *Trace) TotalWork() float64 {
+	var w float64
+	for _, t := range tr.Tasks {
+		w += t.Runtime
+	}
+	return w
+}
+
+// Span returns the arrival interval [first, last].
+func (tr *Trace) Span() (first, last float64) {
+	if len(tr.Tasks) == 0 {
+		return 0, 0
+	}
+	return tr.Tasks[0].Arrival, tr.Tasks[len(tr.Tasks)-1].Arrival
+}
+
+// OfferedLoad returns the trace's realized load factor: total work over the
+// arrival span divided by capacity.
+func (tr *Trace) OfferedLoad() float64 {
+	first, last := tr.Span()
+	if last <= first {
+		return 0
+	}
+	return tr.TotalWork() / ((last - first) * float64(tr.Spec.Processors))
+}
+
+// MarshalJSON implements json.Marshaler. The penalty bound is encoded as a
+// string so +Inf round-trips through JSON.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	type alias Spec // drop methods to avoid recursion
+	return json.Marshal(struct {
+		alias
+		BoundStr string `json:"bound"`
+	}{alias(s), formatBound(s.Bound)})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	type alias Spec
+	var aux struct {
+		alias
+		BoundStr string `json:"bound"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	*s = Spec(aux.alias)
+	b, err := parseBound(aux.BoundStr)
+	if err != nil {
+		return err
+	}
+	s.Bound = b
+	return nil
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func parseBound(s string) (float64, error) {
+	if s == "" || s == "inf" || s == "+inf" || s == "Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// taskJSON is the serialized per-task record.
+type taskJSON struct {
+	ID      task.ID `json:"id"`
+	Arrival float64 `json:"arrival"`
+	Runtime float64 `json:"runtime"`
+	Value   float64 `json:"value"`
+	Decay   float64 `json:"decay"`
+	Bound   string  `json:"bound"`
+	Class   int     `json:"class"`
+}
+
+type traceJSON struct {
+	Spec  Spec       `json:"spec"`
+	Tasks []taskJSON `json:"tasks"`
+}
+
+// Write serializes the trace as JSON.
+func (tr *Trace) Write(w io.Writer) error {
+	out := traceJSON{Spec: tr.Spec, Tasks: make([]taskJSON, len(tr.Tasks))}
+	for i, t := range tr.Tasks {
+		out.Tasks[i] = taskJSON{
+			ID:      t.ID,
+			Arrival: t.Arrival,
+			Runtime: t.Runtime,
+			Value:   t.Value,
+			Decay:   t.Decay,
+			Bound:   formatBound(t.Bound),
+			Class:   int(t.Class),
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("workload: encode trace: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write. Tasks are re-sorted by
+// arrival (breaking ties by ID) and validated.
+func Read(r io.Reader) (*Trace, error) {
+	var in traceJSON
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	tr := &Trace{Spec: in.Spec, Tasks: make([]*task.Task, len(in.Tasks))}
+	for i, rec := range in.Tasks {
+		bound, err := parseBound(rec.Bound)
+		if err != nil {
+			return nil, fmt.Errorf("workload: task %d bound: %w", rec.ID, err)
+		}
+		t := task.New(rec.ID, rec.Arrival, rec.Runtime, rec.Value, rec.Decay, bound)
+		t.Class = task.Class(rec.Class)
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		tr.Tasks[i] = t
+	}
+	sort.SliceStable(tr.Tasks, func(a, b int) bool {
+		if tr.Tasks[a].Arrival != tr.Tasks[b].Arrival {
+			return tr.Tasks[a].Arrival < tr.Tasks[b].Arrival
+		}
+		return tr.Tasks[a].ID < tr.Tasks[b].ID
+	})
+	return tr, nil
+}
+
+// WriteFile writes the trace to a file path.
+func (tr *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace from a file path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 50
+	spec.Bound = 25 // finite bound exercises the numeric encoding
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if back.Spec.Jobs != spec.Jobs || back.Spec.Bound != 25 {
+		t.Fatalf("spec round trip: %+v", back.Spec)
+	}
+	if len(back.Tasks) != len(tr.Tasks) {
+		t.Fatalf("task count %d != %d", len(back.Tasks), len(tr.Tasks))
+	}
+	for i := range tr.Tasks {
+		a, b := tr.Tasks[i], back.Tasks[i]
+		if a.ID != b.ID || a.Arrival != b.Arrival || a.Runtime != b.Runtime ||
+			a.Value != b.Value || a.Decay != b.Decay || a.Bound != b.Bound || a.Class != b.Class {
+			t.Fatalf("task %d round trip mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestTraceRoundTripInfiniteBound(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 10
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Inf") {
+		t.Fatalf("raw JSON leaked a non-portable Inf literal: %s", buf.String()[:200])
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.Spec.Bound, 1) {
+		t.Errorf("spec bound came back %v, want +Inf", back.Spec.Bound)
+	}
+	for _, tk := range back.Tasks {
+		if !tk.Unbounded() {
+			t.Fatalf("task %d bound %v, want +Inf", tk.ID, tk.Bound)
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 20
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tasks) != 20 {
+		t.Fatalf("read %d tasks, want 20", len(back.Tasks))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"spec":{"jobs":1},"tasks":[{"id":1,"runtime":-5,"bound":"0"}]}`)); err == nil {
+		t.Error("invalid task accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"spec":{"jobs":1},"tasks":[{"id":1,"runtime":5,"bound":"zzz"}]}`)); err == nil {
+		t.Error("bad bound accepted")
+	}
+}
+
+func TestReadSortsByArrival(t *testing.T) {
+	in := `{"spec":{"jobs":2,"processors":1,"load":1,"mean_runtime":1,"mean_value_rate":1,"value_skew":1,"decay_skew":1,"zero_cross_factor":1,"bound":"inf"},
+	"tasks":[
+	  {"id":2,"arrival":10,"runtime":1,"value":1,"decay":0.1,"bound":"inf"},
+	  {"id":1,"arrival":5,"runtime":1,"value":1,"decay":0.1,"bound":"inf"}
+	]}`
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tasks[0].ID != 1 || tr.Tasks[1].ID != 2 {
+		t.Errorf("tasks not sorted by arrival: %v, %v", tr.Tasks[0].ID, tr.Tasks[1].ID)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	spec := Default()
+	spec.Jobs = 5
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clones := tr.Clone()
+	clones[0].State = task.Completed
+	clones[0].RPT = 0
+	if tr.Tasks[0].State != task.Submitted || tr.Tasks[0].RPT != tr.Tasks[0].Runtime {
+		t.Error("Clone() aliases the trace's tasks")
+	}
+}
+
+func TestSpanAndWorkEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	if f, l := tr.Span(); f != 0 || l != 0 {
+		t.Error("empty trace span should be zeros")
+	}
+	if tr.OfferedLoad() != 0 || tr.TotalWork() != 0 {
+		t.Error("empty trace load/work should be zero")
+	}
+}
