@@ -12,6 +12,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/market"
 	"repro/internal/wire"
@@ -22,6 +23,10 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7700", "listen address for clients")
 		sites    = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
 		selector = flag.String("selector", "best-yield", "best-yield|earliest")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
+		retries  = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
+		backoff  = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
+		idle     = flag.Duration("idle-timeout", 2*time.Minute, "close client connections quiet for this long (negative disables)")
 		quiet    = flag.Bool("quiet", false, "suppress brokering logs")
 	)
 	flag.Parse()
@@ -37,7 +42,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := wire.BrokerConfig{Selector: sel}
+	cfg := wire.BrokerConfig{
+		Selector:       sel,
+		RequestTimeout: *timeout,
+		Retries:        *retries,
+		Backoff:        *backoff,
+		IdleTimeout:    *idle,
+	}
 	for _, sa := range strings.Split(*sites, ",") {
 		cfg.SiteAddrs = append(cfg.SiteAddrs, strings.TrimSpace(sa))
 	}

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"os"
 	"strings"
@@ -20,11 +21,14 @@ import (
 
 func main() {
 	var (
-		sites = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
-		n     = flag.Int("n", 20, "tasks to submit")
-		seed  = flag.Int64("seed", 1, "workload seed")
-		mean  = flag.Duration("interarrival", 200*time.Millisecond, "mean wall-clock gap between submissions")
-		scale = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit (must match the servers)")
+		sites   = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
+		n       = flag.Int("n", 20, "tasks to submit")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		mean    = flag.Duration("interarrival", 200*time.Millisecond, "mean wall-clock gap between submissions")
+		scale   = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit (must match the servers)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
+		retries = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
+		backoff = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
 	)
 	flag.Parse()
 
@@ -35,23 +39,29 @@ func main() {
 	var wg sync.WaitGroup
 
 	for _, addr := range strings.Split(*sites, ",") {
-		c, err := wire.Dial(strings.TrimSpace(addr))
+		c, err := wire.DialConfig(strings.TrimSpace(addr), wire.ClientConfig{RequestTimeout: *timeout})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gridclient:", err)
 			os.Exit(1)
 		}
-		c.OnSettled = func(e wire.Envelope) {
+		c.SetOnSettled(func(e wire.Envelope) {
 			mu.Lock()
 			settledCount++
 			revenue += e.FinalPrice
 			mu.Unlock()
 			fmt.Printf("settled  task %d at %s: price %.2f\n", e.TaskID, e.SiteID, e.FinalPrice)
 			wg.Done()
-		}
+		})
 		defer c.Close()
 		clients = append(clients, c)
 	}
-	neg := &wire.Negotiator{Sites: clients, Selector: market.BestYield{}}
+	neg := &wire.Negotiator{
+		Sites:    clients,
+		Selector: market.BestYield{},
+		Retries:  *retries,
+		Backoff:  *backoff,
+		Logger:   log.New(os.Stderr, "", log.Ltime),
+	}
 
 	spec := workload.Default()
 	spec.Jobs = *n
@@ -74,8 +84,11 @@ func main() {
 		bid := market.BidFromTask(cloneForWire(t))
 		terms, ok, err := neg.Negotiate(bid)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gridclient:", err)
-			os.Exit(1)
+			// Every site unreachable: report and keep trying later bids
+			// rather than abandoning the run — sites may come back.
+			declined++
+			fmt.Fprintf(os.Stderr, "gridclient: task %d: %v\n", bid.TaskID, err)
+			continue
 		}
 		if !ok {
 			declined++

@@ -27,6 +27,8 @@ func main() {
 		slack    = flag.Float64("slack", 0, "slack admission threshold")
 		useAdm   = flag.Bool("admission", true, "enable slack-threshold admission control")
 		scale    = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit")
+		idle     = flag.Duration("idle-timeout", 2*time.Minute, "close connections quiet for this long (negative disables)")
+		wtimeout = flag.Duration("write-timeout", 10*time.Second, "per-write deadline for replies and settlements (negative disables)")
 		quiet    = flag.Bool("quiet", false, "suppress serving logs")
 	)
 	flag.Parse()
@@ -37,6 +39,8 @@ func main() {
 		Policy:       core.FirstReward{Alpha: *alpha, DiscountRate: *discount},
 		DiscountRate: *discount,
 		TimeScale:    *scale,
+		IdleTimeout:  *idle,
+		WriteTimeout: *wtimeout,
 	}
 	if *useAdm {
 		cfg.Admission = admission.SlackThreshold{Threshold: *slack}

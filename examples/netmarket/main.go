@@ -54,27 +54,44 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		c.OnSettled = func(e wire.Envelope) {
+		c.SetOnSettled(func(e wire.Envelope) {
 			mu.Lock()
 			revenue += e.FinalPrice
 			mu.Unlock()
 			fmt.Printf("  settled task %d at %s for %.1f\n", e.TaskID, e.SiteID, e.FinalPrice)
 			wg.Done()
-		}
+		})
 		defer c.Close()
 		clients = append(clients, c)
 	}
-	neg := &wire.Negotiator{Sites: clients, Selector: market.BestYield{}}
+	neg := &wire.Negotiator{
+		Sites:    clients,
+		Selector: market.BestYield{},
+		Retries:  1,
+		Backoff:  5 * time.Millisecond,
+	}
 
 	placed := 0
 	for i := 1; i <= 12; i++ {
+		// Halfway through the run, site-1 is killed mid-exchange: the
+		// negotiator treats it as dropping out and the market degrades
+		// gracefully to the surviving sites.
+		if i == 7 {
+			fmt.Println("--- killing site-1 mid-run ---")
+			servers[1].Close()
+			if n := servers[1].Abandoned; n > 0 {
+				fmt.Printf("    (%d contracts died with site-1; their settlements will never arrive)\n", n)
+				wg.Add(-n)
+			}
+		}
 		// Tasks of varying length and urgency; value 10x runtime, decaying
 		// to zero after ~3 runtimes of delay.
 		runtime := float64(10 + 15*(i%4))
 		t := task.New(task.ID(i), 0, runtime, 10*runtime, 10.0/3.0, 1e9)
 		terms, ok, err := neg.Negotiate(market.BidFromTask(t))
 		if err != nil {
-			panic(err)
+			fmt.Printf("task %d failed: %v\n", i, err)
+			continue
 		}
 		if !ok {
 			fmt.Printf("task %d declined by every site\n", i)
@@ -99,7 +116,7 @@ func main() {
 	fmt.Printf("\nplaced %d tasks, total revenue %.1f\n", placed, revenue)
 	mu.Unlock()
 	for _, srv := range servers {
-		fmt.Printf("%s: accepted=%d rejected=%d completed=%d revenue=%.1f\n",
-			srv.Addr(), srv.Accepted, srv.Rejected, srv.Completed, srv.Revenue)
+		fmt.Printf("%s: accepted=%d rejected=%d completed=%d abandoned=%d revenue=%.1f\n",
+			srv.Addr(), srv.Accepted, srv.Rejected, srv.Completed, srv.Abandoned, srv.Revenue)
 	}
 }

@@ -125,7 +125,7 @@ func TestEndToEndNetworkEconomy(t *testing.T) {
 	t.Cleanup(func() { client.Close() })
 
 	settled := make(chan wire.Envelope, 16)
-	client.OnSettled = func(e wire.Envelope) { settled <- e }
+	client.SetOnSettled(func(e wire.Envelope) { settled <- e })
 
 	const n = 10
 	for i := 1; i <= n; i++ {

@@ -2,10 +2,12 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/market"
 	"repro/internal/task"
@@ -17,14 +19,28 @@ type BrokerConfig struct {
 	SiteAddrs []string
 	// Selector ranks server bids on the clients' behalf; nil is BestYield.
 	Selector market.Selector
+	// RequestTimeout bounds each site exchange (see ClientConfig).
+	RequestTimeout time.Duration
+	// Retries / Backoff bound per-site retry on transient failures, with
+	// Negotiator semantics (zero means default, negative disables).
+	Retries int
+	Backoff time.Duration
+	// IdleTimeout / WriteTimeout govern the broker's client-facing
+	// connections, with ServerConfig semantics.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
 	// Logger receives brokering events; nil silences them.
 	Logger *log.Logger
 }
 
+func (c BrokerConfig) retries() int            { return defaultedRetries(c.Retries) }
+func (c BrokerConfig) backoff() time.Duration  { return defaultedBackoff(c.Backoff) }
+
 // BrokerServer is Figure 1's broker as a standalone process: clients speak
 // the ordinary bid/award protocol to it, and it coordinates the fan-out,
 // selection, and award against the site servers, relaying settlements back
-// to the client that owns each task.
+// to the client that owns each task. A site that errors drops out of the
+// affected exchange; the broker keeps serving with the sites that answer.
 type BrokerServer struct {
 	cfg   BrokerConfig
 	ln    net.Listener
@@ -33,6 +49,8 @@ type BrokerServer struct {
 	mu     sync.Mutex
 	chosen map[task.ID]*SiteClient // accepted proposal awaiting award
 	owners map[task.ID]*serverConn // awarded task -> client connection
+	conns  map[*serverConn]struct{}
+	closed bool
 
 	wg sync.WaitGroup
 
@@ -54,14 +72,15 @@ func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
 		cfg:    cfg,
 		chosen: make(map[task.ID]*SiteClient),
 		owners: make(map[task.ID]*serverConn),
+		conns:  make(map[*serverConn]struct{}),
 	}
 	for _, sa := range cfg.SiteAddrs {
-		sc, err := Dial(sa)
+		sc, err := DialConfig(sa, ClientConfig{RequestTimeout: cfg.RequestTimeout})
 		if err != nil {
 			b.closeSites()
 			return nil, fmt.Errorf("wire: broker dialing site %s: %w", sa, err)
 		}
-		sc.OnSettled = b.relaySettlement
+		sc.SetOnSettled(b.relaySettlement)
 		b.sites = append(b.sites, sc)
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -78,10 +97,25 @@ func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
 // Addr returns the broker's listen address.
 func (b *BrokerServer) Addr() string { return b.ln.Addr().String() }
 
-// Close shuts the broker down, closing the client listener and the site
-// connections.
+// Close shuts the broker down, closing the client listener, live client
+// connections, and the site connections. Safe to call more than once.
 func (b *BrokerServer) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conns := make([]*serverConn, 0, len(b.conns))
+	for sc := range b.conns {
+		conns = append(conns, sc)
+	}
+	b.mu.Unlock()
+
 	err := b.ln.Close()
+	for _, sc := range conns {
+		_ = sc.conn.Close()
+	}
 	b.wg.Wait()
 	b.closeSites()
 	return err
@@ -115,11 +149,34 @@ func (b *BrokerServer) acceptLoop() {
 }
 
 func (b *BrokerServer) serve(conn net.Conn) {
-	defer conn.Close()
-	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn)}
+	wt := ServerConfig{WriteTimeout: b.cfg.WriteTimeout}.writeTimeout()
+	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn), writeTimeout: wt}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.conns[sc] = struct{}{}
+	b.mu.Unlock()
+	defer func() {
+		conn.Close()
+		b.mu.Lock()
+		delete(b.conns, sc)
+		b.dropOwnerLocked(sc)
+		b.mu.Unlock()
+	}()
+
+	idle := ServerConfig{IdleTimeout: b.cfg.IdleTimeout}.idleTimeout()
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for scanner.Scan() {
+	for {
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		if !scanner.Scan() {
+			break
+		}
 		env, err := Unmarshal(scanner.Bytes())
 		if err != nil {
 			_ = sc.send(Envelope{Type: TypeError, Reason: err.Error()})
@@ -138,10 +195,27 @@ func (b *BrokerServer) serve(conn net.Conn) {
 			return
 		}
 	}
+	if err := scanner.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		b.logf("client %s read error: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// dropOwnerLocked forgets a disconnected client's pending choices and
+// awarded contracts; later settlements for them are logged and dropped.
+// Callers must hold b.mu.
+func (b *BrokerServer) dropOwnerLocked(sc *serverConn) {
+	for id, owner := range b.owners {
+		if owner == sc {
+			delete(b.owners, id)
+			b.logf("task %d orphaned: client disconnected before settlement", id)
+		}
+	}
 }
 
 // handleBid fans the bid out to every site and answers with the selected
-// server bid, remembering the winning site for the award.
+// server bid, remembering the winning site for the award. Sites that fail
+// the exchange drop out; only if every site fails does the client get an
+// error instead of a reject.
 func (b *BrokerServer) handleBid(env Envelope) Envelope {
 	bid, err := env.Bid()
 	if err != nil {
@@ -151,18 +225,9 @@ func (b *BrokerServer) handleBid(env Envelope) Envelope {
 	b.Negotiated++
 	b.mu.Unlock()
 
-	var offers []market.ServerBid
-	var offerSites []*SiteClient
-	for _, site := range b.sites {
-		sb, ok, perr := site.Propose(bid)
-		if perr != nil {
-			b.logf("site propose error: %v", perr)
-			continue
-		}
-		if ok {
-			offers = append(offers, sb)
-			offerSites = append(offerSites, site)
-		}
+	offers, offerSites, err := proposeAll(b.sites, bid, b.cfg.retries(), b.cfg.backoff(), b.logf)
+	if err != nil {
+		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: err.Error()}
 	}
 	i := -1
 	if len(offers) > 0 {
@@ -190,7 +255,8 @@ func (b *BrokerServer) handleBid(env Envelope) Envelope {
 }
 
 // handleAward forwards the award to the site selected during the bid and
-// registers the client connection for settlement relay.
+// registers the client connection for settlement relay. Transient site
+// failures are retried (awards are idempotent on the site).
 func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 	bid, err := env.Bid()
 	if err != nil {
@@ -209,8 +275,12 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: "award without a standing proposal"}
 	}
 
-	terms, ok, err := site.Award(bid, sb)
+	terms, ok, err := callWithRetry(site, b.cfg.retries(), b.cfg.backoff(),
+		func() (market.ServerBid, bool, error) { return site.Award(bid, sb) })
 	if err != nil {
+		b.mu.Lock()
+		b.Declined++
+		b.mu.Unlock()
 		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: err.Error()}
 	}
 	if !ok {

@@ -47,7 +47,7 @@ func TestBrokerEndToEnd(t *testing.T) {
 	b, c, sites := startBrokerTopology(t, 2)
 
 	settled := make(chan Envelope, 4)
-	c.OnSettled = func(e Envelope) { settled <- e }
+	c.SetOnSettled(func(e Envelope) { settled <- e })
 
 	for i := 1; i <= 4; i++ {
 		bid := testBid(task.ID(i), 10)
@@ -125,7 +125,7 @@ func TestBrokerConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			var settle sync.WaitGroup
-			c.OnSettled = func(Envelope) { settle.Done() }
+			c.SetOnSettled(func(Envelope) { settle.Done() })
 			for j := 0; j < 3; j++ {
 				bid := testBid(task.ID(base*100+j+1), 5)
 				sb, ok, err := c.Propose(bid)

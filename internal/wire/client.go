@@ -2,85 +2,241 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/market"
 )
 
-// SiteClient is one client connection to a network site. Request/response
-// traffic is serialized; settlement pushes are demultiplexed to OnSettled.
-type SiteClient struct {
-	siteID string
-	conn   net.Conn
-	bw     *bufio.Writer
+// Sentinel errors for connection-level failures. Both are transient from
+// the negotiator's point of view: a Redial may recover the site.
+var (
+	// ErrTimeout reports a request/response exchange that exceeded the
+	// configured RequestTimeout. The connection is closed when this is
+	// returned — after an abandoned exchange the reply framing is
+	// ambiguous — so the next call must Redial first.
+	ErrTimeout = errors.New("wire: request timed out")
+	// ErrConnClosed reports a connection that ended mid-exchange.
+	ErrConnClosed = errors.New("wire: connection closed")
+	// ErrClientClosed reports use of a client after Close.
+	ErrClientClosed = errors.New("wire: client closed")
+)
 
-	mu      sync.Mutex // serializes request/response exchanges
-	replies chan Envelope
-	readErr error
-	done    chan struct{}
-
-	// OnSettled, if set before any award, observes contract settlements.
-	OnSettled func(Envelope)
+// ClientConfig parameterizes a SiteClient's network behavior.
+type ClientConfig struct {
+	// RequestTimeout bounds one request/response exchange, including the
+	// write. Zero means the default (10s); negative disables the bound.
+	RequestTimeout time.Duration
+	// DialTimeout bounds connection establishment, including Redial.
+	// Zero means the default (5s); negative disables the bound.
+	DialTimeout time.Duration
 }
 
-// Dial connects to a site server.
+const (
+	defaultRequestTimeout = 10 * time.Second
+	defaultDialTimeout    = 5 * time.Second
+)
+
+func (c ClientConfig) requestTimeout() time.Duration {
+	if c.RequestTimeout == 0 {
+		return defaultRequestTimeout
+	}
+	if c.RequestTimeout < 0 {
+		return 0
+	}
+	return c.RequestTimeout
+}
+
+func (c ClientConfig) dialTimeout() time.Duration {
+	if c.DialTimeout == 0 {
+		return defaultDialTimeout
+	}
+	if c.DialTimeout < 0 {
+		return 0
+	}
+	return c.DialTimeout
+}
+
+// SiteClient is one client connection to a network site. Request/response
+// traffic is serialized; settlement pushes are demultiplexed to the
+// OnSettled callback. A client whose connection died (peer reset, request
+// timeout) can be revived with Redial; contracts awarded on the dead
+// connection are orphaned (see "Failure semantics" in DESIGN.md).
+type SiteClient struct {
+	addr string
+	cfg  ClientConfig
+
+	// mu serializes request/response exchanges and redials, so that
+	// conn/bw/replies are stable for the duration of a roundTrip.
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	replies chan Envelope
+
+	// stateMu guards the fields below, which are read from the readLoop
+	// goroutine and from accessors while an exchange is in flight.
+	stateMu   sync.Mutex
+	conn      net.Conn
+	siteID    string
+	readErr   error
+	onSettled func(Envelope)
+	closed    bool
+}
+
+// Dial connects to a site server with default timeouts.
 func Dial(addr string) (*SiteClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig connects to a site server with explicit timeouts.
+func DialConfig(addr string, cfg ClientConfig) (*SiteClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, cfg.dialTimeout())
 	if err != nil {
 		return nil, err
 	}
-	c := &SiteClient{
-		conn:    conn,
-		bw:      bufio.NewWriter(conn),
-		replies: make(chan Envelope, 16),
-		done:    make(chan struct{}),
-	}
-	go c.readLoop()
+	c := &SiteClient{addr: addr, cfg: cfg}
+	c.resetConnLocked(conn)
 	return c, nil
 }
 
-// Close tears the connection down.
-func (c *SiteClient) Close() error { return c.conn.Close() }
+// resetConnLocked installs conn as the client's live connection and starts
+// its read loop. Callers must hold mu (or be the constructor).
+func (c *SiteClient) resetConnLocked(conn net.Conn) {
+	replies := make(chan Envelope, 16)
+	c.stateMu.Lock()
+	c.conn = conn
+	c.readErr = nil
+	c.stateMu.Unlock()
+	c.bw = bufio.NewWriter(conn)
+	c.replies = replies
+	go c.readLoop(conn, replies)
+}
+
+// Close tears the connection down. Subsequent calls and redials fail with
+// ErrClientClosed.
+func (c *SiteClient) Close() error {
+	c.stateMu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.stateMu.Unlock()
+	return conn.Close()
+}
+
+// Redial discards the current connection and establishes a fresh one to
+// the same address. In-flight settlements on the old connection are lost.
+func (c *SiteClient) Redial() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return ErrClientClosed
+	}
+	old := c.conn
+	c.stateMu.Unlock()
+	_ = old.Close()
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.dialTimeout())
+	if err != nil {
+		return err
+	}
+	c.resetConnLocked(conn)
+	return nil
+}
+
+// Addr returns the site address this client dials.
+func (c *SiteClient) Addr() string { return c.addr }
 
 // SiteID returns the site identifier learned from the first reply, if any.
-func (c *SiteClient) SiteID() string { return c.siteID }
+func (c *SiteClient) SiteID() string {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.siteID
+}
 
-func (c *SiteClient) readLoop() {
-	defer close(c.done)
-	scanner := bufio.NewScanner(c.conn)
+// SetOnSettled installs the settlement observer. The callback runs on the
+// client's read goroutine, so it must not block on another exchange with
+// the same client. It survives redials.
+func (c *SiteClient) SetOnSettled(fn func(Envelope)) {
+	c.stateMu.Lock()
+	c.onSettled = fn
+	c.stateMu.Unlock()
+}
+
+func (c *SiteClient) settledFn() func(Envelope) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.onSettled
+}
+
+func (c *SiteClient) setReadErr(err error) {
+	c.stateMu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.stateMu.Unlock()
+}
+
+func (c *SiteClient) takeReadErr() error {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.readErr
+}
+
+// readLoop consumes one connection's replies until it dies. It owns the
+// conn and replies channel it was started with, so a Redial swapping the
+// client's fields cannot race it.
+func (c *SiteClient) readLoop(conn net.Conn, replies chan Envelope) {
+	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for scanner.Scan() {
 		env, err := Unmarshal(scanner.Bytes())
 		if err != nil {
-			c.readErr = err
+			c.setReadErr(err)
 			break
 		}
 		if env.SiteID != "" {
+			c.stateMu.Lock()
 			c.siteID = env.SiteID
+			c.stateMu.Unlock()
 		}
 		if env.Type == TypeSettled {
-			if c.OnSettled != nil {
-				c.OnSettled(env)
+			if fn := c.settledFn(); fn != nil {
+				fn(env)
 			}
 			continue
 		}
-		c.replies <- env
+		replies <- env
 	}
-	if err := scanner.Err(); err != nil && c.readErr == nil {
-		c.readErr = err
+	if err := scanner.Err(); err != nil {
+		c.setReadErr(err)
 	}
-	close(c.replies)
+	close(replies)
 }
 
-// roundTrip sends one envelope and waits for the next non-push reply.
+// roundTrip sends one envelope and waits for the next non-push reply,
+// bounded by the request timeout. On timeout the connection is poisoned
+// (closed) because a late reply would desynchronize subsequent exchanges.
 func (c *SiteClient) roundTrip(e Envelope) (Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.stateMu.Lock()
+	closed, conn := c.closed, c.conn
+	c.stateMu.Unlock()
+	if closed {
+		return Envelope{}, ErrClientClosed
+	}
 	b, err := Marshal(e)
 	if err != nil {
 		return Envelope{}, err
+	}
+	timeout := c.cfg.requestTimeout()
+	if timeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(timeout))
 	}
 	if _, err := c.bw.Write(b); err != nil {
 		return Envelope{}, err
@@ -88,14 +244,25 @@ func (c *SiteClient) roundTrip(e Envelope) (Envelope, error) {
 	if err := c.bw.Flush(); err != nil {
 		return Envelope{}, err
 	}
-	reply, ok := <-c.replies
-	if !ok {
-		if c.readErr != nil {
-			return Envelope{}, c.readErr
-		}
-		return Envelope{}, fmt.Errorf("wire: connection closed")
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
 	}
-	return reply, nil
+	select {
+	case reply, ok := <-c.replies:
+		if !ok {
+			if rerr := c.takeReadErr(); rerr != nil {
+				return Envelope{}, fmt.Errorf("%w: %v", ErrConnClosed, rerr)
+			}
+			return Envelope{}, ErrConnClosed
+		}
+		return reply, nil
+	case <-timeoutC:
+		_ = conn.Close()
+		return Envelope{}, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	}
 }
 
 // Propose submits a sealed bid and returns the server bid, or ok=false on
@@ -120,7 +287,8 @@ func (c *SiteClient) Propose(b market.Bid) (market.ServerBid, bool, error) {
 
 // Award commits the task to this site under a previously proposed server
 // bid and returns the contract terms, or ok=false if the site's mix changed
-// and it now rejects.
+// and it now rejects. Awards are idempotent on the server, so a transiently
+// failed award is safe to retry on the same site.
 func (c *SiteClient) Award(b market.Bid, sb market.ServerBid) (market.ServerBid, bool, error) {
 	reply, err := c.roundTrip(AwardEnvelope(b, sb))
 	if err != nil {
@@ -139,43 +307,161 @@ func (c *SiteClient) Award(b market.Bid, sb market.ServerBid) (market.ServerBid,
 	}
 }
 
+// transientErr reports whether err looks like a connection-level failure
+// worth a bounded retry after Redial, as opposed to a protocol error.
+func transientErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrConnClosed) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // Negotiator fans bids out to several network sites and picks the best
 // offer under a selector, completing the Figure 1 exchange end to end.
+// A site that errors drops out of the exchange after bounded retries; the
+// remaining sites' offers still compete.
 type Negotiator struct {
 	Sites    []*SiteClient
 	Selector market.Selector
+	// Retries is the number of extra attempts per site call after a
+	// transient failure, each preceded by a Redial. Zero means the
+	// default (2); negative disables retries.
+	Retries int
+	// Backoff is the delay before the first retry, doubling each attempt.
+	// Zero means the default (50ms).
+	Backoff time.Duration
+	// Logger observes per-site failures; nil silences them.
+	Logger *log.Logger
+}
+
+const (
+	defaultRetries = 2
+	defaultBackoff = 50 * time.Millisecond
+)
+
+func defaultedRetries(n int) int {
+	if n == 0 {
+		return defaultRetries
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+func defaultedBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return defaultBackoff
+	}
+	return d
+}
+
+func (n *Negotiator) retries() int           { return defaultedRetries(n.Retries) }
+func (n *Negotiator) backoff() time.Duration { return defaultedBackoff(n.Backoff) }
+
+func (n *Negotiator) logf(format string, args ...any) {
+	if n.Logger != nil {
+		n.Logger.Printf(format, args...)
+	}
+}
+
+// callWithRetry runs one site exchange with bounded retry and exponential
+// backoff on transient errors, redialing the site between attempts.
+func callWithRetry(sc *SiteClient, retries int, backoff time.Duration,
+	f func() (market.ServerBid, bool, error)) (market.ServerBid, bool, error) {
+	for attempt := 0; ; attempt++ {
+		sb, ok, err := f()
+		if err == nil || attempt >= retries || !transientErr(err) {
+			return sb, ok, err
+		}
+		time.Sleep(backoff << attempt)
+		// A failed redial leaves the connection dead; the next attempt
+		// fails fast and the loop either retries or gives up.
+		_ = sc.Redial()
+	}
+}
+
+// proposeAll fans one bid out to every site concurrently and collects the
+// accepting sites' offers. Sites that error after bounded retries drop out
+// of the exchange. The returned error is non-nil only when every site
+// failed, and carries the first failure observed.
+func proposeAll(sites []*SiteClient, b market.Bid, retries int, backoff time.Duration,
+	logf func(format string, args ...any)) ([]market.ServerBid, []*SiteClient, error) {
+	type result struct {
+		sb  market.ServerBid
+		ok  bool
+		err error
+	}
+	results := make([]result, len(sites))
+	var wg sync.WaitGroup
+	for i, sc := range sites {
+		wg.Add(1)
+		go func(i int, sc *SiteClient) {
+			defer wg.Done()
+			sb, ok, err := callWithRetry(sc, retries, backoff, func() (market.ServerBid, bool, error) {
+				return sc.Propose(b)
+			})
+			results[i] = result{sb, ok, err}
+		}(i, sc)
+	}
+	wg.Wait()
+
+	var offers []market.ServerBid
+	var offerSites []*SiteClient
+	var firstErr error
+	errored := 0
+	for i, r := range results {
+		if r.err != nil {
+			errored++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			logf("site %s dropped out of exchange for task %d: %v", sites[i].Addr(), b.TaskID, r.err)
+			continue
+		}
+		if r.ok {
+			offers = append(offers, r.sb)
+			offerSites = append(offerSites, sites[i])
+		}
+	}
+	if errored == len(sites) && errored > 0 {
+		return nil, nil, fmt.Errorf("wire: every site failed: %w", firstErr)
+	}
+	return offers, offerSites, nil
 }
 
 // Negotiate runs the full exchange for one bid. It returns the winning
-// contract terms, or ok=false if every site rejected.
+// contract terms, or ok=false if every reachable site rejected. An error
+// is returned only when no site could be reached at all.
 func (n *Negotiator) Negotiate(b market.Bid) (market.ServerBid, bool, error) {
 	sel := n.Selector
 	if sel == nil {
 		sel = market.BestYield{}
 	}
-	var offers []market.ServerBid
-	var offerSites []*SiteClient
-	for _, sc := range n.Sites {
-		sb, ok, err := sc.Propose(b)
-		if err != nil {
-			return market.ServerBid{}, false, err
-		}
-		if ok {
-			offers = append(offers, sb)
-			offerSites = append(offerSites, sc)
-		}
+	offers, offerSites, err := proposeAll(n.Sites, b, n.retries(), n.backoff(), n.logf)
+	if err != nil {
+		return market.ServerBid{}, false, err
 	}
 	for len(offers) > 0 {
 		i := sel.Select(b, offers)
 		if i < 0 {
 			break
 		}
-		terms, ok, err := offerSites[i].Award(b, offers[i])
-		if err != nil {
-			return market.ServerBid{}, false, err
-		}
-		if ok {
+		terms, ok, err := callWithRetry(offerSites[i], n.retries(), n.backoff(),
+			func() (market.ServerBid, bool, error) { return offerSites[i].Award(b, offers[i]) })
+		if err == nil && ok {
 			return terms, true, nil
+		}
+		if err != nil {
+			n.logf("site %s failed award for task %d: %v", offerSites[i].Addr(), b.TaskID, err)
 		}
 		offers = append(offers[:i], offers[i+1:]...)
 		offerSites = append(offerSites[:i], offerSites[i+1:]...)

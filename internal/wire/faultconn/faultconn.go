@@ -1,0 +1,251 @@
+// Package faultconn provides fault-injecting network plumbing for testing
+// the wire layer under partial failure: a net.Conn wrapper that can delay
+// traffic, sever the link after a byte budget (producing partial writes on
+// the wire), and die on command, plus a TCP proxy composed of those
+// wrappers so faults can be injected between a real client and a real
+// server without either side cooperating.
+package faultconn
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrCut reports a write truncated by an exhausted byte budget.
+var ErrCut = errors.New("faultconn: link severed mid-write")
+
+// Conn wraps a net.Conn with injectable faults. The zero knobs pass
+// traffic through untouched; all knobs may be flipped concurrently with
+// traffic.
+type Conn struct {
+	net.Conn
+
+	mu         sync.Mutex
+	readDelay  time.Duration
+	writeDelay time.Duration
+	// cutAfter is the number of written bytes still allowed before the
+	// link is severed; negative means unlimited.
+	cutAfter int64
+}
+
+// Wrap makes a fault-injecting wrapper around c with no faults armed.
+func Wrap(c net.Conn) *Conn {
+	return &Conn{Conn: c, cutAfter: -1}
+}
+
+// SetReadDelay sleeps each Read by d before touching the wire.
+func (c *Conn) SetReadDelay(d time.Duration) {
+	c.mu.Lock()
+	c.readDelay = d
+	c.mu.Unlock()
+}
+
+// SetWriteDelay sleeps each Write by d before touching the wire.
+func (c *Conn) SetWriteDelay(d time.Duration) {
+	c.mu.Lock()
+	c.writeDelay = d
+	c.mu.Unlock()
+}
+
+// CutAfter arms the partial-write fault: after n more written bytes the
+// connection is closed mid-frame, so the peer observes a truncated
+// message followed by EOF. Negative disarms.
+func (c *Conn) CutAfter(n int) {
+	c.mu.Lock()
+	c.cutAfter = int64(n)
+	c.mu.Unlock()
+}
+
+// Kill drops the connection immediately.
+func (c *Conn) Kill() {
+	_ = c.Conn.Close()
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	d := c.readDelay
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Read(p)
+}
+
+// budget consumes up to n bytes of the cut budget, returning how many may
+// be written and whether the link must be severed afterward.
+func (c *Conn) budget(n int) (allowed int, sever bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cutAfter < 0 {
+		return n, false
+	}
+	if int64(n) <= c.cutAfter {
+		c.cutAfter -= int64(n)
+		return n, false
+	}
+	allowed = int(c.cutAfter)
+	c.cutAfter = 0
+	return allowed, true
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	d := c.writeDelay
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	allowed, sever := c.budget(len(p))
+	if !sever {
+		return c.Conn.Write(p)
+	}
+	n := 0
+	if allowed > 0 {
+		n, _ = c.Conn.Write(p[:allowed])
+	}
+	_ = c.Conn.Close()
+	return n, ErrCut
+}
+
+// Proxy is a fault-injecting TCP relay: clients dial Addr() and traffic is
+// piped to and from the target address through Conn wrappers, so delays,
+// truncation, and drops can be injected on a live link. Knobs apply to
+// every current and future proxied connection.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	wg     sync.WaitGroup
+
+	mu         sync.Mutex
+	links      map[*link]struct{}
+	writeDelay time.Duration
+	cutAfter   int // pending CutAfter for new links; -1 = disarmed
+	closed     bool
+}
+
+// link is one proxied connection pair: raw accepted and dialed conns, and
+// the fault wrappers traffic is written through.
+type link struct {
+	client, server net.Conn
+	toServer       *Conn // faults on client->server traffic
+	toClient       *Conn // faults on server->client traffic
+}
+
+func (l *link) close() {
+	_ = l.client.Close()
+	_ = l.server.Close()
+}
+
+// NewProxy starts a proxy in front of target, listening on a free
+// loopback port.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, links: make(map[*link]struct{}), cutAfter: -1}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address; dial this instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetDelay delays every forwarded write (both directions) by d.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.writeDelay = d
+	for l := range p.links {
+		l.toServer.SetWriteDelay(d)
+		l.toClient.SetWriteDelay(d)
+	}
+	p.mu.Unlock()
+}
+
+// CutAfter severs every live link (and any future one) after n more
+// forwarded bytes in either direction, leaving a truncated frame on the
+// wire. Negative disarms.
+func (p *Proxy) CutAfter(n int) {
+	p.mu.Lock()
+	p.cutAfter = n
+	for l := range p.links {
+		l.toServer.CutAfter(n)
+		l.toClient.CutAfter(n)
+	}
+	p.mu.Unlock()
+}
+
+// KillConnections drops every live proxied connection immediately. New
+// connections are still accepted, so a redialing client reconnects.
+func (p *Proxy) KillConnections() {
+	p.mu.Lock()
+	links := make([]*link, 0, len(p.links))
+	for l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	for _, l := range links {
+		l.close()
+	}
+}
+
+// Close stops the proxy and severs all links.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.KillConnections()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			_ = client.Close()
+			continue
+		}
+		l := &link{client: client, server: server,
+			toServer: Wrap(server), toClient: Wrap(client)}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			l.close()
+			return
+		}
+		l.toServer.SetWriteDelay(p.writeDelay)
+		l.toClient.SetWriteDelay(p.writeDelay)
+		l.toServer.CutAfter(p.cutAfter)
+		l.toClient.CutAfter(p.cutAfter)
+		p.links[l] = struct{}{}
+		p.mu.Unlock()
+
+		p.wg.Add(2)
+		go p.pipe(l, l.toServer, client)
+		go p.pipe(l, l.toClient, server)
+	}
+}
+
+// pipe copies src into the fault wrapper until either side dies, then
+// tears the whole link down: a half-dead link is not useful for fault
+// testing, and full teardown matches how the wire layer treats its
+// connections.
+func (p *Proxy) pipe(l *link, dst io.Writer, src net.Conn) {
+	defer p.wg.Done()
+	_, _ = io.Copy(dst, src)
+	l.close()
+	p.mu.Lock()
+	delete(p.links, l)
+	p.mu.Unlock()
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -25,8 +26,42 @@ type ServerConfig struct {
 	// TimeScale converts one simulation time unit of task runtime into wall
 	// clock. Examples use millisecond-scale units so demos finish quickly.
 	TimeScale time.Duration
+	// IdleTimeout closes a connection that sends no request for this long.
+	// Settlement pushes do not count as activity: a client holding open
+	// contracts must keep its connection warm or tolerate orphaned
+	// settlements. Zero means the default (2m); negative disables it.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply or settlement write, so a stalled
+	// peer errors out instead of wedging settlement. Zero means the
+	// default (10s); negative disables it.
+	WriteTimeout time.Duration
 	// Logger receives serving events; nil silences them.
 	Logger *log.Logger
+}
+
+const (
+	defaultIdleTimeout  = 2 * time.Minute
+	defaultWriteTimeout = 10 * time.Second
+)
+
+func (c ServerConfig) idleTimeout() time.Duration {
+	if c.IdleTimeout == 0 {
+		return defaultIdleTimeout
+	}
+	if c.IdleTimeout < 0 {
+		return 0
+	}
+	return c.IdleTimeout
+}
+
+func (c ServerConfig) writeTimeout() time.Duration {
+	if c.WriteTimeout == 0 {
+		return defaultWriteTimeout
+	}
+	if c.WriteTimeout < 0 {
+		return 0
+	}
+	return c.WriteTimeout
 }
 
 // Server is a real-time task-service site: the same policy, quoting, and
@@ -43,21 +78,26 @@ type Server struct {
 	owners  map[task.ID]*serverConn
 	prices  map[task.ID]market.ServerBid
 	running map[task.ID]*task.Task
+	timers  map[task.ID]*time.Timer
+	conns   map[*serverConn]struct{}
 	closed  bool
 
-	wg sync.WaitGroup
+	wg      sync.WaitGroup // connection + accept goroutines
+	timerWG sync.WaitGroup // in-flight completion callbacks
 
 	// Stats, guarded by mu.
 	Accepted  int
 	Rejected  int
 	Completed int
 	Revenue   float64
+	Abandoned int // tasks dropped by shutdown or client disconnect
 }
 
 type serverConn struct {
-	mu   sync.Mutex // serializes writes; settlements race with replies
-	conn net.Conn
-	bw   *bufio.Writer
+	mu           sync.Mutex // serializes writes; settlements race with replies
+	conn         net.Conn
+	bw           *bufio.Writer
+	writeTimeout time.Duration
 }
 
 func (c *serverConn) send(e Envelope) error {
@@ -67,6 +107,9 @@ func (c *serverConn) send(e Envelope) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.writeTimeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
 	if _, err := c.bw.Write(b); err != nil {
 		return err
 	}
@@ -99,6 +142,8 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		owners:  make(map[task.ID]*serverConn),
 		prices:  make(map[task.ID]market.ServerBid),
 		running: make(map[task.ID]*task.Task),
+		timers:  make(map[task.ID]*time.Timer),
+		conns:   make(map[*serverConn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -108,14 +153,39 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting connections and shuts the server down. In-flight
-// tasks are abandoned; Close is for tests and demo teardown.
+// Close stops accepting connections, severs live ones, cancels pending
+// completion timers, and waits for in-flight completion callbacks and
+// connection goroutines to drain. In-flight tasks are abandoned and their
+// settlements are never sent; Close is safe to call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
+	s.Abandoned += len(s.pending)
+	s.pending = nil
+	for id, tm := range s.timers {
+		if tm.Stop() {
+			// The callback will never run; release its drain slot.
+			s.timerWG.Done()
+			delete(s.timers, id)
+			s.Abandoned++
+		}
+	}
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
 	s.mu.Unlock()
+
 	err := s.ln.Close()
+	for _, sc := range conns {
+		_ = sc.conn.Close()
+	}
 	s.wg.Wait()
+	s.timerWG.Wait()
 	return err
 }
 
@@ -146,11 +216,33 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serve(conn net.Conn) {
-	defer conn.Close()
-	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn)}
+	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn), writeTimeout: s.cfg.writeTimeout()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.dropOwnerLocked(sc)
+		s.mu.Unlock()
+	}()
+
+	idle := s.cfg.idleTimeout()
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for scanner.Scan() {
+	for {
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		if !scanner.Scan() {
+			break
+		}
 		env, err := Unmarshal(scanner.Bytes())
 		if err != nil {
 			_ = sc.send(Envelope{Type: TypeError, Reason: err.Error()})
@@ -167,6 +259,34 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		if err := sc.send(reply); err != nil {
 			return
+		}
+	}
+	if err := scanner.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+		s.logf("connection %s read error: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// dropOwnerLocked forgets a disconnected client's contracts: queued tasks
+// are discarded (nobody is left to pay for them), running tasks finish but
+// settle into the void. Callers must hold s.mu.
+func (s *Server) dropOwnerLocked(sc *serverConn) {
+	for id, owner := range s.owners {
+		if owner != sc {
+			continue
+		}
+		delete(s.owners, id)
+		delete(s.prices, id)
+		for i, p := range s.pending {
+			if p.ID == id {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				p.State = task.Rejected
+				s.Abandoned++
+				s.logf("dropped queued task %d: client disconnected", id)
+				break
+			}
+		}
+		if _, isRunning := s.running[id]; isRunning {
+			s.logf("task %d orphaned mid-run: client disconnected", id)
 		}
 	}
 }
@@ -199,7 +319,10 @@ func (s *Server) handleBid(env Envelope) Envelope {
 }
 
 // handleAward re-quotes, admits, and schedules the task; the contract
-// settles when the task's wall-clock run completes.
+// settles when the task's wall-clock run completes. A duplicate award for
+// a task still under contract returns the standing terms instead of an
+// error, making awards idempotent so clients can safely retry after a
+// connection-level failure.
 func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	bid, err := env.Bid()
 	if err != nil {
@@ -208,7 +331,15 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.owners[bid.TaskID]; dup {
-		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: "task already awarded"}
+		standing := s.prices[bid.TaskID]
+		s.owners[bid.TaskID] = sc // the retrying connection owns the settlement now
+		return Envelope{
+			Type:               TypeContract,
+			TaskID:             bid.TaskID,
+			SiteID:             s.cfg.SiteID,
+			ExpectedCompletion: standing.ExpectedCompletion,
+			ExpectedPrice:      standing.ExpectedPrice,
+		}
 	}
 	q, err := s.quoteLocked(bid)
 	if err != nil {
@@ -264,7 +395,9 @@ func (s *Server) quoteLocked(bid market.Bid) (admission.Quote, error) {
 	return admission.Evaluate(probe, cand, s.cfg.DiscountRate)
 }
 
-// dispatchLocked starts pending tasks while processors are free.
+// dispatchLocked starts pending tasks while processors are free. Each
+// started task's completion timer is tracked so Close can cancel it or
+// wait for its callback to drain.
 func (s *Server) dispatchLocked() {
 	now := s.now()
 	for len(s.running) < s.cfg.Processors && len(s.pending) > 0 && !s.closed {
@@ -276,12 +409,27 @@ func (s *Server) dispatchLocked() {
 		s.running[t.ID] = t
 		s.logf("running task %d for %.1f units", t.ID, t.Runtime)
 		dur := time.Duration(t.Runtime * float64(s.cfg.TimeScale))
-		time.AfterFunc(dur, func() { s.complete(t) })
+		s.timerWG.Add(1)
+		s.timers[t.ID] = time.AfterFunc(dur, func() {
+			defer s.timerWG.Done()
+			s.complete(t)
+		})
 	}
 }
 
 func (s *Server) complete(t *task.Task) {
 	s.mu.Lock()
+	delete(s.timers, t.ID)
+	if s.closed {
+		// Shutdown racing the timer: abandon rather than settle, so no
+		// settlement is sent after Close returns.
+		delete(s.running, t.ID)
+		delete(s.owners, t.ID)
+		delete(s.prices, t.ID)
+		s.Abandoned++
+		s.mu.Unlock()
+		return
+	}
 	now := s.now()
 	t.State = task.Completed
 	t.Completion = now
@@ -293,17 +441,18 @@ func (s *Server) complete(t *task.Task) {
 	delete(s.owners, t.ID)
 	delete(s.prices, t.ID)
 	s.dispatchLocked()
-	closed := s.closed
 	s.mu.Unlock()
 
-	if owner != nil && !closed {
-		_ = owner.send(Envelope{
+	if owner != nil {
+		if err := owner.send(Envelope{
 			Type:        TypeSettled,
 			TaskID:      t.ID,
 			SiteID:      s.cfg.SiteID,
 			CompletedAt: now,
 			FinalPrice:  t.Yield,
-		})
+		}); err != nil {
+			s.logf("settlement for task %d undeliverable: %v", t.ID, err)
+		}
 	}
 	s.logf("settled task %d at %.1f for %.2f", t.ID, now, t.Yield)
 }

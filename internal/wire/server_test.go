@@ -59,7 +59,7 @@ func TestProposeAwardSettle(t *testing.T) {
 	c := dialServer(t, srv)
 
 	settled := make(chan Envelope, 1)
-	c.OnSettled = func(e Envelope) { settled <- e }
+	c.SetOnSettled(func(e Envelope) { settled <- e })
 
 	bid := testBid(1, 10)
 	sb, ok, err := c.Propose(bid)
@@ -111,11 +111,11 @@ func TestRejectBySlackThreshold(t *testing.T) {
 	}
 }
 
-func TestDuplicateAwardRejected(t *testing.T) {
+func TestDuplicateAwardIdempotent(t *testing.T) {
 	srv := startServer(t, ServerConfig{})
 	c := dialServer(t, srv)
 	var wg sync.WaitGroup
-	c.OnSettled = func(Envelope) { wg.Done() }
+	c.SetOnSettled(func(Envelope) { wg.Done() })
 
 	bid := testBid(1, 50)
 	sb, ok, err := c.Propose(bid)
@@ -126,8 +126,17 @@ func TestDuplicateAwardRejected(t *testing.T) {
 	if _, ok, err := c.Award(bid, sb); err != nil || !ok {
 		t.Fatalf("first award failed: %v %v", ok, err)
 	}
-	if _, _, err := c.Award(bid, sb); err == nil {
-		t.Fatal("duplicate award accepted")
+	// A duplicate award is idempotent: the standing contract terms come
+	// back so a client retrying after a connection failure is safe.
+	terms, ok, err := c.Award(bid, sb)
+	if err != nil || !ok {
+		t.Fatalf("duplicate award = %v %v, want standing contract", ok, err)
+	}
+	if terms.TaskID != bid.TaskID || terms.SiteID != "test-site" {
+		t.Fatalf("duplicate award terms = %+v", terms)
+	}
+	if srv.Accepted != 1 {
+		t.Fatalf("accepted %d, want 1 (duplicate must not double-schedule)", srv.Accepted)
 	}
 	wg.Wait()
 }
@@ -140,8 +149,8 @@ func TestNegotiatorPicksSomeSiteAndSettles(t *testing.T) {
 	cSlow := dialServer(t, slow)
 	var wg sync.WaitGroup
 	done := func(Envelope) { wg.Done() }
-	cFast.OnSettled = done
-	cSlow.OnSettled = done
+	cFast.SetOnSettled(done)
+	cSlow.SetOnSettled(done)
 
 	neg := &Negotiator{Sites: []*SiteClient{cFast, cSlow}}
 	for i := 1; i <= 6; i++ {
@@ -203,7 +212,7 @@ func TestConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			var settleWG sync.WaitGroup
-			c.OnSettled = func(Envelope) { settleWG.Done() }
+			c.SetOnSettled(func(Envelope) { settleWG.Done() })
 			for j := 0; j < 5; j++ {
 				bid := testBid(task.ID(base*100+j+1), 5)
 				sb, ok, err := c.Propose(bid)
