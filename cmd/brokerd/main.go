@@ -7,7 +7,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -15,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -28,6 +28,9 @@ func main() {
 		backoff  = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
 		idle     = flag.Duration("idle-timeout", 2*time.Minute, "close client connections quiet for this long (negative disables)")
 		quiet    = flag.Bool("quiet", false, "suppress brokering logs")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr alongside logs")
 	)
 	flag.Parse()
 
@@ -41,6 +44,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "brokerd: unknown selector %q\n", *selector)
 		os.Exit(2)
 	}
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brokerd:", err)
+		os.Exit(2)
+	}
 
 	cfg := wire.BrokerConfig{
 		Selector:       sel,
@@ -48,18 +56,36 @@ func main() {
 		Retries:        *retries,
 		Backoff:        *backoff,
 		IdleTimeout:    *idle,
+		Metrics:        obs.Default,
 	}
 	for _, sa := range strings.Split(*sites, ",") {
 		cfg.SiteAddrs = append(cfg.SiteAddrs, strings.TrimSpace(sa))
 	}
+	logger := obs.NewLogger(os.Stderr, lv, "brokerd")
 	if !*quiet {
-		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+		cfg.Logger = logger
+	}
+	if *trace {
+		if cfg.Logger != nil {
+			cfg.Tracer = obs.TracerFor(cfg.Logger, "brokerd")
+		} else {
+			cfg.Tracer = obs.NewTracer(os.Stderr, "brokerd")
+		}
 	}
 
 	b, err := wire.NewBrokerServer(*addr, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "brokerd:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		diag, err := obs.ServeDiag(*metrics, obs.DiagConfig{Logger: logger})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brokerd:", err)
+			os.Exit(1)
+		}
+		defer diag.Close()
+		fmt.Printf("diagnostics on http://%s/metrics\n", diag.Addr())
 	}
 	fmt.Printf("broker listening on %s for %d site(s)\n", b.Addr(), len(cfg.SiteAddrs))
 

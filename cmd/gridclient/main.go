@@ -6,7 +6,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"os"
 	"strings"
@@ -14,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/task"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -21,21 +21,48 @@ import (
 
 func main() {
 	var (
-		sites   = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
-		n       = flag.Int("n", 20, "tasks to submit")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		mean    = flag.Duration("interarrival", 200*time.Millisecond, "mean wall-clock gap between submissions")
-		scale   = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit (must match the servers)")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
-		retries = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
-		backoff = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
+		sites    = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
+		n        = flag.Int("n", 20, "tasks to submit")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		mean     = flag.Duration("interarrival", 200*time.Millisecond, "mean wall-clock gap between submissions")
+		scale    = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit (must match the servers)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
+		retries  = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
+		backoff  = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
+		logLevel = flag.String("log-level", "warn", "minimum log level: debug|info|warn|error")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr")
 	)
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridclient:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, lv, "gridclient")
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.TracerFor(logger, "gridclient")
+	}
+	if *metrics != "" {
+		diag, err := obs.ServeDiag(*metrics, obs.DiagConfig{Logger: logger})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridclient:", err)
+			os.Exit(1)
+		}
+		defer diag.Close()
+		fmt.Printf("diagnostics on http://%s/metrics\n", diag.Addr())
+	}
+	lateness := obs.Default.Histogram("market_settlement_lateness",
+		"Completion time minus contracted completion, in simulation units.",
+		nil, "site")
 
 	var clients []*wire.SiteClient
 	var mu sync.Mutex
 	settledCount := 0
 	revenue := 0.0
+	expected := make(map[task.ID]float64) // contracted completion per task
 	var wg sync.WaitGroup
 
 	for _, addr := range strings.Split(*sites, ",") {
@@ -48,7 +75,13 @@ func main() {
 			mu.Lock()
 			settledCount++
 			revenue += e.FinalPrice
+			if want, ok := expected[e.TaskID]; ok {
+				lateness.With(e.SiteID).Observe(e.CompletedAt - want)
+				delete(expected, e.TaskID)
+			}
 			mu.Unlock()
+			tracer.Emit(obs.TraceEvent{Stage: obs.StageSettle, Task: uint64(e.TaskID),
+				Req: e.ReqID, Site: e.SiteID, T: e.CompletedAt, Value: e.FinalPrice})
 			fmt.Printf("settled  task %d at %s: price %.2f\n", e.TaskID, e.SiteID, e.FinalPrice)
 			wg.Done()
 		})
@@ -60,7 +93,9 @@ func main() {
 		Selector: market.BestYield{},
 		Retries:  *retries,
 		Backoff:  *backoff,
-		Logger:   log.New(os.Stderr, "", log.Ltime),
+		Logger:   logger,
+		Metrics:  obs.Default,
+		Tracer:   tracer,
 	}
 
 	spec := workload.Default()
@@ -96,6 +131,9 @@ func main() {
 			continue
 		}
 		placed++
+		mu.Lock()
+		expected[terms.TaskID] = terms.ExpectedCompletion
+		mu.Unlock()
 		wg.Add(1)
 		fmt.Printf("contract task %d -> %s: expected completion %.1f, price %.2f\n",
 			bid.TaskID, terms.SiteID, terms.ExpectedCompletion, terms.ExpectedPrice)

@@ -6,7 +6,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -14,6 +13,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -30,8 +30,17 @@ func main() {
 		idle     = flag.Duration("idle-timeout", 2*time.Minute, "close connections quiet for this long (negative disables)")
 		wtimeout = flag.Duration("write-timeout", 10*time.Second, "per-write deadline for replies and settlements (negative disables)")
 		quiet    = flag.Bool("quiet", false, "suppress serving logs")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr alongside logs")
 	)
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siteserver:", err)
+		os.Exit(2)
+	}
 
 	cfg := wire.ServerConfig{
 		SiteID:       *id,
@@ -41,18 +50,38 @@ func main() {
 		TimeScale:    *scale,
 		IdleTimeout:  *idle,
 		WriteTimeout: *wtimeout,
+		Metrics:      obs.Default,
 	}
 	if *useAdm {
 		cfg.Admission = admission.SlackThreshold{Threshold: *slack}
 	}
+	logger := obs.NewLogger(os.Stderr, lv, "siteserver")
 	if !*quiet {
-		cfg.Logger = log.New(os.Stderr, "", log.Ltime|log.Lmicroseconds)
+		cfg.Logger = logger
+	}
+	if *trace {
+		// Share the logger's stream so trace and log lines interleave
+		// whole; with -quiet the tracer gets its own stderr stream.
+		if cfg.Logger != nil {
+			cfg.Tracer = obs.TracerFor(cfg.Logger, "siteserver")
+		} else {
+			cfg.Tracer = obs.NewTracer(os.Stderr, "siteserver")
+		}
 	}
 
 	srv, err := wire.NewServer(*addr, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "siteserver:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		diag, err := obs.ServeDiag(*metrics, obs.DiagConfig{Logger: logger})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "siteserver:", err)
+			os.Exit(1)
+		}
+		defer diag.Close()
+		fmt.Printf("diagnostics on http://%s/metrics\n", diag.Addr())
 	}
 	fmt.Printf("site %s listening on %s (%d processors, %s)\n", *id, srv.Addr(), *procs, cfg.Policy.Name())
 

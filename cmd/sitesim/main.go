@@ -11,6 +11,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/site"
 	"repro/internal/workload"
 )
@@ -27,6 +28,7 @@ func main() {
 		slack    = flag.Float64("slack", 0, "slack admission threshold (with -admission)")
 		useAdm   = flag.Bool("admission", false, "enable slack-threshold admission control")
 		report   = flag.Bool("report", false, "print the per-class distributional report")
+		traceOut = flag.String("trace-out", "", "write the scheduling audit log as JSON task-lifecycle events to this file (\"-\" for stderr)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -68,6 +70,19 @@ func main() {
 	}
 	if *useAdm {
 		cfg.Admission = admission.SlackThreshold{Threshold: *slack}
+	}
+	if *traceOut != "" {
+		w := os.Stderr
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sitesim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		cfg.Recorder = site.NewObsRecorder(nil, obs.NewTracer(w, "sitesim"), "sitesim")
 	}
 
 	tasks := tr.Clone()

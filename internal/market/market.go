@@ -24,6 +24,9 @@ import (
 // (runtime_i, value_i, decay_i, bound_i) plus the task identity and release
 // time the buyer measures delay from.
 type Bid struct {
+	// ReqID is an optional lifecycle trace ID carried end to end by the
+	// wire protocol; the market logic ignores it.
+	ReqID   string  `json:"req,omitempty"`
 	TaskID  task.ID `json:"task_id"`
 	Arrival float64 `json:"arrival"`
 	Runtime float64 `json:"runtime"`

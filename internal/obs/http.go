@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// DiagConfig parameterizes an embedded diagnostics server.
+type DiagConfig struct {
+	// Registry is scraped by /metrics. Nil means the Default registry.
+	Registry *Registry
+	// Health is polled by /healthz; a non-nil error turns the endpoint
+	// 503. Nil means always healthy.
+	Health func() error
+	// Logger observes server lifecycle problems; nil silences them.
+	Logger *Logger
+}
+
+// DiagServer is the embeddable diagnostics endpoint every daemon mounts
+// behind -metrics-addr: Prometheus metrics, a liveness probe, the standard
+// pprof profiles, and expvar.
+//
+//	/metrics         Prometheus text exposition of the registry
+//	/healthz         {"status":"ok","uptime_seconds":...} or 503
+//	/debug/pprof/*   CPU, heap, goroutine, ... profiles
+//	/debug/vars      expvar JSON
+type DiagServer struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Handler builds the diagnostics mux without binding a listener, for
+// embedding into an existing HTTP server.
+func Handler(cfg DiagConfig) http.Handler {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = Default
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		status, code := "ok", http.StatusOK
+		var detail string
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				status, code = "unhealthy", http.StatusServiceUnavailable
+				detail = err.Error()
+			}
+		}
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         status,
+			"detail":         detail,
+			"uptime_seconds": time.Since(start).Seconds(),
+			"goroutines":     runtime.NumGoroutine(),
+		})
+	})
+	// pprof.Index dispatches /debug/pprof/<profile> to the named profiles
+	// itself; only the four non-lookup handlers need explicit routes.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "task-service diagnostics\n\n/metrics\n/healthz\n/debug/pprof/\n/debug/vars\n")
+	})
+	return mux
+}
+
+// ServeDiag starts a diagnostics server on addr ("host:port"; port 0 picks
+// a free port). The caller owns the returned server and must Close it.
+func ServeDiag(addr string, cfg DiagConfig) (*DiagServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: diagnostics listener: %w", err)
+	}
+	d := &DiagServer{
+		ln:    ln,
+		srv:   &http.Server{Handler: Handler(cfg)},
+		start: time.Now(),
+	}
+	go func() {
+		if err := d.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			cfg.Logger.Error("diagnostics server failed", "err", err.Error())
+		}
+	}()
+	return d, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DiagServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server immediately, severing open scrapes.
+func (d *DiagServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServeDiagEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("diag_test_total", "test counter", "site").With("s-1").Add(9)
+	var unhealthy error
+	d, err := ServeDiag("127.0.0.1:0", DiagConfig{
+		Registry: reg,
+		Health:   func() error { return unhealthy },
+	})
+	if err != nil {
+		t.Fatalf("ServeDiag: %v", err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `diag_test_total{site="s-1"} 9`) {
+		t.Errorf("/metrics missing registered series:\n%s", body)
+	}
+	// The scrape must itself parse.
+	samples, _ := parseProm(t, body)
+	if samples[`diag_test_total{site="s-1"}`] != 9 {
+		t.Errorf("scrape did not round-trip: %v", samples)
+	}
+
+	code, body = getBody(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var h map[string]any
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if h["status"] != "ok" {
+		t.Errorf("/healthz status field = %v", h["status"])
+	}
+	if _, ok := h["uptime_seconds"].(float64); !ok {
+		t.Errorf("/healthz missing uptime_seconds: %v", h)
+	}
+
+	unhealthy = errors.New("scheduler wedged")
+	code, body = getBody(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz with failing check: status %d, want 503", code)
+	}
+	if !strings.Contains(body, "scheduler wedged") {
+		t.Errorf("/healthz missing detail: %s", body)
+	}
+	unhealthy = nil
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/vars", "/"} {
+		code, _ := getBody(t, base+path)
+		if code != http.StatusOK {
+			t.Errorf("%s status %d, want 200", path, code)
+		}
+	}
+	if code, _ := getBody(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope status %d, want 404", code)
+	}
+}
+
+func TestServeDiagDefaultRegistry(t *testing.T) {
+	const name = "diag_default_probe_total"
+	Default.Counter(name, "probe").With().Inc()
+	d, err := ServeDiag("127.0.0.1:0", DiagConfig{})
+	if err != nil {
+		t.Fatalf("ServeDiag: %v", err)
+	}
+	defer d.Close()
+	_, body := getBody(t, "http://"+d.Addr()+"/metrics")
+	if !strings.Contains(body, name) {
+		t.Errorf("default-registry scrape missing %s", name)
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. Trace is the lowest: the task-lifecycle
+// trace stream shares the logger's JSON-lines format (see Tracer).
+type Level int32
+
+// Log levels, least to most severe.
+const (
+	LevelTrace Level = iota
+	LevelDebug
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelTrace:
+		return "trace"
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("Level(%d)", int32(l))
+}
+
+// ParseLevel maps a level name to its Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "trace":
+		return LevelTrace, nil
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// lineWriter serializes whole-line writes to a shared destination, so log
+// and trace lines from concurrent goroutines never interleave.
+type lineWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lineWriter) writeLine(b []byte) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	_, _ = lw.w.Write(b)
+}
+
+// Logger emits leveled, structured JSON lines:
+//
+//	{"ts":"2006-01-02T15:04:05.999999999Z","level":"info","component":"siteserver","msg":"accepted task","task":12}
+//
+// Keys ts, level, component, and msg always lead, in that order, so the
+// stream greps and sorts predictably; the variadic key/value pairs follow
+// in call order. A nil *Logger discards everything.
+type Logger struct {
+	lw        *lineWriter
+	min       Level
+	component string
+	base      []any // alternating key, value
+}
+
+// NewLogger builds a logger writing to w, dropping entries below min.
+// component names the process or subsystem and appears on every line.
+func NewLogger(w io.Writer, min Level, component string) *Logger {
+	return &Logger{lw: &lineWriter{w: w}, min: min, component: component}
+}
+
+// With returns a logger that appends the given key/value pairs to every
+// entry. The receiver is unchanged.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	nl := *l
+	nl.base = append(append([]any(nil), l.base...), kv...)
+	return &nl
+}
+
+// Component returns a copy of the logger stamped with a new component name.
+func (l *Logger) Component(name string) *Logger {
+	if l == nil {
+		return nil
+	}
+	nl := *l
+	nl.component = name
+	return &nl
+}
+
+// Enabled reports whether entries at the given level would be emitted.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+// Log emits one entry. kv is alternating key, value; a trailing odd key
+// gets a null value rather than being dropped.
+func (l *Logger) Log(lv Level, msg string, kv ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	b := appendEntry(nil, time.Now(), lv.String(), l.component, msg, l.base, kv)
+	l.lw.writeLine(b)
+}
+
+// Debug emits at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.Log(LevelDebug, msg, kv...) }
+
+// Info emits at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.Log(LevelInfo, msg, kv...) }
+
+// Warn emits at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.Log(LevelWarn, msg, kv...) }
+
+// Error emits at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.Log(LevelError, msg, kv...) }
+
+// appendEntry renders one JSON log line into buf. Values marshal with
+// encoding/json; a value that fails to marshal is stringified instead of
+// poisoning the line.
+func appendEntry(buf []byte, ts time.Time, level, component, msg string, kvSets ...[]any) []byte {
+	buf = append(buf, `{"ts":`...)
+	buf = appendJSON(buf, ts.UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"level":`...)
+	buf = appendJSON(buf, level)
+	if component != "" {
+		buf = append(buf, `,"component":`...)
+		buf = appendJSON(buf, component)
+	}
+	buf = append(buf, `,"msg":`...)
+	buf = appendJSON(buf, msg)
+	for _, kv := range kvSets {
+		for i := 0; i < len(kv); i += 2 {
+			key, ok := kv[i].(string)
+			if !ok {
+				key = fmt.Sprint(kv[i])
+			}
+			var val any
+			if i+1 < len(kv) {
+				val = kv[i+1]
+			}
+			buf = append(buf, ',')
+			buf = appendJSON(buf, key)
+			buf = append(buf, ':')
+			buf = appendJSON(buf, val)
+		}
+	}
+	return append(buf, '}', '\n')
+}
+
+// appendJSON marshals v onto buf, falling back to a quoted fmt rendering
+// for unmarshalable values (NaN floats, channels, ...).
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeLines parses a JSON-lines stream into one map per line.
+func decodeLines(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q is not JSON: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, "testcomp")
+	l.Info("hello", "task", 42, "site", "s-1")
+
+	lines := decodeLines(t, buf.Bytes())
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	e := lines[0]
+	if e["level"] != "info" || e["component"] != "testcomp" || e["msg"] != "hello" {
+		t.Errorf("bad header fields: %v", e)
+	}
+	if e["task"] != float64(42) || e["site"] != "s-1" {
+		t.Errorf("bad kv fields: %v", e)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, e["ts"].(string)); err != nil {
+		t.Errorf("ts %v not RFC3339Nano: %v", e["ts"], err)
+	}
+	// Leading keys must come in ts, level, component, msg order.
+	line := strings.TrimSpace(buf.String())
+	if !strings.HasPrefix(line, `{"ts":`) || !strings.Contains(line, `,"level":"info","component":"testcomp","msg":"hello"`) {
+		t.Errorf("leading key order wrong: %s", line)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn, "c")
+	l.Debug("dropped")
+	l.Info("dropped")
+	l.Warn("kept")
+	l.Error("kept")
+	lines := decodeLines(t, buf.Bytes())
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %s", len(lines), buf.String())
+	}
+	if lines[0]["level"] != "warn" || lines[1]["level"] != "error" {
+		t.Errorf("wrong levels kept: %v", lines)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with the filter")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, "c").With("site", "s-9")
+	l.Info("x", "extra", true)
+	e := decodeLines(t, buf.Bytes())[0]
+	if e["site"] != "s-9" || e["extra"] != true {
+		t.Errorf("With fields missing: %v", e)
+	}
+}
+
+func TestLoggerOddKVAndBadValues(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, "c")
+	l.Info("x", "dangling")
+	l.Info("y", "ch", make(chan int))
+	lines := decodeLines(t, buf.Bytes())
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if v, ok := lines[0]["dangling"]; !ok || v != nil {
+		t.Errorf("dangling key = %v, want null", v)
+	}
+	if _, ok := lines[1]["ch"].(string); !ok {
+		t.Errorf("unmarshalable value not stringified: %v", lines[1]["ch"])
+	}
+}
+
+func TestNilLoggerDiscards(t *testing.T) {
+	var l *Logger
+	l.Info("x")
+	l.With("a", 1).Error("y")
+	l.Component("z").Warn("w")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger claims enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"trace": LevelTrace, "debug": LevelDebug, "INFO": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestTracerEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, "sitesim")
+	tr.Emit(TraceEvent{Stage: StageComplete, Task: 7, Req: "abc123",
+		Site: "s-1", T: 12.5, Value: 3.25, Queued: 2, Running: 4})
+	tr.Emit(TraceEvent{Stage: StageSubmit, Task: 8}) // zero fields omitted
+
+	lines := decodeLines(t, buf.Bytes())
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	e := lines[0]
+	if e["level"] != "trace" || e["component"] != "sitesim" || e["msg"] != "task" {
+		t.Errorf("bad trace header: %v", e)
+	}
+	if e["stage"] != StageComplete || e["task"] != float64(7) || e["req"] != "abc123" ||
+		e["site"] != "s-1" || e["t"] != 12.5 || e["value"] != 3.25 ||
+		e["queued"] != float64(2) || e["running"] != float64(4) {
+		t.Errorf("bad trace fields: %v", e)
+	}
+	for _, k := range []string{"req", "site", "t", "value", "queued", "running", "detail"} {
+		if _, ok := lines[1][k]; ok {
+			t.Errorf("zero field %q not omitted: %v", k, lines[1])
+		}
+	}
+	var nilT *Tracer
+	nilT.Emit(TraceEvent{Stage: StageSubmit, Task: 1}) // must not panic
+}
+
+func TestTracerForSharesStream(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, "siteserver")
+	tr := TracerFor(l, "siteserver")
+
+	// Hammer both from many goroutines; every resulting line must be a
+	// complete JSON object (no mid-line interleaving).
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Info("log line", "i", i, "j", j)
+				tr.Emit(TraceEvent{Stage: StageStart, Task: uint64(j), Site: "s"})
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := decodeLines(t, buf.Bytes())
+	if len(lines) != 8*200*2 {
+		t.Errorf("got %d lines, want %d", len(lines), 8*200*2)
+	}
+	if TracerFor(nil, "x") != nil {
+		t.Error("TracerFor(nil) should be nil")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,485 @@
+// Package obs is the observability layer of the task service: a
+// dependency-free metrics registry with Prometheus text-format exposition,
+// a leveled structured (JSON lines) logger, cross-process task-lifecycle
+// tracing, and an embeddable HTTP diagnostics server.
+//
+// The registry follows the Prometheus data model — counters, gauges, and
+// histograms, optionally split by label values — but is implemented on
+// sync/atomic alone so the hot paths (scheduler dispatch, wire RPC
+// handling) pay one atomic add per event and no allocation once a series
+// exists. Every constructor is get-or-create: registering the same name
+// twice returns the same family, so independent subsystems can share a
+// registry without coordination.
+//
+// All metric types are nil-safe: methods on a nil *Registry, *CounterVec,
+// *Counter, etc. are no-ops. Components accept an optional registry and
+// call through unconditionally; observability off means a nil check, not a
+// second code path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated with compare-and-swap, so concurrent
+// Add calls never lose increments.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative or NaN deltas are dropped: a counter
+// only moves forward.
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 || math.IsNaN(v) {
+		return
+	}
+	c.v.Add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can move both ways.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add shifts the gauge by v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(v)
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into cumulative buckets, Prometheus-style.
+// Bounds are upper bounds in ascending order; an implicit +Inf bucket
+// catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, one per bucket including +Inf
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one sample. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// ExponentialBuckets returns n bounds starting at start, each factor times
+// the previous — the usual shape for latency histograms.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: exponential buckets need start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n bounds starting at start, stepping by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: linear buckets need width > 0, n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start += width
+	}
+	return b
+}
+
+// DefLatencyBuckets spans 1ms to ~16s, the range of one RPC exchange.
+func DefLatencyBuckets() []float64 { return ExponentialBuckets(0.001, 2, 15) }
+
+// metricKind discriminates the families in a registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindGaugeFunc
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// labelSep joins label values into a child key; it cannot appear in valid
+// UTF-8 label values produced by this codebase.
+const labelSep = "\x1f"
+
+// family is one named metric and all its labeled children.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64
+
+	mu       sync.RWMutex
+	children map[string]any // label-value key -> *Counter | *Gauge | *Histogram
+	fn       func() float64 // kindGaugeFunc only
+}
+
+func (f *family) child(lvs []string, make func() any) any {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d", f.name, len(f.labels), len(lvs)))
+	}
+	key := strings.Join(lvs, labelSep)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = make()
+	f.children[key] = c
+	return c
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry. A nil *Registry
+// is a valid no-op sink.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Default is the process-wide registry the daemons expose on /metrics.
+var Default = NewRegistry()
+
+// family registers (or finds) a family, enforcing that re-registration
+// agrees on kind and label names — a mismatch is a programming error.
+func (r *Registry) family(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s with %d labels (was %s with %d)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with label %q (was %q)", name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]any),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// CounterVec is a counter family split by label values.
+type CounterVec struct{ f *family }
+
+// Counter registers (or finds) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.family(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(lvs ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(lvs, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family split by label values.
+type GaugeVec struct{ f *family }
+
+// Gauge registers (or finds) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.family(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(lvs ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(lvs, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge sampled by calling fn at scrape time. It is
+// for values that are cheaper to read than to track (e.g. runtime stats).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, help, kindGaugeFunc, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// HistogramVec is a histogram family split by label values.
+type HistogramVec struct{ f *family }
+
+// Histogram registers (or finds) a histogram family with the given bucket
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets()
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %s buckets not ascending", name))
+	}
+	return &HistogramVec{r.family(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(lvs ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	f := v.f
+	return f.child(lvs, func() any {
+		return &Histogram{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+	}).(*Histogram)
+}
+
+// --- Exposition -----------------------------------------------------------
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatValue renders a sample value, using Prometheus spellings for the
+// infinities.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} for the series, with extra appended as a
+// pre-rendered pair (used for histogram le labels). Empty label sets render
+// as nothing.
+func labelString(names, values []string, extra string) string {
+	if len(names) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format, families and series in lexical order so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+
+		if f.kind == kindGaugeFunc {
+			f.mu.RLock()
+			fn := f.fn
+			f.mu.RUnlock()
+			if fn != nil {
+				fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(fn()))
+			}
+			if _, err := io.WriteString(w, b.String()); err != nil {
+				return err
+			}
+			continue
+		}
+
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.RUnlock()
+
+		for i, k := range keys {
+			var values []string
+			if k != "" || len(f.labels) > 0 {
+				values = strings.Split(k, labelSep)
+			}
+			switch c := children[i].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, values, ""), formatValue(c.Value()))
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, values, ""), formatValue(c.Value()))
+			case *Histogram:
+				var cum uint64
+				for bi, bound := range c.bounds {
+					cum += c.counts[bi].Load()
+					le := fmt.Sprintf(`le="%s"`, formatValue(bound))
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, le), cum)
+				}
+				cum += c.counts[len(c.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, `le="+Inf"`), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(f.labels, values, ""), formatValue(c.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(f.labels, values, ""), c.Count())
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

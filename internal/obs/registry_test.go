@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseProm parses Prometheus text exposition into sample -> value,
+// keyed exactly as rendered ("name" or `name{a="b",...}`). It also
+// returns the TYPE declared for each family.
+func parseProm(t *testing.T, text string) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = make(map[string]float64)
+	types = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		key, valStr := line[:i], line[i+1:]
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		default:
+			var err error
+			v, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = v
+	}
+	return samples, types
+}
+
+func scrape(t *testing.T, r *Registry) (map[string]float64, map[string]string) {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return parseProm(t, b.String())
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.Counter("test_ops_total", "ops", "worker")
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Resolve through the vec each time to exercise the
+				// child-lookup path concurrently with other creators.
+				cv.With("shared").Inc()
+				cv.With(fmt.Sprintf("w%d", w)).Add(0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := cv.With("shared").Value(); got != workers*perWorker {
+		t.Errorf("shared counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := cv.With("w3").Value(); got != perWorker/2 {
+		t.Errorf("w3 counter = %v, want %d", got, perWorker/2)
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %v, want 5 (negative and NaN adds dropped)", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	hv := r.Histogram("test_latency", "lat", []float64{1, 10, 100}, "site")
+	h := hv.With("a")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("count = %d, want %d", got, workers*perWorker)
+	}
+	wantSum := float64(workers) * perWorker / 200 * (199 * 200 / 2)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_depth", "depth", "site").With("a")
+	g.Set(7)
+	g.Add(3)
+	g.Add(-5)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %v, want 5", got)
+	}
+}
+
+func TestScrapeParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_requests_total", "requests", "site", "type").With("s-1", "bid").Add(42)
+	r.Counter("rt_requests_total", "requests", "site", "type").With(`we"ird\site`, "award").Inc()
+	r.Gauge("rt_depth", "queue depth").With().Set(-3.5)
+	r.GaugeFunc("rt_sampled", "sampled at scrape", func() float64 { return 12.25 })
+	h := r.Histogram("rt_lat", "latency", []float64{0.5, 2}, "site").With("s-1")
+	h.Observe(0.1) // le 0.5
+	h.Observe(1)   // le 2
+	h.Observe(99)  // +Inf
+
+	samples, types := scrape(t, r)
+
+	want := map[string]float64{
+		`rt_requests_total{site="s-1",type="bid"}`:           42,
+		`rt_requests_total{site="we\"ird\\site",type="award"}`: 1,
+		`rt_depth`:                        -3.5,
+		`rt_sampled`:                      12.25,
+		`rt_lat_bucket{site="s-1",le="0.5"}`:  1,
+		`rt_lat_bucket{site="s-1",le="2"}`:    2,
+		`rt_lat_bucket{site="s-1",le="+Inf"}`: 3,
+		`rt_lat_sum{site="s-1"}`:              100.1,
+		`rt_lat_count{site="s-1"}`:            3,
+	}
+	for k, v := range want {
+		got, ok := samples[k]
+		if !ok {
+			t.Errorf("missing sample %q in scrape:\n%v", k, samples)
+			continue
+		}
+		if math.Abs(got-v) > 1e-9 {
+			t.Errorf("sample %q = %v, want %v", k, got, v)
+		}
+	}
+	wantTypes := map[string]string{
+		"rt_requests_total": "counter",
+		"rt_depth":          "gauge",
+		"rt_sampled":        "gauge",
+		"rt_lat":            "histogram",
+	}
+	for fam, ty := range wantTypes {
+		if types[fam] != ty {
+			t.Errorf("TYPE %s = %q, want %q", fam, types[fam], ty)
+		}
+	}
+}
+
+func TestGetOrCreateSharesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "shared", "k").With("x")
+	b := r.Counter("shared_total", "shared", "k").With("x")
+	if a != b {
+		t.Fatal("same name+labels did not resolve to the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("increments not shared")
+	}
+}
+
+func TestReregistrationMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_total", "x", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("clash_total", "x", "a")
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "h", "l").With("v").Inc()
+	r.Gauge("y", "h").With().Set(3)
+	r.Histogram("z", "h", nil, "l").With("v").Observe(1)
+	r.GaugeFunc("f", "h", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry write: %v", err)
+	}
+	// Nil leaf instruments, too.
+	var c *Counter
+	c.Inc()
+	var g *Gauge
+	g.Set(1)
+	var h *Histogram
+	h.Observe(1)
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(1, 2, 4)
+	if want := []float64{1, 2, 4, 8}; fmt.Sprint(exp) != fmt.Sprint(want) {
+		t.Errorf("exponential = %v, want %v", exp, want)
+	}
+	lin := LinearBuckets(0, 5, 3)
+	if want := []float64{0, 5, 10}; fmt.Sprint(lin) != fmt.Sprint(want) {
+		t.Errorf("linear = %v, want %v", lin, want)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "bench", "l").With("v")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_lat", "bench", DefLatencyBuckets(), "l").With("v")
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%1000) / 250)
+			i++
+		}
+	})
+}
+
+func BenchmarkVecLookup(b *testing.B) {
+	cv := NewRegistry().Counter("bench_lookup_total", "bench", "site", "type")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			cv.With("site-1", "bid").Inc()
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Lifecycle stages of one task as it crosses the market. A task's trace is
+// the sequence of these events carrying the same request ID, possibly
+// spread over several processes (client, broker, site).
+const (
+	StageSubmit   = "submit"   // bid handed to the negotiation layer
+	StageBid      = "bid"      // a site (or broker) offered terms
+	StageReject   = "reject"   // no terms: admission or selection declined
+	StageContract = "contract" // award confirmed; contract open
+	StageStart    = "start"    // task occupies a processor
+	StagePreempt  = "preempt"  // task displaced back to the queue
+	StageComplete = "complete" // task finished; yield realized
+	StagePark     = "park"     // expired task parked; penalty realized
+	StageSettle   = "settle"   // settlement delivered to the payer
+	StageAbandon  = "abandon"  // contract died (shutdown, disconnect)
+)
+
+// TraceEvent is one step in a task's lifecycle. Zero-valued fields are
+// omitted from the JSON so each stage carries only what it knows.
+type TraceEvent struct {
+	Stage string `json:"stage"`
+	// Task is the task ID; together with Req it keys the trace.
+	Task uint64 `json:"task"`
+	// Req is the request ID minted at bid time and carried across
+	// processes by the wire protocol.
+	Req string `json:"req,omitempty"`
+	// Site is the site that acted or was chosen.
+	Site string `json:"site,omitempty"`
+	// T is the event time in simulation units of the emitting process's
+	// clock domain (site-local for server events).
+	T float64 `json:"t,omitempty"`
+	// Value is stage-specific: slack at bid/reject, price at contract and
+	// settle, realized yield at complete, penalty at park, RPT at
+	// start/preempt.
+	Value float64 `json:"value,omitempty"`
+	// Queued and Running snapshot the emitting scheduler's load, when the
+	// emitter is a scheduler.
+	Queued  int `json:"queued,omitempty"`
+	Running int `json:"running,omitempty"`
+	// Detail carries a human-oriented note (reject reasons, error text).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer emits task-lifecycle events as JSON lines in the same shape as
+// Logger entries ({"ts":...,"level":"trace","component":...,...}), so one
+// stream can interleave both and a task ID greps cleanly across processes.
+// Unlike Logger, a Tracer has no level floor: trace events are data, and a
+// Tracer either exists or is nil. A nil *Tracer discards everything.
+type Tracer struct {
+	lw        *lineWriter
+	component string
+}
+
+// NewTracer builds a tracer writing to w, stamping each event with the
+// component name.
+func NewTracer(w io.Writer, component string) *Tracer {
+	return &Tracer{lw: &lineWriter{w: w}, component: component}
+}
+
+// TracerFor builds a tracer sharing a logger's output stream (and line
+// mutex), so log and trace lines never interleave mid-line.
+func TracerFor(l *Logger, component string) *Tracer {
+	if l == nil {
+		return nil
+	}
+	return &Tracer{lw: l.lw, component: component}
+}
+
+// Emit writes one lifecycle event.
+func (t *Tracer) Emit(e TraceEvent) {
+	if t == nil {
+		return
+	}
+	kv := make([]any, 0, 18)
+	kv = append(kv, "stage", e.Stage, "task", e.Task)
+	if e.Req != "" {
+		kv = append(kv, "req", e.Req)
+	}
+	if e.Site != "" {
+		kv = append(kv, "site", e.Site)
+	}
+	if e.T != 0 {
+		kv = append(kv, "t", e.T)
+	}
+	if e.Value != 0 {
+		kv = append(kv, "value", e.Value)
+	}
+	if e.Queued != 0 {
+		kv = append(kv, "queued", e.Queued)
+	}
+	if e.Running != 0 {
+		kv = append(kv, "running", e.Running)
+	}
+	if e.Detail != "" {
+		kv = append(kv, "detail", e.Detail)
+	}
+	b := appendEntry(nil, time.Now(), "trace", t.component, "task", kv)
+	t.lw.writeLine(b)
+}
+
+// reqCounter disambiguates request IDs minted in the same process when the
+// random source fails.
+var reqCounter atomic.Uint64
+
+// NewRequestID mints a 16-hex-digit request ID for one task negotiation.
+// IDs only need to be unique enough to grep a task across process logs.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqCounter.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,145 @@
+package site
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// obsRecorder bridges the site's audit stream into the observability
+// layer: every scheduling decision updates the site_* metric families
+// (the same series a live wire.Server exposes, so simulated and real
+// schedulers are comparable on one dashboard) and, when a tracer is
+// bound, emits a task-lifecycle trace event in the shared JSON format.
+type obsRecorder struct {
+	tracer *obs.Tracer
+
+	accepted    *obs.Counter
+	rejected    *obs.Counter
+	completed   *obs.Counter
+	parked      *obs.Counter
+	preemptions *obs.Counter
+	queueDepth  *obs.Gauge
+	running     *obs.Gauge
+	slack       *obs.Histogram
+	yield       *obs.Counter
+	penalty     *obs.Counter
+}
+
+// simSlackBuckets mirror the wire layer's admission-slack buckets (see
+// DESIGN.md §8) without importing it.
+var simSlackBuckets = []float64{-1000, -250, -100, -50, -10, 0, 10, 25, 50, 100, 250, 500, 1000, 5000}
+
+// NewObsRecorder builds a Recorder that feeds reg and tracer (either may
+// be nil) with events labeled by siteID. Compose it with an audit Log via
+// MultiRecorder when both are wanted.
+func NewObsRecorder(reg *obs.Registry, tracer *obs.Tracer, siteID string) Recorder {
+	tasks := reg.Counter("site_tasks_total", "Task outcomes at this site.", "site", "event")
+	return &obsRecorder{
+		tracer:      tracer,
+		accepted:    tasks.With(siteID, "accepted"),
+		rejected:    tasks.With(siteID, "rejected"),
+		completed:   tasks.With(siteID, "completed"),
+		parked:      tasks.With(siteID, "parked"),
+		preemptions: tasks.With(siteID, "preempted"),
+		queueDepth:  reg.Gauge("site_queue_depth", "Pending (queued, not running) tasks.", "site").With(siteID),
+		running:     reg.Gauge("site_running_tasks", "Tasks occupying processors.", "site").With(siteID),
+		slack:       reg.Histogram("site_admission_slack", "Admission slack of quoted bids (finite values only).", simSlackBuckets, "site").With(siteID),
+		yield:       reg.Counter("site_yield_total", "Realized positive yield.", "site").With(siteID),
+		penalty:     reg.Counter("site_penalty_total", "Realized penalties (absolute value).", "site").With(siteID),
+	}
+}
+
+// stageFor maps audit event kinds onto lifecycle stages. Submissions that
+// pass admission open a contract in one step in the simulator, so
+// EventSubmit maps to submit (not contract).
+func stageFor(kind EventKind) string {
+	switch kind {
+	case EventSubmit:
+		return obs.StageSubmit
+	case EventReject:
+		return obs.StageReject
+	case EventStart:
+		return obs.StageStart
+	case EventPreempt:
+		return obs.StagePreempt
+	case EventComplete:
+		return obs.StageComplete
+	case EventPark:
+		return obs.StagePark
+	}
+	return kind.String()
+}
+
+// Record implements Recorder.
+func (r *obsRecorder) Record(e Event) {
+	switch e.Kind {
+	case EventSubmit:
+		r.accepted.Inc()
+		if !math.IsInf(e.Value, 0) {
+			r.slack.Observe(e.Value)
+		}
+	case EventReject:
+		r.rejected.Inc()
+		if !math.IsInf(e.Value, 0) {
+			r.slack.Observe(e.Value)
+		}
+	case EventPreempt:
+		r.preemptions.Inc()
+	case EventComplete:
+		r.completed.Inc()
+		r.observeYield(e.Value)
+	case EventPark:
+		r.parked.Inc()
+		r.observeYield(e.Value)
+	}
+	r.queueDepth.Set(float64(e.Queued))
+	r.running.Set(float64(e.Running))
+	if r.tracer != nil {
+		r.tracer.Emit(obs.TraceEvent{
+			Stage:   stageFor(e.Kind),
+			Task:    uint64(e.TaskID),
+			T:       e.Time,
+			Value:   e.Value,
+			Queued:  e.Queued,
+			Running: e.Running,
+		})
+	}
+}
+
+func (r *obsRecorder) observeYield(v float64) {
+	if v >= 0 {
+		r.yield.Add(v)
+	} else {
+		r.penalty.Add(-v)
+	}
+}
+
+// multiRecorder fans one audit stream out to several recorders.
+type multiRecorder []Recorder
+
+// Record implements Recorder.
+func (m multiRecorder) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+// MultiRecorder composes recorders; nils are skipped. It returns nil when
+// none remain, so the site's fast path (no recorder installed) survives
+// composition.
+func MultiRecorder(rs ...Recorder) Recorder {
+	var out multiRecorder
+	for _, r := range rs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package site
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// simSamples scrapes reg into sample -> value keyed as rendered.
+func simSamples(t *testing.T, reg *obs.Registry) map[string]float64 {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		var v float64
+		if err := json.Unmarshal([]byte(line[i+1:]), &v); err != nil {
+			continue // +Inf bucket bounds are irrelevant to these assertions
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestObsRecorderMatchesMetrics replays a contended trace through the
+// simulator with the observability recorder attached and checks the scraped
+// series agree with the site's own Metrics bookkeeping.
+func TestObsRecorderMatchesMetrics(t *testing.T) {
+	spec := integrationSpec(300)
+	spec.Load = 2 // overload, so admission rejects and tasks park
+	spec.Bound = 50
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	var traceBuf bytes.Buffer
+	rec := NewObsRecorder(reg, obs.NewTracer(&traceBuf, "sitesim"), "sim")
+	m := RunTrace(tr.Clone(), Config{
+		Processors: tr.Spec.Processors,
+		Policy:     core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+		Preemptive: true,
+		Admission:  admission.SlackThreshold{Threshold: 0},
+		Recorder:   rec,
+	})
+	if m.Rejected == 0 {
+		t.Fatal("test wants a contended run with rejections; got none")
+	}
+
+	s := simSamples(t, reg)
+	if got := s[`site_tasks_total{site="sim",event="accepted"}`]; got != float64(m.Accepted) {
+		t.Errorf("accepted counter = %v, metrics say %d", got, m.Accepted)
+	}
+	if got := s[`site_tasks_total{site="sim",event="rejected"}`]; got != float64(m.Rejected) {
+		t.Errorf("rejected counter = %v, metrics say %d", got, m.Rejected)
+	}
+	completed := s[`site_tasks_total{site="sim",event="completed"}`]
+	parked := s[`site_tasks_total{site="sim",event="parked"}`]
+	if int(completed+parked) != m.Completed {
+		t.Errorf("completed+parked = %v+%v, metrics say %d realized outcomes",
+			completed, parked, m.Completed)
+	}
+	if got := s[`site_tasks_total{site="sim",event="preempted"}`]; got != float64(m.Preemptions) {
+		t.Errorf("preempted counter = %v, metrics say %d", got, m.Preemptions)
+	}
+	realized := s[`site_yield_total{site="sim"}`] - s[`site_penalty_total{site="sim"}`]
+	if math.Abs(realized-m.TotalYield) > 1e-6 {
+		t.Errorf("yield - penalty = %v, metrics say %v", realized, m.TotalYield)
+	}
+	// Slack is observed once per admission decision (finite quotes only).
+	if got := s[`site_admission_slack_count{site="sim"}`]; got > float64(m.Submitted) || got == 0 {
+		t.Errorf("slack observations = %v, want in (0, %d]", got, m.Submitted)
+	}
+	// The run drained: final gauges are zero.
+	if s[`site_queue_depth{site="sim"}`] != 0 || s[`site_running_tasks{site="sim"}`] != 0 {
+		t.Errorf("gauges not drained: queue=%v running=%v",
+			s[`site_queue_depth{site="sim"}`], s[`site_running_tasks{site="sim"}`])
+	}
+
+	// Every trace line is valid JSON carrying the shared event schema, and
+	// the run produced the full set of lifecycle stages.
+	stages := make(map[string]int)
+	sc := bufio.NewScanner(&traceBuf)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var e map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("trace line %q is not JSON: %v", sc.Text(), err)
+		}
+		if e["level"] != "trace" || e["component"] != "sitesim" {
+			t.Fatalf("bad trace envelope: %v", e)
+		}
+		stages[e["stage"].(string)]++
+	}
+	for _, st := range []string{obs.StageSubmit, obs.StageReject, obs.StageStart,
+		obs.StagePreempt, obs.StageComplete} {
+		if stages[st] == 0 {
+			t.Errorf("trace stream has no %q events (got %v)", st, stages)
+		}
+	}
+	if got := int(parked); stages[obs.StagePark] != got {
+		t.Errorf("park trace events = %d, parked counter says %d", stages[obs.StagePark], got)
+	}
+	if stages[obs.StageSubmit] != m.Accepted {
+		t.Errorf("submit trace events = %d, metrics accepted %d", stages[obs.StageSubmit], m.Accepted)
+	}
+}
+
+// TestMultiRecorder checks composition semantics: nils are skipped, a
+// single survivor is returned unwrapped, and a fan-out reaches every leg.
+func TestMultiRecorder(t *testing.T) {
+	if MultiRecorder() != nil || MultiRecorder(nil, nil) != nil {
+		t.Error("MultiRecorder of nothing should be nil")
+	}
+	var l Log
+	if got := MultiRecorder(nil, &l); got != Recorder(&l) {
+		t.Error("single survivor should be returned unwrapped")
+	}
+
+	reg := obs.NewRegistry()
+	both := MultiRecorder(&l, NewObsRecorder(reg, nil, "x"))
+	both.Record(Event{Kind: EventSubmit, TaskID: task.ID(1), Value: 5})
+	both.Record(Event{Kind: EventComplete, TaskID: task.ID(1), Value: 2})
+	if len(l.Events) != 2 {
+		t.Errorf("audit log saw %d events, want 2", len(l.Events))
+	}
+	s := simSamples(t, reg)
+	if s[`site_tasks_total{site="x",event="accepted"}`] != 1 ||
+		s[`site_tasks_total{site="x",event="completed"}`] != 1 ||
+		s[`site_yield_total{site="x"}`] != 2 {
+		t.Errorf("obs leg missed events: %v", s)
+	}
+}
+
+// TestObsRecorderSkipsInfiniteSlack guards the histogram against the
+// zero-decay case, whose slack quote is +Inf.
+func TestObsRecorderSkipsInfiniteSlack(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := NewObsRecorder(reg, nil, "inf")
+	rec.Record(Event{Kind: EventSubmit, TaskID: 1, Value: math.Inf(1)})
+	rec.Record(Event{Kind: EventSubmit, TaskID: 2, Value: 3})
+	s := simSamples(t, reg)
+	if got := s[`site_admission_slack_count{site="inf"}`]; got != 1 {
+		t.Errorf("slack count = %v, want 1 (infinite quote skipped)", got)
+	}
+	if got := s[`site_admission_slack_sum{site="inf"}`]; got != 3 {
+		t.Errorf("slack sum = %v, want 3", got)
+	}
+}
+
+// TestObsRecorderParkRealizesPenalty checks the park path: the parked
+// counter and penalty series advance and the trace stage is "park".
+func TestObsRecorderParkRealizesPenalty(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	rec := NewObsRecorder(reg, obs.NewTracer(&buf, "sitesim"), "p")
+	rec.Record(Event{Kind: EventPark, TaskID: 9, Value: -7.5})
+	s := simSamples(t, reg)
+	if s[`site_tasks_total{site="p",event="parked"}`] != 1 {
+		t.Errorf("parked counter did not advance: %v", s)
+	}
+	if got := s[`site_penalty_total{site="p"}`]; got != 7.5 {
+		t.Errorf("penalty = %v, want 7.5", got)
+	}
+	var e map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &e); err != nil {
+		t.Fatalf("park trace line: %v", err)
+	}
+	if e["stage"] != obs.StagePark || e["value"] != -7.5 {
+		t.Errorf("park trace event = %v", e)
+	}
+}

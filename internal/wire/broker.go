@@ -4,12 +4,12 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -29,12 +29,19 @@ type BrokerConfig struct {
 	// connections, with ServerConfig semantics.
 	IdleTimeout  time.Duration
 	WriteTimeout time.Duration
-	// Logger receives brokering events; nil silences them.
-	Logger *log.Logger
+	// Logger receives brokering events as structured JSON lines; nil
+	// silences them.
+	Logger *obs.Logger
+	// Metrics receives broker instrumentation under role="broker"; nil
+	// disables it.
+	Metrics *obs.Registry
+	// Tracer receives task-lifecycle trace events as bids, awards, and
+	// settlements cross the broker; nil disables them.
+	Tracer *obs.Tracer
 }
 
-func (c BrokerConfig) retries() int            { return defaultedRetries(c.Retries) }
-func (c BrokerConfig) backoff() time.Duration  { return defaultedBackoff(c.Backoff) }
+func (c BrokerConfig) retries() int           { return defaultedRetries(c.Retries) }
+func (c BrokerConfig) backoff() time.Duration { return defaultedBackoff(c.Backoff) }
 
 // BrokerServer is Figure 1's broker as a standalone process: clients speak
 // the ordinary bid/award protocol to it, and it coordinates the fan-out,
@@ -45,10 +52,13 @@ type BrokerServer struct {
 	cfg   BrokerConfig
 	ln    net.Listener
 	sites []*SiteClient
+	eo    exchangeObs
+	m     brokerMetrics
 
 	mu     sync.Mutex
-	chosen map[task.ID]*SiteClient // accepted proposal awaiting award
-	owners map[task.ID]*serverConn // awarded task -> client connection
+	chosen map[task.ID]*SiteClient       // accepted proposal awaiting award
+	owners map[task.ID]*serverConn       // awarded task -> client connection
+	terms  map[task.ID]market.ServerBid  // contract terms, for settlement lateness
 	conns  map[*serverConn]struct{}
 	closed bool
 
@@ -58,6 +68,25 @@ type BrokerServer struct {
 	Negotiated int
 	Placed     int
 	Declined   int
+}
+
+// brokerMetrics are the broker's own instruments, beyond the shared
+// exchange set.
+type brokerMetrics struct {
+	connections *obs.Gauge
+	relayed     *obs.Counter
+	relayLost   *obs.Counter
+	lateness    *obs.Histogram
+}
+
+func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
+	settles := reg.Counter("market_settlements_total", "Settlement deliveries.", "role", "result")
+	return brokerMetrics{
+		connections: reg.Gauge("wire_connections", "Live client connections.", "site").With("broker"),
+		relayed:     settles.With("broker", "relayed"),
+		relayLost:   settles.With("broker", "undeliverable"),
+		lateness:    reg.Histogram("market_settlement_lateness", "Completion time minus contracted completion, in simulation units.", latenessBuckets, "site").With("broker"),
+	}
 }
 
 // NewBrokerServer connects to every site and starts listening on addr.
@@ -70,8 +99,11 @@ func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
 	}
 	b := &BrokerServer{
 		cfg:    cfg,
+		eo:     newExchangeObs(cfg.Metrics, cfg.Logger.With("role", "broker"), cfg.Tracer, "broker"),
+		m:      newBrokerMetrics(cfg.Metrics),
 		chosen: make(map[task.ID]*SiteClient),
 		owners: make(map[task.ID]*serverConn),
+		terms:  make(map[task.ID]market.ServerBid),
 		conns:  make(map[*serverConn]struct{}),
 	}
 	for _, sa := range cfg.SiteAddrs {
@@ -127,11 +159,6 @@ func (b *BrokerServer) closeSites() {
 	}
 }
 
-func (b *BrokerServer) logf(format string, args ...any) {
-	if b.cfg.Logger != nil {
-		b.cfg.Logger.Printf("[broker] "+format, args...)
-	}
-}
 
 func (b *BrokerServer) acceptLoop() {
 	defer b.wg.Done()
@@ -159,8 +186,10 @@ func (b *BrokerServer) serve(conn net.Conn) {
 	}
 	b.conns[sc] = struct{}{}
 	b.mu.Unlock()
+	b.m.connections.Add(1)
 	defer func() {
 		conn.Close()
+		b.m.connections.Add(-1)
 		b.mu.Lock()
 		delete(b.conns, sc)
 		b.dropOwnerLocked(sc)
@@ -191,12 +220,13 @@ func (b *BrokerServer) serve(conn net.Conn) {
 		default:
 			reply = Envelope{Type: TypeError, Reason: fmt.Sprintf("unexpected message %q", env.Type)}
 		}
+		reply.ReqID = env.ReqID
 		if err := sc.send(reply); err != nil {
 			return
 		}
 	}
 	if err := scanner.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
-		b.logf("client %s read error: %v", conn.RemoteAddr(), err)
+		b.eo.log.Warn("client read error", "remote", conn.RemoteAddr().String(), "err", err.Error())
 	}
 }
 
@@ -207,7 +237,8 @@ func (b *BrokerServer) dropOwnerLocked(sc *serverConn) {
 	for id, owner := range b.owners {
 		if owner == sc {
 			delete(b.owners, id)
-			b.logf("task %d orphaned: client disconnected before settlement", id)
+			delete(b.terms, id)
+			b.eo.log.Info("task orphaned: client disconnected before settlement", "task", id)
 		}
 	}
 }
@@ -224,9 +255,12 @@ func (b *BrokerServer) handleBid(env Envelope) Envelope {
 	b.mu.Lock()
 	b.Negotiated++
 	b.mu.Unlock()
+	b.eo.trace(obs.TraceEvent{Stage: obs.StageSubmit, Task: uint64(bid.TaskID), Req: bid.ReqID, Value: bid.Value})
 
-	offers, offerSites, err := proposeAll(b.sites, bid, b.cfg.retries(), b.cfg.backoff(), b.logf)
+	offers, offerSites, err := proposeAll(b.sites, bid, b.cfg.retries(), b.cfg.backoff(), b.eo)
 	if err != nil {
+		b.eo.failed.Inc()
+		b.eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(bid.TaskID), Req: bid.ReqID, Detail: err.Error()})
 		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: err.Error()}
 	}
 	i := -1
@@ -237,6 +271,8 @@ func (b *BrokerServer) handleBid(env Envelope) Envelope {
 		b.mu.Lock()
 		b.Declined++
 		b.mu.Unlock()
+		b.eo.declined.Inc()
+		b.eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(bid.TaskID), Req: bid.ReqID, Detail: "no site accepted"})
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, Reason: "no site accepted"}
 	}
 
@@ -244,7 +280,10 @@ func (b *BrokerServer) handleBid(env Envelope) Envelope {
 	b.chosen[bid.TaskID] = offerSites[i]
 	b.mu.Unlock()
 	win := offers[i]
-	b.logf("task %d -> %s (completion %.1f, price %.2f)", bid.TaskID, win.SiteID, win.ExpectedCompletion, win.ExpectedPrice)
+	b.eo.trace(obs.TraceEvent{Stage: obs.StageBid, Task: uint64(bid.TaskID), Req: bid.ReqID,
+		Site: win.SiteID, Value: win.ExpectedPrice})
+	b.eo.log.Info("selected site", "task", bid.TaskID, "req", bid.ReqID, "site", win.SiteID,
+		"expected_completion", win.ExpectedCompletion, "price", win.ExpectedPrice)
 	return Envelope{
 		Type:               TypeServerBid,
 		TaskID:             win.TaskID,
@@ -275,24 +314,33 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: "award without a standing proposal"}
 	}
 
-	terms, ok, err := callWithRetry(site, b.cfg.retries(), b.cfg.backoff(),
+	terms, ok, err := callWithRetry(site, b.cfg.retries(), b.cfg.backoff(), b.eo,
 		func() (market.ServerBid, bool, error) { return site.Award(bid, sb) })
 	if err != nil {
 		b.mu.Lock()
 		b.Declined++
 		b.mu.Unlock()
+		b.eo.failed.Inc()
+		b.eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(bid.TaskID), Req: bid.ReqID, Detail: err.Error()})
 		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: err.Error()}
 	}
 	if !ok {
 		b.mu.Lock()
 		b.Declined++
 		b.mu.Unlock()
+		b.eo.declined.Inc()
+		b.eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(bid.TaskID), Req: bid.ReqID,
+			Site: sb.SiteID, Detail: "site mix changed since proposal"})
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, Reason: "site mix changed since proposal"}
 	}
 	b.mu.Lock()
 	b.owners[bid.TaskID] = owner
+	b.terms[bid.TaskID] = terms
 	b.Placed++
 	b.mu.Unlock()
+	b.eo.placed.Inc()
+	b.eo.trace(obs.TraceEvent{Stage: obs.StageContract, Task: uint64(bid.TaskID), Req: bid.ReqID,
+		Site: terms.SiteID, Value: terms.ExpectedPrice})
 	return Envelope{
 		Type:               TypeContract,
 		TaskID:             terms.TaskID,
@@ -306,13 +354,23 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 func (b *BrokerServer) relaySettlement(e Envelope) {
 	b.mu.Lock()
 	owner := b.owners[e.TaskID]
+	terms, hasTerms := b.terms[e.TaskID]
 	delete(b.owners, e.TaskID)
+	delete(b.terms, e.TaskID)
 	b.mu.Unlock()
 	if owner == nil {
-		b.logf("settlement for unknown task %d", e.TaskID)
+		b.eo.log.Warn("settlement for unknown task", "task", e.TaskID, "req", e.ReqID)
 		return
 	}
-	if err := owner.send(e); err != nil {
-		b.logf("settlement relay to client failed: %v", err)
+	if hasTerms {
+		b.m.lateness.Observe(e.CompletedAt - terms.ExpectedCompletion)
 	}
+	b.eo.trace(obs.TraceEvent{Stage: obs.StageSettle, Task: uint64(e.TaskID), Req: e.ReqID,
+		Site: e.SiteID, Value: e.FinalPrice})
+	if err := owner.send(e); err != nil {
+		b.m.relayLost.Inc()
+		b.eo.log.Warn("settlement relay to client failed", "task", e.TaskID, "err", err.Error())
+		return
+	}
+	b.m.relayed.Inc()
 }

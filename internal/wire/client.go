@@ -5,13 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/market"
+	"repro/internal/obs"
 )
 
 // Sentinel errors for connection-level failures. Both are transient from
@@ -338,8 +338,18 @@ type Negotiator struct {
 	// Backoff is the delay before the first retry, doubling each attempt.
 	// Zero means the default (50ms).
 	Backoff time.Duration
-	// Logger observes per-site failures; nil silences them.
-	Logger *log.Logger
+	// Logger observes per-site failures as structured JSON lines; nil
+	// silences them.
+	Logger *obs.Logger
+	// Metrics receives negotiation instrumentation (retries, dropouts,
+	// outcome counters) under role="client"; nil disables it.
+	Metrics *obs.Registry
+	// Tracer receives task-lifecycle trace events (submit, bid, contract,
+	// reject); nil disables them.
+	Tracer *obs.Tracer
+
+	obsOnce sync.Once
+	eo      exchangeObs
 }
 
 const (
@@ -367,21 +377,25 @@ func defaultedBackoff(d time.Duration) time.Duration {
 func (n *Negotiator) retries() int           { return defaultedRetries(n.Retries) }
 func (n *Negotiator) backoff() time.Duration { return defaultedBackoff(n.Backoff) }
 
-func (n *Negotiator) logf(format string, args ...any) {
-	if n.Logger != nil {
-		n.Logger.Printf(format, args...)
-	}
+// exchangeObs lazily binds the negotiator's instruments so plain literal
+// construction (the common pattern in tests and examples) keeps working.
+func (n *Negotiator) exchangeObs() exchangeObs {
+	n.obsOnce.Do(func() {
+		n.eo = newExchangeObs(n.Metrics, n.Logger, n.Tracer, "client")
+	})
+	return n.eo
 }
 
 // callWithRetry runs one site exchange with bounded retry and exponential
 // backoff on transient errors, redialing the site between attempts.
-func callWithRetry(sc *SiteClient, retries int, backoff time.Duration,
+func callWithRetry(sc *SiteClient, retries int, backoff time.Duration, eo exchangeObs,
 	f func() (market.ServerBid, bool, error)) (market.ServerBid, bool, error) {
 	for attempt := 0; ; attempt++ {
 		sb, ok, err := f()
 		if err == nil || attempt >= retries || !transientErr(err) {
 			return sb, ok, err
 		}
+		eo.retries.Inc()
 		time.Sleep(backoff << attempt)
 		// A failed redial leaves the connection dead; the next attempt
 		// fails fast and the loop either retries or gives up.
@@ -394,7 +408,7 @@ func callWithRetry(sc *SiteClient, retries int, backoff time.Duration,
 // of the exchange. The returned error is non-nil only when every site
 // failed, and carries the first failure observed.
 func proposeAll(sites []*SiteClient, b market.Bid, retries int, backoff time.Duration,
-	logf func(format string, args ...any)) ([]market.ServerBid, []*SiteClient, error) {
+	eo exchangeObs) ([]market.ServerBid, []*SiteClient, error) {
 	type result struct {
 		sb  market.ServerBid
 		ok  bool
@@ -406,7 +420,7 @@ func proposeAll(sites []*SiteClient, b market.Bid, retries int, backoff time.Dur
 		wg.Add(1)
 		go func(i int, sc *SiteClient) {
 			defer wg.Done()
-			sb, ok, err := callWithRetry(sc, retries, backoff, func() (market.ServerBid, bool, error) {
+			sb, ok, err := callWithRetry(sc, retries, backoff, eo, func() (market.ServerBid, bool, error) {
 				return sc.Propose(b)
 			})
 			results[i] = result{sb, ok, err}
@@ -424,7 +438,9 @@ func proposeAll(sites []*SiteClient, b market.Bid, retries int, backoff time.Dur
 			if firstErr == nil {
 				firstErr = r.err
 			}
-			logf("site %s dropped out of exchange for task %d: %v", sites[i].Addr(), b.TaskID, r.err)
+			eo.dropouts.Inc()
+			eo.log.Warn("site dropped out of exchange",
+				"addr", sites[i].Addr(), "task", b.TaskID, "req", b.ReqID, "err", r.err.Error())
 			continue
 		}
 		if r.ok {
@@ -441,13 +457,23 @@ func proposeAll(sites []*SiteClient, b market.Bid, retries int, backoff time.Dur
 // Negotiate runs the full exchange for one bid. It returns the winning
 // contract terms, or ok=false if every reachable site rejected. An error
 // is returned only when no site could be reached at all.
+//
+// If the bid carries no request ID, one is minted here — the start of the
+// task's cross-process lifecycle trace.
 func (n *Negotiator) Negotiate(b market.Bid) (market.ServerBid, bool, error) {
 	sel := n.Selector
 	if sel == nil {
 		sel = market.BestYield{}
 	}
-	offers, offerSites, err := proposeAll(n.Sites, b, n.retries(), n.backoff(), n.logf)
+	if b.ReqID == "" {
+		b.ReqID = obs.NewRequestID()
+	}
+	eo := n.exchangeObs()
+	eo.trace(obs.TraceEvent{Stage: obs.StageSubmit, Task: uint64(b.TaskID), Req: b.ReqID, Value: b.Value})
+	offers, offerSites, err := proposeAll(n.Sites, b, n.retries(), n.backoff(), eo)
 	if err != nil {
+		eo.failed.Inc()
+		eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(b.TaskID), Req: b.ReqID, Detail: err.Error()})
 		return market.ServerBid{}, false, err
 	}
 	for len(offers) > 0 {
@@ -455,16 +481,23 @@ func (n *Negotiator) Negotiate(b market.Bid) (market.ServerBid, bool, error) {
 		if i < 0 {
 			break
 		}
-		terms, ok, err := callWithRetry(offerSites[i], n.retries(), n.backoff(),
+		eo.trace(obs.TraceEvent{Stage: obs.StageBid, Task: uint64(b.TaskID), Req: b.ReqID,
+			Site: offers[i].SiteID, Value: offers[i].ExpectedPrice})
+		terms, ok, err := callWithRetry(offerSites[i], n.retries(), n.backoff(), eo,
 			func() (market.ServerBid, bool, error) { return offerSites[i].Award(b, offers[i]) })
 		if err == nil && ok {
+			eo.placed.Inc()
+			eo.trace(obs.TraceEvent{Stage: obs.StageContract, Task: uint64(b.TaskID), Req: b.ReqID,
+				Site: terms.SiteID, Value: terms.ExpectedPrice})
 			return terms, true, nil
 		}
 		if err != nil {
-			n.logf("site %s failed award for task %d: %v", offerSites[i].Addr(), b.TaskID, err)
+			eo.log.Warn("site failed award", "addr", offerSites[i].Addr(), "task", b.TaskID, "req", b.ReqID, "err", err.Error())
 		}
 		offers = append(offers[:i], offers[i+1:]...)
 		offerSites = append(offerSites[:i], offerSites[i+1:]...)
 	}
+	eo.declined.Inc()
+	eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(b.TaskID), Req: b.ReqID, Detail: "no site accepted"})
 	return market.ServerBid{}, false, nil
 }

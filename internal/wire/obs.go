@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"repro/internal/obs"
+)
+
+// Metric families of the network layer. Names and label conventions are
+// documented in DESIGN.md §8; internal/site reuses the site_* families so
+// simulated and live schedulers expose identical series.
+//
+//	wire_rpc_total{site,type}        requests handled, by message type
+//	wire_rpc_seconds{site,type}      request handling latency
+//	wire_connections{site}           live client connections
+//	wire_idle_reaps_total{site}      connections closed by the idle timeout
+//	wire_retries_total{role}         exchange retries after transient errors
+//	wire_site_dropouts_total{role}   sites dropped from an exchange
+//	site_tasks_total{site,event}     accepted/rejected/completed/abandoned
+//	site_queue_depth{site}           pending tasks
+//	site_running_tasks{site}         tasks occupying processors
+//	site_admission_slack{site}       slack of quoted bids (finite only)
+//	site_yield_total{site}           realized positive yield
+//	site_penalty_total{site}         realized penalties (absolute value)
+//	market_negotiations_total{role,outcome}  placed/declined/failed exchanges
+//	market_settlements_total{role,result}    delivered/undeliverable/relayed
+//	market_settlement_lateness{site} completion minus contracted completion
+
+// slackBuckets cover the admission slack range seen in the paper's
+// regimes: deeply negative (reject territory) through comfortable.
+var slackBuckets = []float64{-1000, -250, -100, -50, -10, 0, 10, 25, 50, 100, 250, 500, 1000, 5000}
+
+// latenessBuckets cover settlement lateness in simulation units; negative
+// means the task finished ahead of its contracted completion.
+var latenessBuckets = []float64{-100, -50, -20, -10, -5, -1, 0, 1, 2, 5, 10, 20, 50, 100, 250, 1000}
+
+// serverMetrics is a site server's bound instruments. The zero value (all
+// nil) is a valid no-op set, which is what a nil registry yields.
+type serverMetrics struct {
+	rpcBid       *obs.Counter
+	rpcAward     *obs.Counter
+	rpcBidSec    *obs.Histogram
+	rpcAwardSec  *obs.Histogram
+	connections  *obs.Gauge
+	idleReaps    *obs.Counter
+	accepted     *obs.Counter
+	rejected     *obs.Counter
+	completed    *obs.Counter
+	abandoned    *obs.Counter
+	queueDepth   *obs.Gauge
+	runningTasks *obs.Gauge
+	slack        *obs.Histogram
+	yield        *obs.Counter
+	penalty      *obs.Counter
+	settleOK     *obs.Counter
+	settleLost   *obs.Counter
+	lateness     *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
+	rpc := reg.Counter("wire_rpc_total", "RPC requests handled, by message type.", "site", "type")
+	rpcSec := reg.Histogram("wire_rpc_seconds", "RPC handling latency in seconds.", nil, "site", "type")
+	tasks := reg.Counter("site_tasks_total", "Task outcomes at this site.", "site", "event")
+	settles := reg.Counter("market_settlements_total", "Settlement deliveries.", "role", "result")
+	return serverMetrics{
+		rpcBid:       rpc.With(site, TypeBid),
+		rpcAward:     rpc.With(site, TypeAward),
+		rpcBidSec:    rpcSec.With(site, TypeBid),
+		rpcAwardSec:  rpcSec.With(site, TypeAward),
+		connections:  reg.Gauge("wire_connections", "Live client connections.", "site").With(site),
+		idleReaps:    reg.Counter("wire_idle_reaps_total", "Connections closed by the idle timeout.", "site").With(site),
+		accepted:     tasks.With(site, "accepted"),
+		rejected:     tasks.With(site, "rejected"),
+		completed:    tasks.With(site, "completed"),
+		abandoned:    tasks.With(site, "abandoned"),
+		queueDepth:   reg.Gauge("site_queue_depth", "Pending (queued, not running) tasks.", "site").With(site),
+		runningTasks: reg.Gauge("site_running_tasks", "Tasks occupying processors.", "site").With(site),
+		slack:        reg.Histogram("site_admission_slack", "Admission slack of quoted bids (finite values only).", slackBuckets, "site").With(site),
+		yield:        reg.Counter("site_yield_total", "Realized positive yield.", "site").With(site),
+		penalty:      reg.Counter("site_penalty_total", "Realized penalties (absolute value).", "site").With(site),
+		settleOK:     settles.With("site", "delivered"),
+		settleLost:   settles.With("site", "undeliverable"),
+		lateness:     reg.Histogram("market_settlement_lateness", "Completion time minus contracted completion, in simulation units.", latenessBuckets, "site").With(site),
+	}
+}
+
+// exchangeObs carries the negotiation-side instruments and log/trace sinks
+// through callWithRetry and proposeAll, shared by the client-side
+// Negotiator (role "client") and the broker (role "broker").
+type exchangeObs struct {
+	log      *obs.Logger
+	tracer   *obs.Tracer
+	retries  *obs.Counter
+	dropouts *obs.Counter
+	placed   *obs.Counter
+	declined *obs.Counter
+	failed   *obs.Counter
+}
+
+// trace forwards a lifecycle event to the bound tracer, if any.
+func (eo exchangeObs) trace(e obs.TraceEvent) { eo.tracer.Emit(e) }
+
+func newExchangeObs(reg *obs.Registry, log *obs.Logger, tracer *obs.Tracer, role string) exchangeObs {
+	neg := reg.Counter("market_negotiations_total", "Negotiation outcomes.", "role", "outcome")
+	return exchangeObs{
+		log:      log,
+		tracer:   tracer,
+		retries:  reg.Counter("wire_retries_total", "Exchange retries after transient failures.", "role").With(role),
+		dropouts: reg.Counter("wire_site_dropouts_total", "Sites dropped from an exchange after exhausting retries.", "role").With(role),
+		placed:   neg.With(role, "placed"),
+		declined: neg.With(role, "declined"),
+		failed:   neg.With(role, "failed"),
+	}
+}

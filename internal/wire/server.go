@@ -4,7 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"log"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -12,6 +12,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -35,8 +36,14 @@ type ServerConfig struct {
 	// peer errors out instead of wedging settlement. Zero means the
 	// default (10s); negative disables it.
 	WriteTimeout time.Duration
-	// Logger receives serving events; nil silences them.
-	Logger *log.Logger
+	// Logger receives serving events as structured JSON lines; nil
+	// silences them.
+	Logger *obs.Logger
+	// Metrics receives the server's instrumentation (see DESIGN.md §8);
+	// nil disables it.
+	Metrics *obs.Registry
+	// Tracer receives task-lifecycle trace events; nil disables them.
+	Tracer *obs.Tracer
 }
 
 const (
@@ -71,12 +78,15 @@ func (c ServerConfig) writeTimeout() time.Duration {
 type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
+	log *obs.Logger
+	m   serverMetrics
 
 	mu      sync.Mutex
 	start   time.Time
 	pending []*task.Task
 	owners  map[task.ID]*serverConn
 	prices  map[task.ID]market.ServerBid
+	reqs    map[task.ID]string // lifecycle trace IDs of live contracts
 	running map[task.ID]*task.Task
 	timers  map[task.ID]*time.Timer
 	conns   map[*serverConn]struct{}
@@ -138,9 +148,12 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		ln:      ln,
+		log:     cfg.Logger.With("site", cfg.SiteID),
+		m:       newServerMetrics(cfg.Metrics, cfg.SiteID),
 		start:   time.Now(),
 		owners:  make(map[task.ID]*serverConn),
 		prices:  make(map[task.ID]market.ServerBid),
+		reqs:    make(map[task.ID]string),
 		running: make(map[task.ID]*task.Task),
 		timers:  make(map[task.ID]*time.Timer),
 		conns:   make(map[*serverConn]struct{}),
@@ -165,6 +178,10 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.Abandoned += len(s.pending)
+	s.m.abandoned.Add(float64(len(s.pending)))
+	for _, t := range s.pending {
+		s.traceLocked(obs.StageAbandon, t.ID, "server closed")
+	}
 	s.pending = nil
 	for id, tm := range s.timers {
 		if tm.Stop() {
@@ -172,8 +189,11 @@ func (s *Server) Close() error {
 			s.timerWG.Done()
 			delete(s.timers, id)
 			s.Abandoned++
+			s.m.abandoned.Inc()
+			s.traceLocked(obs.StageAbandon, id, "server closed mid-run")
 		}
 	}
+	s.syncGaugesLocked()
 	conns := make([]*serverConn, 0, len(s.conns))
 	for sc := range s.conns {
 		conns = append(conns, sc)
@@ -194,10 +214,30 @@ func (s *Server) now() float64 {
 	return float64(time.Since(s.start)) / float64(s.cfg.TimeScale)
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf("[%s] "+format, append([]any{s.cfg.SiteID}, args...)...)
+// syncGaugesLocked refreshes the queue-depth and running-task gauges after
+// any scheduler state change. Callers must hold s.mu.
+func (s *Server) syncGaugesLocked() {
+	s.m.queueDepth.Set(float64(len(s.pending)))
+	s.m.runningTasks.Set(float64(len(s.running)))
+}
+
+// traceLocked emits a lifecycle event for a task the server knows by ID,
+// resolving its request ID from the live-contract table. Callers must hold
+// s.mu.
+func (s *Server) traceLocked(stage string, id task.ID, detail string) {
+	if s.cfg.Tracer == nil {
+		return
 	}
+	s.cfg.Tracer.Emit(obs.TraceEvent{
+		Stage:   stage,
+		Task:    uint64(id),
+		Req:     s.reqs[id],
+		Site:    s.cfg.SiteID,
+		T:       s.now(),
+		Queued:  len(s.pending),
+		Running: len(s.running),
+		Detail:  detail,
+	})
 }
 
 func (s *Server) acceptLoop() {
@@ -225,8 +265,10 @@ func (s *Server) serve(conn net.Conn) {
 	}
 	s.conns[sc] = struct{}{}
 	s.mu.Unlock()
+	s.m.connections.Add(1)
 	defer func() {
 		conn.Close()
+		s.m.connections.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, sc)
 		s.dropOwnerLocked(sc)
@@ -248,21 +290,33 @@ func (s *Server) serve(conn net.Conn) {
 			_ = sc.send(Envelope{Type: TypeError, Reason: err.Error()})
 			continue
 		}
+		began := time.Now()
 		var reply Envelope
 		switch env.Type {
 		case TypeBid:
 			reply = s.handleBid(env)
+			s.m.rpcBid.Inc()
+			s.m.rpcBidSec.Observe(time.Since(began).Seconds())
 		case TypeAward:
 			reply = s.handleAward(env, sc)
+			s.m.rpcAward.Inc()
+			s.m.rpcAwardSec.Observe(time.Since(began).Seconds())
 		default:
 			reply = Envelope{Type: TypeError, Reason: fmt.Sprintf("unexpected message %q", env.Type)}
 		}
+		reply.ReqID = env.ReqID
 		if err := sc.send(reply); err != nil {
 			return
 		}
 	}
 	if err := scanner.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
-		s.logf("connection %s read error: %v", conn.RemoteAddr(), err)
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.m.idleReaps.Inc()
+			s.log.Info("connection idle-reaped", "remote", conn.RemoteAddr().String())
+		} else {
+			s.log.Warn("connection read error", "remote", conn.RemoteAddr().String(), "err", err.Error())
+		}
 	}
 }
 
@@ -281,14 +335,18 @@ func (s *Server) dropOwnerLocked(sc *serverConn) {
 				s.pending = append(s.pending[:i], s.pending[i+1:]...)
 				p.State = task.Rejected
 				s.Abandoned++
-				s.logf("dropped queued task %d: client disconnected", id)
+				s.m.abandoned.Inc()
+				s.traceLocked(obs.StageAbandon, id, "client disconnected")
+				s.log.Info("dropped queued task: client disconnected", "task", id)
 				break
 			}
 		}
 		if _, isRunning := s.running[id]; isRunning {
-			s.logf("task %d orphaned mid-run: client disconnected", id)
+			s.log.Info("task orphaned mid-run: client disconnected", "task", id)
 		}
+		delete(s.reqs, id)
 	}
+	s.syncGaugesLocked()
 }
 
 // handleBid quotes a bid against the current candidate schedule without
@@ -304,11 +362,15 @@ func (s *Server) handleBid(env Envelope) Envelope {
 	if err != nil {
 		return Envelope{Type: TypeError, Reason: err.Error()}
 	}
+	s.observeSlack(q.Slack)
 	if !s.cfg.Admission.Admit(q) {
 		s.Rejected++
+		s.m.rejected.Inc()
+		s.traceBidLocked(obs.StageReject, bid, q.Slack, "slack below threshold")
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: fmt.Sprintf("slack %.2f below threshold", q.Slack)}
 	}
+	s.traceBidLocked(obs.StageBid, bid, q.Slack, "")
 	return Envelope{
 		Type:               TypeServerBid,
 		TaskID:             bid.TaskID,
@@ -316,6 +378,35 @@ func (s *Server) handleBid(env Envelope) Envelope {
 		ExpectedCompletion: q.ExpectedCompletion,
 		ExpectedPrice:      q.ExpectedYield,
 	}
+}
+
+// observeSlack records a quoted slack into the admission histogram.
+// Infinite slacks (zero-decay tasks) are skipped: they carry no
+// distributional information and would poison the histogram sum.
+func (s *Server) observeSlack(slack float64) {
+	if !math.IsInf(slack, 0) {
+		s.m.slack.Observe(slack)
+	}
+}
+
+// traceBidLocked emits a bid-time lifecycle event for a task that may not
+// yet (or ever) have an entry in the live-contract table, carrying the
+// bid's own request ID. Callers must hold s.mu.
+func (s *Server) traceBidLocked(stage string, bid market.Bid, value float64, detail string) {
+	if s.cfg.Tracer == nil {
+		return
+	}
+	s.cfg.Tracer.Emit(obs.TraceEvent{
+		Stage:   stage,
+		Task:    uint64(bid.TaskID),
+		Req:     bid.ReqID,
+		Site:    s.cfg.SiteID,
+		T:       s.now(),
+		Value:   value,
+		Queued:  len(s.pending),
+		Running: len(s.running),
+		Detail:  detail,
+	})
 }
 
 // handleAward re-quotes, admits, and schedules the task; the contract
@@ -333,6 +424,9 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	if _, dup := s.owners[bid.TaskID]; dup {
 		standing := s.prices[bid.TaskID]
 		s.owners[bid.TaskID] = sc // the retrying connection owns the settlement now
+		if bid.ReqID != "" {
+			s.reqs[bid.TaskID] = bid.ReqID
+		}
 		return Envelope{
 			Type:               TypeContract,
 			TaskID:             bid.TaskID,
@@ -345,8 +439,11 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	if err != nil {
 		return Envelope{Type: TypeError, Reason: err.Error()}
 	}
+	s.observeSlack(q.Slack)
 	if !s.cfg.Admission.Admit(q) {
 		s.Rejected++
+		s.m.rejected.Inc()
+		s.traceBidLocked(obs.StageReject, bid, q.Slack, "mix changed since proposal")
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: "mix changed since proposal"}
 	}
@@ -354,11 +451,17 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	t.State = task.Queued
 	s.pending = append(s.pending, t)
 	s.owners[t.ID] = sc
+	if bid.ReqID != "" {
+		s.reqs[t.ID] = bid.ReqID
+	}
 	sb := market.ServerBid{SiteID: s.cfg.SiteID, TaskID: t.ID,
 		ExpectedCompletion: q.ExpectedCompletion, ExpectedPrice: q.ExpectedYield}
 	s.prices[t.ID] = sb
 	s.Accepted++
-	s.logf("accepted task %d (runtime %.1f, expected completion %.1f)", t.ID, t.Runtime, q.ExpectedCompletion)
+	s.m.accepted.Inc()
+	s.syncGaugesLocked()
+	s.traceLocked(obs.StageContract, t.ID, "")
+	s.log.Info("accepted task", "task", t.ID, "runtime", t.Runtime, "expected_completion", q.ExpectedCompletion)
 	s.dispatchLocked()
 	return Envelope{
 		Type:               TypeContract,
@@ -407,7 +510,9 @@ func (s *Server) dispatchLocked() {
 		t.State = task.Running
 		t.Start = now
 		s.running[t.ID] = t
-		s.logf("running task %d for %.1f units", t.ID, t.Runtime)
+		s.syncGaugesLocked()
+		s.traceLocked(obs.StageStart, t.ID, "")
+		s.log.Info("running task", "task", t.ID, "runtime", t.Runtime)
 		dur := time.Duration(t.Runtime * float64(s.cfg.TimeScale))
 		s.timerWG.Add(1)
 		s.timers[t.ID] = time.AfterFunc(dur, func() {
@@ -427,6 +532,10 @@ func (s *Server) complete(t *task.Task) {
 		delete(s.owners, t.ID)
 		delete(s.prices, t.ID)
 		s.Abandoned++
+		s.m.abandoned.Inc()
+		s.traceLocked(obs.StageAbandon, t.ID, "server closed mid-run")
+		delete(s.reqs, t.ID)
+		s.syncGaugesLocked()
 		s.mu.Unlock()
 		return
 	}
@@ -437,24 +546,53 @@ func (s *Server) complete(t *task.Task) {
 	delete(s.running, t.ID)
 	s.Completed++
 	s.Revenue += t.Yield
+	s.m.completed.Inc()
+	if t.Yield >= 0 {
+		s.m.yield.Add(t.Yield)
+	} else {
+		s.m.penalty.Add(-t.Yield)
+	}
+	if standing, ok := s.prices[t.ID]; ok {
+		s.m.lateness.Observe(now - standing.ExpectedCompletion)
+	}
 	owner := s.owners[t.ID]
+	req := s.reqs[t.ID]
 	delete(s.owners, t.ID)
 	delete(s.prices, t.ID)
+	delete(s.reqs, t.ID)
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(obs.TraceEvent{
+			Stage: obs.StageComplete, Task: uint64(t.ID), Req: req, Site: s.cfg.SiteID,
+			T: now, Value: t.Yield, Queued: len(s.pending), Running: len(s.running),
+		})
+	}
 	s.dispatchLocked()
+	s.syncGaugesLocked()
 	s.mu.Unlock()
 
 	if owner != nil {
-		if err := owner.send(Envelope{
+		err := owner.send(Envelope{
 			Type:        TypeSettled,
+			ReqID:       req,
 			TaskID:      t.ID,
 			SiteID:      s.cfg.SiteID,
 			CompletedAt: now,
 			FinalPrice:  t.Yield,
-		}); err != nil {
-			s.logf("settlement for task %d undeliverable: %v", t.ID, err)
+		})
+		if err != nil {
+			s.m.settleLost.Inc()
+			s.log.Warn("settlement undeliverable", "task", t.ID, "err", err.Error())
+		} else {
+			s.m.settleOK.Inc()
 		}
 	}
-	s.logf("settled task %d at %.1f for %.2f", t.ID, now, t.Yield)
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Emit(obs.TraceEvent{
+			Stage: obs.StageSettle, Task: uint64(t.ID), Req: req, Site: s.cfg.SiteID,
+			T: now, Value: t.Yield,
+		})
+	}
+	s.log.Info("settled task", "task", t.ID, "t", now, "price", t.Yield)
 }
 
 func (s *Server) removePendingLocked(t *task.Task) {

@@ -41,6 +41,12 @@ const (
 type Envelope struct {
 	Type string `json:"type"`
 
+	// ReqID is the task's lifecycle trace ID, minted at bid time and
+	// echoed on every reply and settlement so one task can be followed
+	// across client, broker, and site logs. Empty when tracing is off;
+	// servers treat it as opaque.
+	ReqID string `json:"req,omitempty"`
+
 	// Bid / Award fields.
 	TaskID  task.ID `json:"task_id,omitempty"`
 	Arrival float64 `json:"arrival,omitempty"`
@@ -85,6 +91,7 @@ func DecodeBound(s string) (float64, error) {
 func BidEnvelope(b market.Bid) Envelope {
 	return Envelope{
 		Type:    TypeBid,
+		ReqID:   b.ReqID,
 		TaskID:  b.TaskID,
 		Arrival: b.Arrival,
 		Runtime: b.Runtime,
@@ -114,6 +121,7 @@ func (e Envelope) Bid() (market.Bid, error) {
 		return market.Bid{}, err
 	}
 	b := market.Bid{
+		ReqID:   e.ReqID,
 		TaskID:  e.TaskID,
 		Arrival: e.Arrival,
 		Runtime: e.Runtime,
