@@ -1,0 +1,281 @@
+// Command bench measures the scheduling core's throughput trajectory —
+// dispatch events per second, admission-quote latency, and cost-kernel
+// throughput — at pending-queue sizes n ∈ {100, 1k, 10k}, and writes the
+// results as JSON (BENCH_core.json in CI).
+//
+// Each dispatch measurement runs the same scheduling event two ways: the
+// seed path (re-rank the whole queue before every start, opportunity
+// costs via the naive O(n²) Equation 4 sum) and the current path
+// (core.PlanStarts over the shared-work kernels). The two paths start
+// identical task sequences — the equivalence is property-tested in
+// internal/core — so the ratio is a pure like-for-like speedup.
+//
+// With -baseline, the run fails (exit 1) if dispatch throughput regresses
+// more than -tolerance below the committed floors, or if the measured
+// speedup at the largest n falls under -min-speedup. The committed
+// baseline (results/BENCH_core_baseline.json) holds deliberately
+// conservative floors so shared CI runners do not flake.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+// Result is the benchmark report schema.
+type Result struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	GoMaxProcs    int    `json:"go_max_procs"`
+	Processors    int    `json:"processors"`
+	Quotes        int    `json:"quotes"`
+
+	Dispatch []DispatchResult `json:"dispatch"`
+	Quote    []QuoteResult    `json:"quote"`
+	Kernel   []KernelResult   `json:"kernel"`
+}
+
+// DispatchResult compares one scheduling event (rank + start up to k
+// tasks) on the seed path vs the single-pass path at queue depth N.
+type DispatchResult struct {
+	N                int     `json:"n"`
+	SeedEventsPerSec float64 `json:"seed_events_per_sec"`
+	FastEventsPerSec float64 `json:"fast_events_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// QuoteResult compares quoting one probe task by full candidate rebuild
+// vs incremental insertion into a shared base candidate.
+type QuoteResult struct {
+	N             int     `json:"n"`
+	RebuildMicros float64 `json:"rebuild_us"`
+	IncrMicros    float64 `json:"incremental_us"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// KernelResult compares all-n opportunity-cost computation (bounded
+// penalties, Equation 4) between the naive quadratic sum and the sorted
+// prefix-sum sweep; throughput is costs computed per second.
+type KernelResult struct {
+	N                 int     `json:"n"`
+	GeneralCostsPerSec float64 `json:"general_costs_per_sec"`
+	SortedCostsPerSec  float64 `json:"sorted_costs_per_sec"`
+	Speedup            float64 `json:"speedup"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		baseline   = flag.String("baseline", "", "compare against this committed baseline report; exit 1 on regression")
+		tolerance  = flag.Float64("tolerance", 0.2, "allowed fractional shortfall below the baseline dispatch floors")
+		minSpeedup = flag.Float64("min-speedup", 5, "required dispatch speedup at the largest n (0 disables)")
+		procs      = flag.Int("procs", 16, "free processors per dispatch event")
+		quotes     = flag.Int("quotes", 32, "probe tasks quoted against one base schedule")
+	)
+	flag.Parse()
+
+	sizes := []int{100, 1000, 10000}
+	res := Result{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Processors:    *procs,
+		Quotes:        *quotes,
+	}
+	for _, n := range sizes {
+		res.Dispatch = append(res.Dispatch, benchDispatch(n, *procs))
+		res.Quote = append(res.Quote, benchQuote(n, *quotes))
+		res.Kernel = append(res.Kernel, benchKernel(n))
+		fmt.Fprintf(os.Stderr, "bench: n=%d done\n", n)
+	}
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if fail := check(res, *baseline, *tolerance, *minSpeedup); fail != nil {
+		fatal(fail)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}
+
+// check enforces the regression gates: dispatch throughput floors from
+// the baseline report, and the headline single-pass speedup.
+func check(res Result, baselinePath string, tolerance, minSpeedup float64) error {
+	if minSpeedup > 0 && len(res.Dispatch) > 0 {
+		last := res.Dispatch[len(res.Dispatch)-1]
+		if last.Speedup < minSpeedup {
+			return fmt.Errorf("dispatch speedup %.1fx at n=%d is below the required %.0fx",
+				last.Speedup, last.N, minSpeedup)
+		}
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	floors := map[int]float64{}
+	for _, d := range base.Dispatch {
+		floors[d.N] = d.FastEventsPerSec
+	}
+	for _, d := range res.Dispatch {
+		floor, ok := floors[d.N]
+		if !ok {
+			continue
+		}
+		if d.FastEventsPerSec < floor*(1-tolerance) {
+			return fmt.Errorf("dispatch throughput at n=%d regressed: %.1f events/sec vs baseline floor %.1f (tolerance %.0f%%)",
+				d.N, d.FastEventsPerSec, floor, tolerance*100)
+		}
+	}
+	return nil
+}
+
+// makeTasks builds n pending tasks with exponential-ish runtimes and
+// skewed values. Unbounded penalties (the paper's Section 5 default)
+// keep FirstReward on its conditionally-stable path; the kernel bench
+// bounds them separately to exercise the Equation 4 sweep.
+func makeTasks(n int, bounded bool, seed int64) []*task.Task {
+	rng := rand.New(rand.NewSource(seed))
+	tasks := make([]*task.Task, n)
+	for i := range tasks {
+		runtime := 1 + rng.ExpFloat64()*100
+		value := (1 + rng.Float64()*9) * runtime / 10
+		decay := value / (3 * 100) * (0.5 + rng.Float64())
+		bound := math.Inf(1)
+		if bounded {
+			bound = value * (0.5 + rng.Float64())
+		}
+		tasks[i] = task.New(task.ID(i+1), 0, runtime, value, decay, bound)
+	}
+	return tasks
+}
+
+// measure runs fn repeatedly until minDur elapses or maxIters is reached
+// and returns iterations per second.
+func measure(minDur time.Duration, maxIters int, fn func()) float64 {
+	fn() // warm up (and fault in any lazily-allocated scratch)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minDur && iters < maxIters {
+		fn()
+		iters++
+	}
+	if iters == 0 {
+		iters = 1
+		fn()
+	}
+	return float64(iters) / time.Since(start).Seconds()
+}
+
+// seedDispatchEvent replays the seed scheduler: re-rank the entire queue
+// before every start, with opportunity costs forced onto the naive
+// quadratic path — exactly what each dispatch event cost before the
+// single-pass refactor.
+func seedDispatchEvent(now float64, free int, pending []*task.Task) []*task.Task {
+	policy := core.FirstReward{Alpha: 0.3, DiscountRate: 0.01, ForceGeneralCost: true}
+	rest := append([]*task.Task(nil), pending...)
+	var starts []*task.Task
+	for len(starts) < free && len(rest) > 0 {
+		order := core.RankOrder(policy, now, rest)
+		starts = append(starts, order[0])
+		for i, t := range rest {
+			if t == order[0] {
+				rest = append(rest[:i], rest[i+1:]...)
+				break
+			}
+		}
+	}
+	return starts
+}
+
+func benchDispatch(n, procs int) DispatchResult {
+	pending := makeTasks(n, false, int64(n))
+	now := 0.0
+	fast := core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}
+
+	// The seed path is quadratic per rank and ranks once per start: cap
+	// its iteration count so the 10k point stays affordable in CI.
+	seedIters := map[int]int{100: 200, 1000: 20, 10000: 2}[n]
+	seedRate := measure(100*time.Millisecond, seedIters, func() {
+		seedDispatchEvent(now, procs, pending)
+	})
+	fastRate := measure(200*time.Millisecond, 10000, func() {
+		core.PlanStarts(fast, now, procs, pending)
+	})
+	return DispatchResult{N: n, SeedEventsPerSec: seedRate, FastEventsPerSec: fastRate,
+		Speedup: fastRate / seedRate}
+}
+
+func benchQuote(n, m int) QuoteResult {
+	pending := makeTasks(n, false, int64(n)+1)
+	probes := makeTasks(m, false, int64(n)+2)
+	now := 0.0
+	policy := core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}
+	busy := make([]float64, 16)
+
+	rebuildRate := measure(200*time.Millisecond, 2000, func() {
+		for _, p := range probes {
+			withProbe := append(append(make([]*task.Task, 0, n+1), pending...), p)
+			core.BuildCandidate(policy, now, len(busy), busy, withProbe)
+		}
+	})
+	incrRate := measure(200*time.Millisecond, 20000, func() {
+		base := core.BuildCandidate(policy, now, len(busy), busy, pending)
+		for _, p := range probes {
+			if _, ok := base.WithTask(p); !ok {
+				panic("bench: incremental insertion unexpectedly unsupported")
+			}
+		}
+	})
+	// Per-quote latency in microseconds: each iteration quotes m probes.
+	rebuildUS := 1e6 / (rebuildRate * float64(m))
+	incrUS := 1e6 / (incrRate * float64(m))
+	return QuoteResult{N: n, RebuildMicros: rebuildUS, IncrMicros: incrUS,
+		Speedup: rebuildUS / incrUS}
+}
+
+func benchKernel(n int) KernelResult {
+	tasks := makeTasks(n, true, int64(n)+3)
+	now := 0.0
+
+	generalIters := map[int]int{100: 2000, 1000: 50, 10000: 2}[n]
+	generalRate := measure(100*time.Millisecond, generalIters, func() {
+		core.OpportunityCosts(now, tasks, true)
+	})
+	sortedRate := measure(200*time.Millisecond, 100000, func() {
+		core.OpportunityCosts(now, tasks, false)
+	})
+	return KernelResult{
+		N:                  n,
+		GeneralCostsPerSec: generalRate * float64(n),
+		SortedCostsPerSec:  sortedRate * float64(n),
+		Speedup:            sortedRate / generalRate,
+	}
+}

@@ -22,10 +22,11 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7700", "listen address for clients")
 		sites    = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
-		selector = flag.String("selector", "best-yield", "best-yield|earliest")
+		selector = flag.String("selector", "best-yield", "server-bid selector spec: best-yield|earliest")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
 		retries  = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
 		backoff  = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
+		workers  = flag.Int("quote-workers", 0, "max sites quoted concurrently per exchange (0 = default of 8)")
 		idle     = flag.Duration("idle-timeout", 2*time.Minute, "close client connections quiet for this long (negative disables)")
 		quiet    = flag.Bool("quiet", false, "suppress brokering logs")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
@@ -34,14 +35,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var sel market.Selector
-	switch *selector {
-	case "best-yield":
-		sel = market.BestYield{}
-	case "earliest":
-		sel = market.EarliestCompletion{}
-	default:
-		fmt.Fprintf(os.Stderr, "brokerd: unknown selector %q\n", *selector)
+	sel, err := market.ParseSelector(*selector)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brokerd:", err)
 		os.Exit(2)
 	}
 	lv, err := obs.ParseLevel(*logLevel)
@@ -55,6 +51,7 @@ func main() {
 		RequestTimeout: *timeout,
 		Retries:        *retries,
 		Backoff:        *backoff,
+		QuoteWorkers:   *workers,
 		IdleTimeout:    *idle,
 		Metrics:        obs.Default,
 	}

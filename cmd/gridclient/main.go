@@ -29,6 +29,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
 		retries  = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
 		backoff  = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
+		selector = flag.String("selector", "best-yield", "server-bid selector spec: best-yield|earliest")
 		logLevel = flag.String("log-level", "warn", "minimum log level: debug|info|warn|error")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr")
@@ -36,6 +37,11 @@ func main() {
 	flag.Parse()
 
 	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridclient:", err)
+		os.Exit(2)
+	}
+	sel, err := market.ParseSelector(*selector)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridclient:", err)
 		os.Exit(2)
@@ -90,7 +96,7 @@ func main() {
 	}
 	neg := &wire.Negotiator{
 		Sites:    clients,
-		Selector: market.BestYield{},
+		Selector: sel,
 		Retries:  *retries,
 		Backoff:  *backoff,
 		Logger:   logger,

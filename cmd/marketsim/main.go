@@ -35,9 +35,14 @@ func main() {
 		decayCV = flag.Float64("decaycv", 0, "within-class decay-rate coefficient of variation override")
 		preempt = flag.Bool("preempt", false, "enable preemption in the fig4/fig5 alpha sweeps")
 		fig7abs = flag.Bool("fig7abs", false, "plot fig7 as absolute admission-controlled yield instead of improvement %")
+
+		// The "custom" figure sweeps load for user-supplied policy specs.
+		policy   = flag.String("policy", "firstreward:alpha=0.3,rate=0.01", "custom: candidate policy spec (see core.ParseSpec)")
+		admSpec  = flag.String("admission", "slack:threshold=0", "custom: candidate admission spec (accept-all, slack:threshold=X, min-yield:threshold=X)")
+		baseline = flag.String("baseline", "firstprice", "custom: baseline policy spec")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: marketsim [flags] fig3|fig4|fig5|fig6|fig7|regimes|multisite|sens-decay|sens-load|economy|all\n")
+		fmt.Fprintf(os.Stderr, "usage: marketsim [flags] fig3|fig4|fig5|fig6|fig7|regimes|multisite|sens-decay|sens-load|economy|custom|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -121,6 +126,20 @@ func main() {
 			cfg.Options = opts
 			override(&cfg.Spec)
 			return experiments.RunEconomy(cfg)
+		},
+		"custom": func() *experiments.Figure {
+			cfg := experiments.DefaultCustom()
+			cfg.Options = opts
+			cfg.PolicySpec = *policy
+			cfg.AdmissionSpec = *admSpec
+			cfg.BaselineSpec = *baseline
+			override(&cfg.Spec)
+			fig, err := experiments.RunCustom(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marketsim: %v\n", err)
+				os.Exit(2)
+			}
+			return fig
 		},
 	}
 

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/core"
@@ -15,6 +16,11 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
+
+// defaultPolicies is the paper's head-to-head lineup, as policy specs.
+// Individual runs override it with -policies (space-separated specs;
+// commas belong to the spec grammar itself).
+const defaultPolicies = "fcfs srpt swpt firstprice pv:rate=0.01 firstreward:alpha=0.3,rate=0.01"
 
 func main() {
 	var (
@@ -32,8 +38,8 @@ func main() {
 		millen    = flag.Bool("millennium", false, "use the Millennium mix (normal dists, 16-job batches, bound 0)")
 		runtimeCV = flag.Float64("runtimecv", 0, "override runtime CV (>0)")
 		valueCV   = flag.Float64("valuecv", 0, "override within-class value CV (>0)")
-		discount  = flag.Float64("discount", 0.01, "discount rate for PV and FirstReward")
-		alpha     = flag.Float64("alpha", 0.3, "alpha for FirstReward")
+		specs     = flag.String("policies", defaultPolicies, "space-separated policy specs to compare (see core.ParseSpec)")
+		baseline  = flag.String("baseline", "firstprice", "policy spec the improvement column is measured against")
 	)
 	flag.Parse()
 
@@ -57,13 +63,23 @@ func main() {
 		spec.ValueCV = *valueCV
 	}
 
-	policies := []core.Policy{
-		core.FCFS{},
-		core.SRPT{},
-		core.SWPT{},
-		core.FirstPrice{},
-		core.PresentValue{DiscountRate: *discount},
-		core.FirstReward{Alpha: *alpha, DiscountRate: *discount},
+	var policies []core.Policy
+	for _, s := range strings.Fields(*specs) {
+		p, err := core.ParseSpec(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "policycmp:", err)
+			os.Exit(2)
+		}
+		policies = append(policies, p)
+	}
+	if len(policies) == 0 {
+		fmt.Fprintln(os.Stderr, "policycmp: -policies is empty")
+		os.Exit(2)
+	}
+	basePolicy, err := core.ParseSpec(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "policycmp:", err)
+		os.Exit(2)
 	}
 
 	type row struct {
@@ -101,9 +117,20 @@ func main() {
 		rows = append(rows, row{p.Name(), stats.Summarize(y), stats.Summarize(d), stats.Summarize(pr)})
 	}
 
-	base := rows[3].yield.Mean // FirstPrice
+	base := rows[0].yield.Mean
+	found := false
+	for _, r := range rows {
+		if r.name == basePolicy.Name() {
+			base, found = r.yield.Mean, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "policycmp: baseline %s is not among -policies; using %s\n",
+			basePolicy.Name(), rows[0].name)
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "policy\tyield\tvs FirstPrice (%)\tmean delay\tpreemptions")
+	fmt.Fprintf(w, "policy\tyield\tvs %s (%%)\tmean delay\tpreemptions\n", basePolicy.Name())
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.0f\t%+.2f\t%.1f\t%.0f\n",
 			r.name, r.yield.Mean, stats.Improvement(r.yield.Mean, base), r.delay.Mean, r.preem.Mean)

@@ -22,10 +22,9 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7600", "listen address")
 		id       = flag.String("id", "site-0", "site identifier")
 		procs    = flag.Int("procs", 4, "processors")
-		alpha    = flag.Float64("alpha", 0.3, "FirstReward alpha")
-		discount = flag.Float64("discount", 0.01, "discount rate")
-		slack    = flag.Float64("slack", 0, "slack admission threshold")
-		useAdm   = flag.Bool("admission", true, "enable slack-threshold admission control")
+		policy   = flag.String("policy", "firstreward:alpha=0.3,rate=0.01", "scheduling policy spec (see core.ParseSpec)")
+		admSpec  = flag.String("admission", "slack:threshold=0", "admission policy spec (accept-all, slack:threshold=X, min-yield:threshold=X)")
+		discount = flag.Float64("discount", 0.01, "discount rate for quoting expected yield")
 		scale    = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit")
 		idle     = flag.Duration("idle-timeout", 2*time.Minute, "close connections quiet for this long (negative disables)")
 		wtimeout = flag.Duration("write-timeout", 10*time.Second, "per-write deadline for replies and settlements (negative disables)")
@@ -42,18 +41,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	pol, err := core.ParseSpec(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siteserver:", err)
+		os.Exit(2)
+	}
+	adm, err := admission.ParseSpec(*admSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siteserver:", err)
+		os.Exit(2)
+	}
+
 	cfg := wire.ServerConfig{
 		SiteID:       *id,
 		Processors:   *procs,
-		Policy:       core.FirstReward{Alpha: *alpha, DiscountRate: *discount},
+		Policy:       pol,
+		Admission:    adm,
 		DiscountRate: *discount,
 		TimeScale:    *scale,
 		IdleTimeout:  *idle,
 		WriteTimeout: *wtimeout,
 		Metrics:      obs.Default,
-	}
-	if *useAdm {
-		cfg.Admission = admission.SlackThreshold{Threshold: *slack}
 	}
 	logger := obs.NewLogger(os.Stderr, lv, "siteserver")
 	if !*quiet {

@@ -20,13 +20,11 @@ func main() {
 	var (
 		in       = flag.String("trace", "", "trace file from tracegen (required)")
 		procs    = flag.Int("procs", 0, "processors (default: trace's spec)")
-		policy   = flag.String("policy", "firstprice", "fcfs|srpt|swpt|firstprice|pv|firstreward")
-		alpha    = flag.Float64("alpha", 0.3, "alpha for firstreward")
-		discount = flag.Float64("discount", 0.01, "discount rate for pv/firstreward and slack quoting")
+		policy   = flag.String("policy", "firstprice", "policy spec: fcfs|srpt|swpt|firstprice|pv[:rate=]|firstreward[:alpha=,rate=,general]|scheduledprice[:procs=,rounds=]")
+		adm      = flag.String("admission", "", "admission spec: accept-all|slack[:threshold=]|min-yield[:threshold=] (empty: accept-all)")
+		discount = flag.Float64("discount", 0.01, "discount rate for admission slack quoting")
 		preempt  = flag.Bool("preempt", false, "enable preemption")
 		restart  = flag.Bool("restart", false, "preemption loses progress")
-		slack    = flag.Float64("slack", 0, "slack admission threshold (with -admission)")
-		useAdm   = flag.Bool("admission", false, "enable slack-threshold admission control")
 		report   = flag.Bool("report", false, "print the per-class distributional report")
 		traceOut = flag.String("trace-out", "", "write the scheduling audit log as JSON task-lifecycle events to this file (\"-\" for stderr)")
 	)
@@ -43,18 +41,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	var pol core.Policy
-	switch *policy {
-	case "pv":
-		pol = core.PresentValue{DiscountRate: *discount}
-	case "firstreward":
-		pol = core.FirstReward{Alpha: *alpha, DiscountRate: *discount}
-	default:
-		pol, err = core.ByName(*policy)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sitesim:", err)
-			os.Exit(2)
-		}
+	pol, err := core.ParseSpec(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitesim:", err)
+		os.Exit(2)
+	}
+	admPol, err := admission.ParseSpec(*adm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sitesim:", err)
+		os.Exit(2)
 	}
 
 	p := tr.Spec.Processors
@@ -66,11 +61,10 @@ func main() {
 		Policy:            pol,
 		Preemptive:        *preempt,
 		PreemptionRestart: *restart,
+		Admission:         admPol,
 		DiscountRate:      *discount,
 	}
-	if *useAdm {
-		cfg.Admission = admission.SlackThreshold{Threshold: *slack}
-	}
+	var opts []site.Option
 	if *traceOut != "" {
 		w := os.Stderr
 		if *traceOut != "-" {
@@ -82,17 +76,19 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		cfg.Recorder = site.NewObsRecorder(nil, obs.NewTracer(w, "sitesim"), "sitesim")
+		opts = append(opts, site.WithRecorder(site.NewObsRecorder(nil, obs.NewTracer(w, "sitesim"), "sitesim")))
 	}
 
 	tasks := tr.Clone()
-	m := site.RunTrace(tasks, cfg)
+	m := site.RunTrace(tasks, cfg, opts...)
 	fmt.Printf("policy:          %s\n", pol.Name())
+	fmt.Printf("admission:       %s\n", admPol.Name())
 	fmt.Printf("processors:      %d\n", p)
 	fmt.Printf("submitted:       %d\n", m.Submitted)
 	fmt.Printf("accepted:        %d (%.1f%%)\n", m.Accepted, 100*m.AcceptanceRate())
 	fmt.Printf("completed:       %d\n", m.Completed)
 	fmt.Printf("preemptions:     %d\n", m.Preemptions)
+	fmt.Printf("rank ops:        %d\n", m.RankOps)
 	fmt.Printf("total yield:     %.2f\n", m.TotalYield)
 	fmt.Printf("yield rate:      %.4f\n", m.YieldRate())
 	fmt.Printf("mean delay:      %.2f\n", m.MeanDelay())

@@ -9,8 +9,27 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/workload"
 )
+
+// parseDistSpec resolves a distribution spec `kind[:cv=X]` — the same
+// grammar the policy flags use — into a DistKind and optional CV override
+// (0 means keep the spec default).
+func parseDistSpec(s string) (workload.DistKind, float64, error) {
+	spec, err := core.SplitSpec(s)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := spec.Check([]string{"cv"}, nil); err != nil {
+		return "", 0, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	cv, err := spec.Float("cv", 0)
+	if err != nil {
+		return "", 0, err
+	}
+	return workload.DistKind(spec.Name), cv, nil
+}
 
 func main() {
 	var (
@@ -20,8 +39,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		load    = flag.Float64("load", 1, "load factor")
 		meanRun = flag.Float64("meanruntime", 100, "mean minimum run time")
-		runKind = flag.String("runtimes", "exp", "runtime distribution: exp|normal|const|pareto|lognormal")
-		arrKind = flag.String("arrivals", "exp", "inter-arrival distribution: exp|normal|const|pareto|lognormal")
+		runKind = flag.String("runtimes", "exp", "runtime distribution spec: exp|normal|const|pareto|lognormal, optionally kind:cv=X")
+		arrKind = flag.String("arrivals", "exp", "inter-arrival distribution spec: exp|normal|const|pareto|lognormal, optionally kind:cv=X")
 		batch   = flag.Int("batch", 1, "jobs per arrival batch")
 		vskew   = flag.Float64("vskew", 1, "value skew ratio")
 		dskew   = flag.Float64("dskew", 1, "decay skew ratio")
@@ -37,8 +56,24 @@ func main() {
 	spec.Seed = *seed
 	spec.Load = *load
 	spec.MeanRuntime = *meanRun
-	spec.RuntimeKind = workload.DistKind(*runKind)
-	spec.ArrivalKind = workload.DistKind(*arrKind)
+	rk, rcv, err := parseDistSpec(*runKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: -runtimes:", err)
+		os.Exit(2)
+	}
+	ak, acv, err := parseDistSpec(*arrKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: -arrivals:", err)
+		os.Exit(2)
+	}
+	spec.RuntimeKind = rk
+	spec.ArrivalKind = ak
+	if rcv > 0 {
+		spec.RuntimeCV = rcv
+	}
+	if acv > 0 {
+		spec.ArrivalCV = acv
+	}
 	spec.BatchSize = *batch
 	spec.ValueSkew = *vskew
 	spec.DecaySkew = *dskew

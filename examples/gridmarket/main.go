@@ -63,7 +63,7 @@ func main() {
 		m := s.Metrics()
 		led := ex.Services[i].Ledger()
 		fmt.Printf("%s  procs=%d  policy=%s  admission=%s\n",
-			s.ID, s.Config().Processors, s.Config().Policy.Name(), s.Admission().Name())
+			s.ID, s.Processors(), s.Config().Policy.Name(), s.Admission().Name())
 		fmt.Printf("    awarded %d tasks, completed %d, yield %.0f (rate %.3f)\n",
 			m.Accepted, m.Completed, m.TotalYield, m.YieldRate())
 		fmt.Printf("    contracts settled %d, revenue %.0f, late %d, penalties %.0f\n\n",

@@ -83,6 +83,48 @@ func Evaluate(t *task.Task, cand *core.Candidate, discountRate float64) (Quote, 
 	}, nil
 }
 
+// EvaluateInsertion builds the same quote Evaluate would, from a base
+// candidate schedule (which does NOT contain t) plus the insertion
+// computed by cand.WithTask(t). The tasks t would delay are exactly the
+// base slots from the insertion position on, accumulated in the same
+// order Evaluate walks Behind, so the two paths produce bit-identical
+// quotes for policies whose insertion keys are exact.
+//
+// This is the negotiation fast path: one base candidate answers m
+// competing proposals in O(m·(log n + n)) instead of m full O(n log n)
+// rebuilds.
+func EvaluateInsertion(t *task.Task, cand *core.Candidate, ins core.Insertion, discountRate float64) Quote {
+	slot := ins.Slot
+	pv := t.YieldAtCompletion(slot.Completion) / (1 + discountRate*t.RPT)
+
+	var cost float64
+	for _, s := range cand.Slots[ins.Pos:] {
+		cost += s.Task.Decay * t.Runtime
+	}
+
+	net := pv - cost
+	var slack float64
+	switch {
+	case t.Decay > 0:
+		slack = net / t.Decay
+	case net >= 0:
+		slack = math.Inf(1)
+	default:
+		slack = math.Inf(-1)
+	}
+
+	return Quote{
+		TaskID:             t.ID,
+		Now:                cand.Now,
+		ExpectedStart:      slot.Start,
+		ExpectedCompletion: slot.Completion,
+		ExpectedYield:      t.YieldAtCompletion(slot.Completion),
+		PresentValue:       pv,
+		Cost:               cost,
+		Slack:              slack,
+	}
+}
+
 // Policy decides whether a quoted task is worth accepting into the current
 // task mix.
 type Policy interface {

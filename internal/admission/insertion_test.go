@@ -1,0 +1,98 @@
+package admission
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+func insertionTasks(n int, startID int, bounded bool, seed int64) []*task.Task {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*task.Task, n)
+	for i := range out {
+		bound := math.Inf(1)
+		if bounded {
+			bound = rng.Float64() * 200
+		}
+		out[i] = task.New(task.ID(startID+i), rng.Float64()*20, 1+rng.Float64()*100,
+			1+rng.Float64()*300, rng.Float64()*1.5, bound)
+	}
+	return out
+}
+
+// TestEvaluateInsertionMatchesEvaluate: a quote computed against the base
+// candidate plus a WithTask insertion must be bit-identical (for exact
+// insertion keys) to the quote Evaluate computes from a full rebuild that
+// contains the probe — same slot, same Equation 8 cost, same slack.
+func TestEvaluateInsertionMatchesEvaluate(t *testing.T) {
+	now := 30.0
+	busy := []float64{40, 55}
+	procs := 4
+	rate := 0.01
+
+	for _, p := range []core.Policy{core.FirstPrice{}, core.SWPT{}, core.PresentValue{DiscountRate: rate}} {
+		for _, bounded := range []bool{false, true} {
+			pending := insertionTasks(40, 1, bounded, 5)
+			probes := insertionTasks(12, 1000, bounded, 6)
+			base := core.BuildCandidate(p, now, procs, busy, pending)
+			for _, pr := range probes {
+				ins, ok := base.WithTask(pr)
+				if !ok {
+					t.Fatalf("%s: WithTask unsupported", p.Name())
+				}
+				got := EvaluateInsertion(pr, base, ins, rate)
+
+				full := core.BuildCandidate(p, now, procs, busy,
+					append(append([]*task.Task(nil), pending...), pr))
+				want, err := Evaluate(pr, full, rate)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s bounded=%v probe %d:\n incremental %v\n rebuild     %v",
+						p.Name(), bounded, pr.ID, got, want)
+				}
+			}
+		}
+	}
+}
+
+// FirstReward's insertion key reconstructs the base-frame priority with a
+// uniform shift, so rank position is exact but accumulated floats can
+// differ in the last bits; quote fields get a tolerance.
+func TestEvaluateInsertionFirstRewardClose(t *testing.T) {
+	now := 30.0
+	rate := 0.01
+	fr := core.FirstReward{Alpha: 0.3, DiscountRate: rate}
+	pending := insertionTasks(40, 1, false, 7)
+	probes := insertionTasks(12, 1000, false, 8)
+	base := core.BuildCandidate(fr, now, 4, nil, pending)
+	for _, pr := range probes {
+		ins, ok := base.WithTask(pr)
+		if !ok {
+			t.Fatal("FirstReward unbounded: WithTask unsupported")
+		}
+		got := EvaluateInsertion(pr, base, ins, rate)
+		full := core.BuildCandidate(fr, now, 4, nil,
+			append(append([]*task.Task(nil), pending...), pr))
+		want, err := Evaluate(pr, full, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, pair := range map[string][2]float64{
+			"start":      {got.ExpectedStart, want.ExpectedStart},
+			"completion": {got.ExpectedCompletion, want.ExpectedCompletion},
+			"yield":      {got.ExpectedYield, want.ExpectedYield},
+			"pv":         {got.PresentValue, want.PresentValue},
+			"cost":       {got.Cost, want.Cost},
+			"slack":      {got.Slack, want.Slack},
+		} {
+			if math.Abs(pair[0]-pair[1]) > 1e-9 {
+				t.Fatalf("probe %d: %s = %g, rebuild %g", pr.ID, name, pair[0], pair[1])
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package admission
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParseSpec constructs an admission policy from a spec string in the same
+// grammar core.ParseSpec uses for scheduling policies:
+//
+//	accept-all | all           (also: the empty string)
+//	slack[:threshold=T]
+//	min-yield[:threshold=T]
+//
+// Thresholds default to 0.
+func ParseSpec(spec string) (Policy, error) {
+	if strings.TrimSpace(spec) == "" {
+		return AcceptAll{}, nil
+	}
+	sp, err := core.SplitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch sp.Name {
+	case "accept-all", "acceptall", "all":
+		return AcceptAll{}, sp.Check(nil, nil)
+	case "slack":
+		if err := sp.Check([]string{"threshold"}, nil); err != nil {
+			return nil, err
+		}
+		th, err := sp.Float("threshold", 0)
+		if err != nil {
+			return nil, err
+		}
+		return SlackThreshold{Threshold: th}, nil
+	case "min-yield", "minyield":
+		if err := sp.Check([]string{"threshold"}, nil); err != nil {
+			return nil, err
+		}
+		th, err := sp.Float("threshold", 0)
+		if err != nil {
+			return nil, err
+		}
+		return MinYield{Threshold: th}, nil
+	default:
+		return nil, fmt.Errorf("admission: unknown policy %q (want accept-all | slack[:threshold=] | min-yield[:threshold=])", sp.Name)
+	}
+}

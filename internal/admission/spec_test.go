@@ -1,0 +1,44 @@
+package admission
+
+import "testing"
+
+func TestParseSpecAdmission(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Policy
+	}{
+		{"", AcceptAll{}},
+		{"accept-all", AcceptAll{}},
+		{"acceptall", AcceptAll{}},
+		{"ALL", AcceptAll{}},
+		{"slack", SlackThreshold{}},
+		{"slack:threshold=2", SlackThreshold{Threshold: 2}},
+		{"Slack:Threshold=-150", SlackThreshold{Threshold: -150}},
+		{"min-yield", MinYield{}},
+		{"minyield:threshold=5", MinYield{Threshold: 5}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %#v, want %#v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecAdmissionErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nosuch",
+		"slack:bogus=1",
+		"slack:threshold=abc",
+		"accept-all:threshold=1",
+		"min-yield:threshold=1,threshold=2",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -61,5 +62,66 @@ func BenchmarkBuildCandidate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildCandidate(SWPT{}, 1000, 16, busy, tasks)
+	}
+}
+
+// The size trajectory below mirrors cmd/bench: n in {100, 1k, 10k} so
+// scaling behavior (not just a point estimate) shows up in benchstat.
+var benchSizes = []int{100, 1000, 10000}
+
+func BenchmarkPlanStarts(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy Policy
+	}{
+		{"FirstPrice", FirstPrice{}},
+		{"FirstReward", FirstReward{Alpha: 0.3, DiscountRate: 0.01}},
+		{"FirstRewardGeneral", FirstReward{Alpha: 0.3, DiscountRate: 0.01, ForceGeneralCost: true}},
+	} {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", tc.name, n), func(b *testing.B) {
+				pending := planTasks(n, false, 9)
+				free := n / 4
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					PlanStarts(tc.policy, 1000, free, pending)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkWithTask(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pending := planTasks(n, false, 13)
+			probe := planTasks(1, false, 14)[0]
+			probe.ID = task.ID(n + 1)
+			base := BuildCandidate(FirstPrice{}, 60, 8, nil, pending)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := base.WithTask(probe); !ok {
+					b.Fatal("WithTask unsupported")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOpportunityCosts(b *testing.B) {
+	for _, general := range []bool{false, true} {
+		mode := "sorted"
+		if general {
+			mode = "general"
+		}
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				tasks := planTasks(n, true, 17)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					OpportunityCosts(1000, tasks, general)
+				}
+			})
+		}
 	}
 }

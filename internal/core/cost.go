@@ -3,9 +3,28 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/task"
 )
+
+// unboundedLike reports whether t behaves as if its penalty were
+// unbounded for cost purposes: either the bound really is infinite, or
+// the decay is zero so no penalty ever accrues.
+func unboundedLike(t *task.Task) bool {
+	return t.Unbounded() || t.Decay <= 0
+}
+
+// unboundedSet reports whether every task in the set is unbounded-like,
+// i.e. the Eq. 5 fast path applies.
+func unboundedSet(tasks []*task.Task) bool {
+	for _, t := range tasks {
+		if !unboundedLike(t) {
+			return false
+		}
+	}
+	return true
+}
 
 // OpportunityCosts computes the opportunity cost of starting each task next
 // (Equation 4):
@@ -27,14 +46,7 @@ func OpportunityCosts(now float64, tasks []*task.Task, forceGeneral bool) []floa
 	if forceGeneral {
 		return generalCosts(now, tasks)
 	}
-	allUnbounded := true
-	for _, t := range tasks {
-		if !t.Unbounded() && t.Decay > 0 {
-			allUnbounded = false
-			break
-		}
-	}
-	if allUnbounded {
+	if unboundedSet(tasks) {
 		return unboundedCosts(tasks)
 	}
 	return sortedCosts(now, tasks)
@@ -70,15 +82,52 @@ func generalCosts(now float64, tasks []*task.Task) []float64 {
 	return costs
 }
 
+// costScratch holds the working buffers sortedCosts needs per call. The
+// kernel sits on the dispatch hot path and is invoked once per scheduling
+// event (or, for unstable policies, once per start), so the buffers are
+// pooled rather than reallocated; only the returned costs slice escapes.
+type costScratch struct {
+	rem       []float64
+	prefixDR  []float64
+	prefixD   []float64
+	sortedRem []float64
+	order     []int
+}
+
+var costScratchPool = sync.Pool{New: func() any { return new(costScratch) }}
+
+// grow readies the scratch buffers for n tasks, reusing capacity.
+func (s *costScratch) grow(n int) {
+	if cap(s.rem) < n {
+		s.rem = make([]float64, n)
+		s.sortedRem = make([]float64, n)
+		s.prefixDR = make([]float64, n+1)
+		s.prefixD = make([]float64, n+1)
+		s.order = make([]int, n)
+	}
+	s.rem = s.rem[:n]
+	s.sortedRem = s.sortedRem[:n]
+	s.prefixDR = s.prefixDR[:n+1]
+	s.prefixD = s.prefixD[:n+1]
+	s.order = s.order[:n]
+}
+
 // sortedCosts evaluates Equation 4 in O(n log n). Sort competing tasks by
 // remaining decay time r_j; for a candidate with remaining work R, tasks
 // with r_j <= R contribute d_j*r_j and the rest contribute d_j*R, both
 // available from prefix sums after the sort.
 func sortedCosts(now float64, tasks []*task.Task) []float64 {
 	n := len(tasks)
-	rem := remainingDecayTimes(now, tasks)
+	scratch := costScratchPool.Get().(*costScratch)
+	defer costScratchPool.Put(scratch)
+	scratch.grow(n)
 
-	order := make([]int, n)
+	rem := scratch.rem
+	for j, t := range tasks {
+		rem[j] = t.RemainingDecayTime(now)
+	}
+
+	order := scratch.order
 	for i := range order {
 		order[i] = i
 	}
@@ -88,8 +137,9 @@ func sortedCosts(now float64, tasks []*task.Task) []float64 {
 	// order (capped terms); prefixD[k] = sum of d_j over the same tasks.
 	// Infinite r_j never lands in the capped prefix (r_j <= R is false for
 	// finite R), so the products stay finite.
-	prefixDR := make([]float64, n+1)
-	prefixD := make([]float64, n+1)
+	prefixDR := scratch.prefixDR
+	prefixD := scratch.prefixD
+	prefixDR[0], prefixD[0] = 0, 0
 	var totalD float64
 	for k, idx := range order {
 		t := tasks[idx]
@@ -102,7 +152,7 @@ func sortedCosts(now float64, tasks []*task.Task) []float64 {
 		totalD += t.Decay
 	}
 
-	sortedRem := make([]float64, n)
+	sortedRem := scratch.sortedRem
 	for k, idx := range order {
 		sortedRem[k] = rem[idx]
 	}

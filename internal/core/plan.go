@@ -1,0 +1,60 @@
+package core
+
+import "repro/internal/task"
+
+// PlanStarts selects the tasks to start on free processors at one
+// scheduling event, in start order, and reports how many ranking passes
+// (full Priorities evaluations) the selection cost.
+//
+// The seed dispatcher re-ranked the entire pending queue after every
+// start — O(free · rank) per event, with rank itself O(n log n) (or worse
+// under the general-cost ablation). PlanStarts ranks once and fills every
+// free processor from that order whenever the policy's ranking is stable
+// under removal (see StableRanker / ConditionalStableRanker): removing the
+// started task cannot reorder the remainder, so the single order's prefix
+// is exactly what per-start re-ranking would have produced — including tie
+// breaks, because RankOrder's (priority desc, ID asc) comparator is a
+// total order.
+//
+// Policies with cross-task terms that do not cancel (FirstReward over
+// bounded penalties, ScheduledPrice) keep per-start fidelity: each start
+// recomputes priorities over the surviving set and picks the argmax,
+// reproducing the seed's selection exactly (same accumulation order, same
+// floats, same tie breaks) without the seed's per-start full sort.
+//
+// pending is not mutated. len(starts) == min(free, len(pending)).
+func PlanStarts(policy Policy, now float64, free int, pending []*task.Task) (starts []*task.Task, rankOps int) {
+	if free <= 0 || len(pending) == 0 {
+		return nil, 0
+	}
+	n := free
+	if n > len(pending) {
+		n = len(pending)
+	}
+
+	if StableUnderRemoval(policy, pending) {
+		ordered := RankOrder(policy, now, pending)
+		return ordered[:n], 1
+	}
+
+	// Unstable path: re-rank the surviving set before each start. The
+	// working copy shrinks with order-preserving removal so Priorities sees
+	// the tasks in the same slice order the seed's pending queue would
+	// have, keeping floating-point accumulation — and therefore selection —
+	// bit-identical to the seed.
+	rest := append([]*task.Task(nil), pending...)
+	starts = make([]*task.Task, 0, n)
+	for len(starts) < n {
+		prios := policy.Priorities(now, rest)
+		rankOps++
+		best := 0
+		for i := 1; i < len(rest); i++ {
+			if prios[i] > prios[best] || (prios[i] == prios[best] && rest[i].ID < rest[best].ID) {
+				best = i
+			}
+		}
+		starts = append(starts, rest[best])
+		rest = append(rest[:best], rest[best+1:]...)
+	}
+	return starts, rankOps
+}

@@ -25,6 +25,57 @@ type Policy interface {
 	Priorities(now float64, tasks []*task.Task) []float64
 }
 
+// StableRanker is an optional Policy capability. A policy reports
+// StableUnderRemoval() == true when the relative ranking of any two tasks
+// is unaffected by removing other tasks from the competing set — i.e. its
+// priorities carry no cross-task terms. The dispatcher exploits this to
+// rank a pending queue once per scheduling event and fill every free
+// processor from that single order, instead of re-ranking after each start.
+type StableRanker interface {
+	StableUnderRemoval() bool
+}
+
+// ConditionalStableRanker refines StableRanker for policies whose
+// cross-task terms vanish on particular task sets. FirstReward implements
+// it: over an all-unbounded set, Equation 5 makes every removal shift all
+// priorities uniformly, so the order survives and no re-rank is required
+// for fidelity.
+type ConditionalStableRanker interface {
+	StableUnderRemovalFor(tasks []*task.Task) bool
+}
+
+// StableUnderRemoval reports whether p's ranking of tasks survives removing
+// tasks from the set, consulting the capability interfaces above. Policies
+// that declare neither are conservatively treated as unstable.
+func StableUnderRemoval(p Policy, tasks []*task.Task) bool {
+	if cs, ok := p.(ConditionalStableRanker); ok && cs.StableUnderRemovalFor(tasks) {
+		return true
+	}
+	if st, ok := p.(StableRanker); ok {
+		return st.StableUnderRemoval()
+	}
+	return false
+}
+
+// Inserter is an optional Policy capability enabling incremental candidate
+// schedules. InsertKey returns the priority task t would receive from
+// Priorities over base with t added, expressed in the same frame as the
+// priorities already computed for base — directly comparable against them.
+// The second result is false when the policy cannot produce such a key for
+// this task set (cross-task terms that do not reduce), in which case the
+// caller falls back to a full rebuild.
+type Inserter interface {
+	InsertKey(now float64, t *task.Task, base []*task.Task) (float64, bool)
+}
+
+// CanInsert reports whether p supports incremental candidate evaluation at
+// all. Callers use it to skip building a base schedule for policies that
+// would always force the rebuild path.
+func CanInsert(p Policy) bool {
+	_, ok := p.(Inserter)
+	return ok
+}
+
 // FCFS is First Come First Served: tasks run in arrival order. It is one
 // of the paper's two value-blind baselines (Section 4).
 type FCFS struct{}
@@ -39,6 +90,14 @@ func (FCFS) Priorities(_ float64, tasks []*task.Task) []float64 {
 		p[i] = -t.Arrival
 	}
 	return p
+}
+
+// StableUnderRemoval implements StableRanker: arrival order is per-task.
+func (FCFS) StableUnderRemoval() bool { return true }
+
+// InsertKey implements Inserter.
+func (FCFS) InsertKey(_ float64, t *task.Task, _ []*task.Task) (float64, bool) {
+	return -t.Arrival, true
 }
 
 // SRPT is Shortest Remaining Processing Time, the paper's second
@@ -56,6 +115,14 @@ func (SRPT) Priorities(_ float64, tasks []*task.Task) []float64 {
 		p[i] = -t.RPT
 	}
 	return p
+}
+
+// StableUnderRemoval implements StableRanker: remaining time is per-task.
+func (SRPT) StableUnderRemoval() bool { return true }
+
+// InsertKey implements Inserter.
+func (SRPT) InsertKey(_ float64, t *task.Task, _ []*task.Task) (float64, bool) {
+	return -t.RPT, true
 }
 
 // SWPT is Shortest Weighted Processing Time, the classical heuristic for
@@ -77,6 +144,14 @@ func (SWPT) Priorities(_ float64, tasks []*task.Task) []float64 {
 	return p
 }
 
+// StableUnderRemoval implements StableRanker: decay/RPT is per-task.
+func (SWPT) StableUnderRemoval() bool { return true }
+
+// InsertKey implements Inserter.
+func (SWPT) InsertKey(_ float64, t *task.Task, _ []*task.Task) (float64, bool) {
+	return t.Decay / t.RPT, true
+}
+
 // FirstPrice is Millennium's greedy value heuristic (Section 4): rank by
 // the task's unit gain — expected yield per unit of resource per unit of
 // time, yield_i / RPT_i, with the yield evaluated as if the task started
@@ -93,6 +168,14 @@ func (FirstPrice) Priorities(now float64, tasks []*task.Task) []float64 {
 		p[i] = t.ExpectedYield(now) / t.RPT
 	}
 	return p
+}
+
+// StableUnderRemoval implements StableRanker: unit gain is per-task.
+func (FirstPrice) StableUnderRemoval() bool { return true }
+
+// InsertKey implements Inserter.
+func (FirstPrice) InsertKey(now float64, t *task.Task, _ []*task.Task) (float64, bool) {
+	return t.ExpectedYield(now) / t.RPT, true
 }
 
 // PresentValue discounts future gains (Section 5.1): rank by PV_i / RPT_i
@@ -114,6 +197,15 @@ func (p PresentValue) Priorities(now float64, tasks []*task.Task) []float64 {
 		out[i] = PV(t, now, p.DiscountRate) / t.RPT
 	}
 	return out
+}
+
+// StableUnderRemoval implements StableRanker: discounted unit gain is
+// per-task.
+func (PresentValue) StableUnderRemoval() bool { return true }
+
+// InsertKey implements Inserter.
+func (p PresentValue) InsertKey(now float64, t *task.Task, _ []*task.Task) (float64, bool) {
+	return PV(t, now, p.DiscountRate) / t.RPT, true
 }
 
 // PV computes a task's present value at an instant per Equation 3:
@@ -156,20 +248,43 @@ func (p FirstReward) Priorities(now float64, tasks []*task.Task) []float64 {
 	return out
 }
 
-// ByName returns the named baseline policy. It recognizes the value-blind
-// baselines and the parameter-free FirstPrice; parameterized policies are
-// constructed directly.
-func ByName(name string) (Policy, error) {
-	switch name {
-	case "fcfs", "FCFS":
-		return FCFS{}, nil
-	case "srpt", "SRPT":
-		return SRPT{}, nil
-	case "swpt", "SWPT":
-		return SWPT{}, nil
-	case "firstprice", "FirstPrice":
-		return FirstPrice{}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown policy %q", name)
+// StableUnderRemovalFor implements ConditionalStableRanker. Over a set
+// whose penalties are all effectively unbounded, the Eq. 5 cost of task i
+// is RPT_i·(Σd − d_i); removing task k from the set subtracts
+// (1−alpha)·d_k from every task's reward uniformly, so the relative order
+// survives and one rank per dispatch event is exact. Bounded penalties
+// break the uniform shift (Eq. 4's min(RPT_i, expire_j) terms differ per
+// task), and ForceGeneralCost deliberately routes through Eq. 4, so both
+// force re-ranking.
+func (p FirstReward) StableUnderRemovalFor(tasks []*task.Task) bool {
+	return !p.ForceGeneralCost && unboundedSet(tasks)
+}
+
+// InsertKey implements Inserter for the all-unbounded case. Inserting t
+// into base S grows every base task's Eq. 5 cost by RPT_j·d_t, shifting
+// every base priority uniformly by −(1−alpha)·d_t. Rather than re-derive
+// all base priorities in the S∪{t} frame, return t's priority shifted
+// *into the base frame* (add (1−alpha)·d_t): the comparison outcome is
+// identical and the priorities already computed for base can be reused
+// untouched. t's Eq. 5 cost over S∪{t} is RPT_t·totalD_S; shifting adds
+// (1−alpha)·d_t, i.e. the cost term becomes RPT_t·(totalD_S − d_t).
+func (p FirstReward) InsertKey(now float64, t *task.Task, base []*task.Task) (float64, bool) {
+	if p.ForceGeneralCost || !unboundedLike(t) || !unboundedSet(base) {
+		return 0, false
 	}
+	var totalD float64
+	for _, b := range base {
+		totalD += b.Decay
+	}
+	cost := t.RPT * (totalD - t.Decay) // base-frame cost term
+	return (p.Alpha*PV(t, now, p.DiscountRate) - (1-p.Alpha)*cost) / t.RPT, true
+}
+
+// ByName returns the named policy.
+//
+// Deprecated: ByName only understands bare names; use ParseSpec, which
+// additionally accepts parameterized specs such as "pv:rate=0.01" and
+// "firstreward:alpha=0.8,rate=0.01". ByName delegates to ParseSpec.
+func ByName(name string) (Policy, error) {
+	return ParseSpec(name)
 }

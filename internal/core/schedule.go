@@ -27,10 +27,24 @@ func (s Slot) ExpectedYield() float64 {
 // its pending tasks would run in, with expected start and completion times
 // from list-scheduling that order onto the site's processors behind the
 // currently running work.
+//
+// Candidates built by BuildCandidate retain enough context (policy,
+// processor state, per-slot priorities) to answer WithTask queries: the
+// slot a hypothetical extra task would occupy, computed incrementally
+// against this base schedule instead of rebuilding from scratch.
 type Candidate struct {
 	Now   float64
 	Slots []Slot // in expected start order
 	index map[task.ID]int
+
+	// Incremental-evaluation context. policy is nil for candidates built
+	// without it (internal ScheduledPrice refinement rounds), which makes
+	// WithTask report ok=false and callers fall back to a full rebuild.
+	policy Policy
+	procs  int
+	busy   []float64 // copy of the busyUntil passed to BuildCandidate
+	prios  []float64 // priority per slot, aligned with Slots
+	tasks  []*task.Task
 }
 
 // BuildCandidate constructs a candidate schedule. busyUntil holds one entry
@@ -39,7 +53,82 @@ type Candidate struct {
 // is ranked by the policy and list-scheduled greedily: each task in
 // priority order claims the earliest-free processor.
 func BuildCandidate(policy Policy, now float64, procs int, busyUntil []float64, pending []*task.Task) *Candidate {
-	return buildCandidateOrdered(now, procs, busyUntil, RankOrder(policy, now, pending))
+	ordered, prios := rankWithPriorities(policy, now, pending)
+	c := buildCandidateOrdered(now, procs, busyUntil, ordered)
+	c.policy = policy
+	c.procs = procs
+	c.busy = append([]float64(nil), busyUntil...)
+	c.prios = prios
+	c.tasks = ordered
+	return c
+}
+
+// Insertion is the result of evaluating one extra task against a base
+// candidate schedule: the slot it would occupy and the rank position it
+// would take, with every base slot at Pos and later shifted one place
+// behind it.
+type Insertion struct {
+	Slot Slot
+	Pos  int // index into the base Slots the task would be inserted at
+}
+
+// WithTask evaluates where task t would land if inserted into this
+// candidate schedule, without rebuilding it. It requires the candidate's
+// policy to implement Inserter and the policy to produce an insertion key
+// for this task set (see Inserter); otherwise ok is false and the caller
+// should fall back to BuildCandidate over the extended set.
+//
+// The returned slot is identical to the one a full rebuild would assign:
+// the rank position comes from a binary search of the insertion key
+// against the base priorities, and the start time replays list-scheduling
+// of the first Pos base slots onto the processors. Cost is O(log n) for
+// the search plus O(Pos) for the replay, versus O(n log n) per full
+// rebuild — quoting m proposals against one base schedule is
+// O(m·(log n + n)) instead of O(m·n log n).
+func (c *Candidate) WithTask(t *task.Task) (Insertion, bool) {
+	if c.policy == nil {
+		return Insertion{}, false
+	}
+	ins, ok := c.policy.(Inserter)
+	if !ok {
+		return Insertion{}, false
+	}
+	key, ok := ins.InsertKey(c.Now, t, c.tasks)
+	if !ok {
+		return Insertion{}, false
+	}
+
+	// First slot t would outrank: priorities are non-increasing with
+	// ascending-ID ties, so the predicate is monotone and sort.Search
+	// applies. RankOrder's comparator is (priority desc, ID asc); t goes
+	// before slot i exactly when it wins that comparison.
+	pos := sort.Search(len(c.Slots), func(i int) bool {
+		if key != c.prios[i] {
+			return key > c.prios[i]
+		}
+		return t.ID < c.Slots[i].Task.ID
+	})
+
+	// Replay list-scheduling of the slots ahead of t to find the
+	// earliest-free processor at its turn. Heap pops are by value, so the
+	// replayed start times match a full rebuild exactly.
+	free := pqueue.New(func(a, b float64) bool { return a < b })
+	for _, b := range c.busy {
+		free.Push(math.Max(b, c.Now))
+	}
+	procs := c.procs
+	if procs < 1 {
+		procs = 1
+	}
+	for i := len(c.busy); i < procs; i++ {
+		free.Push(c.Now)
+	}
+	for _, s := range c.Slots[:pos] {
+		at := free.Pop().Value
+		free.Push(at + s.Task.RPT)
+	}
+	at := free.Pop().Value
+	return Insertion{Slot: Slot{Task: t, Start: at, Completion: at + t.RPT}, Pos: pos}, true
 }
 
 // buildCandidateOrdered list-schedules an explicit dispatch order onto the
@@ -71,6 +160,13 @@ func buildCandidateOrdered(now float64, procs int, busyUntil []float64, ordered 
 // highest first. Ties break by task ID so candidate schedules are
 // deterministic.
 func RankOrder(policy Policy, now float64, pending []*task.Task) []*task.Task {
+	ordered, _ := rankWithPriorities(policy, now, pending)
+	return ordered
+}
+
+// rankWithPriorities is RankOrder returning the sorted priorities
+// alongside the sorted tasks (prios[i] is ordered[i]'s priority).
+func rankWithPriorities(policy Policy, now float64, pending []*task.Task) ([]*task.Task, []float64) {
 	prios := policy.Priorities(now, pending)
 	idx := make([]int, len(pending))
 	for i := range idx {
@@ -84,10 +180,12 @@ func RankOrder(policy Policy, now float64, pending []*task.Task) []*task.Task {
 		return pending[idx[a]].ID < pending[idx[b]].ID
 	})
 	out := make([]*task.Task, len(pending))
+	outPrios := make([]float64, len(pending))
 	for i, j := range idx {
 		out[i] = pending[j]
+		outPrios[i] = prios[j]
 	}
-	return out
+	return out, outPrios
 }
 
 // Slot returns the slot for a task, if present.

@@ -78,6 +78,11 @@ func (p ScheduledPrice) Priorities(now float64, tasks []*task.Task) []float64 {
 	return prios
 }
 
+// StableUnderRemoval implements StableRanker. A task's scheduled price
+// depends on its position in the candidate schedule, so removing the task
+// ahead of it changes every price behind it: re-rank per start.
+func (ScheduledPrice) StableUnderRemoval() bool { return false }
+
 // sortByPriority orders indexes by descending priority with ID tie-breaks,
 // matching RankOrder's determinism contract.
 func (ScheduledPrice) sortByPriority(order []int, prios []float64, tasks []*task.Task) {

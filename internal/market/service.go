@@ -15,16 +15,12 @@ type SiteService struct {
 	ledger    Ledger
 }
 
-// NewSiteService wraps a site. It installs a completion observer on the
-// site, so construct the service before the simulation starts. The site
-// must not already have an OnComplete hook.
+// NewSiteService wraps a site. It registers a completion observer on the
+// site (observers compose, so the site may already have others), so
+// construct the service before the simulation starts.
 func NewSiteService(s *site.Site) *SiteService {
 	svc := &SiteService{s: s, contracts: make(map[task.ID]*Contract)}
-	cfg := s.Config()
-	if cfg.OnComplete != nil {
-		panic("market: site already has a completion observer")
-	}
-	s.SetOnComplete(svc.settle)
+	s.ObserveCompletions(svc.settle)
 	return svc
 }
 

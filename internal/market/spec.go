@@ -1,0 +1,26 @@
+package market
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSelector resolves a selector spec string to a Selector. The
+// grammar mirrors core.ParseSpec but selectors take no parameters, so a
+// spec is just a case-insensitive name:
+//
+//	best-yield | bestyield       BestYield (the default buyer)
+//	earliest | earliest-completion | earliestcompletion
+//	                             EarliestCompletion (value-blind buyer)
+//
+// An empty spec resolves to BestYield.
+func ParseSelector(spec string) (Selector, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "best-yield", "bestyield":
+		return BestYield{}, nil
+	case "earliest", "earliest-completion", "earliestcompletion":
+		return EarliestCompletion{}, nil
+	default:
+		return nil, fmt.Errorf("unknown selector %q (want best-yield or earliest)", spec)
+	}
+}

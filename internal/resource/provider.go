@@ -105,7 +105,7 @@ func (p *Provider) accrue() {
 // yield rate and current backlog.
 func (p *Provider) estimate() MarginalValue {
 	m := p.s.Metrics()
-	procs := p.s.Config().Processors
+	procs := p.s.Processors()
 
 	recentYield := m.TotalYield - p.lastYield
 	yieldPerNodeTime := recentYield / (float64(procs) * p.cfg.EvalInterval)

@@ -120,8 +120,8 @@ func TestSiteCapacityGrowShrink(t *testing.T) {
 		if got := s.ShrinkCapacity(10); got != 3 {
 			t.Errorf("ShrinkCapacity(10) = %d, want 3 (floor of one processor)", got)
 		}
-		if s.Config().Processors != 1 {
-			t.Errorf("processors = %d, want 1", s.Config().Processors)
+		if s.Processors() != 1 {
+			t.Errorf("processors = %d, want 1", s.Processors())
 		}
 	})
 	engine.Run()

@@ -25,6 +25,11 @@ type Metrics struct {
 	FirstArrival   float64 // earliest submission seen (+Inf before any)
 	LastCompletion float64
 
+	// Scheduler-efficiency telemetry.
+	RankOps     int // full priority-ranking passes across all dispatch events
+	QuoteBuilds int // candidate schedules built to answer quotes
+	QuoteReuses int // quotes answered from the cached base schedule
+
 	// CompletedTasks records every realized task outcome, including parked
 	// (penalty-realized) tasks, for per-task analysis.
 	CompletedTasks []*task.Task

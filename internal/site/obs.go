@@ -24,6 +24,9 @@ type obsRecorder struct {
 	slack       *obs.Histogram
 	yield       *obs.Counter
 	penalty     *obs.Counter
+	rankOps     *obs.Counter
+	quoteHits   *obs.Counter
+	quoteMisses *obs.Counter
 }
 
 // simSlackBuckets mirror the wire layer's admission-slack buckets (see
@@ -35,6 +38,7 @@ var simSlackBuckets = []float64{-1000, -250, -100, -50, -10, 0, 10, 25, 50, 100,
 // MultiRecorder when both are wanted.
 func NewObsRecorder(reg *obs.Registry, tracer *obs.Tracer, siteID string) Recorder {
 	tasks := reg.Counter("site_tasks_total", "Task outcomes at this site.", "site", "event")
+	quotes := reg.Counter("site_quote_reuse", "Quote evaluations by base-candidate cache outcome.", "site", "result")
 	return &obsRecorder{
 		tracer:      tracer,
 		accepted:    tasks.With(siteID, "accepted"),
@@ -47,6 +51,9 @@ func NewObsRecorder(reg *obs.Registry, tracer *obs.Tracer, siteID string) Record
 		slack:       reg.Histogram("site_admission_slack", "Admission slack of quoted bids (finite values only).", simSlackBuckets, "site").With(siteID),
 		yield:       reg.Counter("site_yield_total", "Realized positive yield.", "site").With(siteID),
 		penalty:     reg.Counter("site_penalty_total", "Realized penalties (absolute value).", "site").With(siteID),
+		rankOps:     reg.Counter("site_dispatch_rank_ops", "Full priority-ranking passes spent dispatching.", "site").With(siteID),
+		quoteHits:   quotes.With(siteID, "hit"),
+		quoteMisses: quotes.With(siteID, "miss"),
 	}
 }
 
@@ -73,6 +80,19 @@ func stageFor(kind EventKind) string {
 
 // Record implements Recorder.
 func (r *obsRecorder) Record(e Event) {
+	switch e.Kind {
+	// Scheduler telemetry: counter-only, no task lifecycle. Return early
+	// so the per-task trace stream is not flooded with rank/quote noise.
+	case EventRank:
+		r.rankOps.Add(e.Value)
+		return
+	case EventQuoteHit:
+		r.quoteHits.Inc()
+		return
+	case EventQuoteMiss:
+		r.quoteMisses.Inc()
+		return
+	}
 	switch e.Kind {
 	case EventSubmit:
 		r.accepted.Inc()

@@ -57,8 +57,7 @@ func TestObsRecorderMatchesMetrics(t *testing.T) {
 		Policy:     core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
 		Preemptive: true,
 		Admission:  admission.SlackThreshold{Threshold: 0},
-		Recorder:   rec,
-	})
+	}, WithRecorder(rec))
 	if m.Rejected == 0 {
 		t.Fatal("test wants a contended run with rejections; got none")
 	}

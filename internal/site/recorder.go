@@ -18,6 +18,16 @@ const (
 	EventPreempt
 	EventComplete
 	EventPark
+	// EventRank is scheduler telemetry, not a task-lifecycle step: one per
+	// dispatch event that ranked the queue, with Value carrying the number
+	// of ranking passes the event cost (1 for stable policies regardless
+	// of how many tasks started). TaskID is zero.
+	EventRank
+	// EventQuoteHit/EventQuoteMiss are quote-cache telemetry: a hit reuses
+	// the cached base candidate schedule, a miss builds a schedule.
+	// TaskID is zero.
+	EventQuoteHit
+	EventQuoteMiss
 )
 
 // String implements fmt.Stringer.
@@ -35,6 +45,12 @@ func (k EventKind) String() string {
 		return "complete"
 	case EventPark:
 		return "park"
+	case EventRank:
+		return "rank"
+	case EventQuoteHit:
+		return "quote-hit"
+	case EventQuoteMiss:
+		return "quote-miss"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -111,15 +127,22 @@ func (l *Log) UtilizationSeries() (times []float64, busy []int) {
 	return times, busy
 }
 
-// record emits an audit event if a recorder is installed.
+// record emits a task-lifecycle audit event if a recorder is installed.
 func (s *Site) record(kind EventKind, t *task.Task, value float64) {
-	if s.cfg.Recorder == nil {
+	s.recordEvent(kind, t.ID, value)
+}
+
+// recordEvent is the task-optional variant of record, used for scheduler
+// telemetry events (EventRank, EventQuoteHit, EventQuoteMiss) that do not
+// concern a single task.
+func (s *Site) recordEvent(kind EventKind, id task.ID, value float64) {
+	if s.recorder == nil {
 		return
 	}
-	s.cfg.Recorder.Record(Event{
+	s.recorder.Record(Event{
 		Time:    s.engine.Now(),
 		Kind:    kind,
-		TaskID:  t.ID,
+		TaskID:  id,
 		Queued:  len(s.pending),
 		Running: len(s.running),
 		Value:   value,

@@ -16,8 +16,7 @@ func TestRecorderCapturesLifecycle(t *testing.T) {
 	engine, s := newSite(t, Config{
 		Policy:     core.FirstPrice{},
 		Preemptive: true,
-		Recorder:   log,
-	})
+	}, WithRecorder(log))
 	low := task.New(1, 0, 100, 100, 0.1, math.Inf(1))
 	high := task.New(2, 50, 10, 1000, 0.1, math.Inf(1))
 	submitAt(engine, s, low)
@@ -57,9 +56,8 @@ func TestRecorderRejectAndPark(t *testing.T) {
 	engine, s := newSite(t, Config{
 		Policy:      core.FirstPrice{},
 		Admission:   admission.SlackThreshold{Threshold: 1e18},
-		Recorder:    log,
 		ParkExpired: true,
-	})
+	}, WithRecorder(log))
 	submitAt(engine, s, task.New(1, 0, 10, 100, 1, math.Inf(1)))
 	engine.Run()
 	if got := log.Count(EventReject); got != 1 {
@@ -68,7 +66,7 @@ func TestRecorderRejectAndPark(t *testing.T) {
 
 	// Parking: a blocked bounded task expires in queue.
 	log2 := &Log{}
-	engine2, s2 := newSite(t, Config{Policy: core.FirstPrice{}, ParkExpired: true, Recorder: log2})
+	engine2, s2 := newSite(t, Config{Policy: core.FirstPrice{}, ParkExpired: true}, WithRecorder(log2))
 	blocker := task.New(1, 0, 100, 1000, 0.1, math.Inf(1))
 	doomed := task.New(2, 1, 10, 10, 5, 5)
 	submitAt(engine2, s2, blocker)
@@ -81,7 +79,7 @@ func TestRecorderRejectAndPark(t *testing.T) {
 
 func TestLogDerivedViews(t *testing.T) {
 	log := &Log{}
-	engine, s := newSite(t, Config{Processors: 2, Recorder: log})
+	engine, s := newSite(t, Config{Processors: 2}, WithRecorder(log))
 	for i := 1; i <= 6; i++ {
 		submitAt(engine, s, task.New(task.ID(i), 0, 10, 100, 1, math.Inf(1)))
 	}
@@ -115,6 +113,7 @@ func TestEventKindStrings(t *testing.T) {
 	for kind, want := range map[EventKind]string{
 		EventSubmit: "submit", EventReject: "reject", EventStart: "start",
 		EventPreempt: "preempt", EventComplete: "complete", EventPark: "park",
+		EventRank: "rank", EventQuoteHit: "quote-hit", EventQuoteMiss: "quote-miss",
 		EventKind(42): "EventKind(42)",
 	} {
 		if got := kind.String(); got != want {

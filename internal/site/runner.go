@@ -12,10 +12,11 @@ import (
 //
 // This is the paper's single-site experimental loop: "the scheduler
 // receives a trace of 5000 jobs ... and the experiment runs until the
-// system has completed all jobs" (Section 5).
-func RunTrace(tasks []*task.Task, cfg Config) Metrics {
+// system has completed all jobs" (Section 5). Options (WithRecorder,
+// WithOnComplete) are forwarded to the site.
+func RunTrace(tasks []*task.Task, cfg Config, opts ...Option) Metrics {
 	engine := sim.New()
-	s := New(engine, "site-0", cfg)
+	s := New(engine, "site-0", cfg, opts...)
 	ScheduleArrivals(engine, s, tasks)
 	engine.Run()
 	return s.Metrics()

@@ -4,8 +4,11 @@
 // the paper).
 //
 // A site is event-driven. Task submissions and completions are the only
-// events; at each, the site re-ranks its pending tasks under its policy and
-// dispatches (or preempts) accordingly. Context-switch time is zero and
+// events; at each, the site ranks its pending tasks under its policy and
+// dispatches (or preempts) accordingly. Ranking happens once per event
+// when the policy's order is stable under removal (core.StableRanker) and
+// per start otherwise; either way the resulting schedule is identical to
+// re-ranking before every start. Context-switch time is zero and
 // predicted run times are accurate, matching the paper's simplifying
 // assumptions.
 package site
@@ -20,10 +23,15 @@ import (
 	"repro/internal/task"
 )
 
-// Config parameterizes a site.
+// Config parameterizes a site. It is a value: New validates it once and
+// the site never mutates it afterwards. Observers (completion hooks,
+// audit recorders) are attached through Options on New, not Config
+// fields, so a validated Config can be shared and reused freely.
 type Config struct {
 	// Processors is the number of interchangeable nodes. Each task occupies
 	// exactly one (the paper's single-node resource-request assumption).
+	// It is the site's *initial* capacity; GrowCapacity/ShrinkCapacity
+	// adjust the live count, readable via Site.Processors.
 	Processors int
 	// Policy ranks competing tasks. Required.
 	Policy core.Policy
@@ -51,12 +59,27 @@ type Config struct {
 	// site incurs no further cost for discarding an expired task. Off by
 	// default: the paper's Section 5 experiments run every accepted task.
 	ParkExpired bool
-	// OnComplete, if set, observes every realized task outcome (completion
-	// or parking). The market layer uses it to settle contracts.
-	OnComplete func(*task.Task)
-	// Recorder, if set, receives an audit event for every scheduling
-	// decision (submissions, dispatches, preemptions, completions).
-	Recorder Recorder
+}
+
+// Option customizes a Site at construction time. Options replace the old
+// pattern of mutating a validated Config (Site.SetOnComplete): the Config
+// stays immutable and everything attachable after validation goes through
+// here.
+type Option func(*Site)
+
+// WithRecorder attaches an audit recorder: it receives an Event for every
+// scheduling decision (submissions, dispatches, preemptions, completions,
+// ranking and quote-cache telemetry). Multiple WithRecorder options
+// compose via MultiRecorder.
+func WithRecorder(r Recorder) Option {
+	return func(s *Site) { s.recorder = MultiRecorder(s.recorder, r) }
+}
+
+// WithOnComplete registers an observer of every realized task outcome
+// (completion or parking). The market layer uses it to settle contracts.
+// Observers run in registration order; multiple options compose.
+func WithOnComplete(fn func(*task.Task)) Option {
+	return func(s *Site) { s.ObserveCompletions(fn) }
 }
 
 // PreemptRanking selects the remaining-work basis used to rank a running
@@ -109,10 +132,28 @@ type Site struct {
 	engine  *sim.Engine
 	cfg     Config
 	adm     admission.Policy
+	procs   int // live processor count (cfg.Processors is the initial value)
 	pending []*task.Task
 	running map[task.ID]*execution
 	free    int
 	parked  []*task.Task
+
+	recorder   Recorder
+	onComplete []func(*task.Task)
+
+	// version counts scheduling-state changes (queue, running set,
+	// capacity). Together with the simulation clock it keys the cached
+	// base candidate schedule: same (now, version) means the same
+	// schedule, so repeated quotes reuse it.
+	version     uint64
+	baseCand    *core.Candidate
+	baseNow     float64
+	baseVersion uint64
+
+	// seedDispatch switches dispatch back to the original per-start
+	// re-rank loop. It exists purely as the differential oracle for the
+	// single-pass dispatcher's equivalence tests.
+	seedDispatch bool
 
 	metrics Metrics
 }
@@ -120,7 +161,7 @@ type Site struct {
 // New constructs a site on the engine. It panics on an invalid
 // configuration: a site is always built from code, not user input, and a
 // bad config is a programming error.
-func New(engine *sim.Engine, id string, cfg Config) *Site {
+func New(engine *sim.Engine, id string, cfg Config, opts ...Option) *Site {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
@@ -128,42 +169,100 @@ func New(engine *sim.Engine, id string, cfg Config) *Site {
 	if adm == nil {
 		adm = admission.AcceptAll{}
 	}
-	return &Site{
+	s := &Site{
 		ID:      id,
 		engine:  engine,
 		cfg:     cfg,
 		adm:     adm,
+		procs:   cfg.Processors,
 		running: make(map[task.ID]*execution),
 		free:    cfg.Processors,
 		metrics: Metrics{FirstArrival: math.Inf(1)},
 	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(s)
+		}
+	}
+	return s
 }
 
-// Config returns the site's configuration.
+// Config returns the site's configuration as validated at construction.
+// It does not reflect later capacity changes; use Processors for the live
+// count.
 func (s *Site) Config() Config { return s.cfg }
+
+// Processors returns the site's current processor count, including any
+// capacity grown or shrunk since construction.
+func (s *Site) Processors() int { return s.procs }
 
 // Admission returns the site's effective admission policy.
 func (s *Site) Admission() admission.Policy { return s.adm }
 
-// SetOnComplete installs the completion observer. It must be set before the
-// simulation starts.
-func (s *Site) SetOnComplete(fn func(*task.Task)) { s.cfg.OnComplete = fn }
+// ObserveCompletions registers fn to observe every realized task outcome
+// (completion or parking), in addition to any observers already attached.
+// It must be called before the simulation starts.
+func (s *Site) ObserveCompletions(fn func(*task.Task)) {
+	if fn != nil {
+		s.onComplete = append(s.onComplete, fn)
+	}
+}
 
 // Engine returns the simulation engine the site is attached to.
 func (s *Site) Engine() *sim.Engine { return s.engine }
 
+// invalidate marks the scheduling state changed, retiring the cached base
+// candidate schedule.
+func (s *Site) invalidate() { s.version++ }
+
+// baseCandidate returns the candidate schedule of the current pending
+// queue (no probe task), rebuilding it only when the scheduling state or
+// the clock has moved since the last quote.
+func (s *Site) baseCandidate(now float64) *core.Candidate {
+	if s.baseCand != nil && s.baseNow == now && s.baseVersion == s.version {
+		s.metrics.QuoteReuses++
+		s.recordEvent(EventQuoteHit, 0, 0)
+		return s.baseCand
+	}
+	s.baseCand = core.BuildCandidate(s.cfg.Policy, now, s.procs, s.busyUntil(now), s.pending)
+	s.baseNow = now
+	s.baseVersion = s.version
+	s.metrics.QuoteBuilds++
+	s.recordEvent(EventQuoteMiss, 0, 0)
+	return s.baseCand
+}
+
 // Quote integrates a proposed task into the site's current candidate
 // schedule and returns its evaluation without accepting it. This is the
 // first half of the negotiation procedure in Section 6.
+//
+// When the policy supports incremental insertion (core.Inserter), the
+// quote is answered against a cached base schedule of the pending queue:
+// m competing proposals at one instant cost one schedule build plus m
+// cheap insertions instead of m full rebuilds. Policies without the
+// capability fall back to the full rebuild.
 func (s *Site) Quote(t *task.Task) (admission.Quote, error) {
 	if err := t.Validate(); err != nil {
 		return admission.Quote{}, err
 	}
 	now := s.engine.Now()
+	if ins, ok := s.cfg.Policy.(core.Inserter); ok {
+		// Probe the key first: for task sets the policy cannot produce an
+		// insertion key for (e.g. FirstReward over bounded penalties), skip
+		// straight to the rebuild without wasting a base-candidate build.
+		if _, keyOK := ins.InsertKey(now, t, s.pending); keyOK {
+			cand := s.baseCandidate(now)
+			if insertion, ok := cand.WithTask(t); ok {
+				return admission.EvaluateInsertion(t, cand, insertion, s.cfg.DiscountRate), nil
+			}
+		}
+	}
+	s.metrics.QuoteBuilds++
+	s.recordEvent(EventQuoteMiss, 0, 0)
 	with := make([]*task.Task, 0, len(s.pending)+1)
 	with = append(with, s.pending...)
 	with = append(with, t)
-	cand := core.BuildCandidate(s.cfg.Policy, now, s.cfg.Processors, s.busyUntil(now), with)
+	cand := core.BuildCandidate(s.cfg.Policy, now, s.procs, s.busyUntil(now), with)
 	return admission.Evaluate(t, cand, s.cfg.DiscountRate)
 }
 
@@ -191,6 +290,7 @@ func (s *Site) Submit(t *task.Task) (admission.Quote, bool, error) {
 	s.metrics.Accepted++
 	s.metrics.AcceptedValue += t.Value
 	s.pending = append(s.pending, t)
+	s.invalidate()
 	s.record(EventSubmit, t, q.Slack)
 	s.dispatch()
 	return q, true, nil
@@ -218,17 +318,56 @@ func (s *Site) effectiveRPT(ex *execution, now float64) float64 {
 // dispatch fills free processors with the highest-priority pending tasks
 // and, when preemption is enabled, displaces running tasks that rank below
 // a pending one.
+//
+// Dispatch is atomic in simulation time: the clock cannot advance between
+// the decisions below, so expiry state is fixed for the whole event.
+// parkExpired clears already-expired tasks up front, and the start loop
+// re-checks expiry on each selected task before starting it — the hoisted
+// check makes "an expired task is never started" a structural invariant
+// of the dispatcher rather than a consequence of call ordering.
 func (s *Site) dispatch() {
 	now := s.engine.Now()
 	if s.cfg.ParkExpired {
 		s.parkExpired(now)
 	}
-	for s.free > 0 && len(s.pending) > 0 {
-		ordered := core.RankOrder(s.cfg.Policy, now, s.pending)
-		s.start(ordered[0], now)
+	rankOps := 0
+	if s.seedDispatch {
+		// Differential oracle: the original per-start re-rank loop.
+		for s.free > 0 && len(s.pending) > 0 {
+			ordered := core.RankOrder(s.cfg.Policy, now, s.pending)
+			rankOps++
+			s.start(ordered[0], now)
+		}
+	} else {
+		for s.free > 0 && len(s.pending) > 0 {
+			starts, ranks := core.PlanStarts(s.cfg.Policy, now, s.free, s.pending)
+			rankOps += ranks
+			parked := false
+			for _, t := range starts {
+				if s.cfg.ParkExpired && !t.Unbounded() && t.ExpiredAt(now) {
+					// Unreachable after parkExpired within one atomic
+					// dispatch, but kept as the structural guarantee: park,
+					// drop the rest of this plan, and re-plan without the
+					// expired task.
+					s.removePending(t)
+					s.park(t, now)
+					s.invalidate()
+					parked = true
+					break
+				}
+				s.start(t, now)
+			}
+			if !parked {
+				break
+			}
+		}
 	}
 	if s.cfg.Preemptive {
-		s.preemptIfBeneficial(now)
+		rankOps += s.preemptIfBeneficial(now)
+	}
+	if rankOps > 0 {
+		s.metrics.RankOps += rankOps
+		s.recordEvent(EventRank, 0, float64(rankOps))
 	}
 }
 
@@ -236,19 +375,30 @@ func (s *Site) dispatch() {
 // realizing their full penalty now.
 func (s *Site) parkExpired(now float64) {
 	keep := s.pending[:0]
+	changed := false
 	for _, t := range s.pending {
 		if !t.Unbounded() && t.ExpiredAt(now) {
-			t.State = task.Completed
-			t.Completion = now
-			t.Yield = -t.Bound
-			s.parked = append(s.parked, t)
-			s.record(EventPark, t, t.Yield)
-			s.recordOutcome(t, now)
+			s.park(t, now)
+			changed = true
 			continue
 		}
 		keep = append(keep, t)
 	}
 	s.pending = keep
+	if changed {
+		s.invalidate()
+	}
+}
+
+// park realizes t's full penalty and records the outcome. The caller is
+// responsible for having removed t from the pending queue.
+func (s *Site) park(t *task.Task, now float64) {
+	t.State = task.Completed
+	t.Completion = now
+	t.Yield = -t.Bound
+	s.parked = append(s.parked, t)
+	s.record(EventPark, t, t.Yield)
+	s.recordOutcome(t, now)
 }
 
 // preemptEpsilon guards against priority-tie thrashing: a pending task must
@@ -262,8 +412,9 @@ const minPreemptableRPT = 1e-9
 // preemptIfBeneficial repeatedly swaps the best pending task for the worst
 // running task while the pending one ranks strictly higher. Rankings are
 // evaluated over the union of pending and running tasks so cross-task cost
-// terms see the full competing set.
-func (s *Site) preemptIfBeneficial(now float64) {
+// terms see the full competing set. It reports the number of ranking
+// passes performed.
+func (s *Site) preemptIfBeneficial(now float64) (rankOps int) {
 	for len(s.pending) > 0 && len(s.running) > 0 {
 		union := make([]*task.Task, 0, len(s.pending)+len(s.running))
 		union = append(union, s.pending...)
@@ -288,6 +439,7 @@ func (s *Site) preemptIfBeneficial(now float64) {
 			union = append(union, ex.t)
 		}
 		prios := s.cfg.Policy.Priorities(now, union)
+		rankOps++
 
 		bestPending, worstRunning := -1, -1
 		for i, t := range union {
@@ -312,11 +464,12 @@ func (s *Site) preemptIfBeneficial(now float64) {
 			sv.ex.t.RPT = sv.rpt
 		}
 		if !doSwap {
-			return
+			return rankOps
 		}
 		s.preempt(union[worstRunning], now)
 		s.start(union[bestPending], now)
 	}
+	return rankOps
 }
 
 // start dispatches a pending task onto a free processor.
@@ -328,6 +481,7 @@ func (s *Site) start(t *task.Task, now float64) {
 	ex.done = s.engine.After(t.RPT, func() { s.complete(t) })
 	s.running[t.ID] = ex
 	s.free--
+	s.invalidate()
 	s.record(EventStart, t, t.RPT)
 }
 
@@ -348,6 +502,7 @@ func (s *Site) preempt(t *task.Task, now float64) {
 		t.RPT = s.effectiveRPT(ex, now)
 	}
 	s.pending = append(s.pending, t)
+	s.invalidate()
 	s.record(EventPreempt, t, t.RPT)
 }
 
@@ -355,10 +510,9 @@ func (s *Site) preempt(t *task.Task, now float64) {
 // freed processor.
 func (s *Site) complete(t *task.Task) {
 	now := s.engine.Now()
-	ex := s.running[t.ID]
 	delete(s.running, t.ID)
 	s.free++
-	_ = ex
+	s.invalidate()
 	t.State = task.Completed
 	t.RPT = 0
 	t.Completion = now
@@ -381,8 +535,8 @@ func (s *Site) recordOutcome(t *task.Task, now float64) {
 		s.metrics.LowClassYield += t.Yield
 	}
 	s.metrics.CompletedTasks = append(s.metrics.CompletedTasks, t)
-	if s.cfg.OnComplete != nil {
-		s.cfg.OnComplete(t)
+	for _, fn := range s.onComplete {
+		fn(t)
 	}
 }
 
@@ -403,8 +557,9 @@ func (s *Site) GrowCapacity(n int) {
 	if n <= 0 {
 		return
 	}
-	s.cfg.Processors += n
+	s.procs += n
 	s.free += n
+	s.invalidate()
 	s.dispatch()
 }
 
@@ -421,14 +576,17 @@ func (s *Site) ShrinkCapacity(n int) int {
 	}
 	// Never shrink below one processor; a site with zero capacity would
 	// strand accepted work forever.
-	if s.cfg.Processors-removed < 1 {
-		removed = s.cfg.Processors - 1
+	if s.procs-removed < 1 {
+		removed = s.procs - 1
 	}
 	if removed < 0 {
 		removed = 0
 	}
-	s.cfg.Processors -= removed
+	s.procs -= removed
 	s.free -= removed
+	if removed > 0 {
+		s.invalidate()
+	}
 	return removed
 }
 

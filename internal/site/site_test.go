@@ -10,7 +10,7 @@ import (
 	"repro/internal/task"
 )
 
-func newSite(t *testing.T, cfg Config) (*sim.Engine, *Site) {
+func newSite(t *testing.T, cfg Config, opts ...Option) (*sim.Engine, *Site) {
 	t.Helper()
 	engine := sim.New()
 	if cfg.Policy == nil {
@@ -19,7 +19,7 @@ func newSite(t *testing.T, cfg Config) (*sim.Engine, *Site) {
 	if cfg.Processors == 0 {
 		cfg.Processors = 1
 	}
-	return engine, New(engine, "test-site", cfg)
+	return engine, New(engine, "test-site", cfg, opts...)
 }
 
 func submitAt(engine *sim.Engine, s *Site, t *task.Task) {
@@ -282,9 +282,8 @@ func TestParkExpiredRealizesPenaltyWithoutRunning(t *testing.T) {
 
 func TestOnCompleteObserver(t *testing.T) {
 	var seen []task.ID
-	engine, s := newSite(t, Config{
-		OnComplete: func(tk *task.Task) { seen = append(seen, tk.ID) },
-	})
+	engine, s := newSite(t, Config{},
+		WithOnComplete(func(tk *task.Task) { seen = append(seen, tk.ID) }))
 	submitAt(engine, s, task.New(1, 0, 10, 100, 1, math.Inf(1)))
 	submitAt(engine, s, task.New(2, 1, 10, 100, 1, math.Inf(1)))
 	engine.Run()
@@ -322,7 +321,7 @@ func TestSiteAccessors(t *testing.T) {
 		t.Error("Admission() should default to accept-all")
 	}
 	var observed int
-	s.SetOnComplete(func(*task.Task) { observed++ })
+	s.ObserveCompletions(func(*task.Task) { observed++ })
 	tk := task.New(1, 0, 10, 100, 1, math.Inf(1))
 	long := task.New(2, 0, 50, 100, 1, math.Inf(1))
 	submitAt(engine, s, tk)
@@ -367,7 +366,7 @@ func TestGrowShrinkNoops(t *testing.T) {
 	_, s := newSite(t, Config{Processors: 2})
 	s.GrowCapacity(0)
 	s.GrowCapacity(-3)
-	if s.Config().Processors != 2 {
+	if s.Processors() != 2 {
 		t.Error("no-op grow changed capacity")
 	}
 	if got := s.ShrinkCapacity(0); got != 0 {

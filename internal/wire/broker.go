@@ -25,6 +25,9 @@ type BrokerConfig struct {
 	// Negotiator semantics (zero means default, negative disables).
 	Retries int
 	Backoff time.Duration
+	// QuoteWorkers bounds concurrent site quoting per exchange, with
+	// Negotiator semantics (zero means the default of 8, negative means 1).
+	QuoteWorkers int
 	// IdleTimeout / WriteTimeout govern the broker's client-facing
 	// connections, with ServerConfig semantics.
 	IdleTimeout  time.Duration
@@ -42,6 +45,7 @@ type BrokerConfig struct {
 
 func (c BrokerConfig) retries() int           { return defaultedRetries(c.Retries) }
 func (c BrokerConfig) backoff() time.Duration { return defaultedBackoff(c.Backoff) }
+func (c BrokerConfig) quoteWorkers() int      { return defaultedQuoteWorkers(c.QuoteWorkers) }
 
 // BrokerServer is Figure 1's broker as a standalone process: clients speak
 // the ordinary bid/award protocol to it, and it coordinates the fan-out,
@@ -257,7 +261,7 @@ func (b *BrokerServer) handleBid(env Envelope) Envelope {
 	b.mu.Unlock()
 	b.eo.trace(obs.TraceEvent{Stage: obs.StageSubmit, Task: uint64(bid.TaskID), Req: bid.ReqID, Value: bid.Value})
 
-	offers, offerSites, err := proposeAll(b.sites, bid, b.cfg.retries(), b.cfg.backoff(), b.eo)
+	offers, offerSites, err := proposeAll(b.sites, bid, b.cfg.retries(), b.cfg.backoff(), b.cfg.quoteWorkers(), b.eo)
 	if err != nil {
 		b.eo.failed.Inc()
 		b.eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(bid.TaskID), Req: bid.ReqID, Detail: err.Error()})

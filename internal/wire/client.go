@@ -338,6 +338,11 @@ type Negotiator struct {
 	// Backoff is the delay before the first retry, doubling each attempt.
 	// Zero means the default (50ms).
 	Backoff time.Duration
+	// QuoteWorkers bounds the number of sites quoted concurrently during
+	// an exchange. Zero means the default (8); negative means one. The
+	// bound keeps a federation-wide exchange from opening an unbounded
+	// goroutine (and socket) burst per bid.
+	QuoteWorkers int
 	// Logger observes per-site failures as structured JSON lines; nil
 	// silences them.
 	Logger *obs.Logger
@@ -353,8 +358,9 @@ type Negotiator struct {
 }
 
 const (
-	defaultRetries = 2
-	defaultBackoff = 50 * time.Millisecond
+	defaultRetries      = 2
+	defaultBackoff      = 50 * time.Millisecond
+	defaultQuoteWorkers = 8
 )
 
 func defaultedRetries(n int) int {
@@ -374,8 +380,19 @@ func defaultedBackoff(d time.Duration) time.Duration {
 	return d
 }
 
+func defaultedQuoteWorkers(n int) int {
+	if n == 0 {
+		return defaultQuoteWorkers
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
 func (n *Negotiator) retries() int           { return defaultedRetries(n.Retries) }
 func (n *Negotiator) backoff() time.Duration { return defaultedBackoff(n.Backoff) }
+func (n *Negotiator) quoteWorkers() int      { return defaultedQuoteWorkers(n.QuoteWorkers) }
 
 // exchangeObs lazily binds the negotiator's instruments so plain literal
 // construction (the common pattern in tests and examples) keeps working.
@@ -403,29 +420,45 @@ func callWithRetry(sc *SiteClient, retries int, backoff time.Duration, eo exchan
 	}
 }
 
-// proposeAll fans one bid out to every site concurrently and collects the
-// accepting sites' offers. Sites that error after bounded retries drop out
+// proposeAll fans one bid out to every site and collects the accepting
+// sites' offers, quoting at most `workers` sites concurrently (a bounded
+// pool, so hundred-site federations do not burst a goroutine and socket
+// per site for every bid). Sites that error after bounded retries drop out
 // of the exchange. The returned error is non-nil only when every site
 // failed, and carries the first failure observed.
 func proposeAll(sites []*SiteClient, b market.Bid, retries int, backoff time.Duration,
-	eo exchangeObs) ([]market.ServerBid, []*SiteClient, error) {
+	workers int, eo exchangeObs) ([]market.ServerBid, []*SiteClient, error) {
 	type result struct {
 		sb  market.ServerBid
 		ok  bool
 		err error
 	}
 	results := make([]result, len(sites))
-	var wg sync.WaitGroup
-	for i, sc := range sites {
-		wg.Add(1)
-		go func(i int, sc *SiteClient) {
-			defer wg.Done()
-			sb, ok, err := callWithRetry(sc, retries, backoff, eo, func() (market.ServerBid, bool, error) {
-				return sc.Propose(b)
-			})
-			results[i] = result{sb, ok, err}
-		}(i, sc)
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sc := sites[i]
+				sb, ok, err := callWithRetry(sc, retries, backoff, eo, func() (market.ServerBid, bool, error) {
+					return sc.Propose(b)
+				})
+				results[i] = result{sb, ok, err}
+			}
+		}()
+	}
+	for i := range sites {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 
 	var offers []market.ServerBid
@@ -470,7 +503,7 @@ func (n *Negotiator) Negotiate(b market.Bid) (market.ServerBid, bool, error) {
 	}
 	eo := n.exchangeObs()
 	eo.trace(obs.TraceEvent{Stage: obs.StageSubmit, Task: uint64(b.TaskID), Req: b.ReqID, Value: b.Value})
-	offers, offerSites, err := proposeAll(n.Sites, b, n.retries(), n.backoff(), eo)
+	offers, offerSites, err := proposeAll(n.Sites, b, n.retries(), n.backoff(), n.quoteWorkers(), eo)
 	if err != nil {
 		eo.failed.Inc()
 		eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(b.TaskID), Req: b.ReqID, Detail: err.Error()})

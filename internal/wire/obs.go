@@ -20,6 +20,8 @@ import (
 //	site_admission_slack{site}       slack of quoted bids (finite only)
 //	site_yield_total{site}           realized positive yield
 //	site_penalty_total{site}         realized penalties (absolute value)
+//	site_dispatch_rank_ops{site}     priority-ranking passes spent dispatching
+//	site_quote_reuse{site,result}    quote evaluations by cache outcome (hit/miss)
 //	market_negotiations_total{role,outcome}  placed/declined/failed exchanges
 //	market_settlements_total{role,result}    delivered/undeliverable/relayed
 //	market_settlement_lateness{site} completion minus contracted completion
@@ -50,6 +52,9 @@ type serverMetrics struct {
 	slack        *obs.Histogram
 	yield        *obs.Counter
 	penalty      *obs.Counter
+	rankOps      *obs.Counter
+	quoteHits    *obs.Counter
+	quoteMisses  *obs.Counter
 	settleOK     *obs.Counter
 	settleLost   *obs.Counter
 	lateness     *obs.Histogram
@@ -60,6 +65,7 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 	rpcSec := reg.Histogram("wire_rpc_seconds", "RPC handling latency in seconds.", nil, "site", "type")
 	tasks := reg.Counter("site_tasks_total", "Task outcomes at this site.", "site", "event")
 	settles := reg.Counter("market_settlements_total", "Settlement deliveries.", "role", "result")
+	quotes := reg.Counter("site_quote_reuse", "Quote evaluations by base-candidate cache outcome.", "site", "result")
 	return serverMetrics{
 		rpcBid:       rpc.With(site, TypeBid),
 		rpcAward:     rpc.With(site, TypeAward),
@@ -76,6 +82,9 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 		slack:        reg.Histogram("site_admission_slack", "Admission slack of quoted bids (finite values only).", slackBuckets, "site").With(site),
 		yield:        reg.Counter("site_yield_total", "Realized positive yield.", "site").With(site),
 		penalty:      reg.Counter("site_penalty_total", "Realized penalties (absolute value).", "site").With(site),
+		rankOps:      reg.Counter("site_dispatch_rank_ops", "Full priority-ranking passes spent dispatching.", "site").With(site),
+		quoteHits:    quotes.With(site, "hit"),
+		quoteMisses:  quotes.With(site, "miss"),
 		settleOK:     settles.With("site", "delivered"),
 		settleLost:   settles.With("site", "undeliverable"),
 		lateness:     reg.Histogram("market_settlement_lateness", "Completion time minus contracted completion, in simulation units.", latenessBuckets, "site").With(site),

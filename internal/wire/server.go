@@ -481,6 +481,11 @@ func (s *Server) bidTask(bid market.Bid) *task.Task {
 }
 
 func (s *Server) quoteLocked(bid market.Bid) (admission.Quote, error) {
+	// Live servers quote at wall-clock instants, so consecutive quotes
+	// never share a base schedule: every evaluation is a full build,
+	// counted as a cache miss so the site_quote_reuse series is comparable
+	// with the simulator's.
+	s.m.quoteMisses.Inc()
 	probe := s.bidTask(bid)
 	with := make([]*task.Task, 0, len(s.pending)+1)
 	with = append(with, s.pending...)
@@ -498,14 +503,23 @@ func (s *Server) quoteLocked(bid market.Bid) (admission.Quote, error) {
 	return admission.Evaluate(probe, cand, s.cfg.DiscountRate)
 }
 
-// dispatchLocked starts pending tasks while processors are free. Each
-// started task's completion timer is tracked so Close can cancel it or
-// wait for its callback to drain.
+// dispatchLocked starts pending tasks while processors are free. The
+// queue is ranked once per dispatch event (core.PlanStarts re-ranks per
+// start only when the policy's order is not stable under removal), and
+// every free processor is filled from that plan. Each started task's
+// completion timer is tracked so Close can cancel it or wait for its
+// callback to drain.
 func (s *Server) dispatchLocked() {
+	if s.closed {
+		return
+	}
 	now := s.now()
-	for len(s.running) < s.cfg.Processors && len(s.pending) > 0 && !s.closed {
-		ordered := core.RankOrder(s.cfg.Policy, now, s.pending)
-		t := ordered[0]
+	free := s.cfg.Processors - len(s.running)
+	starts, ranks := core.PlanStarts(s.cfg.Policy, now, free, s.pending)
+	if ranks > 0 {
+		s.m.rankOps.Add(float64(ranks))
+	}
+	for _, t := range starts {
 		s.removePendingLocked(t)
 		t.State = task.Running
 		t.Start = now
