@@ -21,18 +21,19 @@ import (
 
 func main() {
 	var (
-		sites    = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
-		n        = flag.Int("n", 20, "tasks to submit")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		mean     = flag.Duration("interarrival", 200*time.Millisecond, "mean wall-clock gap between submissions")
-		scale    = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit (must match the servers)")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
-		retries  = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
-		backoff  = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
-		selector = flag.String("selector", "best-yield", "server-bid selector spec: best-yield|earliest")
-		logLevel = flag.String("log-level", "warn", "minimum log level: debug|info|warn|error")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
-		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr")
+		sites     = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
+		n         = flag.Int("n", 20, "tasks to submit")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		mean      = flag.Duration("interarrival", 200*time.Millisecond, "mean wall-clock gap between submissions")
+		scale     = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit (must match the servers)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
+		retries   = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
+		backoff   = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
+		selector  = flag.String("selector", "best-yield", "server-bid selector spec: best-yield|earliest")
+		reconcile = flag.Duration("reconcile", 2*time.Second, "poll outstanding contracts this often while draining (0 disables)")
+		logLevel  = flag.String("log-level", "warn", "minimum log level: debug|info|warn|error")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		trace     = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr")
 	)
 	flag.Parse()
 
@@ -63,13 +64,29 @@ func main() {
 	lateness := obs.Default.Histogram("market_settlement_lateness",
 		"Completion time minus contracted completion, in simulation units.",
 		nil, "site")
+	defaults := obs.Default.Counter("market_contracts_defaulted_total",
+		"Contracts whose site reported them defaulted.", "role", "site")
 
 	var clients []*wire.SiteClient
 	var mu sync.Mutex
-	settledCount := 0
+	settledCount, defaultedCount, lostCount := 0, 0, 0
 	revenue := 0.0
-	expected := make(map[task.ID]float64) // contracted completion per task
+	expected := make(map[task.ID]float64)        // contracted completion per task
+	holder := make(map[task.ID]*wire.SiteClient) // site holding each open contract
 	var wg sync.WaitGroup
+
+	// claim closes a contract exactly once: the settlement push and the
+	// reconciliation poll can race to deliver the same outcome.
+	claim := func(id task.ID) (float64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		want, ok := expected[id]
+		if ok {
+			delete(expected, id)
+			delete(holder, id)
+		}
+		return want, ok
+	}
 
 	for _, addr := range strings.Split(*sites, ",") {
 		c, err := wire.DialConfig(strings.TrimSpace(addr), wire.ClientConfig{RequestTimeout: *timeout})
@@ -78,14 +95,15 @@ func main() {
 			os.Exit(1)
 		}
 		c.SetOnSettled(func(e wire.Envelope) {
+			want, open := claim(e.TaskID)
+			if !open {
+				return // already reconciled via query
+			}
 			mu.Lock()
 			settledCount++
 			revenue += e.FinalPrice
-			if want, ok := expected[e.TaskID]; ok {
-				lateness.With(e.SiteID).Observe(e.CompletedAt - want)
-				delete(expected, e.TaskID)
-			}
 			mu.Unlock()
+			lateness.With(e.SiteID).Observe(e.CompletedAt - want)
 			tracer.Emit(obs.TraceEvent{Stage: obs.StageSettle, Task: uint64(e.TaskID),
 				Req: e.ReqID, Site: e.SiteID, T: e.CompletedAt, Value: e.FinalPrice})
 			fmt.Printf("settled  task %d at %s: price %.2f\n", e.TaskID, e.SiteID, e.FinalPrice)
@@ -93,6 +111,68 @@ func main() {
 		})
 		defer c.Close()
 		clients = append(clients, c)
+	}
+
+	// reconcileOutstanding queries every open contract at its site. A dead
+	// connection is redialed first — the settlement callback survives the
+	// redial, and querying an open contract re-subscribes this connection to
+	// its settlement push, so contracts held across a site restart settle
+	// here instead of waiting forever. Contracts the site reports settled
+	// are claimed as if the push had arrived; defaulted ones are logged and
+	// their penalty booked; unknown ones are written off.
+	reconcileOutstanding := func() {
+		mu.Lock()
+		open := make(map[task.ID]*wire.SiteClient, len(holder))
+		for id, c := range holder {
+			open[id] = c
+		}
+		mu.Unlock()
+		for id, c := range open {
+			st, err := c.Query(id)
+			if err != nil {
+				if rerr := c.Redial(); rerr != nil {
+					logger.Warn("site unreachable during reconcile", "task", uint64(id), "addr", c.Addr(), "err", rerr.Error())
+					continue
+				}
+				if st, err = c.Query(id); err != nil {
+					logger.Warn("contract query failed after redial", "task", uint64(id), "addr", c.Addr(), "err", err.Error())
+					continue
+				}
+			}
+			switch st.State {
+			case wire.ContractOpen:
+				// Still running; the query re-subscribed us to the push.
+			case wire.ContractSettled:
+				if want, ok := claim(id); ok {
+					mu.Lock()
+					settledCount++
+					revenue += st.FinalPrice
+					mu.Unlock()
+					lateness.With(c.SiteID()).Observe(st.CompletedAt - want)
+					fmt.Printf("settled  task %d at %s: price %.2f (reconciled)\n", id, c.SiteID(), st.FinalPrice)
+					wg.Done()
+				}
+			case wire.ContractDefaulted:
+				if _, ok := claim(id); ok {
+					mu.Lock()
+					defaultedCount++
+					revenue += st.FinalPrice
+					mu.Unlock()
+					defaults.With("client", c.SiteID()).Inc()
+					logger.Warn("contract defaulted", "task", uint64(id), "site", c.SiteID(), "price", st.FinalPrice)
+					fmt.Printf("default  task %d at %s: penalty %.2f\n", id, c.SiteID(), st.FinalPrice)
+					wg.Done()
+				}
+			case wire.ContractUnknown:
+				if _, ok := claim(id); ok {
+					mu.Lock()
+					lostCount++
+					mu.Unlock()
+					logger.Warn("contract lost: site has no record of it", "task", uint64(id), "site", c.SiteID())
+					wg.Done()
+				}
+			}
+		}
 	}
 	neg := &wire.Negotiator{
 		Sites:    clients,
@@ -139,24 +219,53 @@ func main() {
 		placed++
 		mu.Lock()
 		expected[terms.TaskID] = terms.ExpectedCompletion
+		for _, c := range clients {
+			if c.SiteID() == terms.SiteID {
+				holder[terms.TaskID] = c
+				break
+			}
+		}
 		mu.Unlock()
 		wg.Add(1)
 		fmt.Printf("contract task %d -> %s: expected completion %.1f, price %.2f\n",
 			bid.TaskID, terms.SiteID, terms.ExpectedCompletion, terms.ExpectedPrice)
 	}
 
-	// Wait for outstanding settlements, bounded by the worst-case drain time.
+	// Wait for outstanding settlements, bounded by the worst-case drain
+	// time, reconciling periodically so contracts stranded by a site
+	// restart are re-subscribed or written off instead of waited on
+	// forever.
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
-	select {
-	case <-done:
-	case <-time.After(time.Duration(float64(*scale) * 20 * float64(*n) * 5)):
-		fmt.Println("timed out waiting for settlements")
+	deadline := time.After(time.Duration(float64(*scale) * 20 * float64(*n) * 5))
+	var tick <-chan time.Time
+	if *reconcile > 0 {
+		ticker := time.NewTicker(*reconcile)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for draining := true; draining; {
+		select {
+		case <-done:
+			draining = false
+		case <-tick:
+			reconcileOutstanding()
+		case <-deadline:
+			reconcileOutstanding()
+			mu.Lock()
+			stranded := len(expected)
+			mu.Unlock()
+			if stranded > 0 {
+				fmt.Printf("timed out waiting for %d settlements\n", stranded)
+			}
+			draining = false
+		}
 	}
 
 	mu.Lock()
 	defer mu.Unlock()
-	fmt.Printf("\nplaced %d, declined %d, settled %d, revenue %.2f\n", placed, declined, settledCount, revenue)
+	fmt.Printf("\nplaced %d, declined %d, settled %d, defaulted %d, lost %d, revenue %.2f\n",
+		placed, declined, settledCount, defaultedCount, lostCount, revenue)
 }
 
 // cloneForWire strips the generated arrival stamp: in the live protocol a

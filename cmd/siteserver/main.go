@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
@@ -32,6 +33,9 @@ func main() {
 		logLevel = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr alongside logs")
+		dataDir  = flag.String("data-dir", "", "journal contracts here for crash recovery (empty runs memory-only)")
+		fsync    = flag.String("fsync", "always", "journal sync policy: always|interval|never")
+		regime   = flag.String("crash-regime", wire.RegimeRequeue, "recovery of runs in flight at a crash: requeue|default")
 	)
 	flag.Parse()
 
@@ -52,6 +56,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siteserver:", err)
+		os.Exit(2)
+	}
+
 	cfg := wire.ServerConfig{
 		SiteID:       *id,
 		Processors:   *procs,
@@ -62,6 +72,9 @@ func main() {
 		IdleTimeout:  *idle,
 		WriteTimeout: *wtimeout,
 		Metrics:      obs.Default,
+		DataDir:      *dataDir,
+		Fsync:        fsyncPolicy,
+		CrashRegime:  *regime,
 	}
 	logger := obs.NewLogger(os.Stderr, lv, "siteserver")
 	if !*quiet {
@@ -92,7 +105,13 @@ func main() {
 		fmt.Printf("diagnostics on http://%s/metrics\n", diag.Addr())
 	}
 	fmt.Printf("site %s listening on %s (%d processors, %s)\n", *id, srv.Addr(), *procs, cfg.Policy.Name())
+	if *dataDir != "" {
+		fmt.Printf("journaling contracts to %s (fsync=%s, crash-regime=%s)\n", *dataDir, fsyncPolicy, *regime)
+	}
 
+	// SIGTERM/SIGINT run the full Close path: the journal tail is flushed
+	// and the clean-shutdown marker written, so the next start replays
+	// without a torn-tail scan and resumes every open contract.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

@@ -1,0 +1,32 @@
+package admission
+
+import "testing"
+
+// FuzzParseSpec hardens the admission-spec grammar: arbitrary input must
+// never panic, and any accepted spec must yield a usable, named policy.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("accept-all")
+	f.Add("slack:threshold=0")
+	f.Add("slack:threshold=-50")
+	f.Add("min-yield:threshold=10")
+	f.Add("slack:threshold=inf")
+	f.Add("slack:threshold=nan")
+	f.Add("slack:")
+	f.Add("slack:threshold")
+	f.Add("min-yield:threshold=1e309")
+	f.Add("=,=,=")
+	f.Add("\x00")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatalf("ParseSpec(%q) returned nil policy without error", spec)
+		}
+		if p.Name() == "" {
+			t.Fatalf("ParseSpec(%q) returned unnamed policy", spec)
+		}
+	})
+}

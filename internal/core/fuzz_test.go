@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+// FuzzParseSpec hardens the policy-spec grammar: arbitrary input must never
+// panic, and any accepted spec must yield a usable, named policy.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("fcfs")
+	f.Add("firstprice")
+	f.Add("firstreward:alpha=0.3,rate=0.01")
+	f.Add("firstreward:alpha=1")
+	f.Add("riskaware:alpha=0.5,rate=0.01,beta=2")
+	f.Add("firstreward:alpha=,rate=")
+	f.Add("firstreward:alpha=nan")
+	f.Add("firstreward:alpha=0.3,alpha=0.4")
+	f.Add(":::")
+	f.Add("firstreward:")
+	f.Add("firstreward:bogus=1")
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatalf("ParseSpec(%q) returned nil policy without error", spec)
+		}
+		if p.Name() == "" {
+			t.Fatalf("ParseSpec(%q) returned unnamed policy", spec)
+		}
+	})
+}

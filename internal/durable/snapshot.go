@@ -1,0 +1,137 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Snapshot file format: [4 bytes CRC-32C of payload][payload]. The record
+// index the snapshot covers lives in the file name, so a snapshot is
+// self-describing without opening it.
+
+// SaveSnapshot atomically persists a point-in-time state payload covering
+// every record appended so far, then compacts: segments and older
+// snapshots made redundant by the new snapshot are deleted. A snapshot is
+// written to a temp file, synced, and renamed into place, so a crash
+// mid-save leaves the previous snapshot intact.
+func (j *Journal) SaveSnapshot(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("durable: journal closed")
+	}
+	// The snapshot must not claim records the disk does not yet hold.
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.lastSync = time.Now()
+	index := j.next
+
+	final := filepath.Join(j.dir, fmt.Sprintf("snap-%016d.dat", index))
+	tmp, err := os.CreateTemp(j.dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(payload, crcTable))
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	syncDir(j.dir)
+	j.compactLocked(index)
+	return nil
+}
+
+// compactLocked removes segments whose records are all covered by a
+// snapshot at index, and snapshots older than it. The active (last)
+// segment is never removed. Callers must hold j.mu.
+func (j *Journal) compactLocked(index uint64) {
+	keep := j.segments[:0]
+	for i, seg := range j.segments {
+		last := i == len(j.segments)-1
+		if !last && seg.first+seg.count <= index {
+			_ = os.Remove(seg.path)
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	j.segments = keep
+	for _, snap := range listSnapshots(j.dir) {
+		if snap.index < index {
+			_ = os.Remove(snap.path)
+		}
+	}
+	syncDir(j.dir)
+}
+
+type snapshotFile struct {
+	path  string
+	index uint64
+}
+
+func listSnapshots(dir string) []snapshotFile {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var snaps []snapshotFile
+	for _, e := range entries {
+		var index uint64
+		if n, _ := fmt.Sscanf(e.Name(), "snap-%016d.dat", &index); n == 1 {
+			snaps = append(snaps, snapshotFile{path: filepath.Join(dir, e.Name()), index: index})
+		}
+	}
+	sort.Slice(snaps, func(i, k int) bool { return snaps[i].index < snaps[k].index })
+	return snaps
+}
+
+// loadLatestSnapshot returns the newest intact snapshot whose index does
+// not exceed the number of durable records (a snapshot claiming records
+// the truncated journal no longer holds is unusable). Corrupt snapshot
+// files are skipped in favor of older ones.
+func loadLatestSnapshot(dir string, records uint64) (uint64, []byte, error) {
+	snaps := listSnapshots(dir)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if snaps[i].index > records {
+			continue
+		}
+		b, err := os.ReadFile(snaps[i].path)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(b) < 4 {
+			continue // torn snapshot; fall back
+		}
+		payload := b[4:]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[:4]) {
+			continue
+		}
+		return snaps[i].index, payload, nil
+	}
+	return 0, nil, nil
+}

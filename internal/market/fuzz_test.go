@@ -1,0 +1,32 @@
+package market
+
+import (
+	"testing"
+)
+
+// FuzzParseSelector hardens the selector-spec grammar: arbitrary input must
+// never panic, and any accepted spec must yield a selector that tolerates
+// an empty offer set.
+func FuzzParseSelector(f *testing.F) {
+	f.Add("best-yield")
+	f.Add("earliest")
+	f.Add("best-yield:")
+	f.Add("best-yield:x=1")
+	f.Add("earliest,best-yield")
+	f.Add("")
+	f.Add(":")
+	f.Add("\xff\x00")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		sel, err := ParseSelector(spec)
+		if err != nil {
+			return
+		}
+		if sel == nil {
+			t.Fatalf("ParseSelector(%q) returned nil selector without error", spec)
+		}
+		if i := sel.Select(Bid{TaskID: 1, Runtime: 1, Value: 1}, nil); i >= 0 {
+			t.Fatalf("ParseSelector(%q): selector picked offer %d from an empty set", spec, i)
+		}
+	})
+}

@@ -1,0 +1,357 @@
+package site
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// foldRecorder shadows a live site: it applies every journaled transition
+// to an in-memory SiteState and retains a deep copy after each record, so
+// the test can compare any record-count prefix against the live site.
+type foldRecorder struct {
+	t      *testing.T
+	state  SiteState
+	states []SiteState // states[k] = state after k records
+}
+
+func newFoldRecorder(t *testing.T) *foldRecorder {
+	f := &foldRecorder{t: t, state: NewState()}
+	f.states = append(f.states, cloneState(t, f.state))
+	return f
+}
+
+func cloneState(t *testing.T, st SiteState) SiteState {
+	t.Helper()
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	c := NewState()
+	if err := json.Unmarshal(b, &c); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+	return c
+}
+
+func (f *foldRecorder) Record(e Event) {
+	payload, ok, err := EncodeRecord(e)
+	if err != nil {
+		f.t.Fatalf("encode record: %v", err)
+	}
+	if !ok {
+		return
+	}
+	r, err := DecodeRecord(payload)
+	if err != nil {
+		f.t.Fatalf("decode record: %v", err)
+	}
+	if err := f.state.Apply(r); err != nil {
+		f.t.Fatalf("apply record %+v: %v", r, err)
+	}
+	f.states = append(f.states, cloneState(f.t, f.state))
+}
+
+func stateJSON(t *testing.T, st SiteState) string {
+	t.Helper()
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	return string(b)
+}
+
+// crashWorkload is a deterministic task mix that exercises every journaled
+// transition: unbounded and bounded tasks, fast decays that expire and
+// park, values skewed enough to trigger preemption, and slacks low enough
+// that admission rejects some bids.
+func crashWorkload(n int) []*task.Task {
+	rng := rand.New(rand.NewSource(7))
+	tasks := make([]*task.Task, 0, n)
+	arrival := 0.0
+	for i := 0; i < n; i++ {
+		arrival += rng.ExpFloat64() * 2
+		runtime := 3 + rng.Float64()*12
+		value := 50 + rng.Float64()*200
+		decay := rng.Float64() * 3
+		bound := math.Inf(1)
+		if i%3 == 0 {
+			// Tight bound, fast decay: expires while queued behind the
+			// long unbounded tasks and gets parked.
+			decay = 4 + rng.Float64()*6
+			bound = value * 0.2
+		}
+		tk := task.New(task.ID(i+1), arrival, runtime, value, decay, bound)
+		if value > 150 {
+			tk.Class = task.HighValue
+		}
+		tasks = append(tasks, tk)
+	}
+	return tasks
+}
+
+func crashConfig() Config {
+	return Config{
+		Processors:        2,
+		Policy:            core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+		Preemptive:        true,
+		PreemptionRestart: true,
+		PreemptRanking:    RestartCost,
+		Admission:         admission.SlackThreshold{Threshold: 1.5},
+		DiscountRate:      0.01,
+		ParkExpired:       true,
+	}
+}
+
+// runJournaled drives the workload through a journaled site, comparing the
+// folded state against the live site at every quiescent engine step, and
+// returns the fold recorder and the journal directory.
+func runJournaled(t *testing.T, dir string) (*foldRecorder, *Site) {
+	t.Helper()
+	j, err := durable.Open(dir, durable.Options{Fsync: durable.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	jr := NewJournalRecorder(j, 0)
+	fold := newFoldRecorder(t)
+	s := New(eng, "crash-site", crashConfig(), WithJournal(jr), WithRecorder(fold))
+
+	for _, tk := range crashWorkload(10) {
+		tk := tk
+		eng.At(tk.Arrival, func() {
+			if _, _, err := s.Submit(tk); err != nil {
+				t.Errorf("submit %v: %v", tk, err)
+			}
+		})
+	}
+	records := 1
+	for eng.Step() {
+		if len(fold.states) == records {
+			continue // step emitted no lifecycle records
+		}
+		records = len(fold.states)
+		if got, want := stateJSON(t, s.Snapshot()), stateJSON(t, fold.state); got != want {
+			t.Fatalf("live state diverged from fold at t=%v:\nlive %s\nfold %s", eng.Now(), got, want)
+		}
+	}
+	if jr.Err() != nil {
+		t.Fatalf("journal recorder error: %v", jr.Err())
+	}
+	if !s.Idle() {
+		t.Fatal("site did not drain")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return fold, s
+}
+
+// TestJournalFoldMatchesLiveSite pins the core replay equivalence: folding
+// the journal records reproduces the live site's state at every event
+// boundary of a run with preemption, parking, and rejections.
+func TestJournalFoldMatchesLiveSite(t *testing.T) {
+	fold, s := runJournaled(t, t.TempDir())
+	if len(fold.states) < 30 {
+		t.Fatalf("workload too tame: only %d records", len(fold.states)-1)
+	}
+	// The final fold must match the drained site exactly.
+	final := fold.state
+	final.Now = s.Engine().Now()
+	live := s.Snapshot()
+	if stateJSON(t, live) != stateJSON(t, final) && live.Metrics != final.Metrics {
+		t.Fatalf("final state mismatch:\nlive %s\nfold %s", stateJSON(t, live), stateJSON(t, final))
+	}
+	// The run must have exercised every transition kind.
+	m := s.Metrics()
+	if m.Rejected == 0 || m.Preemptions == 0 || len(s.parked) == 0 {
+		t.Fatalf("workload did not exercise reject/preempt/park: %+v, parked %d", m, len(s.parked))
+	}
+}
+
+// TestJournalTornTailEveryOffset is the crash property test: truncate the
+// journal at EVERY byte offset, recover, and require the recovered state
+// to be exactly the fold of the surviving whole records — a clean prefix
+// of the pre-crash history, never a corrupt or half-applied state. A
+// sample of offsets additionally restores a live site from the recovered
+// state, round-trips its snapshot, resumes it, and drains it to
+// completion.
+func TestJournalTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	fold, _ := runJournaled(t, master)
+
+	segs, err := filepath.Glob(filepath.Join(master, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want one segment, got %v (err %v)", segs, err)
+	}
+	full, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := t.TempDir()
+	for cut := 0; cut <= len(full); cut++ {
+		dir := filepath.Join(scratch, fmt.Sprintf("cut-%06d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segs[0])), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := durable.Open(dir, durable.Options{})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		recovered := int(j.Recovery().Records)
+		if recovered >= len(fold.states) {
+			t.Fatalf("cut %d: recovered %d records, only %d were written", cut, recovered, len(fold.states)-1)
+		}
+		st, err := RecoverState(j)
+		if err != nil {
+			t.Fatalf("cut %d: recover state: %v", cut, err)
+		}
+		want := fold.states[recovered]
+		if got, wantJSON := stateJSON(t, st), stateJSON(t, want); got != wantJSON {
+			t.Fatalf("cut %d (%d records): recovered state is not the clean prefix:\ngot  %s\nwant %s", cut, recovered, got, wantJSON)
+		}
+		if cut%89 == 0 || cut == len(full) {
+			restoreAndDrain(t, cut, st)
+		}
+		j.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// restoreAndDrain rebuilds a live site from a recovered state, checks the
+// snapshot round-trips bit-identically, then resumes and drains it: every
+// recovered task must reach a terminal state.
+func restoreAndDrain(t *testing.T, cut int, st SiteState) {
+	t.Helper()
+	eng := sim.New()
+	s, err := Restore(eng, "recovered", crashConfig(), st)
+	if err != nil {
+		t.Fatalf("cut %d: restore: %v", cut, err)
+	}
+	if got, want := stateJSON(t, s.Snapshot()), stateJSON(t, st); got != want {
+		t.Fatalf("cut %d: restore round-trip mismatch:\ngot  %s\nwant %s", cut, got, want)
+	}
+	outstanding := len(st.Pending) + len(st.Running)
+	s.Resume()
+	eng.Run()
+	if !s.Idle() {
+		t.Fatalf("cut %d: restored site did not drain", cut)
+	}
+	m := s.Metrics()
+	wantCompleted := st.Metrics.Completed + outstanding
+	if m.Completed != wantCompleted {
+		t.Fatalf("cut %d: drained to %d completed, want %d (%d were outstanding at the crash)",
+			cut, m.Completed, wantCompleted, outstanding)
+	}
+}
+
+// TestRecoverCheckpointsAndResumes exercises the packaged Recover path: a
+// run is cut mid-history, Recover folds and restores it, checkpoints, and
+// a subsequent recovery replays only the new suffix.
+func TestRecoverCheckpointsAndResumes(t *testing.T) {
+	master := t.TempDir()
+	fold, _ := runJournaled(t, master)
+
+	// Cut the journal after roughly half its records by truncating bytes.
+	segs, _ := filepath.Glob(filepath.Join(master, "wal-*.log"))
+	full, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, filepath.Base(segs[0])), full[:2*len(full)/3+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	jr := NewJournalRecorder(j, 0)
+	s, st, err := Recover(eng, "recovered", crashConfig(), j, WithJournal(jr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := int(j.Recovery().Records)
+	if got, want := stateJSON(t, st), stateJSON(t, fold.states[recovered]); got != want {
+		t.Fatalf("recovered state mismatch:\ngot  %s\nwant %s", got, want)
+	}
+	s.Resume()
+	eng.Run()
+	if !s.Idle() {
+		t.Fatal("recovered site did not drain")
+	}
+	if jr.Err() != nil {
+		t.Fatalf("journal recorder error after resume: %v", jr.Err())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second recovery: the checkpoint bounds replay to the post-restore
+	// records, and the folded state matches the drained site.
+	j2, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Recovery().SnapshotIndex == 0 {
+		t.Fatal("Recover did not checkpoint")
+	}
+	st2, err := RecoverState(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveFinal := s.Snapshot()
+	g, w := stateJSON(t, st2), stateJSON(t, liveFinal)
+	if g != w {
+		t.Fatalf("post-drain recovery mismatch:\ngot  %s\nwant %s", g, w)
+	}
+}
+
+// TestInfFloatRoundTrip pins the JSON encoding of the infinities the site
+// state carries (unbounded penalties, the pre-arrival FirstArrival).
+func TestInfFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25, math.Inf(1), math.Inf(-1), 1e-308, math.MaxFloat64} {
+		b, err := json.Marshal(InfFloat(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got InfFloat
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if float64(got) != v {
+			t.Fatalf("round trip %v -> %s -> %v", v, b, float64(got))
+		}
+	}
+	var f InfFloat
+	if err := json.Unmarshal([]byte(`"wat"`), &f); err == nil {
+		t.Fatal("bad InfFloat accepted")
+	}
+	if !bytes.Contains(must(json.Marshal(InfFloat(math.Inf(1)))), []byte("inf")) {
+		t.Fatal("positive infinity not encoded as inf")
+	}
+}
+
+func must(b []byte, err error) []byte {
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

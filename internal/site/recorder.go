@@ -64,6 +64,12 @@ type Event struct {
 	Queued  int     // pending queue length after the event
 	Running int     // occupied processors after the event
 	Value   float64 // kind-specific: realized yield (complete/park), slack (submit/reject), RPT (start/preempt)
+
+	// Task is the subject of a task-lifecycle event, nil for telemetry
+	// events. Recorders needing the full bid tuple (e.g. the durability
+	// journal, which must be able to reconstruct the task on replay) read
+	// it here; they must not mutate or retain it past the call.
+	Task *task.Task
 }
 
 // String renders the event as one log line.
@@ -129,7 +135,18 @@ func (l *Log) UtilizationSeries() (times []float64, busy []int) {
 
 // record emits a task-lifecycle audit event if a recorder is installed.
 func (s *Site) record(kind EventKind, t *task.Task, value float64) {
-	s.recordEvent(kind, t.ID, value)
+	if s.recorder == nil {
+		return
+	}
+	s.recorder.Record(Event{
+		Time:    s.engine.Now(),
+		Kind:    kind,
+		TaskID:  t.ID,
+		Queued:  len(s.pending),
+		Running: len(s.running),
+		Value:   value,
+		Task:    t,
+	})
 }
 
 // recordEvent is the task-optional variant of record, used for scheduler

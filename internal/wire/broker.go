@@ -60,9 +60,9 @@ type BrokerServer struct {
 	m     brokerMetrics
 
 	mu     sync.Mutex
-	chosen map[task.ID]*SiteClient       // accepted proposal awaiting award
-	owners map[task.ID]*serverConn       // awarded task -> client connection
-	terms  map[task.ID]market.ServerBid  // contract terms, for settlement lateness
+	chosen map[task.ID]*SiteClient      // accepted proposal awaiting award
+	owners map[task.ID]*serverConn      // awarded task -> client connection
+	terms  map[task.ID]market.ServerBid // contract terms, for settlement lateness
 	conns  map[*serverConn]struct{}
 	closed bool
 
@@ -162,7 +162,6 @@ func (b *BrokerServer) closeSites() {
 		_ = sc.Close()
 	}
 }
-
 
 func (b *BrokerServer) acceptLoop() {
 	defer b.wg.Done()
@@ -318,10 +317,19 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 		return Envelope{Type: TypeError, TaskID: bid.TaskID, Reason: "award without a standing proposal"}
 	}
 
+	// Register the settlement route before the award leaves: the site starts
+	// the task the moment it accepts, so a short run's settlement push can
+	// race the award reply back through relaySettlement. A settlement that
+	// finds no owner is dropped, so the owner must be in place first.
+	b.mu.Lock()
+	b.owners[bid.TaskID] = owner
+	b.mu.Unlock()
+
 	terms, ok, err := callWithRetry(site, b.cfg.retries(), b.cfg.backoff(), b.eo,
 		func() (market.ServerBid, bool, error) { return site.Award(bid, sb) })
 	if err != nil {
 		b.mu.Lock()
+		delete(b.owners, bid.TaskID)
 		b.Declined++
 		b.mu.Unlock()
 		b.eo.failed.Inc()
@@ -330,6 +338,7 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 	}
 	if !ok {
 		b.mu.Lock()
+		delete(b.owners, bid.TaskID)
 		b.Declined++
 		b.mu.Unlock()
 		b.eo.declined.Inc()
@@ -338,8 +347,11 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, Reason: "site mix changed since proposal"}
 	}
 	b.mu.Lock()
-	b.owners[bid.TaskID] = owner
-	b.terms[bid.TaskID] = terms
+	// The settlement may already have been relayed (and the owner entry
+	// consumed); only record terms for a contract that is still open.
+	if _, open := b.owners[bid.TaskID]; open {
+		b.terms[bid.TaskID] = terms
+	}
 	b.Placed++
 	b.mu.Unlock()
 	b.eo.placed.Inc()

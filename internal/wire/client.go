@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"syscall"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/market"
 	"repro/internal/obs"
+	"repro/internal/task"
 )
 
 // Sentinel errors for connection-level failures. Both are transient from
@@ -298,12 +300,60 @@ func (c *SiteClient) Award(b market.Bid, sb market.ServerBid) (market.ServerBid,
 	case TypeContract:
 		terms, err := reply.ServerBid()
 		return terms, err == nil, err
+	case TypeStatus:
+		// A retried award can race its own settlement: the site already
+		// delivered (or defaulted) the contract and reports the closed
+		// state instead of opening it twice. Delivery is a placed contract
+		// at the final price; a default is a decline.
+		if reply.ContractState == ContractSettled {
+			return market.ServerBid{SiteID: reply.SiteID, TaskID: reply.TaskID,
+				ExpectedCompletion: reply.CompletedAt, ExpectedPrice: reply.FinalPrice}, true, nil
+		}
+		return market.ServerBid{}, false, nil
 	case TypeReject:
 		return market.ServerBid{}, false, nil
 	case TypeError:
 		return market.ServerBid{}, false, fmt.Errorf("wire: site error: %s", reply.Reason)
 	default:
 		return market.ServerBid{}, false, fmt.Errorf("wire: unexpected reply %q", reply.Type)
+	}
+}
+
+// ContractStatus is a queried contract's state as reported by the site.
+type ContractStatus struct {
+	TaskID task.ID
+	State  string // one of the Contract* constants
+	// CompletedAt/FinalPrice are set for settled and defaulted contracts;
+	// ExpectedCompletion/ExpectedPrice echo the standing terms of open ones.
+	CompletedAt        float64
+	FinalPrice         float64
+	ExpectedCompletion float64
+	ExpectedPrice      float64
+}
+
+// Query asks the site for a contract's state. Querying an open contract
+// re-subscribes this client's connection to the contract's settlement push,
+// so a client that redialed after a site restart calls Query for each
+// outstanding contract to keep its callbacks alive (DESIGN.md §10).
+func (c *SiteClient) Query(id task.ID) (ContractStatus, error) {
+	reply, err := c.roundTrip(Envelope{Type: TypeQuery, TaskID: id})
+	if err != nil {
+		return ContractStatus{}, err
+	}
+	switch reply.Type {
+	case TypeStatus:
+		return ContractStatus{
+			TaskID:             reply.TaskID,
+			State:              reply.ContractState,
+			CompletedAt:        reply.CompletedAt,
+			FinalPrice:         reply.FinalPrice,
+			ExpectedCompletion: reply.ExpectedCompletion,
+			ExpectedPrice:      reply.ExpectedPrice,
+		}, nil
+	case TypeError:
+		return ContractStatus{}, fmt.Errorf("wire: site error: %s", reply.Reason)
+	default:
+		return ContractStatus{}, fmt.Errorf("wire: unexpected reply %q", reply.Type)
 	}
 }
 
@@ -403,8 +453,21 @@ func (n *Negotiator) exchangeObs() exchangeObs {
 	return n.eo
 }
 
-// callWithRetry runs one site exchange with bounded retry and exponential
-// backoff on transient errors, redialing the site between attempts.
+// retryDelay is the exponential backoff for the given attempt, jittered
+// uniformly over [d/2, d). Without jitter, every client that lost the same
+// site retries in lockstep and a restarting site takes the whole herd's
+// redials at once.
+func retryDelay(backoff time.Duration, attempt int) time.Duration {
+	d := backoff << attempt
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// callWithRetry runs one site exchange with bounded retry and jittered
+// exponential backoff on transient errors, redialing the site between
+// attempts.
 func callWithRetry(sc *SiteClient, retries int, backoff time.Duration, eo exchangeObs,
 	f func() (market.ServerBid, bool, error)) (market.ServerBid, bool, error) {
 	for attempt := 0; ; attempt++ {
@@ -413,7 +476,7 @@ func callWithRetry(sc *SiteClient, retries int, backoff time.Duration, eo exchan
 			return sb, ok, err
 		}
 		eo.retries.Inc()
-		time.Sleep(backoff << attempt)
+		time.Sleep(retryDelay(backoff, attempt))
 		// A failed redial leaves the connection dead; the next attempt
 		// fails fast and the loop either retries or gives up.
 		_ = sc.Redial()

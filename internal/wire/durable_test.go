@@ -1,0 +1,370 @@
+package wire
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/task"
+)
+
+// copyDir snapshots a data directory while its server is still live —
+// exactly what a crash leaves behind: journaled records, no clean-shutdown
+// marker, possibly a torn tail.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func awardTask(t *testing.T, c *SiteClient, id task.ID, runtime float64) {
+	t.Helper()
+	bid := testBid(id, runtime)
+	sb, ok, err := c.Propose(bid)
+	if err != nil || !ok {
+		t.Fatalf("Propose(%d) = %v, %v", id, ok, err)
+	}
+	if _, ok, err = c.Award(bid, sb); err != nil || !ok {
+		t.Fatalf("Award(%d) = %v, %v", id, ok, err)
+	}
+}
+
+// TestGracefulRestartHonorsContracts awards contracts, shuts the server
+// down cleanly, and restarts it on the same data directory: the contracts
+// must come back as open, run, and settle to a re-subscribed client.
+func TestGracefulRestartHonorsContracts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{DataDir: dir, Processors: 1, TimeScale: time.Millisecond}
+	srv := startServer(t, cfg)
+	c := dialServer(t, srv)
+	// One long runner occupies the processor; two more queue behind it.
+	awardTask(t, c, 1, 2000)
+	awardTask(t, c, 2, 50)
+	awardTask(t, c, 3, 50)
+	c.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	srv2 := startServer(t, cfg)
+	if srv2.Accepted != 3 {
+		t.Fatalf("recovered Accepted = %d, want 3", srv2.Accepted)
+	}
+	c2 := dialServer(t, srv2)
+	settled := make(chan Envelope, 3)
+	c2.SetOnSettled(func(e Envelope) { settled <- e })
+	seen := map[task.ID]bool{}
+	for _, id := range []task.ID{1, 2, 3} {
+		st, err := c2.Query(id)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", id, err)
+		}
+		if st.State != ContractOpen {
+			t.Fatalf("Query(%d) state = %q, want open", id, st.State)
+		}
+	}
+	for len(seen) < 3 {
+		select {
+		case e := <-settled:
+			seen[e.TaskID] = true
+		case <-time.After(30 * time.Second):
+			t.Fatalf("settlements stalled; saw %v", seen)
+		}
+	}
+	if got := metricValue(t, reg, "site_contracts_recovered_total"); got != 3 {
+		t.Fatalf("site_contracts_recovered_total = %v, want 3", got)
+	}
+	if got := metricValue(t, reg, "site_contracts_defaulted_total"); got != 0 {
+		t.Fatalf("site_contracts_defaulted_total = %v, want 0", got)
+	}
+	// The settlements are now durable: a third incarnation reports them.
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Metrics = nil
+	srv3 := startServer(t, cfg)
+	c3 := dialServer(t, srv3)
+	for _, id := range []task.ID{1, 2, 3} {
+		st, err := c3.Query(id)
+		if err != nil || st.State != ContractSettled {
+			t.Fatalf("Query(%d) after settle = %+v, %v, want settled", id, st, err)
+		}
+	}
+	if st, err := c3.Query(99); err != nil || st.State != ContractUnknown {
+		t.Fatalf("Query(99) = %+v, %v, want unknown", st, err)
+	}
+}
+
+// TestCrashRecoveryRegimes simulates a SIGKILL by copying the data
+// directory out from under a live server mid-run, then recovers it under
+// both crash regimes: requeue restarts the in-flight task, default settles
+// it as defaulted at the decayed floor.
+func TestCrashRecoveryRegimes(t *testing.T) {
+	dir := t.TempDir()
+	srv := startServer(t, ServerConfig{
+		DataDir: dir, Processors: 1, TimeScale: time.Millisecond,
+		Fsync: durable.FsyncAlways,
+	})
+	c := dialServer(t, srv)
+	awardTask(t, c, 1, 60000) // runs for a minute: alive at the "crash"
+	awardTask(t, c, 2, 50)    // queued behind it
+	waitRunning(t, srv, 1)
+
+	for _, regime := range []string{RegimeRequeue, RegimeDefault} {
+		t.Run(regime, func(t *testing.T) {
+			crash := copyDir(t, dir)
+			reg := obs.NewRegistry()
+			srv2 := startServer(t, ServerConfig{
+				DataDir: crash, Processors: 1, TimeScale: time.Millisecond,
+				CrashRegime: regime, Metrics: reg,
+			})
+			c2 := dialServer(t, srv2)
+			st1, err := c2.Query(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2, err := c2.Query(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st2.State != ContractOpen {
+				t.Fatalf("queued contract state = %q, want open", st2.State)
+			}
+			switch regime {
+			case RegimeRequeue:
+				if st1.State != ContractOpen {
+					t.Fatalf("in-flight contract state = %q, want open (requeued)", st1.State)
+				}
+				if got := metricValue(t, reg, "site_contracts_recovered_total"); got != 2 {
+					t.Fatalf("recovered = %v, want 2", got)
+				}
+			case RegimeDefault:
+				if st1.State != ContractDefaulted {
+					t.Fatalf("in-flight contract state = %q, want defaulted", st1.State)
+				}
+				if st1.FinalPrice > 0 {
+					t.Fatalf("defaulted price = %v, want <= 0", st1.FinalPrice)
+				}
+				if srv2.Defaulted != 1 {
+					t.Fatalf("Defaulted = %d, want 1", srv2.Defaulted)
+				}
+				if got := metricValue(t, reg, "site_contracts_defaulted_total"); got != 1 {
+					t.Fatalf("defaulted metric = %v, want 1", got)
+				}
+			}
+			if metricValue(t, reg, "site_recovery_records_replayed") < 3 {
+				t.Fatal("recovery replayed-records gauge not set")
+			}
+		})
+	}
+}
+
+// TestCrashDefaultsExpiredContracts recovers a bounded contract whose
+// deadline passed during the downtime: whatever the regime, it must be
+// settled as defaulted with the full penalty, not silently dropped and not
+// re-run.
+func TestCrashDefaultsExpiredContracts(t *testing.T) {
+	dir := t.TempDir()
+	srv := startServer(t, ServerConfig{
+		DataDir: dir, Processors: 1, TimeScale: time.Millisecond,
+		Fsync: durable.FsyncAlways,
+	})
+	c := dialServer(t, srv)
+	awardTask(t, c, 1, 60000) // occupies the processor
+	// Bounded task: value 100, decay 50/unit, bound 30 — expires ~2.6
+	// units (milliseconds) after arrival, long before the runner frees up.
+	bid := testBid(2, 10)
+	bid.Value, bid.Decay, bid.Bound = 100, 50, 30
+	sb, ok, err := c.Propose(bid)
+	if err != nil || !ok {
+		t.Fatalf("Propose = %v, %v", ok, err)
+	}
+	if _, ok, err = c.Award(bid, sb); err != nil || !ok {
+		t.Fatalf("Award = %v, %v", ok, err)
+	}
+	waitRunning(t, srv, 1)
+
+	time.Sleep(20 * time.Millisecond) // downtime: task 2 expires
+	crash := copyDir(t, dir)
+	srv2 := startServer(t, ServerConfig{
+		DataDir: crash, Processors: 1, TimeScale: time.Millisecond,
+	})
+	c2 := dialServer(t, srv2)
+	st, err := c2.Query(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != ContractDefaulted {
+		t.Fatalf("expired contract state = %q, want defaulted", st.State)
+	}
+	if st.FinalPrice != -30 {
+		t.Fatalf("expired contract price = %v, want -30 (the bound)", st.FinalPrice)
+	}
+}
+
+// TestAwardIdempotentAcrossRestart replays an award against a recovered
+// server: the journal-backed contract book must return the standing terms
+// instead of opening a second contract, and an award raced by its own
+// settlement must report the settled price.
+func TestAwardIdempotentAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{DataDir: dir, Processors: 2, TimeScale: time.Millisecond}
+	srv := startServer(t, cfg)
+	c := dialServer(t, srv)
+	bid := testBid(1, 30000)
+	sb, ok, err := c.Propose(bid)
+	if err != nil || !ok {
+		t.Fatalf("Propose = %v, %v", ok, err)
+	}
+	terms, ok, err := c.Award(bid, sb)
+	if err != nil || !ok {
+		t.Fatalf("Award = %v, %v", ok, err)
+	}
+	crash := copyDir(t, dir)
+	srv2 := startServer(t, ServerConfig{DataDir: crash, Processors: 2, TimeScale: time.Millisecond})
+	c2 := dialServer(t, srv2)
+	again, ok, err := c2.Award(bid, sb)
+	if err != nil || !ok {
+		t.Fatalf("replayed Award = %v, %v", ok, err)
+	}
+	if again != terms {
+		t.Fatalf("replayed award terms = %+v, want the standing %+v", again, terms)
+	}
+	if srv2.Accepted != 1 {
+		t.Fatalf("Accepted = %d after replayed award, want 1", srv2.Accepted)
+	}
+
+	// Award-after-settlement: run a short task to completion, then retry
+	// its award.
+	short := testBid(7, 20)
+	sb7, ok, err := c2.Propose(short)
+	if err != nil || !ok {
+		t.Fatalf("Propose(7) = %v, %v", ok, err)
+	}
+	if _, ok, err = c2.Award(short, sb7); err != nil || !ok {
+		t.Fatalf("Award(7) = %v, %v", ok, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := c2.Query(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == ContractSettled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task 7 never settled; state %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	settledTerms, ok, err := c2.Award(short, sb7)
+	if err != nil || !ok {
+		t.Fatalf("award after settlement = %v, %v, want delivered terms", ok, err)
+	}
+	if settledTerms.ExpectedPrice == 0 {
+		t.Fatal("award after settlement returned no final price")
+	}
+}
+
+// TestQueryAdoptsSettlementOwner kills a client's connection mid-contract;
+// a fresh connection that queries the open contract must receive its
+// settlement push.
+func TestQueryAdoptsSettlementOwner(t *testing.T) {
+	dir := t.TempDir()
+	srv := startServer(t, ServerConfig{DataDir: dir, Processors: 1, TimeScale: time.Millisecond})
+	c := dialServer(t, srv)
+	awardTask(t, c, 1, 300)
+	waitRunning(t, srv, 1)
+	// The owner vanishes; without re-subscription the settlement would go
+	// to the void. (A running task survives owner loss; only queued tasks
+	// are dropped.)
+	c.Close()
+
+	c2 := dialServer(t, srv)
+	settled := make(chan Envelope, 1)
+	c2.SetOnSettled(func(e Envelope) { settled <- e })
+	st, err := c2.Query(1)
+	if err != nil || st.State != ContractOpen {
+		t.Fatalf("Query = %+v, %v, want open", st, err)
+	}
+	select {
+	case e := <-settled:
+		if e.TaskID != 1 {
+			t.Fatalf("settlement for task %d, want 1", e.TaskID)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("adopted settlement never arrived")
+	}
+}
+
+// TestJournalTimescaleMismatchRefused: replaying a journal under a
+// different timescale would silently rescale every deadline; the server
+// must refuse to start instead.
+func TestJournalTimescaleMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	srv := startServer(t, ServerConfig{DataDir: dir, TimeScale: time.Millisecond})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer("127.0.0.1:0", ServerConfig{
+		SiteID: "x", Processors: 1, Policy: core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+		DataDir: dir, TimeScale: 2 * time.Millisecond,
+	}); err == nil {
+		t.Fatal("timescale mismatch accepted")
+	}
+}
+
+func waitRunning(t *testing.T, srv *Server, id task.ID) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		srv.mu.Lock()
+		_, running := srv.running[id]
+		srv.mu.Unlock()
+		if running {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task %d never started", id)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// metricValue scrapes one sample of the named family out of the registry,
+// summing across label sets (each test registry holds a single site).
+func metricValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	sum, found := 0.0, false
+	for sample, v := range promSamples(t, reg) {
+		if sample == name || strings.HasPrefix(sample, name+"{") {
+			sum += v
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("metric %s not found", name)
+	}
+	return sum
+}

@@ -25,6 +25,15 @@ import (
 //	market_negotiations_total{role,outcome}  placed/declined/failed exchanges
 //	market_settlements_total{role,result}    delivered/undeliverable/relayed
 //	market_settlement_lateness{site} completion minus contracted completion
+//
+// Durability and recovery families (DESIGN.md §10), emitted by sites with
+// a contract journal:
+//
+//	site_recovery_seconds{site}                time spent replaying the journal at start
+//	site_recovery_records_replayed{site}       whole records recovered from the journal
+//	site_recovery_torn_bytes{site}             torn tail bytes truncated during recovery
+//	site_contracts_recovered_total{site}       open contracts honored after a restart
+//	site_contracts_defaulted_total{site}       contracts closed with a penalty in recovery
 
 // slackBuckets cover the admission slack range seen in the paper's
 // regimes: deeply negative (reject territory) through comfortable.
@@ -58,6 +67,13 @@ type serverMetrics struct {
 	settleOK     *obs.Counter
 	settleLost   *obs.Counter
 	lateness     *obs.Histogram
+
+	rpcQuery          *obs.Counter
+	recovered         *obs.Counter
+	defaulted         *obs.Counter
+	recoverySeconds   *obs.Gauge
+	recoveryRecords   *obs.Gauge
+	recoveryTornBytes *obs.Gauge
 }
 
 func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
@@ -88,6 +104,13 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 		settleOK:     settles.With("site", "delivered"),
 		settleLost:   settles.With("site", "undeliverable"),
 		lateness:     reg.Histogram("market_settlement_lateness", "Completion time minus contracted completion, in simulation units.", latenessBuckets, "site").With(site),
+
+		rpcQuery:          rpc.With(site, TypeQuery),
+		recovered:         reg.Counter("site_contracts_recovered_total", "Open contracts honored after a restart.", "site").With(site),
+		defaulted:         reg.Counter("site_contracts_defaulted_total", "Contracts closed with a penalty during crash recovery.", "site").With(site),
+		recoverySeconds:   reg.Gauge("site_recovery_seconds", "Time spent replaying the contract journal at startup.", "site").With(site),
+		recoveryRecords:   reg.Gauge("site_recovery_records_replayed", "Whole journal records replayed at startup.", "site").With(site),
+		recoveryTornBytes: reg.Gauge("site_recovery_torn_bytes", "Torn tail bytes truncated during journal recovery.", "site").With(site),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/task"
@@ -44,6 +45,30 @@ type ServerConfig struct {
 	Metrics *obs.Registry
 	// Tracer receives task-lifecycle trace events; nil disables them.
 	Tracer *obs.Tracer
+
+	// DataDir, when non-empty, enables crash-safe contract durability: every
+	// contract-state transition is journaled there (see internal/durable and
+	// DESIGN.md §10), awards are acknowledged only after the contract record
+	// is on disk, and a restarted server replays the journal to resume its
+	// open contracts before accepting connections.
+	DataDir string
+	// Fsync selects the journal's sync policy; the zero value is
+	// FsyncAlways. Only meaningful with DataDir set.
+	Fsync durable.FsyncPolicy
+	// FsyncEvery is the FsyncInterval period; zero means the journal's
+	// default (100ms).
+	FsyncEvery time.Duration
+	// CrashRegime decides what recovery does with contracts whose task was
+	// running at the crash: RegimeRequeue (default) restarts them,
+	// RegimeDefault settles them as defaulted at the decayed price floor.
+	CrashRegime string
+}
+
+func (c ServerConfig) crashRegime() string {
+	if c.CrashRegime == "" {
+		return RegimeRequeue
+	}
+	return c.CrashRegime
 }
 
 const (
@@ -92,6 +117,13 @@ type Server struct {
 	conns   map[*serverConn]struct{}
 	closed  bool
 
+	// Contract durability (nil j means the server is memory-only). settled
+	// retains closed contracts for status queries and award idempotency; it
+	// is bounded by the contract count, which suits a task service whose
+	// journal is similarly append-only.
+	j       *durable.Journal
+	settled map[task.ID]settlement
+
 	wg      sync.WaitGroup // connection + accept goroutines
 	timerWG sync.WaitGroup // in-flight completion callbacks
 
@@ -99,6 +131,7 @@ type Server struct {
 	Accepted  int
 	Rejected  int
 	Completed int
+	Defaulted int // contracts closed without delivery during crash recovery
 	Revenue   float64
 	Abandoned int // tasks dropped by shutdown or client disconnect
 }
@@ -141,6 +174,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = time.Millisecond
 	}
+	if r := cfg.crashRegime(); r != RegimeRequeue && r != RegimeDefault {
+		return nil, fmt.Errorf("wire: unknown crash regime %q", cfg.CrashRegime)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -157,6 +193,15 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		running: make(map[task.ID]*task.Task),
 		timers:  make(map[task.ID]*time.Timer),
 		conns:   make(map[*serverConn]struct{}),
+		settled: make(map[task.ID]settlement),
+	}
+	if cfg.DataDir != "" {
+		// Recovery runs to completion before the listener accepts: the
+		// first bid already quotes against the recovered queue.
+		if err := s.openJournal(); err != nil {
+			ln.Close()
+			return nil, err
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -206,6 +251,14 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	s.timerWG.Wait()
+	if s.j != nil {
+		// Contracts still open here were journaled but never closed: the
+		// next start recovers them. Close flushes the tail and writes the
+		// clean-shutdown marker.
+		if jerr := s.j.Close(); jerr != nil && err == nil {
+			err = jerr
+		}
+	}
 	return err
 }
 
@@ -301,6 +354,9 @@ func (s *Server) serve(conn net.Conn) {
 			reply = s.handleAward(env, sc)
 			s.m.rpcAward.Inc()
 			s.m.rpcAwardSec.Observe(time.Since(began).Seconds())
+		case TypeQuery:
+			reply = s.handleQuery(env, sc)
+			s.m.rpcQuery.Inc()
 		default:
 			reply = Envelope{Type: TypeError, Reason: fmt.Sprintf("unexpected message %q", env.Type)}
 		}
@@ -329,7 +385,8 @@ func (s *Server) dropOwnerLocked(sc *serverConn) {
 			continue
 		}
 		delete(s.owners, id)
-		delete(s.prices, id)
+		delete(s.reqs, id)
+		dropped := false
 		for i, p := range s.pending {
 			if p.ID == id {
 				s.pending = append(s.pending[:i], s.pending[i+1:]...)
@@ -337,14 +394,24 @@ func (s *Server) dropOwnerLocked(sc *serverConn) {
 				s.Abandoned++
 				s.m.abandoned.Inc()
 				s.traceLocked(obs.StageAbandon, id, "client disconnected")
+				if err := s.appendRecord(contractRecord{Kind: recAbandon, TaskID: id, Reason: "client disconnected"}); err != nil {
+					s.log.Warn("journal abandon record failed", "task", id, "err", err.Error())
+				}
 				s.log.Info("dropped queued task: client disconnected", "task", id)
+				dropped = true
 				break
 			}
 		}
+		if dropped {
+			delete(s.prices, id)
+			continue
+		}
+		// A running task survives owner loss: the contract is still open,
+		// so its standing terms stay on the book for Query re-adoption and
+		// the eventual settlement.
 		if _, isRunning := s.running[id]; isRunning {
 			s.log.Info("task orphaned mid-run: client disconnected", "task", id)
 		}
-		delete(s.reqs, id)
 	}
 	s.syncGaugesLocked()
 }
@@ -421,8 +488,10 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.owners[bid.TaskID]; dup {
-		standing := s.prices[bid.TaskID]
+	// Idempotency is keyed off the contract book, which the journal rebuilds
+	// across restarts: a client retrying an award after a site crash gets
+	// its standing terms back, not a second contract.
+	if standing, dup := s.prices[bid.TaskID]; dup {
 		s.owners[bid.TaskID] = sc // the retrying connection owns the settlement now
 		if bid.ReqID != "" {
 			s.reqs[bid.TaskID] = bid.ReqID
@@ -434,6 +503,11 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 			ExpectedCompletion: standing.ExpectedCompletion,
 			ExpectedPrice:      standing.ExpectedPrice,
 		}
+	}
+	// A retried award whose contract already settled (the run beat the
+	// retry) reports the closed contract instead of executing it twice.
+	if st, ok := s.settled[bid.TaskID]; ok {
+		return s.statusEnvelopeLocked(bid.TaskID, st)
 	}
 	q, err := s.quoteLocked(bid)
 	if err != nil {
@@ -449,13 +523,33 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	}
 	t := s.bidTask(bid)
 	t.State = task.Queued
+	sb := market.ServerBid{SiteID: s.cfg.SiteID, TaskID: t.ID,
+		ExpectedCompletion: q.ExpectedCompletion, ExpectedPrice: q.ExpectedYield}
+	if s.j != nil {
+		// The ack must not outrun the disk: journal the contract and sync
+		// before replying, whatever the steady-state fsync policy. A client
+		// holding a contract envelope can always find it again after a
+		// crash; a failed write refuses the award instead of promising
+		// durability the site does not have.
+		err := s.appendRecord(contractRecord{
+			Kind: recContract, TaskID: t.ID, Req: bid.ReqID,
+			Arrival: t.Arrival, Runtime: t.Runtime, Value: t.Value,
+			Decay: t.Decay, Bound: EncodeBound(t.Bound),
+			ExpectedCompletion: sb.ExpectedCompletion, ExpectedPrice: sb.ExpectedPrice,
+		})
+		if err == nil {
+			err = s.j.Sync()
+		}
+		if err != nil {
+			s.log.Warn("journal write failed, refusing award", "task", t.ID, "err", err.Error())
+			return Envelope{Type: TypeError, Reason: "site journal unavailable"}
+		}
+	}
 	s.pending = append(s.pending, t)
 	s.owners[t.ID] = sc
 	if bid.ReqID != "" {
 		s.reqs[t.ID] = bid.ReqID
 	}
-	sb := market.ServerBid{SiteID: s.cfg.SiteID, TaskID: t.ID,
-		ExpectedCompletion: q.ExpectedCompletion, ExpectedPrice: q.ExpectedYield}
 	s.prices[t.ID] = sb
 	s.Accepted++
 	s.m.accepted.Inc()
@@ -524,6 +618,11 @@ func (s *Server) dispatchLocked() {
 		t.State = task.Running
 		t.Start = now
 		s.running[t.ID] = t
+		if err := s.appendRecord(contractRecord{Kind: recStart, TaskID: t.ID, T: now}); err != nil {
+			// Non-fatal: a lost start record only weakens the crash regime
+			// (the task recovers as queued instead of crash-preempted).
+			s.log.Warn("journal start record failed", "task", t.ID, "err", err.Error())
+		}
 		s.syncGaugesLocked()
 		s.traceLocked(obs.StageStart, t.ID, "")
 		s.log.Info("running task", "task", t.ID, "runtime", t.Runtime)
@@ -558,6 +657,10 @@ func (s *Server) complete(t *task.Task) {
 	t.Completion = now
 	t.Yield = t.YieldAtCompletion(now)
 	delete(s.running, t.ID)
+	if err := s.appendRecord(contractRecord{Kind: recSettle, TaskID: t.ID, T: now, Price: t.Yield}); err != nil {
+		s.log.Warn("journal settle record failed", "task", t.ID, "err", err.Error())
+	}
+	s.settled[t.ID] = settlement{T: now, Price: t.Yield}
 	s.Completed++
 	s.Revenue += t.Yield
 	s.m.completed.Inc()
@@ -607,6 +710,46 @@ func (s *Server) complete(t *task.Task) {
 		})
 	}
 	s.log.Info("settled task", "task", t.ID, "t", now, "price", t.Yield)
+}
+
+// handleQuery reports a contract's state: open (with the standing terms),
+// settled or defaulted (with the final price), or unknown. Querying an open
+// contract adopts the querying connection as the settlement owner — this is
+// how a client that redialed after a site restart re-subscribes to the
+// settlement push it would otherwise never receive.
+func (s *Server) handleQuery(env Envelope, sc *serverConn) Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := env.TaskID
+	if st, ok := s.settled[id]; ok {
+		return s.statusEnvelopeLocked(id, st)
+	}
+	if sb, open := s.prices[id]; open {
+		s.owners[id] = sc
+		if env.ReqID != "" {
+			s.reqs[id] = env.ReqID
+		}
+		return Envelope{
+			Type: TypeStatus, TaskID: id, SiteID: s.cfg.SiteID,
+			ContractState:      ContractOpen,
+			ExpectedCompletion: sb.ExpectedCompletion,
+			ExpectedPrice:      sb.ExpectedPrice,
+		}
+	}
+	return Envelope{Type: TypeStatus, TaskID: id, SiteID: s.cfg.SiteID, ContractState: ContractUnknown}
+}
+
+// statusEnvelopeLocked frames a closed contract's settlement. Callers must
+// hold s.mu.
+func (s *Server) statusEnvelopeLocked(id task.ID, st settlement) Envelope {
+	state := ContractSettled
+	if st.Defaulted {
+		state = ContractDefaulted
+	}
+	return Envelope{
+		Type: TypeStatus, TaskID: id, SiteID: s.cfg.SiteID,
+		ContractState: state, CompletedAt: st.T, FinalPrice: st.Price,
+	}
 }
 
 func (s *Server) removePendingLocked(t *task.Task) {

@@ -34,6 +34,20 @@ const (
 	TypeContract  = "contract"
 	TypeSettled   = "settled"
 	TypeError     = "error"
+	// TypeQuery asks a site for the state of a contract by task ID;
+	// TypeStatus is the reply. Querying an open contract also re-subscribes
+	// the querying connection to that contract's settlement push, which is
+	// how a client reconciles after a site restart (DESIGN.md §10).
+	TypeQuery  = "query"
+	TypeStatus = "status"
+)
+
+// Contract states reported by TypeStatus replies.
+const (
+	ContractOpen      = "open"      // under contract, not yet settled
+	ContractSettled   = "settled"   // delivered; CompletedAt/FinalPrice are final
+	ContractDefaulted = "defaulted" // closed without delivery; FinalPrice is the penalty
+	ContractUnknown   = "unknown"   // no record of the task
 )
 
 // Envelope frames every message with its type; the payload fields are
@@ -61,6 +75,9 @@ type Envelope struct {
 	ExpectedPrice      float64 `json:"expected_price,omitempty"`
 	CompletedAt        float64 `json:"completed_at,omitempty"`
 	FinalPrice         float64 `json:"final_price,omitempty"`
+
+	// Status reply field: one of the Contract* states.
+	ContractState string `json:"contract_state,omitempty"`
 
 	// Error / Reject detail.
 	Reason string `json:"reason,omitempty"`
