@@ -80,8 +80,33 @@ func main() {
 		minSpeedup = flag.Float64("min-speedup", 5, "required dispatch speedup at the largest n (0 disables)")
 		procs      = flag.Int("procs", 16, "free processors per dispatch event")
 		quotes     = flag.Int("quotes", 32, "probe tasks quoted against one base schedule")
+
+		service         = flag.Bool("service", false, "run the site-service saturation benchmark instead of the core benches")
+		clients         = flag.Int("clients", 16, "concurrent clients in -service mode")
+		serviceDur      = flag.Duration("duration", 2*time.Second, "measurement window per -service phase")
+		profileDir      = flag.String("profile-dir", "", "write mutex/block/cpu pprof profiles here in -service mode")
+		phaseFilter     = flag.String("phase-filter", "", "only run -service phases whose mode/fsync/mix contains this substring")
+		minQuoteSpeedup = flag.Float64("min-quote-speedup", 0, "required concurrent/locked quotes-per-sec ratio at fsync=always in -service mode (0 disables)")
+		minAwardSpeedup = flag.Float64("min-award-speedup", 0, "required concurrent/locked awards-per-sec ratio at fsync=always in -service mode (0 disables)")
 	)
 	flag.Parse()
+
+	if *service {
+		res, err := runService(serviceOpts{
+			clients:     *clients,
+			duration:    *serviceDur,
+			profileDir:  *profileDir,
+			phaseFilter: *phaseFilter,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		writeReport(res, *out)
+		if fail := checkService(res, *baseline, *tolerance, *minQuoteSpeedup, *minAwardSpeedup); fail != nil {
+			fatal(fail)
+		}
+		return
+	}
 
 	sizes := []int{100, 1000, 10000}
 	res := Result{
@@ -98,19 +123,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: n=%d done\n", n)
 	}
 
+	writeReport(res, *out)
+	if fail := check(res, *baseline, *tolerance, *minSpeedup); fail != nil {
+		fatal(fail)
+	}
+}
+
+// writeReport marshals any report schema to -out (or stdout).
+func writeReport(res any, out string) {
 	enc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(enc)
-	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(out, enc, 0o644); err != nil {
 		fatal(err)
-	}
-
-	if fail := check(res, *baseline, *tolerance, *minSpeedup); fail != nil {
-		fatal(fail)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -114,6 +115,12 @@ type Options struct {
 	// FsyncEvery is the FsyncInterval period. Zero means the default
 	// (100ms).
 	FsyncEvery time.Duration
+	// OnBatch, when non-nil, observes every group-commit round: durable is
+	// the durability frontier the round advanced to (every record with
+	// index < durable is on stable storage) and records is the number of
+	// appended records the round's single fsync made durable. It runs
+	// outside the journal's locks and must not call back into the journal.
+	OnBatch func(durable uint64, records int)
 }
 
 const (
@@ -178,6 +185,24 @@ type Journal struct {
 	lastSync time.Time
 	closed   bool
 
+	// durable is the durability frontier: every record with index < durable
+	// is on stable storage. Advanced (monotonically) by every fsync —
+	// per-append policy syncs, explicit Sync, SyncBarrier rounds, rotation,
+	// and Close — and read lock-free by SyncBarrier's fast path.
+	durable atomic.Uint64
+
+	// gc coordinates group commit: concurrent SyncBarrier callers elect one
+	// leader whose single fsync covers every record appended before it ran.
+	// gc.mu is never held across an fsync and never nests inside mu.
+	gc struct {
+		mu      sync.Mutex
+		cond    *sync.Cond
+		syncing bool   // a leader's fsync is in flight
+		rounds  uint64 // completed rounds (success or failure)
+		errAt   uint64 // rounds value when the last failed round completed
+		err     error  // the failure of that round
+	}
+
 	rec Recovery
 }
 
@@ -191,6 +216,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 		return nil, err
 	}
 	j := &Journal{dir: dir, opts: opts}
+	j.gc.cond = sync.NewCond(&j.gc.mu)
 
 	_, statErr := os.Stat(filepath.Join(dir, cleanMarker))
 	j.rec.CleanShutdown = statErr == nil
@@ -268,6 +294,9 @@ func Open(dir string, opts Options) (*Journal, error) {
 		j.size = st.Size()
 	}
 	j.lastSync = time.Now()
+	// Everything recovery kept is on stable storage already (torn tails
+	// were truncated away), so the durability frontier starts at the end.
+	j.durable.Store(j.next)
 	return j, nil
 }
 
@@ -290,6 +319,20 @@ func (j *Journal) NextIndex() uint64 {
 // record's index. Empty payloads are rejected: a zero-length frame is
 // indistinguishable from zero-filled garbage during recovery.
 func (j *Journal) Append(payload []byte) (uint64, error) {
+	return j.append(payload, true)
+}
+
+// AppendBatched appends like Append for a caller that will make the record
+// durable through SyncBarrier: under FsyncAlways the per-record inline
+// fsync is skipped — that is the write half of the group-commit pipeline,
+// letting N concurrent appenders share one barrier fsync instead of paying
+// N serialized ones. FsyncInterval's periodic sync and FsyncNever keep
+// their usual semantics.
+func (j *Journal) AppendBatched(payload []byte) (uint64, error) {
+	return j.append(payload, false)
+}
+
+func (j *Journal) append(payload []byte, inlineSync bool) (uint64, error) {
 	if len(payload) == 0 {
 		return 0, errors.New("durable: empty record")
 	}
@@ -322,34 +365,119 @@ func (j *Journal) Append(payload []byte) (uint64, error) {
 
 	switch j.opts.Fsync {
 	case FsyncAlways:
-		if err := j.f.Sync(); err != nil {
+		if !inlineSync {
+			break // durability deferred to the caller's SyncBarrier
+		}
+		if err := j.syncLocked(); err != nil {
 			return 0, err
 		}
-		j.lastSync = time.Now()
 	case FsyncInterval:
 		if time.Since(j.lastSync) >= j.opts.fsyncEvery() {
-			if err := j.f.Sync(); err != nil {
+			if err := j.syncLocked(); err != nil {
 				return 0, err
 			}
-			j.lastSync = time.Now()
 		}
 	}
 	return index, nil
 }
 
+// syncLocked fsyncs the active segment and advances the durability
+// frontier. Callers must hold j.mu.
+func (j *Journal) syncLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.lastSync = time.Now()
+	j.advanceDurable(j.next)
+	return nil
+}
+
+// advanceDurable raises the durability frontier to at least n.
+func (j *Journal) advanceDurable(n uint64) {
+	for {
+		cur := j.durable.Load()
+		if cur >= n || j.durable.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Durable returns the durability frontier: every record with index less
+// than the returned value is on stable storage. Lock-free.
+func (j *Journal) Durable() uint64 { return j.durable.Load() }
+
 // Sync forces every appended record to stable storage regardless of the
-// fsync policy. Award acknowledgment calls this before replying.
+// fsync policy.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return errors.New("durable: journal closed")
 	}
-	if err := j.f.Sync(); err != nil {
-		return err
+	return j.syncLocked()
+}
+
+// SyncBarrier blocks until the record at index is on stable storage and
+// returns nil, or returns the error of the fsync round that tried to cover
+// it. Concurrent barriers share fsyncs: one caller becomes the round's
+// leader and syncs once for every record appended before its fsync started;
+// the rest wait on the round. This is the commit half of the group-commit
+// pipeline — N concurrent Append+SyncBarrier pairs cost ~1 fsync, not N.
+//
+// A failed round fails every barrier waiting on it (a caller cannot know
+// whether its bytes reached the platter), but does not poison the journal:
+// the next barrier elects a fresh leader and retries.
+func (j *Journal) SyncBarrier(index uint64) error {
+	if j.durable.Load() > index {
+		return nil // already durable, no locks touched
 	}
-	j.lastSync = time.Now()
-	return nil
+	g := &j.gc
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if j.durable.Load() > index {
+			return nil
+		}
+		if !g.syncing {
+			// Become the leader: run one fsync covering everything
+			// appended so far, with no gc lock held across the I/O.
+			g.syncing = true
+			g.mu.Unlock()
+
+			prev := j.durable.Load()
+			j.mu.Lock()
+			frontier := j.next
+			var err error
+			if j.closed {
+				err = errors.New("durable: journal closed")
+			} else {
+				err = j.syncLocked()
+			}
+			j.mu.Unlock()
+			if err == nil && frontier > prev && j.opts.OnBatch != nil {
+				j.opts.OnBatch(frontier, int(frontier-prev))
+			}
+
+			g.mu.Lock()
+			g.syncing = false
+			g.rounds++
+			if err != nil {
+				g.errAt, g.err = g.rounds, err
+			}
+			g.cond.Broadcast()
+			if err != nil {
+				return err
+			}
+			continue // frontier covers our index; loop exits via the check
+		}
+		entered := g.rounds
+		g.cond.Wait()
+		// A round completed while we waited; if it failed and our record is
+		// still not durable, we were in its batch and share its failure.
+		if g.errAt > entered && j.durable.Load() <= index {
+			return g.err
+		}
+	}
 }
 
 // rotateLocked closes the active segment (syncing it) and opens a fresh
@@ -359,6 +487,7 @@ func (j *Journal) rotateLocked() error {
 		if err := j.f.Sync(); err != nil {
 			return err
 		}
+		j.advanceDurable(j.next)
 		if err := j.f.Close(); err != nil {
 			return err
 		}
@@ -388,6 +517,7 @@ func (j *Journal) Close() error {
 		j.f.Close()
 		return err
 	}
+	j.advanceDurable(j.next)
 	if err := j.f.Close(); err != nil {
 		return err
 	}

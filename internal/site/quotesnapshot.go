@@ -1,0 +1,117 @@
+package site
+
+import (
+	"sync/atomic"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+// RunningSlot is one occupied processor in a QuoteSnapshot: the time the
+// occupying task was dispatched (or resumed) and the processing time it had
+// left at that instant. The pair is enough to price the processor's release
+// at any later clock reading without consulting live state.
+type RunningSlot struct {
+	Start   float64
+	Runtime float64
+}
+
+// QuoteSnapshot is an immutable, versioned picture of a site's scheduling
+// state — everything a quote needs and nothing a quote can change. Once
+// published it is never mutated, so any number of readers may rank bids
+// against it concurrently with zero locks; Pending holds private copies of
+// the queued tasks, decoupled from the live structs the scheduler mutates.
+//
+// Version is the site's state-version counter at capture (the same counter
+// PR 3's (now, version) candidate cache keys on). An award computed against
+// a snapshot re-validates that the live version still matches under the
+// write lock before committing; a mismatch means the scheduling state moved
+// and the quote must be recomputed.
+type QuoteSnapshot struct {
+	Version      uint64
+	Procs        int
+	Policy       core.Policy
+	DiscountRate float64
+	Pending      []*task.Task
+	Running      []RunningSlot
+}
+
+// BusyUntil prices each occupied processor's release time as of now, with
+// the exact arithmetic of the locked quote path (Site.busyUntil): the
+// remaining work is Runtime - (now - Start) clamped at zero, and the
+// release is now + remaining. Keeping the float expressions identical —
+// not just algebraically equal — is what lets the differential tests
+// demand bit-identical quotes from the snapshot and locked paths.
+func (qs *QuoteSnapshot) BusyUntil(now float64) []float64 {
+	busy := make([]float64, 0, len(qs.Running))
+	for _, r := range qs.Running {
+		rem := r.Runtime - (now - r.Start)
+		if rem < 0 {
+			rem = 0
+		}
+		busy = append(busy, now+rem)
+	}
+	return busy
+}
+
+// Quote evaluates a proposed task against the snapshot at clock reading
+// now: the probe joins the snapshot's pending set, the whole set is ranked
+// and list-scheduled behind the running work, and the probe's slot is
+// priced (Section 6's candidate-schedule evaluation). It acquires no locks
+// and leaves the snapshot untouched.
+func (qs *QuoteSnapshot) Quote(now float64, probe *task.Task) (admission.Quote, error) {
+	if err := probe.Validate(); err != nil {
+		return admission.Quote{}, err
+	}
+	with := make([]*task.Task, 0, len(qs.Pending)+1)
+	with = append(with, qs.Pending...)
+	with = append(with, probe)
+	cand := core.BuildCandidate(qs.Policy, now, qs.Procs, qs.BusyUntil(now), with)
+	return admission.Evaluate(probe, cand, qs.DiscountRate)
+}
+
+// Board publishes the latest QuoteSnapshot to lock-free readers via a
+// single atomic pointer. Writers build a fresh snapshot after every
+// scheduling-state change and Publish it; readers Load whatever is current
+// and quote against it. The zero Board is empty (Load returns nil) and
+// ready to use.
+type Board struct {
+	p atomic.Pointer[QuoteSnapshot]
+}
+
+// Load returns the most recently published snapshot, or nil before the
+// first Publish.
+func (b *Board) Load() *QuoteSnapshot { return b.p.Load() }
+
+// Publish installs qs as the current snapshot. The caller must not mutate
+// qs afterwards.
+func (b *Board) Publish(qs *QuoteSnapshot) { b.p.Store(qs) }
+
+// QuoteSnapshot captures the site's current scheduling state for lock-free
+// quoting. Pending tasks are copied by value, so later scheduler mutations
+// (dispatch, preemption, completion) never show through; the returned
+// snapshot's Version is the site's state version, making it directly
+// comparable against a later read for staleness.
+func (s *Site) QuoteSnapshot() *QuoteSnapshot {
+	qs := &QuoteSnapshot{
+		Version:      s.version,
+		Procs:        s.procs,
+		Policy:       s.cfg.Policy,
+		DiscountRate: s.cfg.DiscountRate,
+	}
+	if len(s.pending) > 0 {
+		qs.Pending = make([]*task.Task, len(s.pending))
+		for i, t := range s.pending {
+			cp := *t
+			qs.Pending[i] = &cp
+		}
+	}
+	if len(s.running) > 0 {
+		qs.Running = make([]RunningSlot, 0, len(s.running))
+		for _, ex := range s.running {
+			qs.Running = append(qs.Running, RunningSlot{Start: ex.start, Runtime: ex.t.RPT})
+		}
+	}
+	return qs
+}

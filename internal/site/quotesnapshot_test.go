@@ -1,0 +1,220 @@
+package site
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// quotesEqual demands bitwise equality: the snapshot path must reproduce
+// the locked path's floats exactly, not approximately.
+func quotesEqual(a, b admission.Quote) bool {
+	eq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return a.TaskID == b.TaskID && eq(a.Now, b.Now) &&
+		eq(a.ExpectedStart, b.ExpectedStart) &&
+		eq(a.ExpectedCompletion, b.ExpectedCompletion) &&
+		eq(a.ExpectedYield, b.ExpectedYield) &&
+		eq(a.PresentValue, b.PresentValue) &&
+		eq(a.Cost, b.Cost) && eq(a.Slack, b.Slack)
+}
+
+// TestQuoteSnapshotDifferential proves the tentpole's central claim for the
+// simulator site: a quote answered lock-free against a published
+// QuoteSnapshot is bit-identical to the live Site.Quote — same floats,
+// same admission decision — across randomized workloads, policies, and
+// capacities, probed at every submission event (when the queue and running
+// set are in arbitrary mid-run states).
+func TestQuoteSnapshotDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	policies := []core.Policy{
+		core.FCFS{}, core.SRPT{}, core.SWPT{}, core.FirstPrice{},
+		core.PresentValue{DiscountRate: 0.01},
+		core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+		core.FirstReward{Alpha: 0},
+	}
+	for trial := 0; trial < 40; trial++ {
+		spec := workload.Default()
+		spec.Jobs = 30 + rng.Intn(80)
+		spec.Processors = 1 + rng.Intn(6)
+		spec.Load = 0.4 + rng.Float64()*2
+		spec.ValueSkew = 1 + rng.Float64()*6
+		spec.DecaySkew = 1 + rng.Float64()*4
+		spec.Seed = rng.Int63()
+		if rng.Intn(2) == 0 {
+			spec.Bound = math.Inf(1)
+		} else {
+			spec.Bound = rng.Float64() * 100
+		}
+		tr, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Processors:   spec.Processors,
+			Policy:       policies[rng.Intn(len(policies))],
+			DiscountRate: 0.01,
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Admission = admission.SlackThreshold{Threshold: rng.Float64()*200 - 50}
+		}
+		adm := cfg.Admission
+		if adm == nil {
+			adm = admission.AcceptAll{}
+		}
+
+		engine := sim.New()
+		s := New(engine, "diff-site", cfg)
+		compared := 0
+		for _, tk := range tr.Clone() {
+			tk := tk
+			engine.At(tk.Arrival, func() {
+				// Probe with a private copy first: Quote and Submit must see
+				// identical inputs, and Submit mutates the task's state.
+				probe := *tk
+				locked, lerr := s.Quote(&probe)
+
+				snap := s.QuoteSnapshot()
+				if snap.Version != s.version {
+					t.Fatalf("trial %d: snapshot version %d != live %d", trial, snap.Version, s.version)
+				}
+				probe2 := *tk
+				free, ferr := snap.Quote(engine.Now(), &probe2)
+
+				if (lerr == nil) != (ferr == nil) {
+					t.Fatalf("trial %d task %d: locked err %v, snapshot err %v", trial, tk.ID, lerr, ferr)
+				}
+				if lerr == nil {
+					if !quotesEqual(locked, free) {
+						t.Fatalf("trial %d task %d: locked %v != snapshot %v", trial, tk.ID, locked, free)
+					}
+					if adm.Admit(locked) != adm.Admit(free) {
+						t.Fatalf("trial %d task %d: admission decisions diverge", trial, tk.ID)
+					}
+					compared++
+				}
+				if _, _, err := s.Submit(tk); err != nil {
+					panic(err)
+				}
+			})
+		}
+		engine.Run()
+		if compared == 0 {
+			t.Fatalf("trial %d compared no quotes", trial)
+		}
+	}
+}
+
+// TestQuoteSnapshotImmutable verifies a published snapshot keeps answering
+// with its capture-time state after the live site has moved on: the
+// pending-task copies and running slots are decoupled from the scheduler's
+// mutations.
+func TestQuoteSnapshotImmutable(t *testing.T) {
+	engine := sim.New()
+	s := New(engine, "immut", Config{Processors: 1, Policy: core.FCFS{}})
+
+	var snap *QuoteSnapshot
+	var before admission.Quote
+	probe := task.New(99, 0, 5, 50, 1, math.Inf(1))
+	engine.At(0, func() {
+		// Occupy the processor and queue one task behind it.
+		a := task.New(1, 0, 10, 100, 1, math.Inf(1))
+		b := task.New(2, 0, 10, 80, 1, math.Inf(1))
+		if _, _, err := s.Submit(a); err != nil {
+			panic(err)
+		}
+		if _, _, err := s.Submit(b); err != nil {
+			panic(err)
+		}
+		snap = s.QuoteSnapshot()
+		p := *probe
+		q, err := snap.Quote(0, &p)
+		if err != nil {
+			panic(err)
+		}
+		before = q
+	})
+	engine.Run() // everything completes; the live site is now idle
+
+	if !s.Idle() {
+		t.Fatal("site should be idle")
+	}
+	p := *probe
+	after, err := snap.Quote(0, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quotesEqual(before, after) {
+		t.Fatalf("snapshot answer drifted after live mutations: %v != %v", before, after)
+	}
+	if len(snap.Pending) != 1 || len(snap.Running) != 1 {
+		t.Fatalf("snapshot state mutated: pending %d running %d", len(snap.Pending), len(snap.Running))
+	}
+}
+
+// TestBoardPublishLoad exercises the Board under concurrent readers while a
+// writer republishes: every loaded snapshot must be internally consistent
+// (a version that was actually published) and quotable without data races.
+func TestBoardPublishLoad(t *testing.T) {
+	engine := sim.New()
+	s := New(engine, "board", Config{Processors: 2, Policy: core.SRPT{}})
+	var b Board
+	if b.Load() != nil {
+		t.Fatal("zero Board should be empty")
+	}
+
+	// Build a few distinct snapshots by stepping the site.
+	var snaps []*QuoteSnapshot
+	for i := 0; i < 8; i++ {
+		tk := task.New(task.ID(i+1), 0, float64(i+1), 100, 1, math.Inf(1))
+		engine.At(0, func() {
+			if _, _, err := s.Submit(tk); err != nil {
+				panic(err)
+			}
+			snaps = append(snaps, s.QuoteSnapshot())
+		})
+	}
+	engine.Run()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			probe := task.New(1000+task.ID(r), 0, 3, 40, 0.5, math.Inf(1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qs := b.Load()
+				if qs == nil {
+					continue
+				}
+				p := *probe
+				if _, err := qs.Quote(0, &p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 200; i++ {
+		b.Publish(snaps[i%len(snaps)])
+	}
+	close(stop)
+	wg.Wait()
+	if got := b.Load(); got == nil {
+		t.Fatal("board lost its snapshot")
+	}
+}

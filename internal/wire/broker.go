@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -32,6 +33,10 @@ type BrokerConfig struct {
 	// connections, with ServerConfig semantics.
 	IdleTimeout  time.Duration
 	WriteTimeout time.Duration
+	// MaxFrameBytes caps one inbound protocol frame, on the client-facing
+	// connections and the site connections alike; zero means the default
+	// (1 MiB).
+	MaxFrameBytes int
 	// Logger receives brokering events as structured JSON lines; nil
 	// silences them.
 	Logger *obs.Logger
@@ -77,19 +82,21 @@ type BrokerServer struct {
 // brokerMetrics are the broker's own instruments, beyond the shared
 // exchange set.
 type brokerMetrics struct {
-	connections *obs.Gauge
-	relayed     *obs.Counter
-	relayLost   *obs.Counter
-	lateness    *obs.Histogram
+	connections     *obs.Gauge
+	relayed         *obs.Counter
+	relayLost       *obs.Counter
+	lateness        *obs.Histogram
+	framesOversized *obs.Counter
 }
 
 func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
 	settles := reg.Counter("market_settlements_total", "Settlement deliveries.", "role", "result")
 	return brokerMetrics{
-		connections: reg.Gauge("wire_connections", "Live client connections.", "site").With("broker"),
-		relayed:     settles.With("broker", "relayed"),
-		relayLost:   settles.With("broker", "undeliverable"),
-		lateness:    reg.Histogram("market_settlement_lateness", "Completion time minus contracted completion, in simulation units.", latenessBuckets, "site").With("broker"),
+		connections:     reg.Gauge("wire_connections", "Live client connections.", "site").With("broker"),
+		relayed:         settles.With("broker", "relayed"),
+		relayLost:       settles.With("broker", "undeliverable"),
+		lateness:        reg.Histogram("market_settlement_lateness", "Completion time minus contracted completion, in simulation units.", latenessBuckets, "site").With("broker"),
+		framesOversized: reg.Counter("wire_frames_oversized_total", "Inbound frames rejected for exceeding the configured size cap.", "site").With("broker"),
 	}
 }
 
@@ -111,7 +118,7 @@ func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
 		conns:  make(map[*serverConn]struct{}),
 	}
 	for _, sa := range cfg.SiteAddrs {
-		sc, err := DialConfig(sa, ClientConfig{RequestTimeout: cfg.RequestTimeout})
+		sc, err := DialConfig(sa, ClientConfig{RequestTimeout: cfg.RequestTimeout, MaxFrameBytes: cfg.MaxFrameBytes})
 		if err != nil {
 			b.closeSites()
 			return nil, fmt.Errorf("wire: broker dialing site %s: %w", sa, err)
@@ -200,16 +207,32 @@ func (b *BrokerServer) serve(conn net.Conn) {
 	}()
 
 	idle := ServerConfig{IdleTimeout: b.cfg.IdleTimeout}.idleTimeout()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	limit := maxFrameBytes(b.cfg.MaxFrameBytes)
+	var frame []byte
 	for {
 		if idle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(idle))
 		}
-		if !scanner.Scan() {
-			break
+		line, err := readFrame(br, limit, &frame)
+		if err != nil {
+			if errors.Is(err, ErrTooLong) {
+				b.m.framesOversized.Inc()
+				b.eo.log.Warn("oversized frame discarded", "remote", conn.RemoteAddr().String(), "limit_bytes", limit)
+				if serr := sc.send(Envelope{Type: TypeError, Reason: err.Error()}); serr != nil {
+					return
+				}
+				continue
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				b.eo.log.Warn("client read error", "remote", conn.RemoteAddr().String(), "err", err.Error())
+			}
+			return
 		}
-		env, err := Unmarshal(scanner.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		env, err := Unmarshal(line)
 		if err != nil {
 			_ = sc.send(Envelope{Type: TypeError, Reason: err.Error()})
 			continue
@@ -227,9 +250,6 @@ func (b *BrokerServer) serve(conn net.Conn) {
 		if err := sc.send(reply); err != nil {
 			return
 		}
-	}
-	if err := scanner.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
-		b.eo.log.Warn("client read error", "remote", conn.RemoteAddr().String(), "err", err.Error())
 	}
 }
 

@@ -38,6 +38,10 @@ type ClientConfig struct {
 	// DialTimeout bounds connection establishment, including Redial.
 	// Zero means the default (5s); negative disables the bound.
 	DialTimeout time.Duration
+	// MaxFrameBytes caps one inbound protocol frame. An oversized frame is
+	// surfaced as a protocol-error reply to the in-flight exchange instead
+	// of killing the connection; zero means the default (1 MiB).
+	MaxFrameBytes int
 }
 
 const (
@@ -193,10 +197,28 @@ func (c *SiteClient) takeReadErr() error {
 // conn and replies channel it was started with, so a Redial swapping the
 // client's fields cannot race it.
 func (c *SiteClient) readLoop(conn net.Conn, replies chan Envelope) {
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for scanner.Scan() {
-		env, err := Unmarshal(scanner.Bytes())
+	br := bufio.NewReaderSize(conn, 64*1024)
+	limit := maxFrameBytes(c.cfg.MaxFrameBytes)
+	var frame []byte
+	for {
+		line, err := readFrame(br, limit, &frame)
+		if err != nil {
+			if errors.Is(err, ErrTooLong) {
+				// The oversized frame was drained through its newline, so the
+				// stream is still framed: answer the in-flight exchange with
+				// the protocol error and keep the connection alive.
+				replies <- Envelope{Type: TypeError, Reason: err.Error()}
+				continue
+			}
+			if !errors.Is(err, io.EOF) {
+				c.setReadErr(err)
+			}
+			break
+		}
+		if len(line) == 0 {
+			continue
+		}
+		env, err := Unmarshal(line)
 		if err != nil {
 			c.setReadErr(err)
 			break
@@ -214,9 +236,6 @@ func (c *SiteClient) readLoop(conn net.Conn, replies chan Envelope) {
 		}
 		replies <- env
 	}
-	if err := scanner.Err(); err != nil {
-		c.setReadErr(err)
-	}
 	close(replies)
 }
 
@@ -232,15 +251,11 @@ func (c *SiteClient) roundTrip(e Envelope) (Envelope, error) {
 	if closed {
 		return Envelope{}, ErrClientClosed
 	}
-	b, err := Marshal(e)
-	if err != nil {
-		return Envelope{}, err
-	}
 	timeout := c.cfg.requestTimeout()
 	if timeout > 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(timeout))
 	}
-	if _, err := c.bw.Write(b); err != nil {
+	if err := writeEnvelope(c.bw, e); err != nil {
 		return Envelope{}, err
 	}
 	if err := c.bw.Flush(); err != nil {

@@ -1,0 +1,440 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/task"
+)
+
+// TestServerDifferentialLegacyVsConcurrent runs one deterministic request
+// script against a LegacyLocked server and a concurrent (snapshot +
+// group-commit) server and demands the same decision sequence: the same
+// accepts, rejects, duplicate-award answers, and query states. Quoted
+// floats are wall-clock dependent and are not compared; the decisions are
+// driven by queue backlog in steps of whole task runtimes, which dwarf the
+// microseconds of clock skew between the two runs.
+func TestServerDifferentialLegacyVsConcurrent(t *testing.T) {
+	script := func(t *testing.T, legacy bool) (decisions []string, accepted, rejected, completed int) {
+		t.Helper()
+		srv := startServer(t, ServerConfig{
+			Processors:   1,
+			TimeScale:    time.Millisecond,
+			Admission:    admission.SlackThreshold{Threshold: -150},
+			DataDir:      t.TempDir(),
+			Fsync:        durable.FsyncAlways,
+			LegacyLocked: legacy,
+		})
+		c := dialServer(t, srv)
+		var settleWG sync.WaitGroup
+		c.SetOnSettled(func(Envelope) { settleWG.Done() })
+
+		// Each awarded task adds 100 units (100ms) of backlog on the single
+		// processor, stepping the quoted slack down by 100 per award (value
+		// 1000, decay 2 → slack = 500 - backlog), so the -150 threshold
+		// flips from accept to reject mid-script with a 50-unit (50ms)
+		// margin — far beyond the clock skew between the two runs.
+		for i := 1; i <= 12; i++ {
+			bid := testBid(task.ID(i), 100)
+			bid.Decay = 2
+			sb, ok, err := c.Propose(bid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				decisions = append(decisions, fmt.Sprintf("propose %d: reject", i))
+				continue
+			}
+			decisions = append(decisions, fmt.Sprintf("propose %d: ok", i))
+			settleWG.Add(1)
+			if _, ok, err = c.Award(bid, sb); err != nil {
+				t.Fatal(err)
+			} else if !ok {
+				settleWG.Done()
+				decisions = append(decisions, fmt.Sprintf("award %d: reject", i))
+				continue
+			}
+			decisions = append(decisions, fmt.Sprintf("award %d: ok", i))
+			// Duplicate award: must come back as the standing contract.
+			if _, ok, err = c.Award(bid, sb); err != nil || !ok {
+				t.Fatalf("duplicate award %d = %v %v", i, ok, err)
+			}
+			st, err := c.Query(task.ID(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			decisions = append(decisions, fmt.Sprintf("query %d: %s", i, st.State))
+		}
+		settleWG.Wait()
+		srv.mu.Lock()
+		accepted, rejected, completed = srv.Accepted, srv.Rejected, srv.Completed
+		openContracts := len(srv.prices)
+		unsynced := len(srv.unsynced)
+		srv.mu.Unlock()
+		if openContracts != 0 || unsynced != 0 {
+			t.Fatalf("book not drained: %d open, %d unsynced", openContracts, unsynced)
+		}
+		return decisions, accepted, rejected, completed
+	}
+
+	legacyDec, la, lr, lc := script(t, true)
+	concDec, ca, cr, cc := script(t, false)
+	if strings.Join(legacyDec, "\n") != strings.Join(concDec, "\n") {
+		t.Fatalf("decision sequences diverge:\nlegacy:\n%s\nconcurrent:\n%s",
+			strings.Join(legacyDec, "\n"), strings.Join(concDec, "\n"))
+	}
+	if la != ca || lr != cr || lc != cc {
+		t.Fatalf("stats diverge: legacy %d/%d/%d, concurrent %d/%d/%d", la, lr, lc, ca, cr, cc)
+	}
+	if la == 0 || lr == 0 {
+		t.Fatalf("script exercised only one decision: accepted %d, rejected %d", la, lr)
+	}
+}
+
+// TestServerAwardValidationMetrics checks the optimistic-award accounting:
+// a quiet single-client sequence should validate against an unchanged
+// snapshot version at least once, and every award must be counted as
+// either a match or a mismatch-with-requote.
+func TestServerAwardValidationMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := startServer(t, ServerConfig{Processors: 2, Metrics: reg})
+	c := dialServer(t, srv)
+	var settleWG sync.WaitGroup
+	c.SetOnSettled(func(Envelope) { settleWG.Done() })
+	const n = 6
+	for i := 1; i <= n; i++ {
+		bid := testBid(task.ID(i), 5)
+		sb, ok, err := c.Propose(bid)
+		if err != nil || !ok {
+			t.Fatalf("propose %d: %v %v", i, ok, err)
+		}
+		settleWG.Add(1)
+		if _, ok, err := c.Award(bid, sb); err != nil || !ok {
+			t.Fatalf("award %d: %v %v", i, ok, err)
+		}
+	}
+	settleWG.Wait()
+	match, mismatch := srv.m.validateMatch.Value(), srv.m.validateMismatch.Value()
+	if match+mismatch != n {
+		t.Fatalf("validations %v+%v, want %d awards accounted", match, mismatch, n)
+	}
+	if match == 0 {
+		t.Error("no award validated against an unchanged snapshot on an idle server")
+	}
+	if pubs := srv.m.snapshotPublishes.Value(); pubs == 0 {
+		t.Error("no snapshots published")
+	}
+	if sq := srv.m.snapshotQuotes.Value(); sq < n {
+		t.Errorf("snapshot-path quotes %v, want >= %d", sq, n)
+	}
+}
+
+// TestServerStressRace is the -race stress satellite: many goroutines drive
+// concurrent quote/award/settle/status traffic at every fsync policy, and
+// the contract book and metrics must come out consistent — every award
+// acked exactly once, every contract settled, nothing left unsynced, and
+// the counters agreeing with the book.
+func TestServerStressRace(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func(t *testing.T) ServerConfig
+	}{
+		{"memory", func(t *testing.T) ServerConfig { return ServerConfig{} }},
+		{"fsync-always", func(t *testing.T) ServerConfig {
+			return ServerConfig{DataDir: t.TempDir(), Fsync: durable.FsyncAlways}
+		}},
+		{"fsync-interval", func(t *testing.T) ServerConfig {
+			return ServerConfig{DataDir: t.TempDir(), Fsync: durable.FsyncInterval, FsyncEvery: 5 * time.Millisecond}
+		}},
+		{"fsync-never", func(t *testing.T) ServerConfig {
+			return ServerConfig{DataDir: t.TempDir(), Fsync: durable.FsyncNever}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg(t)
+			cfg.Processors = 4
+			cfg.TimeScale = 50 * time.Microsecond
+			reg := obs.NewRegistry()
+			cfg.Metrics = reg
+			srv := startServer(t, cfg)
+
+			const (
+				clients   = 8
+				perClient = 12
+			)
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c, err := Dial(srv.Addr())
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer c.Close()
+					var settleWG sync.WaitGroup
+					c.SetOnSettled(func(Envelope) { settleWG.Done() })
+					for i := 0; i < perClient; i++ {
+						id := task.ID(w*1000 + i + 1)
+						bid := testBid(id, 3)
+						sb, ok, err := c.Propose(bid)
+						if err != nil {
+							errs <- fmt.Errorf("propose %d: %w", id, err)
+							return
+						}
+						if !ok {
+							continue
+						}
+						settleWG.Add(1)
+						if _, ok, err := c.Award(bid, sb); err != nil {
+							settleWG.Done()
+							errs <- fmt.Errorf("award %d: %w", id, err)
+							return
+						} else if !ok {
+							settleWG.Done()
+							continue
+						}
+						// Interleave duplicate awards and queries with live
+						// traffic: both must answer from the book without
+						// perturbing it.
+						if i%3 == 0 {
+							if _, _, err := c.Award(bid, sb); err != nil {
+								errs <- fmt.Errorf("dup award %d: %w", id, err)
+								return
+							}
+						}
+						if i%4 == 0 {
+							if _, err := c.Query(id); err != nil {
+								errs <- fmt.Errorf("query %d: %w", id, err)
+								return
+							}
+						}
+					}
+					settleWG.Wait()
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			srv.mu.Lock()
+			accepted, rejected, completed := srv.Accepted, srv.Rejected, srv.Completed
+			open, unsynced, settled := len(srv.prices), len(srv.unsynced), len(srv.settled)
+			srv.mu.Unlock()
+			if unsynced != 0 {
+				t.Fatalf("%d contracts left unsynced", unsynced)
+			}
+			if open != 0 {
+				t.Fatalf("%d contracts left open after every settlement drained", open)
+			}
+			if accepted != completed {
+				t.Fatalf("accepted %d != completed %d", accepted, completed)
+			}
+			if settled != completed {
+				t.Fatalf("settled book %d != completed %d", settled, completed)
+			}
+			if got := srv.m.accepted.Value(); got != float64(accepted) {
+				t.Errorf("accepted counter %v != stat %d", got, accepted)
+			}
+			if got := srv.m.rejected.Value(); got != float64(rejected) {
+				t.Errorf("rejected counter %v != stat %d", got, rejected)
+			}
+			if got := srv.m.completed.Value(); got != float64(completed) {
+				t.Errorf("completed counter %v != stat %d", got, completed)
+			}
+			if accepted == 0 {
+				t.Fatal("stress run accepted nothing")
+			}
+			if srv.j != nil {
+				if syncs := srv.m.batchSyncs.Value(); syncs == 0 && cfg.Fsync == durable.FsyncAlways {
+					t.Error("no group-commit rounds recorded at fsync=always")
+				}
+			}
+
+			// The journal (when present) must still fold cleanly: every
+			// contract record paired with its close.
+			if cfg.DataDir != "" {
+				if err := srv.Close(); err != nil {
+					t.Fatal(err)
+				}
+				j, err := durable.Open(cfg.DataDir, durable.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer j.Close()
+				rb, err := foldJournal(j)
+				if err != nil {
+					t.Fatalf("journal does not fold after stress: %v", err)
+				}
+				if len(rb.open) != 0 {
+					t.Fatalf("%d contracts open in the journal after clean drain", len(rb.open))
+				}
+				if len(rb.done) != completed {
+					t.Fatalf("journal settled %d, book settled %d", len(rb.done), completed)
+				}
+			}
+		})
+	}
+}
+
+// TestOversizedFrameKeepsConnection drives the MaxFrameBytes satellite end
+// to end: a frame over the configured cap gets a protocol-error reply and
+// the connection keeps serving, where the old scanner cap killed it.
+func TestOversizedFrameKeepsConnection(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := startServer(t, ServerConfig{MaxFrameBytes: 4096, Metrics: reg})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	// An 8 KiB line against a 4 KiB cap.
+	if _, err := conn.Write(append(bytes.Repeat([]byte("x"), 8192), '\n')); err != nil {
+		t.Fatal(err)
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Unmarshal([]byte(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeError || !strings.Contains(env.Reason, "size limit") {
+		t.Fatalf("oversized frame reply = %+v, want frame-size protocol error", env)
+	}
+	if got := srv.m.framesOversized.Value(); got != 1 {
+		t.Fatalf("oversized counter = %v, want 1", got)
+	}
+
+	// The same connection still serves the protocol.
+	b, err := Marshal(BidEnvelope(testBid(7, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	line, err = br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err = Unmarshal([]byte(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeServerBid {
+		t.Fatalf("bid after oversized frame = %+v, want a server bid", env)
+	}
+}
+
+// TestClientOversizedReply verifies the client side of the frame cap: a
+// server reply over the client's limit surfaces as a protocol-error reply
+// to the in-flight exchange, and the connection survives for the next one.
+func TestClientOversizedReply(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		// First request: answer with an oversized junk line.
+		if _, err := br.ReadString('\n'); err != nil {
+			return
+		}
+		conn.Write(append(bytes.Repeat([]byte("y"), 8192), '\n'))
+		// Second request: answer properly.
+		if _, err := br.ReadString('\n'); err != nil {
+			return
+		}
+		b, _ := Marshal(Envelope{Type: TypeServerBid, TaskID: 9, SiteID: "fake", ExpectedPrice: 1})
+		conn.Write(b)
+	}()
+
+	c, err := DialConfig(ln.Addr().String(), ClientConfig{MaxFrameBytes: 4096, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.Propose(testBid(9, 5))
+	if err == nil || !strings.Contains(err.Error(), "size limit") {
+		t.Fatalf("oversized reply error = %v, want frame-size protocol error", err)
+	}
+	sb, ok, err := c.Propose(testBid(9, 5))
+	if err != nil || !ok || sb.SiteID != "fake" {
+		t.Fatalf("exchange after oversized reply = %+v %v %v, want success", sb, ok, err)
+	}
+}
+
+// TestReadFrame pins readFrame's framing semantics: trimming, CRLF, the
+// unterminated tail, resynchronization after an oversized frame, and EOF.
+func TestReadFrame(t *testing.T) {
+	input := "short\r\n" + strings.Repeat("z", 300) + "\nafter\nlast"
+	br := bufio.NewReaderSize(strings.NewReader(input), 16)
+	var buf []byte
+
+	line, err := readFrame(br, 256, &buf)
+	if err != nil || string(line) != "short" {
+		t.Fatalf("frame 1 = %q, %v", line, err)
+	}
+	if _, err := readFrame(br, 256, &buf); err != ErrTooLong {
+		t.Fatalf("frame 2 err = %v, want ErrTooLong", err)
+	}
+	line, err = readFrame(br, 256, &buf)
+	if err != nil || string(line) != "after" {
+		t.Fatalf("frame 3 = %q, %v (stream did not resync)", line, err)
+	}
+	line, err = readFrame(br, 256, &buf)
+	if err != nil || string(line) != "last" {
+		t.Fatalf("unterminated tail = %q, %v", line, err)
+	}
+	if _, err := readFrame(br, 256, &buf); err == nil {
+		t.Fatal("want io.EOF at end of stream")
+	}
+}
+
+// TestWriteEnvelopeMatchesMarshal proves the pooled encoder emits exactly
+// the bytes Marshal does — same JSON, same newline framing — so switching
+// the send paths to the pool cannot change the protocol.
+func TestWriteEnvelopeMatchesMarshal(t *testing.T) {
+	envs := []Envelope{
+		{Type: TypeBid, TaskID: 1, Runtime: 12.5, Value: 99, Decay: 0.5, Bound: "inf"},
+		{Type: TypeError, Reason: `quotes "and" <angles> & ampersands`},
+		{Type: TypeSettled, TaskID: 42, SiteID: "s", CompletedAt: 3.25, FinalPrice: -1.5},
+	}
+	for _, e := range envs {
+		want, err := Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := writeEnvelope(&got, e); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("writeEnvelope = %q, Marshal = %q", got.Bytes(), want)
+		}
+	}
+}

@@ -68,15 +68,29 @@ type contractRecord struct {
 }
 
 func (s *Server) appendRecord(r contractRecord) error {
+	_, _, err := s.appendRecordIdx(r)
+	return err
+}
+
+// appendRecordIdx journals r and returns its index for a later
+// durable.SyncBarrier. In the concurrent server the append is batched —
+// FsyncAlways durability is deferred to the caller's barrier so concurrent
+// awards share one fsync; legacy mode keeps the inline per-record sync.
+// journaled is false when the server runs without a journal.
+func (s *Server) appendRecordIdx(r contractRecord) (idx uint64, journaled bool, err error) {
 	if s.j == nil {
-		return nil
+		return 0, false, nil
 	}
 	b, err := json.Marshal(r)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
-	_, err = s.j.Append(b)
-	return err
+	if s.cfg.LegacyLocked {
+		idx, err = s.j.Append(b)
+	} else {
+		idx, err = s.j.AppendBatched(b)
+	}
+	return idx, err == nil, err
 }
 
 // settlement is a closed contract retained for status queries: the final
@@ -172,6 +186,10 @@ func (s *Server) openJournal() error {
 	j, err := durable.Open(s.cfg.DataDir, durable.Options{
 		Fsync:      s.cfg.Fsync,
 		FsyncEvery: s.cfg.FsyncEvery,
+		OnBatch: func(_ uint64, records int) {
+			s.m.batchSyncs.Inc()
+			s.m.batchRecords.Add(float64(records))
+		},
 	})
 	if err != nil {
 		return err

@@ -34,6 +34,16 @@ import (
 //	site_recovery_torn_bytes{site}             torn tail bytes truncated during recovery
 //	site_contracts_recovered_total{site}       open contracts honored after a restart
 //	site_contracts_defaulted_total{site}       contracts closed with a penalty in recovery
+//
+// Concurrent request-path families (DESIGN.md §11): the lock-free quote
+// snapshot and the group-commit journal batcher:
+//
+//	site_quote_snapshot_publishes_total{site}        snapshots published to the board
+//	site_quote_snapshot_quotes_total{site,path}      quotes answered, by path (snapshot/locked)
+//	site_quote_snapshot_validate_total{site,result}  award re-validations (match/mismatch)
+//	site_journal_batch_syncs_total{site}             group-commit fsync rounds
+//	site_journal_batch_records_total{site}           records made durable by those rounds
+//	wire_frames_oversized_total{site}                inbound frames over the configured cap
 
 // slackBuckets cover the admission slack range seen in the paper's
 // regimes: deeply negative (reject territory) through comfortable.
@@ -74,6 +84,15 @@ type serverMetrics struct {
 	recoverySeconds   *obs.Gauge
 	recoveryRecords   *obs.Gauge
 	recoveryTornBytes *obs.Gauge
+
+	snapshotPublishes *obs.Counter
+	snapshotQuotes    *obs.Counter
+	lockedQuotes      *obs.Counter
+	validateMatch     *obs.Counter
+	validateMismatch  *obs.Counter
+	batchSyncs        *obs.Counter
+	batchRecords      *obs.Counter
+	framesOversized   *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
@@ -82,6 +101,8 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 	tasks := reg.Counter("site_tasks_total", "Task outcomes at this site.", "site", "event")
 	settles := reg.Counter("market_settlements_total", "Settlement deliveries.", "role", "result")
 	quotes := reg.Counter("site_quote_reuse", "Quote evaluations by base-candidate cache outcome.", "site", "result")
+	snapQuotes := reg.Counter("site_quote_snapshot_quotes_total", "Quotes answered, by evaluation path.", "site", "path")
+	validates := reg.Counter("site_quote_snapshot_validate_total", "Award-time snapshot re-validations.", "site", "result")
 	return serverMetrics{
 		rpcBid:       rpc.With(site, TypeBid),
 		rpcAward:     rpc.With(site, TypeAward),
@@ -106,6 +127,14 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 		lateness:     reg.Histogram("market_settlement_lateness", "Completion time minus contracted completion, in simulation units.", latenessBuckets, "site").With(site),
 
 		rpcQuery:          rpc.With(site, TypeQuery),
+		snapshotPublishes: reg.Counter("site_quote_snapshot_publishes_total", "Quote snapshots published to the lock-free board.", "site").With(site),
+		snapshotQuotes:    snapQuotes.With(site, "snapshot"),
+		lockedQuotes:      snapQuotes.With(site, "locked"),
+		validateMatch:     validates.With(site, "match"),
+		validateMismatch:  validates.With(site, "mismatch"),
+		batchSyncs:        reg.Counter("site_journal_batch_syncs_total", "Group-commit fsync rounds.", "site").With(site),
+		batchRecords:      reg.Counter("site_journal_batch_records_total", "Journal records made durable by group-commit rounds.", "site").With(site),
+		framesOversized:   reg.Counter("wire_frames_oversized_total", "Inbound frames rejected for exceeding the configured size cap.", "site").With(site),
 		recovered:         reg.Counter("site_contracts_recovered_total", "Open contracts honored after a restart.", "site").With(site),
 		defaulted:         reg.Counter("site_contracts_defaulted_total", "Contracts closed with a penalty during crash recovery.", "site").With(site),
 		recoverySeconds:   reg.Gauge("site_recovery_seconds", "Time spent replaying the contract journal at startup.", "site").With(site),

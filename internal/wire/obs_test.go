@@ -131,15 +131,15 @@ func TestServerMetricsAdvance(t *testing.T) {
 
 	s := promSamples(t, reg)
 	for sample, min := range map[string]float64{
-		`wire_rpc_total{site="m1",type="bid"}`:      1,
-		`wire_rpc_total{site="m1",type="award"}`:    1,
-		`wire_rpc_seconds_count{site="m1",type="bid"}`: 1,
-		`wire_connections{site="m1"}`:               1,
+		`wire_rpc_total{site="m1",type="bid"}`:          1,
+		`wire_rpc_total{site="m1",type="award"}`:        1,
+		`wire_rpc_seconds_count{site="m1",type="bid"}`:  1,
+		`wire_connections{site="m1"}`:                   1,
 		`site_tasks_total{site="m1",event="accepted"}`:  1,
 		`site_tasks_total{site="m1",event="completed"}`: 1,
-		`site_admission_slack_count{site="m1"}`:     1,
-		`site_yield_total{site="m1"}`:               0.01, // any positive realized yield
-		`market_settlement_lateness_count{site="m1"}`: 1,
+		`site_admission_slack_count{site="m1"}`:         1,
+		`site_yield_total{site="m1"}`:                   0.01, // any positive realized yield
+		`market_settlement_lateness_count{site="m1"}`:   1,
 	} {
 		if s[sample] < min {
 			t.Errorf("%s = %v, want >= %v", sample, s[sample], min)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation guards skip under it: instrumentation adds bookkeeping
+// allocations that say nothing about the pooled encode path.
+const raceEnabled = false

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/admission"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/market"
 	"repro/internal/obs"
+	"repro/internal/site"
 	"repro/internal/task"
 )
 
@@ -62,6 +65,18 @@ type ServerConfig struct {
 	// running at the crash: RegimeRequeue (default) restarts them,
 	// RegimeDefault settles them as defaulted at the decayed price floor.
 	CrashRegime string
+
+	// MaxFrameBytes caps one inbound protocol frame (a newline-delimited
+	// JSON envelope). An oversized frame is answered with a protocol error
+	// and logged, and the connection keeps serving; zero means the default
+	// (1 MiB).
+	MaxFrameBytes int
+	// LegacyLocked serves every RPC under the single global mutex and syncs
+	// each award's journal record inline — the pre-snapshot, pre-group-commit
+	// architecture. It exists as the differential oracle and benchmark
+	// baseline for the concurrent request path; production servers leave it
+	// false.
+	LegacyLocked bool
 }
 
 func (c ServerConfig) crashRegime() string {
@@ -117,6 +132,28 @@ type Server struct {
 	conns   map[*serverConn]struct{}
 	closed  bool
 
+	// version counts scheduling-state changes under mu. Every mutation
+	// republishes a snapshot carrying the new version to board, and an
+	// award's optimistic quote is honored only if the live version still
+	// matches its snapshot's (DESIGN.md §11).
+	version uint64
+	board   site.Board
+	// unsynced holds contracts booked but whose journal record is still
+	// inside a group-commit window: quotes see them, dispatch skips them,
+	// and duplicate awards or queries for them wait on syncCond until the
+	// barrier resolves into an ack or a refusal. An entry is removed
+	// exactly once — by the batch sweep (accepted) or by its own award's
+	// rollback (refused) — so the map doubles as the decision token when
+	// a failed round races a later successful one.
+	unsynced map[task.ID]unsyncedAward
+	syncCond *sync.Cond
+	// swept is the durability frontier the last finished batch sweep
+	// covered. An award whose journal index is below it knows its
+	// bookkeeping is done and skips the post-barrier lock acquisition
+	// entirely — the per-round sweep, not the award count, is what pays
+	// for post-barrier work.
+	swept atomic.Uint64
+
 	// Contract durability (nil j means the server is memory-only). settled
 	// retains closed contracts for status queries and award idempotency; it
 	// is bounded by the contract count, which suits a task service whose
@@ -136,6 +173,16 @@ type Server struct {
 	Abandoned int // tasks dropped by shutdown or client disconnect
 }
 
+// unsyncedAward is a contract booked under the state lock whose journal
+// record has not yet been covered by a group-commit round. It carries
+// what the batch sweep needs to finish the award's bookkeeping on the
+// awarding goroutine's behalf.
+type unsyncedAward struct {
+	idx        uint64 // journal index of the contract record
+	t          *task.Task
+	completion float64
+}
+
 type serverConn struct {
 	mu           sync.Mutex // serializes writes; settlements race with replies
 	conn         net.Conn
@@ -144,19 +191,24 @@ type serverConn struct {
 }
 
 func (c *serverConn) send(e Envelope) error {
-	b, err := Marshal(e)
+	// Encode into a pooled buffer before taking the write lock: a marshal
+	// error writes nothing, and concurrent senders only serialize on the
+	// actual socket write.
+	eb, err := encodeEnvelope(e)
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.writeTimeout > 0 {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	}
-	if _, err := c.bw.Write(b); err != nil {
-		return err
+	_, err = c.bw.Write(eb.buf.Bytes())
+	if err == nil {
+		err = c.bw.Flush()
 	}
-	return c.bw.Flush()
+	c.mu.Unlock()
+	releaseEncBuf(eb)
+	return err
 }
 
 // NewServer starts a site listening on addr ("host:port"; port 0 picks a
@@ -182,19 +234,21 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		ln:      ln,
-		log:     cfg.Logger.With("site", cfg.SiteID),
-		m:       newServerMetrics(cfg.Metrics, cfg.SiteID),
-		start:   time.Now(),
-		owners:  make(map[task.ID]*serverConn),
-		prices:  make(map[task.ID]market.ServerBid),
-		reqs:    make(map[task.ID]string),
-		running: make(map[task.ID]*task.Task),
-		timers:  make(map[task.ID]*time.Timer),
-		conns:   make(map[*serverConn]struct{}),
-		settled: make(map[task.ID]settlement),
+		cfg:      cfg,
+		ln:       ln,
+		log:      cfg.Logger.With("site", cfg.SiteID),
+		m:        newServerMetrics(cfg.Metrics, cfg.SiteID),
+		start:    time.Now(),
+		owners:   make(map[task.ID]*serverConn),
+		prices:   make(map[task.ID]market.ServerBid),
+		reqs:     make(map[task.ID]string),
+		running:  make(map[task.ID]*task.Task),
+		timers:   make(map[task.ID]*time.Timer),
+		conns:    make(map[*serverConn]struct{}),
+		settled:  make(map[task.ID]settlement),
+		unsynced: make(map[task.ID]unsyncedAward),
 	}
+	s.syncCond = sync.NewCond(&s.mu)
 	if cfg.DataDir != "" {
 		// Recovery runs to completion before the listener accepts: the
 		// first bid already quotes against the recovered queue.
@@ -203,9 +257,58 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 			return nil, err
 		}
 	}
+	// Publish the initial snapshot (empty, or the recovered queue) before
+	// the first connection can arrive.
+	s.publishLocked()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// snapshotLocked captures the scheduling state as an immutable quote
+// snapshot. Callers must hold s.mu (or run before the accept loop starts).
+func (s *Server) snapshotLocked() *site.QuoteSnapshot {
+	qs := &site.QuoteSnapshot{
+		Version:      s.version,
+		Procs:        s.cfg.Processors,
+		Policy:       s.cfg.Policy,
+		DiscountRate: s.cfg.DiscountRate,
+	}
+	if len(s.pending) > 0 {
+		qs.Pending = make([]*task.Task, len(s.pending))
+		for i, t := range s.pending {
+			cp := *t
+			qs.Pending[i] = &cp
+		}
+	}
+	if len(s.running) > 0 {
+		qs.Running = make([]site.RunningSlot, 0, len(s.running))
+		for _, rt := range s.running {
+			qs.Running = append(qs.Running, site.RunningSlot{Start: rt.Start, Runtime: rt.Runtime})
+		}
+	}
+	return qs
+}
+
+// publishLocked rebuilds and publishes the quote snapshot. Callers must
+// hold s.mu (or run before the accept loop starts). Legacy mode skips
+// publication entirely so its cost profile stays faithful to the pre-PR
+// single-lock server.
+func (s *Server) publishLocked() {
+	if s.cfg.LegacyLocked {
+		return
+	}
+	s.board.Publish(s.snapshotLocked())
+	s.m.snapshotPublishes.Inc()
+}
+
+// bumpLocked marks the scheduling state changed and republishes the
+// snapshot. Every mutation of pending/running must bump before releasing
+// s.mu, or an award could validate its optimistic quote against a version
+// that no longer describes the live state. Callers must hold s.mu.
+func (s *Server) bumpLocked() {
+	s.version++
+	s.publishLocked()
 }
 
 // Addr returns the server's listen address.
@@ -329,16 +432,40 @@ func (s *Server) serve(conn net.Conn) {
 	}()
 
 	idle := s.cfg.idleTimeout()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	limit := maxFrameBytes(s.cfg.MaxFrameBytes)
+	var frame []byte
 	for {
 		if idle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(idle))
 		}
-		if !scanner.Scan() {
-			break
+		line, err := readFrame(br, limit, &frame)
+		if err != nil {
+			if errors.Is(err, ErrTooLong) {
+				// The oversized frame was drained through its newline: report
+				// the protocol error and keep serving the connection.
+				s.m.framesOversized.Inc()
+				s.log.Warn("oversized frame discarded", "remote", conn.RemoteAddr().String(), "limit_bytes", limit)
+				if serr := sc.send(Envelope{Type: TypeError, Reason: err.Error()}); serr != nil {
+					return
+				}
+				continue
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					s.m.idleReaps.Inc()
+					s.log.Info("connection idle-reaped", "remote", conn.RemoteAddr().String())
+				} else {
+					s.log.Warn("connection read error", "remote", conn.RemoteAddr().String(), "err", err.Error())
+				}
+			}
+			return
 		}
-		env, err := Unmarshal(scanner.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		env, err := Unmarshal(line)
 		if err != nil {
 			_ = sc.send(Envelope{Type: TypeError, Reason: err.Error()})
 			continue
@@ -363,15 +490,6 @@ func (s *Server) serve(conn net.Conn) {
 		reply.ReqID = env.ReqID
 		if err := sc.send(reply); err != nil {
 			return
-		}
-	}
-	if err := scanner.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			s.m.idleReaps.Inc()
-			s.log.Info("connection idle-reaped", "remote", conn.RemoteAddr().String())
-		} else {
-			s.log.Warn("connection read error", "remote", conn.RemoteAddr().String(), "err", err.Error())
 		}
 	}
 }
@@ -414,15 +532,57 @@ func (s *Server) dropOwnerLocked(sc *serverConn) {
 		}
 	}
 	s.syncGaugesLocked()
+	s.bumpLocked()
 }
 
 // handleBid quotes a bid against the current candidate schedule without
-// committing resources.
+// committing resources. The concurrent path ranks the bid against the
+// published snapshot with zero lock acquisitions: quoting is a pure read,
+// so any number of bids evaluate in parallel with each other and with the
+// scheduler. Only bookkeeping (reject counters, trace events) briefly takes
+// the state lock.
 func (s *Server) handleBid(env Envelope) Envelope {
 	bid, err := env.Bid()
 	if err != nil {
 		return Envelope{Type: TypeError, Reason: err.Error()}
 	}
+	if s.cfg.LegacyLocked {
+		return s.handleBidLegacy(bid)
+	}
+	snap := s.board.Load()
+	s.m.snapshotQuotes.Inc()
+	q, err := snap.Quote(s.now(), s.bidTask(bid))
+	if err != nil {
+		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+	s.observeSlack(q.Slack)
+	if !s.cfg.Admission.Admit(q) {
+		s.m.rejected.Inc()
+		s.mu.Lock()
+		s.Rejected++
+		s.traceBidLocked(obs.StageReject, bid, q.Slack, "slack below threshold")
+		s.mu.Unlock()
+		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
+			Reason: fmt.Sprintf("slack %.2f below threshold", q.Slack)}
+	}
+	if s.cfg.Tracer != nil {
+		s.mu.Lock()
+		s.traceBidLocked(obs.StageBid, bid, q.Slack, "")
+		s.mu.Unlock()
+	}
+	return Envelope{
+		Type:               TypeServerBid,
+		TaskID:             bid.TaskID,
+		SiteID:             s.cfg.SiteID,
+		ExpectedCompletion: q.ExpectedCompletion,
+		ExpectedPrice:      q.ExpectedYield,
+	}
+}
+
+// handleBidLegacy is the pre-snapshot bid path: the whole quote runs under
+// the global state lock. Kept as the differential oracle and benchmark
+// baseline.
+func (s *Server) handleBidLegacy(bid market.Bid) Envelope {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	q, err := s.quoteLocked(bid)
@@ -481,11 +641,249 @@ func (s *Server) traceBidLocked(stage string, bid market.Bid, value float64, det
 // a task still under contract returns the standing terms instead of an
 // error, making awards idempotent so clients can safely retry after a
 // connection-level failure.
+//
+// The concurrent path is optimistic-then-validate: the quote is computed
+// lock-free against the published snapshot, and the state lock is taken
+// only to check that the live version still matches the snapshot's —
+// a mismatch means the scheduling state moved underneath the quote, and
+// the award re-quotes under the lock. The journal append happens under the
+// lock (fixing the contract's place in the record order), but the fsync
+// wait happens outside it via SyncBarrier, so concurrent awards share one
+// group-commit fsync instead of serializing the disk behind the lock.
+// Until the barrier lands, the contract is booked but marked unsynced:
+// quotes price it, dispatch skips it, and duplicate awards or queries for
+// it wait — so nothing observable (an ack, a running task, an adopted
+// owner) can outrace the disk, preserving the PR 4 guarantee.
 func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	bid, err := env.Bid()
 	if err != nil {
 		return Envelope{Type: TypeError, Reason: err.Error()}
 	}
+	if s.cfg.LegacyLocked {
+		return s.handleAwardLegacy(bid, sc)
+	}
+	// Optimistic quote, before any lock.
+	snap := s.board.Load()
+	s.m.snapshotQuotes.Inc()
+	q, qerr := snap.Quote(s.now(), s.bidTask(bid))
+
+	s.mu.Lock()
+	// An award racing a contract still inside a group-commit window waits
+	// for the barrier: the book cannot answer until the journal does.
+	s.waitSyncedLocked(bid.TaskID)
+	// Idempotency is keyed off the contract book, which the journal rebuilds
+	// across restarts: a client retrying an award after a site crash gets
+	// its standing terms back, not a second contract.
+	if standing, dup := s.prices[bid.TaskID]; dup {
+		s.owners[bid.TaskID] = sc // the retrying connection owns the settlement now
+		if bid.ReqID != "" {
+			s.reqs[bid.TaskID] = bid.ReqID
+		}
+		s.mu.Unlock()
+		return Envelope{
+			Type:               TypeContract,
+			TaskID:             bid.TaskID,
+			SiteID:             s.cfg.SiteID,
+			ExpectedCompletion: standing.ExpectedCompletion,
+			ExpectedPrice:      standing.ExpectedPrice,
+		}
+	}
+	// A retried award whose contract already settled (the run beat the
+	// retry) reports the closed contract instead of executing it twice.
+	if st, ok := s.settled[bid.TaskID]; ok {
+		reply := s.statusEnvelopeLocked(bid.TaskID, st)
+		s.mu.Unlock()
+		return reply
+	}
+	// Validate the optimistic quote: if the scheduling state has not moved
+	// since the snapshot was published, the lock-free quote is exactly what
+	// a locked re-quote would compute and is honored as-is.
+	if qerr == nil && snap.Version == s.version {
+		s.m.validateMatch.Inc()
+	} else {
+		s.m.validateMismatch.Inc()
+		s.m.lockedQuotes.Inc()
+		q, qerr = s.quoteLocked(bid)
+	}
+	if qerr != nil {
+		s.mu.Unlock()
+		return Envelope{Type: TypeError, Reason: qerr.Error()}
+	}
+	s.observeSlack(q.Slack)
+	if !s.cfg.Admission.Admit(q) {
+		s.Rejected++
+		s.m.rejected.Inc()
+		s.traceBidLocked(obs.StageReject, bid, q.Slack, "mix changed since proposal")
+		s.mu.Unlock()
+		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
+			Reason: "mix changed since proposal"}
+	}
+	t := s.bidTask(bid)
+	t.State = task.Queued
+	sb := market.ServerBid{SiteID: s.cfg.SiteID, TaskID: t.ID,
+		ExpectedCompletion: q.ExpectedCompletion, ExpectedPrice: q.ExpectedYield}
+	// Append under the lock — the record order matches the book order — but
+	// do not wait for the disk here.
+	idx, journaled, jerr := s.appendRecordIdx(contractRecord{
+		Kind: recContract, TaskID: t.ID, Req: bid.ReqID,
+		Arrival: t.Arrival, Runtime: t.Runtime, Value: t.Value,
+		Decay: t.Decay, Bound: EncodeBound(t.Bound),
+		ExpectedCompletion: sb.ExpectedCompletion, ExpectedPrice: sb.ExpectedPrice,
+	})
+	if jerr != nil {
+		s.mu.Unlock()
+		s.log.Warn("journal write failed, refusing award", "task", t.ID, "err", jerr.Error())
+		return Envelope{Type: TypeError, Reason: "site journal unavailable"}
+	}
+	s.pending = append(s.pending, t)
+	s.owners[t.ID] = sc
+	if bid.ReqID != "" {
+		s.reqs[t.ID] = bid.ReqID
+	}
+	s.prices[t.ID] = sb
+	if journaled {
+		s.unsynced[t.ID] = unsyncedAward{idx: idx, t: t, completion: q.ExpectedCompletion}
+	}
+	s.syncGaugesLocked()
+	s.traceLocked(obs.StageContract, t.ID, "")
+	s.bumpLocked()
+	if !journaled {
+		// Memory-only site: nothing to wait for, finish the award inline.
+		s.Accepted++
+		s.m.accepted.Inc()
+		s.log.Info("accepted task", "task", t.ID, "runtime", t.Runtime, "expected_completion", q.ExpectedCompletion)
+		s.dispatchLocked()
+		s.mu.Unlock()
+		return Envelope{
+			Type:               TypeContract,
+			TaskID:             t.ID,
+			SiteID:             s.cfg.SiteID,
+			ExpectedCompletion: sb.ExpectedCompletion,
+			ExpectedPrice:      sb.ExpectedPrice,
+		}
+	}
+	s.mu.Unlock()
+
+	// Wait for durability outside the lock. Concurrent awards waiting here
+	// share one fsync round; the ack below still never outruns the disk.
+	if serr := s.j.SyncBarrier(idx); serr != nil {
+		if s.rollbackUnsyncedAward(t, idx, serr) {
+			return Envelope{Type: TypeError, Reason: "site journal unavailable"}
+		}
+		// The record reached the disk through a later round after the
+		// failed one resolved the uncertainty: the contract stands.
+	} else {
+		s.finishDurableAwards(idx)
+	}
+	return Envelope{
+		Type:               TypeContract,
+		TaskID:             t.ID,
+		SiteID:             s.cfg.SiteID,
+		ExpectedCompletion: sb.ExpectedCompletion,
+		ExpectedPrice:      sb.ExpectedPrice,
+	}
+}
+
+// waitSyncedLocked blocks while id's contract sits inside a group-commit
+// window. Callers must hold s.mu.
+func (s *Server) waitSyncedLocked(id task.ID) {
+	for {
+		if _, open := s.unsynced[id]; !open {
+			return
+		}
+		s.syncCond.Wait()
+	}
+}
+
+// finishDurableAwards completes the bookkeeping for every award the
+// journal's durability frontier now covers: accepted counters, the
+// acceptance log line, and one dispatch for the whole batch. The first
+// finisher of a group-commit round sweeps for everyone in it; awards
+// that find the swept frontier already past their record skip the lock
+// entirely, so the post-barrier cost is per round, not per award.
+func (s *Server) finishDurableAwards(idx uint64) {
+	if s.swept.Load() > idx {
+		return
+	}
+	durable := s.j.Durable()
+	s.mu.Lock()
+	finished := false
+	for id, u := range s.unsynced {
+		if u.idx >= durable {
+			continue
+		}
+		delete(s.unsynced, id)
+		s.Accepted++
+		s.m.accepted.Inc()
+		s.log.Info("accepted task", "task", id, "runtime", u.t.Runtime, "expected_completion", u.completion)
+		finished = true
+	}
+	if finished {
+		s.syncCond.Broadcast()
+		s.dispatchLocked()
+	}
+	for {
+		cur := s.swept.Load()
+		if cur >= durable || s.swept.CompareAndSwap(cur, durable) {
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// rollbackUnsyncedAward unwinds a booked-but-unsynced contract after its
+// group-commit barrier failed, returning true when the award was refused.
+// The unsynced entry is the decision token: if a batch sweep already
+// removed it, a later successful round put the record on stable storage
+// and the contract was accepted — rollback reports false and the award is
+// acked normally. The same applies if the entry is still present but the
+// durability frontier has moved past the record: the failed round's
+// uncertainty is resolved in the contract's favor, so this goroutine
+// finishes the acceptance itself. Only a record that is genuinely not
+// durable is refused, and the compensating abandon record keeps the
+// journal foldable if the contract's bytes did reach the disk (the failed
+// sync leaves that unknowable).
+func (s *Server) rollbackUnsyncedAward(t *task.Task, idx uint64, serr error) bool {
+	s.mu.Lock()
+	u, present := s.unsynced[t.ID]
+	if !present {
+		s.mu.Unlock()
+		return false // swept as accepted by a later successful round
+	}
+	if s.j.Durable() > idx {
+		delete(s.unsynced, t.ID)
+		s.syncCond.Broadcast()
+		s.Accepted++
+		s.m.accepted.Inc()
+		s.log.Info("accepted task", "task", t.ID, "runtime", u.t.Runtime, "expected_completion", u.completion)
+		s.dispatchLocked()
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.unsynced, t.ID)
+	s.syncCond.Broadcast()
+	if _, open := s.prices[t.ID]; open {
+		s.removePendingLocked(t)
+		delete(s.owners, t.ID)
+		delete(s.prices, t.ID)
+		delete(s.reqs, t.ID)
+		t.State = task.Rejected
+		if aerr := s.appendRecord(contractRecord{Kind: recAbandon, TaskID: t.ID, Reason: "award refused: journal sync failed"}); aerr != nil {
+			s.log.Warn("journal abandon record failed", "task", t.ID, "err", aerr.Error())
+		}
+		s.syncGaugesLocked()
+		s.bumpLocked()
+	}
+	s.mu.Unlock()
+	s.log.Warn("journal sync failed, refusing award", "task", t.ID, "err", serr.Error())
+	return true
+}
+
+// handleAwardLegacy is the pre-group-commit award path: quote, journal
+// append, and fsync all execute under the global state lock, serializing
+// every award behind the disk. Kept as the differential oracle and
+// benchmark baseline.
+func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Idempotency is keyed off the contract book, which the journal rebuilds
@@ -578,23 +976,12 @@ func (s *Server) quoteLocked(bid market.Bid) (admission.Quote, error) {
 	// Live servers quote at wall-clock instants, so consecutive quotes
 	// never share a base schedule: every evaluation is a full build,
 	// counted as a cache miss so the site_quote_reuse series is comparable
-	// with the simulator's.
+	// with the simulator's. The evaluation itself runs through a throwaway
+	// snapshot so the locked and lock-free paths share one arithmetic —
+	// identical float expressions, bit-identical quotes.
 	s.m.quoteMisses.Inc()
 	probe := s.bidTask(bid)
-	with := make([]*task.Task, 0, len(s.pending)+1)
-	with = append(with, s.pending...)
-	with = append(with, probe)
-	now := s.now()
-	busy := make([]float64, 0, len(s.running))
-	for _, rt := range s.running {
-		rem := rt.Start + rt.Runtime - now
-		if rem < 0 {
-			rem = 0
-		}
-		busy = append(busy, now+rem)
-	}
-	cand := core.BuildCandidate(s.cfg.Policy, now, s.cfg.Processors, busy, with)
-	return admission.Evaluate(probe, cand, s.cfg.DiscountRate)
+	return s.snapshotLocked().Quote(s.now(), probe)
 }
 
 // dispatchLocked starts pending tasks while processors are free. The
@@ -609,7 +996,19 @@ func (s *Server) dispatchLocked() {
 	}
 	now := s.now()
 	free := s.cfg.Processors - len(s.running)
-	starts, ranks := core.PlanStarts(s.cfg.Policy, now, free, s.pending)
+	// Contracts still inside a group-commit window are quotable but not
+	// startable: if their sync fails the award is rolled back, and rollback
+	// must only ever touch the queue, never a running timer.
+	eligible := s.pending
+	if len(s.unsynced) > 0 {
+		eligible = make([]*task.Task, 0, len(s.pending))
+		for _, t := range s.pending {
+			if _, open := s.unsynced[t.ID]; !open {
+				eligible = append(eligible, t)
+			}
+		}
+	}
+	starts, ranks := core.PlanStarts(s.cfg.Policy, now, free, eligible)
 	if ranks > 0 {
 		s.m.rankOps.Add(float64(ranks))
 	}
@@ -632,6 +1031,9 @@ func (s *Server) dispatchLocked() {
 			defer s.timerWG.Done()
 			s.complete(t)
 		})
+	}
+	if len(starts) > 0 {
+		s.bumpLocked()
 	}
 }
 
@@ -657,7 +1059,8 @@ func (s *Server) complete(t *task.Task) {
 	t.Completion = now
 	t.Yield = t.YieldAtCompletion(now)
 	delete(s.running, t.ID)
-	if err := s.appendRecord(contractRecord{Kind: recSettle, TaskID: t.ID, T: now, Price: t.Yield}); err != nil {
+	settleIdx, settleJournaled, err := s.appendRecordIdx(contractRecord{Kind: recSettle, TaskID: t.ID, T: now, Price: t.Yield})
+	if err != nil {
 		s.log.Warn("journal settle record failed", "task", t.ID, "err", err.Error())
 	}
 	s.settled[t.ID] = settlement{T: now, Price: t.Yield}
@@ -685,8 +1088,18 @@ func (s *Server) complete(t *task.Task) {
 	}
 	s.dispatchLocked()
 	s.syncGaugesLocked()
+	s.bumpLocked()
+	// A settle record under FsyncAlways must be durable before the
+	// settlement push, as it was when Append synced inline; it rides the
+	// shared group-commit barrier, outside the lock.
+	settleSync := settleJournaled && !s.cfg.LegacyLocked && s.cfg.Fsync == durable.FsyncAlways
 	s.mu.Unlock()
 
+	if settleSync {
+		if serr := s.j.SyncBarrier(settleIdx); serr != nil {
+			s.log.Warn("journal settle sync failed", "task", t.ID, "err", serr.Error())
+		}
+	}
 	if owner != nil {
 		err := owner.send(Envelope{
 			Type:        TypeSettled,
@@ -721,6 +1134,10 @@ func (s *Server) handleQuery(env Envelope, sc *serverConn) Envelope {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := env.TaskID
+	// A query racing a contract inside a group-commit window waits for the
+	// barrier: adopting an owner for a contract that may yet be refused
+	// would leak an observable effect past a failed sync.
+	s.waitSyncedLocked(id)
 	if st, ok := s.settled[id]; ok {
 		return s.statusEnvelopeLocked(id, st)
 	}
