@@ -88,8 +88,28 @@ func main() {
 		phaseFilter     = flag.String("phase-filter", "", "only run -service phases whose mode/fsync/mix contains this substring")
 		minQuoteSpeedup = flag.Float64("min-quote-speedup", 0, "required concurrent/locked quotes-per-sec ratio at fsync=always in -service mode (0 disables)")
 		minAwardSpeedup = flag.Float64("min-award-speedup", 0, "required concurrent/locked awards-per-sec ratio at fsync=always in -service mode (0 disables)")
+
+		wl      = flag.Bool("workload", false, "run the bursty-cohort traffic benchmark instead of the core benches")
+		wlTasks = flag.Int("tasks", 4000, "tasks per -workload phase")
+		wlRate  = flag.Float64("rate", 1500, "mean offered bids/sec in -workload mode (bursts preserved around it)")
 	)
 	flag.Parse()
+
+	if *wl {
+		res, err := runWorkload(workloadOpts{
+			clients: *clients,
+			tasks:   *wlTasks,
+			rate:    *wlRate,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		writeReport(res, *out)
+		if fail := checkWorkload(res, *baseline, *tolerance); fail != nil {
+			fatal(fail)
+		}
+		return
+	}
 
 	if *service {
 		res, err := runService(serviceOpts{

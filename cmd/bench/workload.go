@@ -1,0 +1,357 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/market"
+	"repro/internal/obs"
+	"repro/internal/task"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// WorkloadResult is the traffic-engine benchmark report schema
+// (results/BENCH_workload.json in CI): the concurrent site service driven
+// open-loop by generated traces — a smooth phase (exponential arrivals)
+// and a bursty phase (Gamma/Weibull cohort arrivals under a multi-period
+// rate envelope) at the same mean offered rate, so the phases differ only
+// in arrival variability.
+type WorkloadResult struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	GoVersion     string  `json:"go_version"`
+	GoMaxProcs    int     `json:"go_max_procs"`
+	Clients       int     `json:"clients"`
+	Tasks         int     `json:"tasks"`
+	TargetRate    float64 `json:"target_bids_per_sec"`
+
+	Phases []WorkloadPhase `json:"phases"`
+}
+
+// WorkloadPhase is one paced replay of a generated trace.
+type WorkloadPhase struct {
+	Name  string  `json:"name"`   // "smooth" or "bursty"
+	GapCV float64 `json:"gap_cv"` // realized inter-arrival CV of the trace
+
+	BidsPerSec   float64 `json:"bids_per_sec"`
+	AwardsPerSec float64 `json:"awards_per_sec"`
+	AcceptRate   float64 `json:"accept_rate"`
+	BidP50Micros float64 `json:"bid_p50_us"`
+	BidP99Micros float64 `json:"bid_p99_us"`
+
+	Cohorts []WorkloadCohort `json:"cohorts,omitempty"`
+}
+
+// WorkloadCohort reports per-cohort outcomes within a phase; burst
+// sensitivity shows up as divergent p99s across cohorts.
+type WorkloadCohort struct {
+	Name         string  `json:"name"`
+	Tasks        int     `json:"tasks"`
+	Awarded      int     `json:"awarded"`
+	BidP99Micros float64 `json:"bid_p99_us"`
+}
+
+// workloadOpts carries the -workload flags.
+type workloadOpts struct {
+	clients int
+	tasks   int
+	rate    float64 // mean offered bids/sec across the run
+}
+
+// workloadCohorts is the shared two-cohort mix: many small interactive
+// clients with a Zipf-skewed rate split next to a few heavy batch
+// submitters. The bursty phase swaps their arrival processes to
+// high-CV Gamma/Weibull and adds a rate envelope; the smooth phase keeps
+// the same mix on exponential arrivals, so the comparison isolates
+// arrival variability.
+func workloadCohorts(bursty bool) []workload.Cohort {
+	interactive := workload.Cohort{
+		Name: "interactive", Weight: 1,
+		Clients: 8, ClientSkew: 1,
+		MeanRuntime: 1.5,
+	}
+	batch := workload.Cohort{
+		Name: "batch", Weight: 1,
+		Clients:     2,
+		MeanRuntime: 6,
+		BatchSize:   4,
+	}
+	if bursty {
+		interactive.ArrivalKind = workload.DistGamma
+		interactive.ArrivalCV = 4
+		batch.ArrivalKind = workload.DistWeibull
+		batch.ArrivalCV = 2.5
+	}
+	return []workload.Cohort{interactive, batch}
+}
+
+// workloadTrace generates one phase's trace. Short runtimes (a few
+// simulation units) keep awarded tasks churning through the book at the
+// service bench's 20µs/unit timescale.
+func workloadTrace(name string, opts workloadOpts) (*workload.Trace, error) {
+	spec := workload.Default()
+	spec.Jobs = opts.tasks
+	spec.Seed = 1
+	spec.Processors = 8
+	spec.Load = 1.2
+	spec.ArrivalKind = workload.DistExponential
+	spec.ArrivalCV = 1
+	spec.Cohorts = workloadCohorts(name == "bursty")
+	if name == "bursty" {
+		// Two superimposed diurnal-style waves on top of the per-stream
+		// burstiness; the mix's aggregate task rate is ~4/unit, so the
+		// periods span a few waves across the run.
+		spec.Envelope = workload.Envelope{
+			{Amplitude: 0.4, Period: 300},
+			{Amplitude: 0.2, Period: 80},
+		}
+	}
+	return workload.Generate(spec)
+}
+
+// gapCV returns the coefficient of variation of the trace's inter-arrival
+// gaps — the burstiness actually realized, not just requested.
+func gapCV(tr *workload.Trace) float64 {
+	if len(tr.Tasks) < 3 {
+		return 0
+	}
+	var gaps []float64
+	for i := 1; i < len(tr.Tasks); i++ {
+		gaps = append(gaps, tr.Tasks[i].Arrival-tr.Tasks[i-1].Arrival)
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	if mean <= 0 {
+		return 0
+	}
+	var ss float64
+	for _, g := range gaps {
+		ss += (g - mean) * (g - mean)
+	}
+	return math.Sqrt(ss/float64(len(gaps))) / mean
+}
+
+// runWorkload measures both phases against fresh concurrent-mode servers.
+func runWorkload(opts workloadOpts) (WorkloadResult, error) {
+	res := WorkloadResult{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Clients:       opts.clients,
+		Tasks:         opts.tasks,
+		TargetRate:    opts.rate,
+	}
+	for _, name := range []string{"smooth", "bursty"} {
+		p, err := runWorkloadPhase(name, opts)
+		if err != nil {
+			return res, fmt.Errorf("phase %s: %w", name, err)
+		}
+		res.Phases = append(res.Phases, p)
+		fmt.Fprintf(os.Stderr, "bench: workload %s: gap cv %.2f, %.0f bids/s, %.0f awards/s, bid p99 %.0fµs\n",
+			p.Name, p.GapCV, p.BidsPerSec, p.AwardsPerSec, p.BidP99Micros)
+	}
+	return res, nil
+}
+
+func runWorkloadPhase(name string, opts workloadOpts) (WorkloadPhase, error) {
+	tr, err := workloadTrace(name, opts)
+	if err != nil {
+		return WorkloadPhase{}, err
+	}
+	first, last := tr.Span()
+	span := last - first
+	if span <= 0 {
+		return WorkloadPhase{}, fmt.Errorf("degenerate trace span %.3f", span)
+	}
+	// Wall-clock nanoseconds per simulation unit, chosen so the run's MEAN
+	// submission rate hits the target; the trace's relative gaps — the
+	// bursts — are preserved.
+	meanGap := span / float64(len(tr.Tasks)-1)
+	wallPerUnit := (float64(time.Second) / opts.rate) / meanGap
+
+	dir, err := os.MkdirTemp("", "bench-workload-*")
+	if err != nil {
+		return WorkloadPhase{}, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := wire.NewServer("127.0.0.1:0", wire.ServerConfig{
+		SiteID:     "bench",
+		Processors: 8,
+		Policy:     core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+		TimeScale:  20 * time.Microsecond,
+		Metrics:    obs.NewRegistry(),
+		DataDir:    dir,
+		Fsync:      durable.FsyncInterval,
+		FsyncEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return WorkloadPhase{}, err
+	}
+	defer srv.Close()
+
+	// Open-loop drive: a dispatcher paces submissions on the trace's
+	// arrival clock and a worker pool carries them to the service. During a
+	// burst the queue between them backs up and bid latency absorbs the
+	// overload — exactly the behavior this benchmark exists to observe.
+	type outcome struct {
+		cohort  string
+		awarded bool
+		lat     float64 // seconds
+	}
+	work := make(chan *task.Task, len(tr.Tasks))
+	outcomes := make([]outcome, len(tr.Tasks))
+	var next uint64
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < opts.clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := wire.Dial(srv.Addr())
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			c.SetOnSettled(func(wire.Envelope) {})
+			for t := range work {
+				bid := market.BidFromTask(t)
+				bid.Arrival = 0 // live protocol: release is the submission instant
+				began := time.Now()
+				sb, ok, err := c.Propose(bid)
+				lat := time.Since(began).Seconds()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				awarded := false
+				if ok {
+					if _, ok2, err := c.Award(bid, sb); err == nil && ok2 {
+						awarded = true
+					}
+				}
+				mu.Lock()
+				outcomes[next] = outcome{cohort: t.Cohort, awarded: awarded, lat: lat}
+				next++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	began := time.Now()
+	for i, t := range tr.Tasks {
+		target := time.Duration((t.Arrival - first) * wallPerUnit)
+		if sleep := target - time.Since(began); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		work <- tr.Tasks[i]
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(began).Seconds()
+	if firstErr != nil {
+		return WorkloadPhase{}, firstErr
+	}
+
+	done := outcomes[:next]
+	perCohort := map[string]*WorkloadCohort{}
+	var names []string
+	var lats []float64
+	awards := 0
+	for _, o := range done {
+		cs := perCohort[o.cohort]
+		if cs == nil {
+			cs = &WorkloadCohort{Name: o.cohort}
+			perCohort[o.cohort] = cs
+			names = append(names, o.cohort)
+		}
+		cs.Tasks++
+		if o.awarded {
+			cs.Awarded++
+			awards++
+		}
+		lats = append(lats, o.lat)
+	}
+	sort.Strings(names)
+	p := WorkloadPhase{
+		Name:         name,
+		GapCV:        gapCV(tr),
+		BidsPerSec:   float64(len(done)) / elapsed,
+		AwardsPerSec: float64(awards) / elapsed,
+		AcceptRate:   float64(awards) / float64(len(done)),
+		BidP50Micros: percentile(lats, 0.50) * 1e6,
+		BidP99Micros: percentile(lats, 0.99) * 1e6,
+	}
+	for _, n := range names {
+		cs := perCohort[n]
+		var cl []float64
+		for _, o := range done {
+			if o.cohort == n {
+				cl = append(cl, o.lat)
+			}
+		}
+		cs.BidP99Micros = percentile(cl, 0.99) * 1e6
+		p.Cohorts = append(p.Cohorts, *cs)
+	}
+	return p, nil
+}
+
+// checkWorkload enforces the traffic-engine regression gates: per-phase
+// sustained bids/sec floors from the committed baseline. Latency
+// percentiles and per-cohort splits are reported but not gated — they are
+// too machine-sensitive for shared CI runners.
+func checkWorkload(res WorkloadResult, baselinePath string, tolerance float64) error {
+	for _, p := range res.Phases {
+		if p.BidsPerSec <= 0 {
+			return fmt.Errorf("phase %s: no bids completed", p.Name)
+		}
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base WorkloadResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	for _, b := range base.Phases {
+		var cur *WorkloadPhase
+		for i := range res.Phases {
+			if res.Phases[i].Name == b.Name {
+				cur = &res.Phases[i]
+				break
+			}
+		}
+		if cur == nil {
+			continue
+		}
+		if cur.BidsPerSec < b.BidsPerSec*(1-tolerance) {
+			return fmt.Errorf("workload %s bids/sec regressed: %.0f vs baseline floor %.0f (tolerance %.0f%%)",
+				b.Name, cur.BidsPerSec, b.BidsPerSec, tolerance*100)
+		}
+	}
+	return nil
+}

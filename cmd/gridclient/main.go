@@ -34,6 +34,8 @@ func main() {
 		logLevel  = flag.String("log-level", "warn", "minimum log level: debug|info|warn|error")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 		trace     = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr")
+		record    = flag.String("record", "", "write the stream of bids actually submitted as a trace-v2 file on exit")
+		replay    = flag.String("replay", "", "replay a trace file instead of generating: submit its tasks in order, pacing by arrival gaps times -timescale (overrides -n, -seed, -interarrival)")
 	)
 	flag.Parse()
 
@@ -184,25 +186,53 @@ func main() {
 		Tracer:   tracer,
 	}
 
-	spec := workload.Default()
-	spec.Jobs = *n
-	spec.Seed = *seed
-	spec.MeanRuntime = 20 // simulation units; 200ms of wall clock at the default scale
-	spec.ValueSkew = 3
-	spec.DecaySkew = 5
-	tr, err := workload.Generate(spec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gridclient:", err)
-		os.Exit(1)
+	var tr *workload.Trace
+	if *replay != "" {
+		tr, err = workload.ReadFile(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridclient:", err)
+			os.Exit(1)
+		}
+	} else {
+		spec := workload.Default()
+		spec.Jobs = *n
+		spec.Seed = *seed
+		spec.MeanRuntime = 20 // simulation units; 200ms of wall clock at the default scale
+		spec.ValueSkew = 3
+		spec.DecaySkew = 5
+		tr, err = workload.Generate(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridclient:", err)
+			os.Exit(1)
+		}
+	}
+	var rec *workload.Recorder
+	if *record != "" {
+		rec = workload.NewRecorder(tr.Spec)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
 	placed, declined := 0, 0
+	var prevArrival float64
 	for i, t := range tr.Tasks {
 		if i > 0 {
-			time.Sleep(time.Duration(rng.ExpFloat64() * float64(*mean)))
+			if *replay != "" {
+				// Reproduce the trace's tempo: one simulation time unit of
+				// arrival gap is -timescale of wall clock.
+				time.Sleep(time.Duration((t.Arrival - prevArrival) * float64(*scale)))
+			} else {
+				time.Sleep(time.Duration(rng.ExpFloat64() * float64(*mean)))
+			}
 		}
-		bid := market.BidFromTask(cloneForWire(t))
+		prevArrival = t.Arrival
+		wt := cloneForWire(t)
+		if rec != nil {
+			// Stamp the submission instant in simulation units so the
+			// recording replays at the tempo the service actually saw.
+			rec.Record(wt, float64(time.Since(start))/float64(*scale))
+		}
+		bid := market.BidFromTask(wt)
 		terms, ok, err := neg.Negotiate(bid)
 		if err != nil {
 			// Every site unreachable: report and keep trying later bids
@@ -237,7 +267,7 @@ func main() {
 	// forever.
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
-	deadline := time.After(time.Duration(float64(*scale) * 20 * float64(*n) * 5))
+	deadline := time.After(time.Duration(float64(*scale) * 20 * float64(len(tr.Tasks)) * 5))
 	var tick <-chan time.Time
 	if *reconcile > 0 {
 		ticker := time.NewTicker(*reconcile)
@@ -260,6 +290,14 @@ func main() {
 			}
 			draining = false
 		}
+	}
+
+	if rec != nil {
+		if err := rec.WriteFile(*record); err != nil {
+			fmt.Fprintln(os.Stderr, "gridclient: record:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d submissions to %s\n", rec.Len(), *record)
 	}
 
 	mu.Lock()

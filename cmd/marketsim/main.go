@@ -42,7 +42,7 @@ func main() {
 		baseline = flag.String("baseline", "firstprice", "custom: baseline policy spec")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: marketsim [flags] fig3|fig4|fig5|fig6|fig7|regimes|multisite|sens-decay|sens-load|economy|custom|all\n")
+		fmt.Fprintf(os.Stderr, "usage: marketsim [flags] fig3|fig4|fig5|fig6|fig7|regimes|workload|multisite|sens-decay|sens-load|economy|custom|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -102,6 +102,12 @@ func main() {
 			cfg.Options = opts
 			override(&cfg.Spec)
 			return experiments.RunRegimes(cfg)
+		},
+		"workload": func() *experiments.Figure {
+			cfg := experiments.DefaultWorkloadRegimes()
+			cfg.Options = opts
+			override(&cfg.Spec)
+			return experiments.RunWorkloadRegimes(cfg)
 		},
 		"multisite": func() *experiments.Figure {
 			cfg := experiments.DefaultMultiSite()

@@ -7,12 +7,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/admission"
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/site"
+	"repro/internal/task"
 	"repro/internal/workload"
 )
 
@@ -26,6 +28,7 @@ func main() {
 		preempt  = flag.Bool("preempt", false, "enable preemption")
 		restart  = flag.Bool("restart", false, "preemption loses progress")
 		report   = flag.Bool("report", false, "print the per-class distributional report")
+		byCohort = flag.Bool("by-cohort", false, "print per-cohort outcomes (trace-v2 cohort labels)")
 		traceOut = flag.String("trace-out", "", "write the scheduling audit log as JSON task-lifecycle events to this file (\"-\" for stderr)")
 	)
 	flag.Parse()
@@ -97,5 +100,52 @@ func main() {
 		fmt.Println()
 		analysis.Analyze(tasks).Print(os.Stdout)
 		fmt.Printf("gini(yield):     %.3f\n", analysis.GiniYield(tasks))
+	}
+	if *byCohort {
+		fmt.Println()
+		printCohortReport(tasks)
+	}
+}
+
+// cohortStats aggregates outcomes for one cohort label.
+type cohortStats struct {
+	submitted int
+	completed int
+	yield     float64
+	delay     float64
+}
+
+// printCohortReport tabulates outcomes by the trace-v2 cohort label.
+// Unlabeled (v1) tasks fall under "(none)".
+func printCohortReport(tasks []*task.Task) {
+	stats := map[string]*cohortStats{}
+	var names []string
+	for _, t := range tasks {
+		name := t.Cohort
+		if name == "" {
+			name = "(none)"
+		}
+		cs := stats[name]
+		if cs == nil {
+			cs = &cohortStats{}
+			stats[name] = cs
+			names = append(names, name)
+		}
+		cs.submitted++
+		if t.State == task.Completed {
+			cs.completed++
+			cs.yield += t.Yield
+			cs.delay += t.Delay(t.Completion)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-16s %9s %9s %12s %10s\n", "cohort", "submitted", "completed", "yield", "meandelay")
+	for _, name := range names {
+		cs := stats[name]
+		meanDelay := 0.0
+		if cs.completed > 0 {
+			meanDelay = cs.delay / float64(cs.completed)
+		}
+		fmt.Printf("%-16s %9d %9d %12.2f %10.2f\n", name, cs.submitted, cs.completed, cs.yield, meanDelay)
 	}
 }

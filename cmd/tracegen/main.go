@@ -13,6 +13,20 @@ import (
 	"repro/internal/workload"
 )
 
+// cohortFlags collects repeated -cohort values.
+type cohortFlags []workload.Cohort
+
+func (c *cohortFlags) String() string { return fmt.Sprintf("%d cohorts", len(*c)) }
+
+func (c *cohortFlags) Set(s string) error {
+	co, err := workload.ParseCohort(s)
+	if err != nil {
+		return err
+	}
+	*c = append(*c, co)
+	return nil
+}
+
 // parseDistSpec resolves a distribution spec `kind[:cv=X]` — the same
 // grammar the policy flags use — into a DistKind and optional CV override
 // (0 means keep the spec default).
@@ -39,15 +53,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		load    = flag.Float64("load", 1, "load factor")
 		meanRun = flag.Float64("meanruntime", 100, "mean minimum run time")
-		runKind = flag.String("runtimes", "exp", "runtime distribution spec: exp|normal|const|pareto|lognormal, optionally kind:cv=X")
-		arrKind = flag.String("arrivals", "exp", "inter-arrival distribution spec: exp|normal|const|pareto|lognormal, optionally kind:cv=X")
+		runKind = flag.String("runtimes", "exp", "runtime distribution spec: exp|normal|const|pareto|lognormal|gamma|weibull, optionally kind:cv=X")
+		arrKind = flag.String("arrivals", "exp", "inter-arrival distribution spec: exp|normal|const|pareto|lognormal|gamma|weibull, optionally kind:cv=X")
 		batch   = flag.Int("batch", 1, "jobs per arrival batch")
 		vskew   = flag.Float64("vskew", 1, "value skew ratio")
 		dskew   = flag.Float64("dskew", 1, "decay skew ratio")
 		zcf     = flag.Float64("zcf", 3, "zero-cross factor (mean runtimes of delay until value hits zero)")
 		bound   = flag.Float64("bound", -1, "penalty bound (-1 = unbounded)")
 		summary = flag.Bool("summary", false, "print a trace summary to stderr")
+		envSpec = flag.String("envelope", "", "rate envelope terms 'amp=A,period=P[,phase=F]' joined by '+'")
 	)
+	var cohorts cohortFlags
+	flag.Var(&cohorts, "cohort", "cohort spec name[:weight=W,clients=N,arrivals=KIND,acv=CV,...] (repeatable; see workload.ParseCohort)")
 	flag.Parse()
 
 	spec := workload.Default()
@@ -83,6 +100,13 @@ func main() {
 	} else {
 		spec.Bound = math.Inf(1)
 	}
+	env, err := workload.ParseEnvelope(*envSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: -envelope:", err)
+		os.Exit(2)
+	}
+	spec.Envelope = env
+	spec.Cohorts = cohorts
 
 	tr, err := workload.Generate(spec)
 	if err != nil {
@@ -90,17 +114,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// WriteFile checks the Close error: a full disk surfaces at close
+		// time on some filesystems, and a silently truncated trace must not
+		// exit zero.
+		if err := tr.WriteFile(*out); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := tr.Write(w); err != nil {
+	} else if err := tr.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}

@@ -66,3 +66,25 @@ func TestRoundRobinSelector(t *testing.T) {
 		t.Error("round-robin did not rotate")
 	}
 }
+
+func TestWorkloadRegimesStructure(t *testing.T) {
+	cfg := DefaultWorkloadRegimes()
+	cfg.ArrivalCVs = []float64{1, 4}
+	cfg.Options = Options{Jobs: 500, Seeds: 2}
+	fig := RunWorkloadRegimes(cfg)
+
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want pv and firstreward", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q points = %d, want one per CV", s.Name, len(s.Points))
+		}
+		if s.Points[0].X != 1 || s.Points[1].X != 4 {
+			t.Fatalf("series %q x-values %v/%v, want the CV sweep", s.Name, s.Points[0].X, s.Points[1].X)
+		}
+	}
+	if _, ok := fig.FindSeries("pv"); !ok {
+		t.Error("missing pv series")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// WorkloadRegimesConfig parameterizes the burstiness study: how much of
+// the market policies' advantage over FirstPrice survives as arrival
+// variability grows past Poisson. The paper's experiments hold arrivals
+// exponential (CV 1); this sweep drives the same cohort mix through
+// Gamma arrival processes of increasing CV under a rate envelope.
+type WorkloadRegimesConfig struct {
+	// ArrivalCVs are the interactive cohort's inter-arrival CVs, one point
+	// per value. CV 1 is the Poisson reference.
+	ArrivalCVs      []float64
+	DiscountRatePct float64
+	Spec            workload.Spec
+	Options         Options
+}
+
+// DefaultWorkloadRegimes sweeps CV 1..8 at the paper's interesting
+// discount region.
+func DefaultWorkloadRegimes() WorkloadRegimesConfig {
+	return WorkloadRegimesConfig{
+		ArrivalCVs:      []float64{1, 2, 4, 8},
+		DiscountRatePct: 1,
+		Spec:            workload.Default(),
+	}
+}
+
+// burstySpec builds the two-cohort mix at one burstiness level: a
+// Zipf-skewed interactive population on Gamma arrivals of the given CV
+// next to a batch cohort of heavy submitters, under a two-wave rate
+// envelope. CV 1 keeps exponential arrivals and no envelope so the first
+// point reproduces the smooth-traffic setting.
+func burstySpec(base workload.Spec, cv float64) workload.Spec {
+	s := base
+	interactive := workload.Cohort{
+		Name: "interactive", Weight: 2,
+		Clients: 8, ClientSkew: 1,
+	}
+	batch := workload.Cohort{
+		Name: "batch", Weight: 1,
+		Clients: 2, BatchSize: 4,
+		MeanRuntime: 3 * base.MeanRuntime,
+	}
+	if cv > 1 {
+		interactive.ArrivalKind = workload.DistGamma
+		interactive.ArrivalCV = cv
+		batch.ArrivalKind = workload.DistGamma
+		batch.ArrivalCV = cv / 2
+		s.Envelope = workload.Envelope{
+			{Amplitude: 0.4, Period: 100 * base.MeanRuntime},
+			{Amplitude: 0.2, Period: 27 * base.MeanRuntime},
+		}
+	}
+	s.Cohorts = []workload.Cohort{interactive, batch}
+	return s
+}
+
+// RunWorkloadRegimes produces one series per market policy: yield
+// improvement over FirstPrice as arrival burstiness grows, paired seeds
+// per point. EXPERIMENTS.md uses this to document whether the paper's
+// smooth-traffic conclusions carry over to heavy-tailed arrivals.
+func RunWorkloadRegimes(cfg WorkloadRegimesConfig) *Figure {
+	opts := cfg.Options.withDefaults()
+	fig := &Figure{
+		ID:     "workload-regimes",
+		Title:  "Market policies vs FirstPrice under bursty arrivals",
+		XLabel: "interactive cohort inter-arrival CV",
+		YLabel: fmt.Sprintf("yield improvement over FirstPrice at %g%% discount (%%)", cfg.DiscountRatePct),
+		Notes: []string{
+			"two-cohort mix (interactive Zipf clients + batch submitters); CV>1 adds Gamma arrivals and a two-wave rate envelope",
+			fmt.Sprintf("jobs=%d seeds=%d", opts.Jobs, opts.Seeds),
+		},
+	}
+	rate := cfg.DiscountRatePct / 100
+
+	policies := []struct {
+		name   string
+		policy core.Policy
+	}{
+		{"pv", core.PresentValue{DiscountRate: rate}},
+		{"firstreward", core.FirstReward{Alpha: 0.3, DiscountRate: rate}},
+	}
+	for _, pol := range policies {
+		series := stats.Series{Name: pol.name}
+		for _, cv := range cfg.ArrivalCVs {
+			spec := burstySpec(cfg.Spec, cv)
+			spec.Jobs = opts.Jobs
+
+			candidate := site.Config{Processors: spec.Processors, Policy: pol.policy}
+			baseline := site.Config{Processors: spec.Processors, Policy: core.FirstPrice{}}
+			cand, base := pairedMetrics(spec, opts, candidate, baseline, totalYield)
+			series.Points = append(series.Points, improvementPoint(cv, cand, base))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig
+}

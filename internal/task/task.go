@@ -82,6 +82,14 @@ type Task struct {
 	Bound   float64 // penalty bound; math.Inf(1) for unbounded
 	Class   Class
 
+	// Cohort and Client label the traffic stream the task was drawn from
+	// (trace v2): the generating cohort's name and the client index within
+	// it. Like Class they carry no scheduling semantics — they exist so
+	// experiments and replays can report per-cohort and per-client
+	// outcomes. Empty/zero for single-stream traces.
+	Cohort string
+	Client int
+
 	// Dynamic scheduling state.
 	State       State
 	RPT         float64 // remaining processing time; initially Runtime

@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/task"
+)
+
+// Cohort is one named traffic class inside a Spec: a population of clients
+// sharing an arrival process and runtime/value/decay distributions. A mix
+// of cohorts replaces the single homogeneous stream — e.g. an
+// "interactive" cohort of many low-rate, high-decay clients with bursty
+// Gamma arrivals next to a "batch" cohort of few heavy-runtime clients.
+//
+// Zero-valued fields inherit the Spec's baseline, so a cohort only states
+// what makes it different. Weight is the cohort's share of the offered
+// load (work per unit time), not of the task count: cohorts with longer
+// tasks submit proportionally fewer of them, keeping the Spec's load
+// factor exact whatever the mix.
+type Cohort struct {
+	Name string `json:"name"`
+	// Weight is the cohort's share of offered load, normalized over all
+	// cohorts.
+	Weight float64 `json:"weight"`
+	// Clients is the number of distinct client streams (default 1). Each
+	// client runs an independent arrival process; tasks are labeled with
+	// their client index for per-client analysis and replay.
+	Clients int `json:"clients,omitempty"`
+	// ClientSkew is the Zipf exponent of the per-client rate shares:
+	// 0 splits the cohort's rate evenly, 1 gives the classic 1/rank skew
+	// where a few clients dominate.
+	ClientSkew float64 `json:"client_skew,omitempty"`
+
+	ArrivalKind DistKind `json:"arrival_kind,omitempty"`
+	ArrivalCV   float64  `json:"arrival_cv,omitempty"`
+	BatchSize   int      `json:"batch_size,omitempty"`
+
+	MeanRuntime float64  `json:"mean_runtime,omitempty"`
+	RuntimeKind DistKind `json:"runtime_kind,omitempty"`
+	RuntimeCV   float64  `json:"runtime_cv,omitempty"`
+
+	MeanValueRate float64 `json:"mean_value_rate,omitempty"`
+	ValueSkew     float64 `json:"value_skew,omitempty"`
+	HighValueFrac float64 `json:"high_value_frac,omitempty"`
+	ValueCV       float64 `json:"value_cv,omitempty"`
+
+	ZeroCrossFactor float64 `json:"zero_cross_factor,omitempty"`
+	DecaySkew       float64 `json:"decay_skew,omitempty"`
+	HighDecayFrac   float64 `json:"high_decay_frac,omitempty"`
+	DecayCV         float64 `json:"decay_cv,omitempty"`
+}
+
+// validate checks the cohort's own fields; inheritance gaps are fine.
+func (c Cohort) validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("workload: cohort name must be non-empty")
+	case c.Weight <= 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0):
+		return fmt.Errorf("workload: cohort %q weight %g must be positive and finite", c.Name, c.Weight)
+	case c.Clients < 0:
+		return fmt.Errorf("workload: cohort %q clients %d must be non-negative", c.Name, c.Clients)
+	case c.ClientSkew < 0 || math.IsNaN(c.ClientSkew) || math.IsInf(c.ClientSkew, 0):
+		return fmt.Errorf("workload: cohort %q client skew %g must be non-negative and finite", c.Name, c.ClientSkew)
+	case c.BatchSize < 0:
+		return fmt.Errorf("workload: cohort %q batch size %d must be non-negative", c.Name, c.BatchSize)
+	case badCV(c.ArrivalCV) || badCV(c.RuntimeCV) || badCV(c.ValueCV) || badCV(c.DecayCV):
+		return fmt.Errorf("workload: cohort %q CVs must be non-negative and finite", c.Name)
+	case c.MeanRuntime < 0 || math.IsNaN(c.MeanRuntime) || math.IsInf(c.MeanRuntime, 0):
+		return fmt.Errorf("workload: cohort %q mean runtime %g must be non-negative and finite", c.Name, c.MeanRuntime)
+	case c.MeanValueRate < 0 || math.IsNaN(c.MeanValueRate) || math.IsInf(c.MeanValueRate, 0):
+		return fmt.Errorf("workload: cohort %q mean value rate %g must be non-negative and finite", c.Name, c.MeanValueRate)
+	case c.ZeroCrossFactor < 0 || math.IsNaN(c.ZeroCrossFactor) || math.IsInf(c.ZeroCrossFactor, 0):
+		return fmt.Errorf("workload: cohort %q zero-cross factor %g must be non-negative and finite", c.Name, c.ZeroCrossFactor)
+	case c.ValueSkew != 0 && c.ValueSkew < 1, c.DecaySkew != 0 && c.DecaySkew < 1:
+		return fmt.Errorf("workload: cohort %q skew ratios must be >= 1 (or 0 to inherit)", c.Name)
+	case c.HighValueFrac < 0 || c.HighValueFrac > 1 || c.HighDecayFrac < 0 || c.HighDecayFrac > 1:
+		return fmt.Errorf("workload: cohort %q class fractions must lie in [0,1]", c.Name)
+	}
+	return nil
+}
+
+// cohortParams is a cohort with every inheritance gap resolved against the
+// Spec baseline and its distributions constructed.
+type cohortParams struct {
+	name       string
+	clients    int
+	batch      int
+	clientSkew float64
+
+	arrivalKind DistKind
+	arrivalCV   float64
+
+	meanRuntime float64
+	runtimes    Dist
+
+	hiV, loV      float64
+	highValueFrac float64
+	valueCV       float64
+
+	hiD, loD      float64
+	highDecayFrac float64
+	decayCV       float64
+
+	bound float64
+}
+
+func pick(v, base float64) float64 {
+	if v != 0 {
+		return v
+	}
+	return base
+}
+
+// resolve fills inheritance gaps from the spec and builds the runtime
+// distribution. The arrival distribution is built per client (each client
+// has its own rate).
+func (c Cohort) resolve(s Spec) (cohortParams, error) {
+	p := cohortParams{
+		name:          c.Name,
+		clients:       c.Clients,
+		batch:         c.BatchSize,
+		clientSkew:    c.ClientSkew,
+		arrivalKind:   c.ArrivalKind,
+		arrivalCV:     pick(c.ArrivalCV, s.ArrivalCV),
+		meanRuntime:   pick(c.MeanRuntime, s.MeanRuntime),
+		highValueFrac: pick(c.HighValueFrac, s.HighValueFrac),
+		valueCV:       pick(c.ValueCV, s.ValueCV),
+		highDecayFrac: pick(c.HighDecayFrac, s.HighDecayFrac),
+		decayCV:       pick(c.DecayCV, s.DecayCV),
+		bound:         s.Bound,
+	}
+	if p.clients == 0 {
+		p.clients = 1
+	}
+	if p.batch == 0 {
+		p.batch = s.BatchSize
+	}
+	if p.batch < 1 {
+		p.batch = 1
+	}
+	if p.arrivalKind == "" {
+		p.arrivalKind = s.ArrivalKind
+	}
+	runtimeKind := c.RuntimeKind
+	if runtimeKind == "" {
+		runtimeKind = s.RuntimeKind
+	}
+	var err error
+	p.runtimes, err = DistByName(string(runtimeKind), p.meanRuntime, pick(c.RuntimeCV, s.RuntimeCV))
+	if err != nil {
+		return p, fmt.Errorf("workload: cohort %q runtimes: %w", c.Name, err)
+	}
+
+	meanValueRate := pick(c.MeanValueRate, s.MeanValueRate)
+	valueSkew := pick(c.ValueSkew, s.ValueSkew)
+	zcf := pick(c.ZeroCrossFactor, s.ZeroCrossFactor)
+	decaySkew := pick(c.DecaySkew, s.DecaySkew)
+	p.hiV, p.loV = classMeans(meanValueRate, valueSkew, p.highValueFrac)
+	meanDecay := meanValueRate / zcf
+	p.hiD, p.loD = classMeans(meanDecay, decaySkew, p.highDecayFrac)
+	return p, nil
+}
+
+// zipfShares returns n rate shares summing to one, share(i) proportional
+// to 1/(i+1)^s. Skew 0 is the uniform split.
+func zipfShares(n int, s float64) []float64 {
+	shares := make([]float64, n)
+	var sum float64
+	for i := range shares {
+		shares[i] = 1 / math.Pow(float64(i+1), s)
+		sum += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= sum
+	}
+	return shares
+}
+
+// streamSeed derives a deterministic per-stream seed: FNV-1a over the
+// cohort name and client index, mixed with the spec seed.
+func streamSeed(seed int64, cohort string, client int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(cohort); i++ {
+		h ^= uint64(cohort[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= uint64(client>>(8*i)) & 0xff
+		h *= prime64
+	}
+	return seed ^ int64(h)
+}
+
+// stream is one client's arrival process during generation.
+type stream struct {
+	cohort int // index into Spec.Cohorts; heap tie-break
+	client int
+	p      *cohortParams
+	arr    Dist
+	r      *rand.Rand
+	op     float64 // cumulative operational time
+	next   float64 // next arrival on the clock
+}
+
+func (st *stream) advance(env Envelope) {
+	st.op += math.Max(0, st.arr.Sample(st.r))
+	st.next = env.TimeAt(st.op)
+}
+
+// draw generates one task arriving at st.next.
+func (st *stream) draw(id task.ID) *task.Task {
+	p := st.p
+	runtime := math.Max(1e-6, p.runtimes.Sample(st.r))
+	class := task.LowValue
+	vMean := p.loV
+	if st.r.Float64() < p.highValueFrac {
+		class = task.HighValue
+		vMean = p.hiV
+	}
+	rate := truncatedNormal(st.r, vMean, p.valueCV*vMean)
+	dMean := p.loD
+	if st.r.Float64() < p.highDecayFrac {
+		dMean = p.hiD
+	}
+	decay := truncatedNormal(st.r, dMean, p.decayCV*dMean)
+
+	t := task.New(id, st.next, runtime, rate*runtime, decay, p.bound)
+	t.Class = class
+	t.Cohort = p.name
+	t.Client = st.client
+	return t
+}
+
+// streamHeap orders streams by (next arrival, cohort index, client index)
+// so generation is deterministic even on exact time ties.
+type streamHeap []*stream
+
+func (h streamHeap) Len() int { return len(h) }
+func (h streamHeap) Less(a, b int) bool {
+	if h[a].next != h[b].next {
+		return h[a].next < h[b].next
+	}
+	if h[a].cohort != h[b].cohort {
+		return h[a].cohort < h[b].cohort
+	}
+	return h[a].client < h[b].client
+}
+func (h streamHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *streamHeap) Push(x interface{}) { *h = append(*h, x.(*stream)) }
+func (h *streamHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// generateCohorts merges every cohort's client streams into one arrival
+// sequence. Each (cohort, client) stream runs an independent renewal
+// process on its own deterministic RNG; the spec-level envelope modulates
+// all of them through the shared time-rescaling map, so a diurnal peak
+// compresses every cohort's gaps in lockstep.
+func generateCohorts(s Spec) (*Trace, error) {
+	env := s.effectiveEnvelope()
+	var totalW float64
+	for _, c := range s.Cohorts {
+		totalW += c.Weight
+	}
+	var streams streamHeap
+	for ci, c := range s.Cohorts {
+		p, err := c.resolve(s)
+		if err != nil {
+			return nil, err
+		}
+		params := p // one copy shared by the cohort's streams
+		shares := zipfShares(params.clients, params.clientSkew)
+		// Weight splits offered load; the task rate follows from the
+		// cohort's own mean runtime.
+		workRate := c.Weight / totalW * s.Load * float64(s.Processors)
+		taskRate := workRate / params.meanRuntime
+		for cl := 0; cl < params.clients; cl++ {
+			mean := float64(params.batch) / (taskRate * shares[cl])
+			arr, err := DistByName(string(params.arrivalKind), mean, params.arrivalCV)
+			if err != nil {
+				return nil, fmt.Errorf("workload: cohort %q arrivals: %w", c.Name, err)
+			}
+			st := &stream{
+				cohort: ci,
+				client: cl,
+				p:      &params,
+				arr:    arr,
+				r:      rand.New(rand.NewSource(streamSeed(s.Seed, c.Name, cl))),
+			}
+			st.advance(env)
+			streams = append(streams, st)
+		}
+	}
+	heap.Init(&streams)
+
+	tasks := make([]*task.Task, 0, s.Jobs)
+	for len(tasks) < s.Jobs {
+		st := streams[0]
+		for b := 0; b < st.p.batch && len(tasks) < s.Jobs; b++ {
+			tasks = append(tasks, st.draw(task.ID(len(tasks)+1)))
+		}
+		st.advance(env)
+		heap.Fix(&streams, 0)
+	}
+	return &Trace{Spec: s, Tasks: tasks}, nil
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func twoCohortSpec() Spec {
+	s := Default()
+	s.Jobs = 4000
+	s.Cohorts = []Cohort{
+		{Name: "interactive", Weight: 3, Clients: 4, ClientSkew: 1,
+			ArrivalKind: DistGamma, ArrivalCV: 3, MeanRuntime: 20},
+		{Name: "batch", Weight: 1, Clients: 2, MeanRuntime: 300, BatchSize: 2},
+	}
+	return s
+}
+
+func TestCohortGenerationShape(t *testing.T) {
+	s := twoCohortSpec()
+	tr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != s.Jobs {
+		t.Fatalf("got %d tasks, want %d", len(tr.Tasks), s.Jobs)
+	}
+	counts := map[string]int{}
+	work := map[string]float64{}
+	clients := map[string]map[int]bool{}
+	prev := 0.0
+	for i, tk := range tr.Tasks {
+		if int(tk.ID) != i+1 {
+			t.Fatalf("task %d has ID %d, want sequential", i, tk.ID)
+		}
+		if tk.Arrival < prev {
+			t.Fatalf("arrivals not sorted at index %d", i)
+		}
+		prev = tk.Arrival
+		if tk.Cohort == "" {
+			t.Fatal("cohort label missing")
+		}
+		counts[tk.Cohort]++
+		work[tk.Cohort] += tk.Runtime
+		if clients[tk.Cohort] == nil {
+			clients[tk.Cohort] = map[int]bool{}
+		}
+		clients[tk.Cohort][tk.Client] = true
+	}
+	if counts["interactive"] == 0 || counts["batch"] == 0 {
+		t.Fatalf("cohort counts %v, want both present", counts)
+	}
+	// Weight is a share of offered load: interactive should carry ~3x the
+	// batch cohort's work despite 15x shorter tasks.
+	ratio := work["interactive"] / work["batch"]
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("work ratio interactive/batch = %.2f, want ~3", ratio)
+	}
+	if len(clients["interactive"]) != 4 || len(clients["batch"]) != 2 {
+		t.Errorf("client spreads %v/%v, want 4/2",
+			len(clients["interactive"]), len(clients["batch"]))
+	}
+}
+
+func TestCohortGenerationDeterministic(t *testing.T) {
+	s := twoCohortSpec()
+	a, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tasks {
+		if *a.Tasks[i] != *b.Tasks[i] {
+			t.Fatalf("task %d differs between identical runs:\n%v\n%v", i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+	s.Seed = 99
+	c, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Tasks {
+		if a.Tasks[i].Runtime == c.Tasks[i].Runtime {
+			same++
+		}
+	}
+	if same == len(a.Tasks) {
+		t.Error("different seeds produced identical runtimes")
+	}
+}
+
+func TestCohortOfferedLoadMatchesSpec(t *testing.T) {
+	s := twoCohortSpec()
+	s.Jobs = 12000
+	s.Load = 1.5
+	tr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.OfferedLoad(); math.Abs(got-1.5) > 0.25 {
+		t.Errorf("offered load = %v, want ~1.5", got)
+	}
+}
+
+func TestZipfShares(t *testing.T) {
+	sh := zipfShares(4, 1)
+	var sum float64
+	for _, v := range sh {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %v", sum)
+	}
+	if !(sh[0] > sh[1] && sh[1] > sh[2] && sh[2] > sh[3]) {
+		t.Errorf("shares not decreasing: %v", sh)
+	}
+	uniform := zipfShares(4, 0)
+	for _, v := range uniform {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Errorf("skew 0 shares %v, want uniform", uniform)
+		}
+	}
+}
+
+func TestCohortInheritsSpecBaseline(t *testing.T) {
+	s := Default()
+	s.Jobs = 500
+	s.MeanRuntime = 42
+	s.Cohorts = []Cohort{{Name: "only", Weight: 1}}
+	tr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, tk := range tr.Tasks {
+		mean += tk.Runtime
+	}
+	mean /= float64(len(tr.Tasks))
+	if mean < 30 || mean > 55 {
+		t.Errorf("inherited mean runtime %v, want ~42", mean)
+	}
+}
+
+func TestParseCohort(t *testing.T) {
+	c, err := ParseCohort("interactive:weight=2,clients=8,cskew=1,arrivals=gamma,acv=4,meanruntime=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "interactive" || c.Weight != 2 || c.Clients != 8 ||
+		c.ArrivalKind != DistGamma || c.ArrivalCV != 4 || c.MeanRuntime != 1.5 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c, err := ParseCohort("batch"); err != nil || c.Weight != 1 {
+		t.Errorf("bare name: %+v, %v (weight should default to 1)", c, err)
+	}
+	for _, bad := range []string{
+		"",
+		"x:weight=0",
+		"x:weight=abc",
+		"x:bogus=1",
+		"x:acv=-2",
+	} {
+		if _, err := ParseCohort(bad); err == nil {
+			t.Errorf("ParseCohort(%q) accepted", bad)
+		}
+	}
+}

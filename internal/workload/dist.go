@@ -111,6 +111,97 @@ func (d Pareto) Mean() float64 {
 // String implements Dist.
 func (d Pareto) String() string { return fmt.Sprintf("pareto(xm=%g,alpha=%g)", d.Xm, d.Alpha) }
 
+// Gamma has shape K and scale Theta. Shapes below one give inter-arrival
+// gaps with coefficient of variation above one — the bursty regime: draws
+// cluster near zero with occasional long gaps, so arrivals arrive in
+// clumps separated by lulls.
+type Gamma struct {
+	K     float64
+	Theta float64
+}
+
+// Sample implements Dist using Marsaglia-Tsang squeeze rejection, with the
+// standard boost for shapes below one. Deterministic in the *rand.Rand.
+func (d Gamma) Sample(r *rand.Rand) float64 {
+	if d.K < 1 {
+		// Gamma(k) = Gamma(k+1) * U^{1/k}.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return gammaMT(r, d.K+1) * math.Pow(u, 1/d.K) * d.Theta
+	}
+	return gammaMT(r, d.K) * d.Theta
+}
+
+// gammaMT draws a standard Gamma(k), k >= 1, by Marsaglia-Tsang (2000).
+func gammaMT(r *rand.Rand, k float64) float64 {
+	d := k - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Mean implements Dist.
+func (d Gamma) Mean() float64 { return d.K * d.Theta }
+
+// String implements Dist.
+func (d Gamma) String() string { return fmt.Sprintf("gamma(k=%g,theta=%g)", d.K, d.Theta) }
+
+// Weibull has shape K and scale Lambda. Shapes below one are heavy-tailed
+// (CV > 1); shapes above one concentrate around the scale.
+type Weibull struct {
+	K      float64
+	Lambda float64
+}
+
+// Sample implements Dist by inversion.
+func (d Weibull) Sample(r *rand.Rand) float64 {
+	u := 1 - r.Float64() // (0, 1]
+	return d.Lambda * math.Pow(-math.Log(u), 1/d.K)
+}
+
+// Mean implements Dist.
+func (d Weibull) Mean() float64 { return d.Lambda * math.Gamma(1+1/d.K) }
+
+// String implements Dist.
+func (d Weibull) String() string { return fmt.Sprintf("weibull(k=%g,lambda=%g)", d.K, d.Lambda) }
+
+// weibullShapeForCV solves CV^2(k) = Gamma(1+2/k)/Gamma(1+1/k)^2 - 1 for
+// the shape k by bisection (the CV is strictly decreasing in k).
+func weibullShapeForCV(cv float64) (float64, error) {
+	cvOf := func(k float64) float64 {
+		m := math.Gamma(1 + 1/k)
+		return math.Sqrt(math.Gamma(1+2/k)/(m*m) - 1)
+	}
+	lo, hi := 0.05, 60.0 // CV from ~0.02 (k=60) up to ~1e8 (k=0.05)
+	if cv > cvOf(lo) || cv < cvOf(hi) {
+		return 0, fmt.Errorf("workload: weibull cv %g outside the realizable range [%.3g, %.3g]", cv, cvOf(hi), cvOf(lo))
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cvOf(mid) > cv {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
 // LogNormal has log-space parameters Mu and Sigma.
 type LogNormal struct {
 	Mu    float64
@@ -130,9 +221,15 @@ func (d LogNormal) String() string { return fmt.Sprintf("lognormal(mu=%g,sigma=%
 
 // DistByName constructs a distribution of the given kind with the given
 // mean, using the package's conventional shapes: normal uses cv for its
-// coefficient of variation with a minimum of mean/100; pareto uses shape
-// 1.5. It exists for CLI flag parsing.
+// coefficient of variation with a minimum of mean/100; gamma and weibull
+// derive their shape from cv (cv > 1 is the bursty regime); pareto derives
+// its tail index alpha from cv when one is given (alpha 1.5, infinite
+// variance, when cv is zero). It exists for CLI flag parsing. A negative or
+// non-finite cv is rejected; cv 0 means "the kind's default shape".
 func DistByName(kind string, mean, cv float64) (Dist, error) {
+	if cv < 0 || math.IsNaN(cv) || math.IsInf(cv, 0) {
+		return nil, fmt.Errorf("workload: cv %v must be non-negative and finite", cv)
+	}
 	switch kind {
 	case "const", "constant":
 		return Constant{V: mean}, nil
@@ -143,8 +240,32 @@ func DistByName(kind string, mean, cv float64) (Dist, error) {
 	case "uniform":
 		return Uniform{Lo: mean / 2, Hi: mean * 3 / 2}, nil
 	case "pareto":
+		// CV^2 = 1/(alpha(alpha-2)) for alpha > 2, so any positive finite
+		// CV is realizable by alpha = 1 + sqrt(1 + 1/CV^2) > 2. CV 0 would
+		// need alpha = +Inf (and CV = +Inf sits exactly at alpha = 2, where
+		// the variance diverges); cv 0 keeps the conventional heavy tail.
 		alpha := 1.5
+		if cv > 0 {
+			alpha = 1 + math.Sqrt(1+1/(cv*cv))
+		}
 		return Pareto{Xm: mean * (alpha - 1) / alpha, Alpha: alpha}, nil
+	case "gamma":
+		// CV^2 = 1/k: shape from cv, scale from the mean. cv 0 defaults to
+		// the exponential special case k=1.
+		k := 1.0
+		if cv > 0 {
+			k = 1 / (cv * cv)
+		}
+		return Gamma{K: k, Theta: mean / k}, nil
+	case "weibull":
+		k := 1.0 // exponential special case
+		if cv > 0 {
+			var err error
+			if k, err = weibullShapeForCV(cv); err != nil {
+				return nil, err
+			}
+		}
+		return Weibull{K: k, Lambda: mean / math.Gamma(1+1/k)}, nil
 	case "lognormal":
 		sigma := math.Sqrt(math.Log(1 + cv*cv))
 		return LogNormal{Mu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}, nil

@@ -95,9 +95,98 @@ func TestLogNormalMeanMatchesCV(t *testing.T) {
 
 func TestDistStringsNonEmpty(t *testing.T) {
 	for _, d := range []Dist{Constant{1}, Exponential{1}, Normal{1, 1, 0},
-		Uniform{0, 1}, Pareto{1, 2}, LogNormal{0, 1}} {
+		Uniform{0, 1}, Pareto{1, 2}, LogNormal{0, 1},
+		Gamma{K: 2, Theta: 3}, Weibull{K: 0.5, Lambda: 1}} {
 		if d.String() == "" {
 			t.Errorf("%T String() empty", d)
 		}
+	}
+}
+
+func sampleMeanCV(d Dist, n int, seed int64) (mean, cv float64) {
+	r := rand.New(rand.NewSource(seed))
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		sum += v
+		ss += v * v
+	}
+	mean = sum / float64(n)
+	variance := ss/float64(n) - mean*mean
+	return mean, math.Sqrt(math.Max(0, variance)) / mean
+}
+
+// TestBurstyDistsMatchCV checks that the gamma and weibull constructions
+// deliver the requested mean AND the requested coefficient of variation —
+// the whole point of the bursty arrival kinds.
+func TestBurstyDistsMatchCV(t *testing.T) {
+	const n = 400000
+	for _, tc := range []struct {
+		kind string
+		cv   float64
+	}{
+		{"gamma", 0.5}, {"gamma", 1}, {"gamma", 3}, {"gamma", 6},
+		{"weibull", 0.5}, {"weibull", 1}, {"weibull", 2.5}, {"weibull", 5},
+	} {
+		d, err := DistByName(tc.kind, 100, tc.cv)
+		if err != nil {
+			t.Fatalf("DistByName(%q, cv=%v): %v", tc.kind, tc.cv, err)
+		}
+		if math.Abs(d.Mean()-100)/100 > 0.01 {
+			t.Errorf("%s cv=%v: analytic mean %v, want 100", tc.kind, tc.cv, d.Mean())
+		}
+		mean, cv := sampleMeanCV(d, n, 7)
+		if math.Abs(mean-100)/100 > 0.1 {
+			t.Errorf("%s cv=%v: sample mean %v, want ~100", tc.kind, tc.cv, mean)
+		}
+		// High-CV shapes converge slowly; accept 15% relative error.
+		if math.Abs(cv-tc.cv)/tc.cv > 0.15 {
+			t.Errorf("%s: sample CV %v, want ~%v", tc.kind, cv, tc.cv)
+		}
+	}
+}
+
+// TestParetoCVDerivation checks the satellite fix: pareto:cv=X derives the
+// tail index from the CV instead of hardcoding alpha=1.5.
+func TestParetoCVDerivation(t *testing.T) {
+	for _, cv := range []float64{0.5, 1, 2} {
+		d, err := DistByName("pareto", 100, cv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := d.(Pareto)
+		// CV^2 = 1/(alpha(alpha-2)) for alpha > 2.
+		if p.Alpha <= 2 {
+			t.Fatalf("cv=%v: alpha %v not > 2 (finite variance needed)", cv, p.Alpha)
+		}
+		gotCV := math.Sqrt(1 / (p.Alpha * (p.Alpha - 2)))
+		if math.Abs(gotCV-cv)/cv > 1e-9 {
+			t.Errorf("cv=%v: alpha %v realizes CV %v", cv, p.Alpha, gotCV)
+		}
+		if math.Abs(p.Mean()-100)/100 > 1e-9 {
+			t.Errorf("cv=%v: mean %v, want 100", cv, p.Mean())
+		}
+	}
+	// CV 0 keeps the legacy heavy tail.
+	d, err := DistByName("pareto", 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := d.(Pareto).Alpha; a != 1.5 {
+		t.Errorf("default alpha %v, want 1.5", a)
+	}
+}
+
+func TestDistByNameRejectsBadCV(t *testing.T) {
+	for _, cv := range []float64{-1, math.NaN(), math.Inf(1)} {
+		for _, kind := range []string{"exp", "gamma", "weibull", "pareto", "lognormal", "normal"} {
+			if _, err := DistByName(kind, 100, cv); err == nil {
+				t.Errorf("DistByName(%q, cv=%v) accepted", kind, cv)
+			}
+		}
+	}
+	// Weibull shapes outside the bisection bracket are unrealizable.
+	if _, err := DistByName("weibull", 100, 1e9); err == nil {
+		t.Error("absurd weibull CV accepted")
 	}
 }

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// EnvelopeTerm is one sinusoidal component of a multi-period arrival-rate
+// envelope: rate(t) = base * (1 + sum_j A_j sin(2*pi*t/P_j + phi_j)).
+// Stacking a long diurnal period with shorter harmonics reproduces the
+// peak/trough and lunch-dip shapes of production traffic.
+type EnvelopeTerm struct {
+	Amplitude float64 `json:"amplitude"`
+	Period    float64 `json:"period"`
+	Phase     float64 `json:"phase,omitempty"` // radians
+}
+
+// Envelope is a sum of sinusoidal rate-modulation terms. Amplitudes must
+// sum below one so the instantaneous rate stays positive. The zero-length
+// envelope is the unmodulated (stationary) process.
+//
+// Arrivals are modulated by time rescaling rather than thinning: the
+// renewal process generates gaps in "operational time" and the cumulative
+// envelope integral maps them onto the clock, compressing gaps where the
+// rate is high. Unlike Lewis-Shedler thinning this works for any renewal
+// process (Gamma, Weibull, normal), preserving the gap CV structure in
+// operational time; for exponential gaps it is exactly a non-homogeneous
+// Poisson process.
+type Envelope []EnvelopeTerm
+
+// Rate returns the relative rate multiplier at time t (1 with no terms).
+func (e Envelope) Rate(t float64) float64 {
+	r := 1.0
+	for _, term := range e {
+		r += term.Amplitude * math.Sin(2*math.Pi*t/term.Period+term.Phase)
+	}
+	return r
+}
+
+// Integral returns the cumulative rate integral Lambda(t) = ∫₀ᵗ Rate(s) ds.
+func (e Envelope) Integral(t float64) float64 {
+	v := t
+	for _, term := range e {
+		w := 2 * math.Pi / term.Period
+		v += term.Amplitude / w * (math.Cos(term.Phase) - math.Cos(w*t+term.Phase))
+	}
+	return v
+}
+
+// TimeAt inverts the integral: the clock time t with Integral(t) = s, for
+// an operational-time coordinate s >= 0. Integral is strictly increasing
+// (amplitudes sum below 1), so bisection on a conservative bracket
+// converges deterministically.
+func (e Envelope) TimeAt(s float64) float64 {
+	if len(e) == 0 {
+		return s
+	}
+	// |Integral(t) - t| <= sum_j A_j P_j / pi, a global bound.
+	slack := 0.0
+	for _, term := range e {
+		slack += term.Amplitude * term.Period / math.Pi
+	}
+	lo, hi := math.Max(0, s-slack), s+slack
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if e.Integral(mid) < s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TotalAmplitude sums the terms' amplitudes.
+func (e Envelope) TotalAmplitude() float64 {
+	var a float64
+	for _, term := range e {
+		a += term.Amplitude
+	}
+	return a
+}
+
+// Validate reports whether the envelope keeps the rate positive.
+func (e Envelope) Validate() error {
+	for i, term := range e {
+		switch {
+		case term.Amplitude <= 0 || math.IsNaN(term.Amplitude) || math.IsInf(term.Amplitude, 0):
+			return fmt.Errorf("workload: envelope term %d amplitude %g must be positive and finite", i, term.Amplitude)
+		case term.Period <= 0 || math.IsNaN(term.Period) || math.IsInf(term.Period, 0):
+			return fmt.Errorf("workload: envelope term %d period %g must be positive and finite", i, term.Period)
+		case math.IsNaN(term.Phase) || math.IsInf(term.Phase, 0):
+			return fmt.Errorf("workload: envelope term %d phase %g must be finite", i, term.Phase)
+		}
+	}
+	if a := e.TotalAmplitude(); a >= 1 {
+		return fmt.Errorf("workload: envelope amplitudes sum to %g, must stay below 1", a)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer in the ParseEnvelope grammar.
+func (e Envelope) String() string {
+	terms := make([]string, len(e))
+	for i, term := range e {
+		terms[i] = fmt.Sprintf("amp=%g,period=%g", term.Amplitude, term.Period)
+		if term.Phase != 0 {
+			terms[i] += fmt.Sprintf(",phase=%g", term.Phase)
+		}
+	}
+	return strings.Join(terms, "+")
+}
+
+// ParseEnvelope parses the CLI grammar "amp=A,period=P[,phase=F]" with
+// multiple terms joined by '+', e.g. "amp=0.6,period=4000+amp=0.2,period=500".
+// The empty string is the empty envelope.
+func ParseEnvelope(s string) (Envelope, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var env Envelope
+	for _, part := range strings.Split(s, "+") {
+		var term EnvelopeTerm
+		for _, kv := range strings.Split(part, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("workload: envelope term %q: want key=value", kv)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: envelope %s=%q: %w", key, val, err)
+			}
+			switch key {
+			case "amp", "amplitude":
+				term.Amplitude = f
+			case "period":
+				term.Period = f
+			case "phase":
+				term.Phase = f
+			default:
+				return nil, fmt.Errorf("workload: envelope key %q (want amp, period, phase)", key)
+			}
+		}
+		env = append(env, term)
+	}
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}

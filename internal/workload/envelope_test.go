@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnvelopeIdentityWhenEmpty(t *testing.T) {
+	var e Envelope
+	for _, s := range []float64{0, 1, 17.5, 1e6} {
+		if got := e.TimeAt(s); got != s {
+			t.Errorf("TimeAt(%v) = %v, want identity", s, got)
+		}
+		if got := e.Rate(s); got != 1 {
+			t.Errorf("Rate(%v) = %v, want 1", s, got)
+		}
+	}
+}
+
+func TestEnvelopeTimeAtInvertsIntegral(t *testing.T) {
+	e := Envelope{
+		{Amplitude: 0.4, Period: 300},
+		{Amplitude: 0.3, Period: 77, Phase: 1.1},
+	}
+	for _, clock := range []float64{0, 1, 42.5, 299, 1234.56, 9999} {
+		s := e.Integral(clock)
+		back := e.TimeAt(s)
+		if math.Abs(back-clock) > 1e-6 {
+			t.Errorf("TimeAt(Integral(%v)) = %v", clock, back)
+		}
+	}
+}
+
+func TestEnvelopeIntegralMatchesRate(t *testing.T) {
+	e := Envelope{{Amplitude: 0.6, Period: 50}}
+	// Numeric derivative of the integral must match the rate.
+	for _, clock := range []float64{3, 10, 25, 48} {
+		h := 1e-5
+		num := (e.Integral(clock+h) - e.Integral(clock-h)) / (2 * h)
+		if math.Abs(num-e.Rate(clock)) > 1e-4 {
+			t.Errorf("dIntegral/dt at %v = %v, Rate = %v", clock, num, e.Rate(clock))
+		}
+	}
+}
+
+func TestEnvelopeValidate(t *testing.T) {
+	bad := []Envelope{
+		{{Amplitude: 0, Period: 10}},
+		{{Amplitude: -0.5, Period: 10}},
+		{{Amplitude: 0.5, Period: 0}},
+		{{Amplitude: 0.5, Period: math.Inf(1)}},
+		{{Amplitude: 0.5, Period: 10, Phase: math.NaN()}},
+		{{Amplitude: 0.6, Period: 10}, {Amplitude: 0.5, Period: 20}}, // sum >= 1
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: invalid envelope accepted", i)
+		}
+	}
+	ok := Envelope{{Amplitude: 0.5, Period: 10}, {Amplitude: 0.3, Period: 20, Phase: -2}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid envelope rejected: %v", err)
+	}
+}
+
+func TestParseEnvelopeRoundTrip(t *testing.T) {
+	e, err := ParseEnvelope("amp=0.4,period=300+amp=0.2,period=80,phase=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 2 || e[0].Amplitude != 0.4 || e[1].Phase != 1.5 {
+		t.Fatalf("parsed %+v", e)
+	}
+	back, err := ParseEnvelope(e.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", e.String(), err)
+	}
+	if len(back) != len(e) || back[0] != e[0] || back[1] != e[1] {
+		t.Errorf("round trip %q changed terms: %+v", e.String(), back)
+	}
+
+	if got, err := ParseEnvelope(""); err != nil || got != nil {
+		t.Errorf("empty spec: got %v, %v", got, err)
+	}
+	for _, bad := range []string{"amp=0.4", "period=10", "amp=x,period=10", "amp=0.4,period=10,bogus=1"} {
+		if _, err := ParseEnvelope(bad); err == nil {
+			t.Errorf("ParseEnvelope(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCyclicLoadNonExponential(t *testing.T) {
+	// The rescaling construction modulates any renewal process; gamma
+	// arrivals under a single-term envelope must still concentrate
+	// arrivals in the peak half while preserving long-run load.
+	spec := Default()
+	spec.Jobs = 20000
+	spec.ArrivalKind = DistGamma
+	spec.ArrivalCV = 2
+	spec.Envelope = Envelope{{Amplitude: 0.8, Period: 4000}}
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peakHalf, troughHalf int
+	for _, tk := range tr.Tasks {
+		phase := math.Mod(tk.Arrival, 4000) / 4000
+		if phase < 0.5 {
+			peakHalf++
+		} else {
+			troughHalf++
+		}
+	}
+	if ratio := float64(peakHalf) / float64(troughHalf); ratio < 1.5 {
+		t.Errorf("peak/trough ratio = %v, want > 1.5", ratio)
+	}
+	if got := tr.OfferedLoad(); math.Abs(got-1) > 0.2 {
+		t.Errorf("offered load = %v, want ~1", got)
+	}
+}

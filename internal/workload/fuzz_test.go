@@ -25,6 +25,12 @@ func FuzzRead(f *testing.F) {
 	f.Add(`{"spec":{"jobs":1},"tasks":[{"id":1,"runtime":5,"bound":"inf"}]}`)
 	f.Add(`not json at all`)
 	f.Add(`{"spec":{"bound":"-3"}}`)
+	// Trace-v2 seeds: labeled tasks, strict bounds, version refusal.
+	f.Add(`{"version":2,"spec":{"bound":"inf"},"tasks":[{"id":1,"runtime":5,"bound":"12.5","cohort":"batch","client":3}]}`)
+	f.Add(`{"version":2,"spec":{},"tasks":[]}`)
+	f.Add(`{"version":2,"spec":{"bound":"inf"},"tasks":[{"id":1,"runtime":5}]}`)
+	f.Add(`{"version":3,"spec":{"bound":"inf"},"tasks":[]}`)
+	f.Add(`{"version":2,"spec":{"bound":"NaN"},"tasks":[]}`)
 
 	f.Fuzz(func(t *testing.T, input string) {
 		got, err := Read(strings.NewReader(input))

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenV1Lenient pins the v1 compatibility contract: a versionless
+// trace file still reads, a missing spec bound and a missing task bound
+// both map to +Inf, and tasks re-sort by arrival.
+func TestGoldenV1Lenient(t *testing.T) {
+	tr, err := ReadFile(filepath.Join("testdata", "golden_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != 3 {
+		t.Fatalf("got %d tasks, want 3", len(tr.Tasks))
+	}
+	if !math.IsInf(tr.Spec.Bound, 1) {
+		t.Errorf("spec bound %v, want +Inf for a missing v1 bound", tr.Spec.Bound)
+	}
+	// File order is 2, 1, 3; arrival order is 1, 2, 3.
+	for i, want := range []uint64{1, 2, 3} {
+		if uint64(tr.Tasks[i].ID) != want {
+			t.Fatalf("position %d holds task %d, want %d", i, tr.Tasks[i].ID, want)
+		}
+	}
+	if got := tr.Tasks[0].Bound; got != 40.5 {
+		t.Errorf("task 1 bound %v, want 40.5", got)
+	}
+	if !math.IsInf(tr.Tasks[2].Bound, 1) {
+		t.Errorf("task 3 bound %v, want +Inf for a missing v1 bound", tr.Tasks[2].Bound)
+	}
+	if tr.Tasks[0].Cohort != "" || tr.Tasks[0].Client != 0 {
+		t.Errorf("v1 task grew labels: %q/%d", tr.Tasks[0].Cohort, tr.Tasks[0].Client)
+	}
+}
+
+// TestGoldenV2ByteStable regenerates the frozen fixture's spec and
+// requires byte-identical output: the generator's RNG consumption, the
+// cohort merge order, and the trace encoding are all pinned. If this fails
+// after an intentional change, regenerate testdata/golden_v2.json and
+// say so in the commit.
+func TestGoldenV2ByteStable(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Default()
+	spec.Jobs = 12
+	spec.Seed = 42
+	spec.Processors = 4
+	spec.Load = 1.2
+	spec.Bound = 80
+	spec.Envelope = Envelope{{Amplitude: 0.3, Period: 200}, {Amplitude: 0.2, Period: 60, Phase: 0.5}}
+	spec.Cohorts = []Cohort{
+		{Name: "interactive", Weight: 2, Clients: 3, ClientSkew: 1,
+			ArrivalKind: DistGamma, ArrivalCV: 3, MeanRuntime: 20},
+		{Name: "batch", Weight: 1, Clients: 2, MeanRuntime: 120, BatchSize: 2},
+	}
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("generated trace no longer matches testdata/golden_v2.json (len %d vs %d)",
+			buf.Len(), len(want))
+	}
+}
+
+// TestGoldenV2Read pins the decode side: labels survive, the strict bound
+// path accepts the file, and the spec round-trips.
+func TestGoldenV2Read(t *testing.T) {
+	tr, err := ReadFile(filepath.Join("testdata", "golden_v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != 12 {
+		t.Fatalf("got %d tasks, want 12", len(tr.Tasks))
+	}
+	if tr.Spec.Bound != 80 {
+		t.Errorf("spec bound %v, want 80", tr.Spec.Bound)
+	}
+	if len(tr.Spec.Cohorts) != 2 || len(tr.Spec.Envelope) != 2 {
+		t.Fatalf("spec lost cohorts/envelope: %d/%d", len(tr.Spec.Cohorts), len(tr.Spec.Envelope))
+	}
+	seen := map[string]bool{}
+	for _, tk := range tr.Tasks {
+		if tk.Cohort == "" {
+			t.Fatalf("task %d lost its cohort label", tk.ID)
+		}
+		seen[tk.Cohort] = true
+		if tk.Bound != 80 {
+			t.Errorf("task %d bound %v, want 80", tk.ID, tk.Bound)
+		}
+	}
+	// The short fixture ends before the slow batch cohort's first arrival;
+	// the high-rate cohort must dominate it.
+	if !seen["interactive"] {
+		t.Errorf("cohort labels %v, want interactive present", seen)
+	}
+}
+
+// TestV2StrictBounds pins the strict-parse satellite: v2 files with a
+// missing or garbage bound are corrupt, not unbounded.
+func TestV2StrictBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"missing spec bound", `{"version":2,"spec":{"jobs":1},"tasks":[]}`},
+		{"empty spec bound", `{"version":2,"spec":{"bound":""},"tasks":[]}`},
+		{"garbage spec bound", `{"version":2,"spec":{"bound":"lots"},"tasks":[]}`},
+		{"nan spec bound", `{"version":2,"spec":{"bound":"NaN"},"tasks":[]}`},
+		{"missing task bound", `{"version":2,"spec":{"bound":"inf"},"tasks":[{"id":1,"runtime":5}]}`},
+		{"future version", `{"version":9,"spec":{"bound":"inf"},"tasks":[]}`},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The same missing bounds stay legal in versionless (v1) files.
+	v1 := `{"spec":{"jobs":1},"tasks":[{"id":1,"runtime":5,"value":1,"decay":0.1}]}`
+	if _, err := Read(strings.NewReader(v1)); err != nil {
+		t.Errorf("lenient v1 read failed: %v", err)
+	}
+}

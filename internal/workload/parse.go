@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// cohortParamKeys is the flag grammar for ParseCohort, in core.SplitSpec
+// form: name[:key=value,...].
+var cohortParamKeys = []string{
+	"weight", "clients", "cskew", "batch",
+	"arrivals", "acv",
+	"runtimes", "rcv", "meanruntime",
+	"meanvaluerate", "vskew", "hvf", "vcv",
+	"zcf", "dskew", "hdf", "dcv",
+}
+
+// ParseCohort parses a command-line cohort spec
+//
+//	name[:weight=W,clients=N,cskew=S,batch=B,arrivals=KIND,acv=CV,
+//	      runtimes=KIND,rcv=CV,meanruntime=M,meanvaluerate=M,
+//	      vskew=R,hvf=F,vcv=CV,zcf=Z,dskew=R,hdf=F,dcv=CV]
+//
+// into a Cohort. Weight defaults to 1; every omitted key is left at its
+// zero value and inherits the Spec baseline at generation time. Names are
+// lowercased by the shared spec grammar.
+func ParseCohort(s string) (Cohort, error) {
+	spec, err := core.SplitSpec(s)
+	if err != nil {
+		return Cohort{}, err
+	}
+	if err := spec.Check(cohortParamKeys, nil); err != nil {
+		return Cohort{}, fmt.Errorf("cohort %s: %w", spec.Name, err)
+	}
+	c := Cohort{Name: spec.Name}
+	if c.Weight, err = spec.Float("weight", 1); err != nil {
+		return Cohort{}, err
+	}
+	if c.Clients, err = spec.Int("clients", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.ClientSkew, err = spec.Float("cskew", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.BatchSize, err = spec.Int("batch", 0); err != nil {
+		return Cohort{}, err
+	}
+	c.ArrivalKind = DistKind(spec.Params["arrivals"])
+	if c.ArrivalCV, err = spec.Float("acv", 0); err != nil {
+		return Cohort{}, err
+	}
+	c.RuntimeKind = DistKind(spec.Params["runtimes"])
+	if c.RuntimeCV, err = spec.Float("rcv", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.MeanRuntime, err = spec.Float("meanruntime", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.MeanValueRate, err = spec.Float("meanvaluerate", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.ValueSkew, err = spec.Float("vskew", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.HighValueFrac, err = spec.Float("hvf", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.ValueCV, err = spec.Float("vcv", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.ZeroCrossFactor, err = spec.Float("zcf", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.DecaySkew, err = spec.Float("dskew", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.HighDecayFrac, err = spec.Float("hdf", 0); err != nil {
+		return Cohort{}, err
+	}
+	if c.DecayCV, err = spec.Float("dcv", 0); err != nil {
+		return Cohort{}, err
+	}
+	return c, c.validate()
+}

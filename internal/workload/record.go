@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/task"
+)
+
+// Recorder captures the bid stream a live client actually submitted, in
+// submission order, as a trace-v2 file. The recorded trace closes the
+// sim-vs-live calibration loop: the identical file replays into the
+// simulator (sitesim) and back into the TCP service (gridclient -replay),
+// so the two systems can be compared on the same tasks in the same order.
+//
+// Arrival stamps are the caller-supplied submission offsets (simulation
+// time units since the run began) and are forced non-decreasing, so the
+// trace reader's arrival sort preserves the submission order exactly.
+// Safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	spec  Spec
+	tasks []*task.Task
+}
+
+// NewRecorder starts an empty recording annotated with the spec that
+// generated (or describes) the stream.
+func NewRecorder(spec Spec) *Recorder {
+	return &Recorder{spec: spec}
+}
+
+// Record appends a snapshot of the task as it was submitted, stamped with
+// the given arrival offset. The task is cloned; later mutation by the
+// scheduler does not reach the recording.
+func (rec *Recorder) Record(t *task.Task, arrival float64) {
+	c := t.Clone()
+	c.Arrival = arrival
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if n := len(rec.tasks); n > 0 && c.Arrival < rec.tasks[n-1].Arrival {
+		c.Arrival = rec.tasks[n-1].Arrival
+	}
+	rec.tasks = append(rec.tasks, c)
+}
+
+// Len returns the number of recorded submissions.
+func (rec *Recorder) Len() int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return len(rec.tasks)
+}
+
+// Trace snapshots the recording as a replayable trace. The spec's Jobs
+// field is set to the recorded count.
+func (rec *Recorder) Trace() *Trace {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	spec := rec.spec
+	spec.Jobs = len(rec.tasks)
+	out := make([]*task.Task, len(rec.tasks))
+	for i, t := range rec.tasks {
+		out[i] = t.Clone()
+	}
+	return &Trace{Spec: spec, Tasks: out}
+}
+
+// WriteFile writes the recording as a trace-v2 file.
+func (rec *Recorder) WriteFile(path string) error {
+	tr := rec.Trace()
+	if len(tr.Tasks) == 0 {
+		return fmt.Errorf("workload: nothing recorded")
+	}
+	return tr.WriteFile(path)
+}

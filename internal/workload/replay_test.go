@@ -1,0 +1,75 @@
+// Replay determinism: the property backing the record/replay loop. A
+// generated trace must survive Write→Read bit-identically (same per-task
+// fields) and must produce the same simulated outcome on every replay —
+// otherwise sim-vs-live comparisons measure serialization noise, not
+// scheduling.
+package workload_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/workload"
+)
+
+func burstySpec(seed int64) workload.Spec {
+	spec := workload.Default()
+	spec.Jobs = 400
+	spec.Seed = seed
+	spec.Processors = 8
+	spec.Bound = 150
+	spec.Envelope = workload.Envelope{{Amplitude: 0.4, Period: 500}}
+	spec.Cohorts = []workload.Cohort{
+		{Name: "interactive", Weight: 2, Clients: 4, ClientSkew: 1,
+			ArrivalKind: workload.DistGamma, ArrivalCV: 4, MeanRuntime: 30},
+		{Name: "batch", Weight: 1, Clients: 2,
+			ArrivalKind: workload.DistWeibull, ArrivalCV: 2, MeanRuntime: 200, BatchSize: 2},
+	}
+	return spec
+}
+
+func TestWriteReadReplayBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1001} {
+		spec := burstySpec(seed)
+		tr, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := workload.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Tasks) != len(tr.Tasks) {
+			t.Fatalf("seed %d: %d tasks back, want %d", seed, len(back.Tasks), len(tr.Tasks))
+		}
+		for i := range tr.Tasks {
+			// Tasks are plain structs of comparable fields; demand exact
+			// equality, not approximate — float64s round-trip through the
+			// JSON encoder losslessly at %g precision.
+			if *back.Tasks[i] != *tr.Tasks[i] {
+				t.Fatalf("seed %d: task %d changed across Write/Read:\n  out: %+v\n  in:  %+v",
+					seed, i, tr.Tasks[i], back.Tasks[i])
+			}
+		}
+
+		cfg := site.Config{Processors: spec.Processors,
+			Policy: core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}}
+		orig := site.RunTrace(tr.Clone(), cfg)
+		replayed := site.RunTrace(back.Tasks, cfg)
+		again := site.RunTrace(back.Clone(), cfg)
+		if orig.TotalYield != replayed.TotalYield || orig.Completed != replayed.Completed {
+			t.Fatalf("seed %d: replay yield %v/%d, original %v/%d",
+				seed, replayed.TotalYield, replayed.Completed, orig.TotalYield, orig.Completed)
+		}
+		if again.TotalYield != replayed.TotalYield {
+			t.Fatalf("seed %d: second replay diverged: %v vs %v",
+				seed, again.TotalYield, replayed.TotalYield)
+		}
+	}
+}

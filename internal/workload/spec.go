@@ -19,6 +19,8 @@ const (
 	DistConstant    DistKind = "const"
 	DistPareto      DistKind = "pareto"
 	DistLogNormal   DistKind = "lognormal"
+	DistGamma       DistKind = "gamma"
+	DistWeibull     DistKind = "weibull"
 )
 
 // Spec describes a synthetic trace per the paper's methodology
@@ -79,13 +81,25 @@ type Spec struct {
 	DecayCV float64 `json:"decay_cv"`
 
 	// CycleAmplitude modulates the arrival rate sinusoidally in [0, 1):
-	// rate(t) = base * (1 + amplitude * sin(2*pi*t/CyclePeriod)), sampled
-	// via Lewis-Shedler thinning. Zero disables modulation. Diurnal load
-	// cycles are the canonical stress for capacity-adaptive providers.
-	// Requires exponential arrivals.
+	// rate(t) = base * (1 + amplitude * sin(2*pi*t/CyclePeriod)). Zero
+	// disables modulation. Diurnal load cycles are the canonical stress for
+	// capacity-adaptive providers. It is the legacy single-period knob,
+	// kept for flag compatibility; Envelope generalizes it.
 	CycleAmplitude float64 `json:"cycle_amplitude"`
 	// CyclePeriod is the modulation period in simulation time units.
 	CyclePeriod float64 `json:"cycle_period"`
+
+	// Envelope stacks additional sinusoidal rate-modulation terms on top
+	// of CycleAmplitude (either or both may be set; amplitudes must sum
+	// below 1). Applied by time rescaling, so it composes with any arrival
+	// kind, including the bursty Gamma/Weibull processes.
+	Envelope Envelope `json:"envelope,omitempty"`
+
+	// Cohorts, when non-empty, replaces the single homogeneous stream
+	// with a mix of named traffic classes; see Cohort. The Spec's own
+	// distribution fields become the baseline each cohort inherits from,
+	// and Load/Processors still calibrate the total offered load.
+	Cohorts []Cohort `json:"cohorts,omitempty"`
 
 	// Bound is the penalty bound applied to every task: 0 reproduces
 	// Millennium's functions bounded at zero; math.Inf(1) is the unbounded
@@ -134,6 +148,9 @@ func Millennium() Spec {
 	return s
 }
 
+// badCV reports whether a coefficient-of-variation knob is unusable.
+func badCV(v float64) bool { return v < 0 || math.IsNaN(v) || math.IsInf(v, 0) }
+
 // Validate reports whether the spec is generable.
 func (s Spec) Validate() error {
 	switch {
@@ -141,10 +158,13 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload: jobs %d must be positive", s.Jobs)
 	case s.Processors <= 0:
 		return fmt.Errorf("workload: processors %d must be positive", s.Processors)
-	case s.Load <= 0:
-		return fmt.Errorf("workload: load %g must be positive", s.Load)
+	case !(s.Load > 0) || math.IsInf(s.Load, 0):
+		return fmt.Errorf("workload: load %g must be positive and finite", s.Load)
 	case s.MeanRuntime <= 0:
 		return fmt.Errorf("workload: mean runtime %g must be positive", s.MeanRuntime)
+	case badCV(s.RuntimeCV) || badCV(s.ArrivalCV) || badCV(s.ValueCV) || badCV(s.DecayCV):
+		return fmt.Errorf("workload: CVs (%g, %g, %g, %g) must be non-negative and finite",
+			s.RuntimeCV, s.ArrivalCV, s.ValueCV, s.DecayCV)
 	case s.MeanValueRate <= 0:
 		return fmt.Errorf("workload: mean value rate %g must be positive", s.MeanValueRate)
 	case s.ValueSkew < 1 || s.DecaySkew < 1:
@@ -159,10 +179,37 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload: cycle amplitude %g must lie in [0, 1)", s.CycleAmplitude)
 	case s.CycleAmplitude > 0 && s.CyclePeriod <= 0:
 		return fmt.Errorf("workload: cycle period %g must be positive with a cycle amplitude", s.CyclePeriod)
-	case s.CycleAmplitude > 0 && s.ArrivalKind != DistExponential:
-		return fmt.Errorf("workload: cyclic load requires exponential arrivals, got %q", s.ArrivalKind)
+	}
+	if err := s.Envelope.Validate(); err != nil {
+		return err
+	}
+	// The legacy term and the explicit envelope must jointly keep the rate
+	// positive.
+	if a := s.CycleAmplitude + s.Envelope.TotalAmplitude(); a >= 1 {
+		return fmt.Errorf("workload: total modulation amplitude %g must stay below 1", a)
+	}
+	seen := make(map[string]bool, len(s.Cohorts))
+	for _, c := range s.Cohorts {
+		if err := c.validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("workload: duplicate cohort name %q", c.Name)
+		}
+		seen[c.Name] = true
 	}
 	return nil
+}
+
+// effectiveEnvelope folds the legacy CycleAmplitude/CyclePeriod knob into
+// the explicit envelope terms.
+func (s Spec) effectiveEnvelope() Envelope {
+	if s.CycleAmplitude == 0 {
+		return s.Envelope
+	}
+	env := make(Envelope, 0, len(s.Envelope)+1)
+	env = append(env, EnvelopeTerm{Amplitude: s.CycleAmplitude, Period: s.CyclePeriod})
+	return append(env, s.Envelope...)
 }
 
 // classMeans splits an overall mean into high/low class means with the
@@ -199,10 +246,14 @@ func (s Spec) arrivalDist() (Dist, error) {
 
 // Generate builds the trace: Jobs tasks with arrival times, runtimes, and
 // bimodal value/decay draws, sorted by arrival. Generation is deterministic
-// in Seed.
+// in Seed. A spec with cohorts merges one independent renewal stream per
+// (cohort, client) pair; otherwise the single-stream path below runs.
 func Generate(s Spec) (*Trace, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if len(s.Cohorts) > 0 {
+		return generateCohorts(s)
 	}
 	runtimes, err := s.runtimeDist()
 	if err != nil {
@@ -222,28 +273,18 @@ func Generate(s Spec) (*Trace, error) {
 		batch = 1
 	}
 
-	// With cyclic load, arrivals come from a non-homogeneous Poisson
-	// process sampled by thinning: candidates at the peak rate, accepted
-	// with probability rate(t)/peak.
-	nextGap := func(clock float64) float64 {
-		if s.CycleAmplitude == 0 {
-			return math.Max(0, arrivals.Sample(r))
-		}
-		peak := 1 + s.CycleAmplitude
-		t := clock
-		for {
-			t += math.Max(0, arrivals.Sample(r)) / peak
-			rate := 1 + s.CycleAmplitude*math.Sin(2*math.Pi*t/s.CyclePeriod)
-			if r.Float64()*peak <= rate {
-				return t - clock
-			}
-		}
-	}
+	// The envelope modulates arrivals by time rescaling: gaps accumulate
+	// in operational time and the envelope's cumulative-rate inverse maps
+	// them onto the clock (see Envelope). With no envelope the map is the
+	// identity.
+	env := s.effectiveEnvelope()
+	op := 0.0
 
 	tasks := make([]*task.Task, 0, s.Jobs)
 	clock := 0.0
 	for len(tasks) < s.Jobs {
-		clock += nextGap(clock)
+		op += math.Max(0, arrivals.Sample(r))
+		clock = env.TimeAt(op)
 		for b := 0; b < batch && len(tasks) < s.Jobs; b++ {
 			id := task.ID(len(tasks) + 1)
 			runtime := math.Max(1e-6, runtimes.Sample(r))

@@ -183,6 +183,18 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		func(s *Spec) { s.ZeroCrossFactor = 0 },
 		func(s *Spec) { s.Bound = -1 },
 		func(s *Spec) { s.Bound = math.NaN() },
+		func(s *Spec) { s.Load = math.NaN() },
+		func(s *Spec) { s.Load = math.Inf(1) },
+		func(s *Spec) { s.RuntimeCV = -0.3 },
+		func(s *Spec) { s.ArrivalCV = math.NaN() },
+		func(s *Spec) { s.ValueCV = math.Inf(1) },
+		func(s *Spec) { s.DecayCV = -1 },
+		func(s *Spec) { s.Envelope = Envelope{{Amplitude: -0.2, Period: 10}} },
+		func(s *Spec) { s.Envelope = Envelope{{Amplitude: 0.5, Period: 0}} },
+		func(s *Spec) { s.Cohorts = []Cohort{{Name: "", Weight: 1}} },
+		func(s *Spec) { s.Cohorts = []Cohort{{Name: "a", Weight: -1}} },
+		func(s *Spec) { s.Cohorts = []Cohort{{Name: "a", Weight: 1}, {Name: "a", Weight: 2}} },
+		func(s *Spec) { s.Cohorts = []Cohort{{Name: "a", Weight: 1, ArrivalCV: math.NaN()}} },
 	}
 	for i, mutate := range bad {
 		spec := Default()
@@ -237,10 +249,20 @@ func TestCyclicValidation(t *testing.T) {
 	if err := spec.Validate(); err == nil {
 		t.Error("missing period accepted")
 	}
+	// Time rescaling composes with any renewal process, so cyclic load no
+	// longer demands exponential arrivals.
 	spec.CyclePeriod = 100
 	spec.ArrivalKind = DistNormal
+	if err := spec.Validate(); err != nil {
+		t.Errorf("cyclic normal arrivals rejected: %v", err)
+	}
+	// The legacy knob and the envelope share the amplitude budget.
+	spec = Default()
+	spec.CycleAmplitude = 0.6
+	spec.CyclePeriod = 100
+	spec.Envelope = Envelope{{Amplitude: 0.5, Period: 40}}
 	if err := spec.Validate(); err == nil {
-		t.Error("cyclic non-exponential arrivals accepted")
+		t.Error("combined amplitude >= 1 accepted")
 	}
 }
 

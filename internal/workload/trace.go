@@ -13,6 +13,18 @@ import (
 	"repro/internal/task"
 )
 
+// Trace format versions.
+const (
+	// TraceV1 is the pre-cohort JSON layout: no version field, no task
+	// labels, and a lenient bound parser (a missing bound reads as +Inf).
+	TraceV1 = 1
+	// TraceV2 adds the schema version field and per-task cohort/client
+	// labels, and requires every bound — the spec's and each task's — to
+	// be explicit: a missing or unparseable bound is a corrupt file, not
+	// an unbounded penalty. Write always emits v2.
+	TraceV2 = 2
+)
+
 // Trace is a generated workload: the spec it came from and the tasks in
 // arrival order.
 type Trace struct {
@@ -79,7 +91,7 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*s = Spec(aux.alias)
-	b, err := parseBound(aux.BoundStr)
+	b, err := parseBound(aux.BoundStr, false)
 	if err != nil {
 		return err
 	}
@@ -94,11 +106,29 @@ func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
-func parseBound(s string) (float64, error) {
-	if s == "" || s == "inf" || s == "+inf" || s == "Inf" {
+// parseBound decodes a serialized penalty bound. The strict path (trace
+// v2) requires an explicit value, so a truncated or hand-mangled field
+// fails loudly instead of silently unbounding the penalty; the lenient
+// path (v1 reads and bare Spec JSON) maps a missing bound to +Inf for
+// backward compatibility. Both paths reject NaN and -Inf — garbage in any
+// era — and accept "inf" (any strconv spelling) as unbounded. Range
+// checks beyond that belong to the value-function validation, which
+// rejects negative task bounds wherever the trace came from.
+func parseBound(s string, strict bool) (float64, error) {
+	if s == "" {
+		if strict {
+			return 0, fmt.Errorf("missing explicit bound (trace v2 requires one)")
+		}
 		return math.Inf(1), nil
 	}
-	return strconv.ParseFloat(s, 64)
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, -1) {
+		return 0, fmt.Errorf("bound %q must be \"inf\" or a finite number", s)
+	}
+	return v, nil
 }
 
 // taskJSON is the serialized per-task record.
@@ -110,16 +140,19 @@ type taskJSON struct {
 	Decay   float64 `json:"decay"`
 	Bound   string  `json:"bound"`
 	Class   int     `json:"class"`
+	Cohort  string  `json:"cohort,omitempty"`
+	Client  int     `json:"client,omitempty"`
 }
 
 type traceJSON struct {
-	Spec  Spec       `json:"spec"`
-	Tasks []taskJSON `json:"tasks"`
+	Version int        `json:"version,omitempty"`
+	Spec    Spec       `json:"spec"`
+	Tasks   []taskJSON `json:"tasks"`
 }
 
-// Write serializes the trace as JSON.
+// Write serializes the trace as trace-v2 JSON.
 func (tr *Trace) Write(w io.Writer) error {
-	out := traceJSON{Spec: tr.Spec, Tasks: make([]taskJSON, len(tr.Tasks))}
+	out := traceJSON{Version: TraceV2, Spec: tr.Spec, Tasks: make([]taskJSON, len(tr.Tasks))}
 	for i, t := range tr.Tasks {
 		out.Tasks[i] = taskJSON{
 			ID:      t.ID,
@@ -129,6 +162,8 @@ func (tr *Trace) Write(w io.Writer) error {
 			Decay:   t.Decay,
 			Bound:   formatBound(t.Bound),
 			Class:   int(t.Class),
+			Cohort:  t.Cohort,
+			Client:  t.Client,
 		}
 	}
 	bw := bufio.NewWriter(w)
@@ -139,21 +174,61 @@ func (tr *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read deserializes a trace written by Write. Tasks are re-sorted by
-// arrival (breaking ties by ID) and validated.
+// Read deserializes a trace written by Write: v2 files (explicit version
+// field) get the strict bound rules, versionless files take the lenient v1
+// path, and versions beyond TraceV2 are refused. Tasks are re-sorted by
+// arrival (breaking ties by ID) and validated; a recorded stream's
+// submission order survives the sort because its arrival stamps are
+// non-decreasing.
 func Read(r io.Reader) (*Trace, error) {
-	var in traceJSON
+	var in struct {
+		Version int             `json:"version"`
+		Spec    json.RawMessage `json:"spec"`
+		Tasks   []taskJSON      `json:"tasks"`
+	}
 	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&in); err != nil {
 		return nil, fmt.Errorf("workload: decode trace: %w", err)
 	}
-	tr := &Trace{Spec: in.Spec, Tasks: make([]*task.Task, len(in.Tasks))}
+	if in.Version > TraceV2 {
+		return nil, fmt.Errorf("workload: trace version %d is newer than supported v%d", in.Version, TraceV2)
+	}
+	strict := in.Version >= TraceV2
+
+	tr := &Trace{}
+	if len(in.Spec) > 0 {
+		if err := json.Unmarshal(in.Spec, &tr.Spec); err != nil {
+			return nil, fmt.Errorf("workload: decode trace spec: %w", err)
+		}
+	}
+	if strict {
+		// The Spec decoder is shared with bare spec files and stays
+		// lenient; v2 re-checks that the spec's bound was explicit.
+		var sb struct {
+			Bound *string `json:"bound"`
+		}
+		if len(in.Spec) > 0 {
+			if err := json.Unmarshal(in.Spec, &sb); err != nil {
+				return nil, fmt.Errorf("workload: decode trace spec: %w", err)
+			}
+		}
+		if sb.Bound == nil {
+			return nil, fmt.Errorf("workload: trace v2 spec: missing explicit bound")
+		}
+		if _, err := parseBound(*sb.Bound, true); err != nil {
+			return nil, fmt.Errorf("workload: trace v2 spec bound: %w", err)
+		}
+	}
+
+	tr.Tasks = make([]*task.Task, len(in.Tasks))
 	for i, rec := range in.Tasks {
-		bound, err := parseBound(rec.Bound)
+		bound, err := parseBound(rec.Bound, strict)
 		if err != nil {
 			return nil, fmt.Errorf("workload: task %d bound: %w", rec.ID, err)
 		}
 		t := task.New(rec.ID, rec.Arrival, rec.Runtime, rec.Value, rec.Decay, bound)
 		t.Class = task.Class(rec.Class)
+		t.Cohort = rec.Cohort
+		t.Client = rec.Client
 		if err := t.Validate(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,120 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/workload"
+)
+
+// taskKey is the static identity of a submitted bid — everything except
+// the wall-clock-dependent arrival stamp and dynamic scheduling state.
+type taskKey struct {
+	id                         uint64
+	runtime, value, decay, bnd float64
+	class                      int
+	cohort                     string
+	client                     int
+}
+
+func staticKeys(tr *workload.Trace) []taskKey {
+	out := make([]taskKey, len(tr.Tasks))
+	for i, t := range tr.Tasks {
+		out[i] = taskKey{uint64(t.ID), t.Runtime, t.Value, t.Decay, t.Bound,
+			int(t.Class), t.Cohort, t.Client}
+	}
+	return out
+}
+
+// TestRecordReplayBitIdentical is the calibration-loop acceptance test: a
+// live gridclient run records the bid stream it submitted over TCP; that
+// trace replays deterministically into the simulator, and replaying it
+// into a fresh TCP service reproduces the identical bid stream (same
+// tasks, same submission order) as shown by a second recording.
+func TestRecordReplayBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	binDir := t.TempDir()
+	siteBin := filepath.Join(binDir, "siteserver")
+	clientBin := filepath.Join(binDir, "gridclient")
+	for _, b := range []struct{ bin, pkg string }{
+		{siteBin, "./cmd/siteserver"},
+		{clientBin, "./cmd/gridclient"},
+	} {
+		build := exec.Command("go", "build", "-o", b.bin, b.pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("building %s: %v", b.pkg, err)
+		}
+	}
+
+	runClient := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command(clientBin, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("gridclient %v: %v", args, err)
+		}
+	}
+	serverArgs := []string{"-addr", "127.0.0.1:0", "-procs", "2",
+		"-timescale", "2ms", "-admission", "accept-all", "-quiet"}
+
+	// Run 1: live generation, recorded.
+	t1Path := filepath.Join(binDir, "t1.json")
+	p1 := startSiteProc(t, siteBin, append(serverArgs, "-data-dir", t.TempDir())...)
+	runClient("-sites", p1.addr, "-n", "25", "-seed", "5",
+		"-interarrival", "4ms", "-timescale", "2ms",
+		"-reconcile", "250ms", "-record", t1Path)
+
+	t1, err := workload.ReadFile(t1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Tasks) != 25 {
+		t.Fatalf("recorded %d tasks, want 25", len(t1.Tasks))
+	}
+	prev := -1.0
+	for _, tk := range t1.Tasks {
+		if tk.Arrival < prev {
+			t.Fatalf("recorded arrivals not monotone at task %d", tk.ID)
+		}
+		prev = tk.Arrival
+	}
+
+	// The recording replays deterministically into the simulator: two
+	// RunTrace passes over clones must agree exactly.
+	cfg := site.Config{Processors: 2, Policy: core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}}
+	m1 := site.RunTrace(t1.Clone(), cfg)
+	m2 := site.RunTrace(t1.Clone(), cfg)
+	if m1.TotalYield != m2.TotalYield || m1.Completed != m2.Completed {
+		t.Fatalf("sim replay diverged: %v/%d vs %v/%d",
+			m1.TotalYield, m1.Completed, m2.TotalYield, m2.Completed)
+	}
+
+	// Run 2: replay the recording into a fresh TCP service, recording
+	// again. The second recording must carry the identical bid stream.
+	t2Path := filepath.Join(binDir, "t2.json")
+	p2 := startSiteProc(t, siteBin, append(serverArgs, "-data-dir", t.TempDir())...)
+	runClient("-sites", p2.addr, "-timescale", "2ms",
+		"-reconcile", "250ms", "-replay", t1Path, "-record", t2Path)
+
+	t2, err := workload.ReadFile(t2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := staticKeys(t1), staticKeys(t2)
+	if len(k1) != len(k2) {
+		t.Fatalf("replay submitted %d tasks, original %d", len(k2), len(k1))
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("submission %d differs between record and replay:\n  t1: %+v\n  t2: %+v",
+				i, k1[i], k2[i])
+		}
+	}
+}
