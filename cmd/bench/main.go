@@ -88,6 +88,7 @@ func main() {
 		phaseFilter     = flag.String("phase-filter", "", "only run -service phases whose mode/fsync/mix contains this substring")
 		minQuoteSpeedup = flag.Float64("min-quote-speedup", 0, "required concurrent/locked quotes-per-sec ratio at fsync=always in -service mode (0 disables)")
 		minAwardSpeedup = flag.Float64("min-award-speedup", 0, "required concurrent/locked awards-per-sec ratio at fsync=always in -service mode (0 disables)")
+		obsDir          = flag.String("obs-dir", "", "write per-phase flight-recorder dumps (timeseries + ledger JSON) here in -service mode (CI uploads them as artifacts)")
 
 		wl      = flag.Bool("workload", false, "run the bursty-cohort traffic benchmark instead of the core benches")
 		wlTasks = flag.Int("tasks", 4000, "tasks per -workload phase")
@@ -117,6 +118,7 @@ func main() {
 			duration:    *serviceDur,
 			profileDir:  *profileDir,
 			phaseFilter: *phaseFilter,
+			obsDir:      *obsDir,
 		})
 		if err != nil {
 			fatal(err)

@@ -68,6 +68,7 @@ type serviceOpts struct {
 	duration    time.Duration
 	profileDir  string
 	phaseFilter string // "mode/fsync/mix" substring match; empty runs all
+	obsDir      string // write per-phase flight dumps (timeseries + ledger) here
 }
 
 // runService measures eight phases: {locked, concurrent} × {always,
@@ -234,11 +235,15 @@ func runPhaseIsolated(mode, fsyncName, mix string, opts serviceOpts) (ServicePha
 	tmp.Close()
 	defer os.Remove(tmp.Name())
 	want := mode + "/" + fsyncName + "/" + mix
-	cmd := exec.Command(exe, "-service",
+	args := []string{"-service",
 		"-clients", strconv.Itoa(opts.clients),
 		"-duration", opts.duration.String(),
 		"-phase-filter", want,
-		"-out", tmp.Name())
+		"-out", tmp.Name()}
+	if opts.obsDir != "" {
+		args = append(args, "-obs-dir", opts.obsDir)
+	}
+	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
 		return ServicePhase{}, fmt.Errorf("child bench: %w", err)
@@ -266,6 +271,14 @@ func runServicePhase(mode, fsyncName string, fsync durable.FsyncPolicy, mix stri
 
 	reg := obs.NewRegistry()
 	siteID := "bench"
+	// The ledger always runs: the CI floors gate the service throughput
+	// with economic bookkeeping enabled, not an instrumentation-free build.
+	ledger := obs.NewLedger(obs.LedgerConfig{Site: siteID, Policy: "firstreward", Registry: reg})
+	var flight *obs.Flight
+	if opts.obsDir != "" {
+		flight = obs.NewFlight(obs.FlightConfig{Registry: reg, Interval: 250 * time.Millisecond})
+		defer flight.Stop()
+	}
 	srv, err := wire.NewServer("127.0.0.1:0", wire.ServerConfig{
 		SiteID:     siteID,
 		Processors: 8,
@@ -275,6 +288,7 @@ func runServicePhase(mode, fsyncName string, fsync durable.FsyncPolicy, mix stri
 		// settlement at the same rate they are written.
 		TimeScale:    20 * time.Microsecond,
 		Metrics:      reg,
+		Ledger:       ledger,
 		DataDir:      dir,
 		Fsync:        fsync,
 		FsyncEvery:   5 * time.Millisecond,
@@ -385,6 +399,15 @@ func runServicePhase(mode, fsyncName string, fsync durable.FsyncPolicy, mix stri
 	// Re-binding the same family+labels yields the server's own counters.
 	p.BatchRounds = reg.Counter("site_journal_batch_syncs_total", "", "site").With(siteID).Value()
 	p.BatchRecords = reg.Counter("site_journal_batch_records_total", "", "site").With(siteID).Value()
+	if flight != nil {
+		if err := os.MkdirAll(opts.obsDir, 0o755); err != nil {
+			return ServicePhase{}, err
+		}
+		name := fmt.Sprintf("flight-%s-%s-%s.json", mode, fsyncName, mix)
+		if err := obs.WriteFlightDump(filepath.Join(opts.obsDir, name), flight, ledger); err != nil {
+			return ServicePhase{}, err
+		}
+	}
 	return p, nil
 }
 

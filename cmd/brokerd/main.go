@@ -32,6 +32,8 @@ func main() {
 		logLevel = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr alongside logs")
+		flightOut = flag.String("flight-out", "", "write the flight-recorder timeseries dump here on SIGUSR1 and at exit (empty disables the file; the recorder itself always runs)")
+		flightInt = flag.Duration("flight-interval", obs.DefaultFlightInterval, "flight-recorder sampling interval")
 	)
 	flag.Parse()
 
@@ -70,13 +72,18 @@ func main() {
 		}
 	}
 
+	// The flight recorder samples every registered family on a fixed
+	// interval; /debug/timeseries serves the ring, SIGUSR1 dumps it.
+	flight := obs.NewFlight(obs.FlightConfig{Registry: obs.Default, Interval: *flightInt})
+	defer flight.Stop()
+
 	b, err := wire.NewBrokerServer(*addr, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "brokerd:", err)
 		os.Exit(1)
 	}
 	if *metrics != "" {
-		diag, err := obs.ServeDiag(*metrics, obs.DiagConfig{Logger: logger})
+		diag, err := obs.ServeDiag(*metrics, obs.DiagConfig{Logger: logger, Flight: flight})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "brokerd:", err)
 			os.Exit(1)
@@ -86,9 +93,27 @@ func main() {
 	}
 	fmt.Printf("broker listening on %s for %d site(s)\n", b.Addr(), len(cfg.SiteAddrs))
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	dump := func(why string) {
+		if *flightOut == "" {
+			return
+		}
+		if err := obs.WriteFlightDump(*flightOut, flight, nil); err != nil {
+			logger.Warn("flight dump failed", "path", *flightOut, "err", err.Error())
+			return
+		}
+		fmt.Printf("flight dump (%s) written to %s\n", why, *flightOut)
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	for s := range sig {
+		if s == syscall.SIGUSR1 {
+			dump("SIGUSR1")
+			continue
+		}
+		break
+	}
 	fmt.Println("shutting down")
 	_ = b.Close()
+	dump("shutdown")
 }

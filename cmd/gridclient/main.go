@@ -36,6 +36,7 @@ func main() {
 		trace     = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr")
 		record    = flag.String("record", "", "write the stream of bids actually submitted as a trace-v2 file on exit")
 		replay    = flag.String("replay", "", "replay a trace file instead of generating: submit its tasks in order, pacing by arrival gaps times -timescale (overrides -n, -seed, -interarrival)")
+		ledgerOut = flag.String("ledger-out", "", "write the client-side contract ledger as JSON on exit (\"-\" for stdout; empty disables)")
 	)
 	flag.Parse()
 
@@ -63,12 +64,21 @@ func main() {
 		defer diag.Close()
 		fmt.Printf("diagnostics on http://%s/metrics\n", diag.Addr())
 	}
+	// The client-side contract ledger mirrors the client's own view of
+	// every placement: opened at contract award, settled when the site's
+	// push or the reconcile poll delivers the outcome. A site's ledger can
+	// be reconciled against this dump (see DESIGN.md §13).
+	var ledger *obs.Ledger
+	if *ledgerOut != "" {
+		ledger = obs.NewLedger(obs.LedgerConfig{Site: "gridclient"})
+	}
 	lateness := obs.Default.Histogram("market_settlement_lateness",
 		"Completion time minus contracted completion, in simulation units.",
 		nil, "site")
 	defaults := obs.Default.Counter("market_contracts_defaulted_total",
 		"Contracts whose site reported them defaulted.", "role", "site")
 
+	start := time.Now()
 	var clients []*wire.SiteClient
 	var mu sync.Mutex
 	settledCount, defaultedCount, lostCount := 0, 0, 0
@@ -105,6 +115,7 @@ func main() {
 			settledCount++
 			revenue += e.FinalPrice
 			mu.Unlock()
+			ledger.Settle(uint64(e.TaskID), obs.OutcomeSettled, e.CompletedAt, e.FinalPrice)
 			lateness.With(e.SiteID).Observe(e.CompletedAt - want)
 			tracer.Emit(obs.TraceEvent{Stage: obs.StageSettle, Task: uint64(e.TaskID),
 				Req: e.ReqID, Site: e.SiteID, T: e.CompletedAt, Value: e.FinalPrice})
@@ -150,6 +161,7 @@ func main() {
 					settledCount++
 					revenue += st.FinalPrice
 					mu.Unlock()
+					ledger.Settle(uint64(id), obs.OutcomeSettled, st.CompletedAt, st.FinalPrice)
 					lateness.With(c.SiteID()).Observe(st.CompletedAt - want)
 					fmt.Printf("settled  task %d at %s: price %.2f (reconciled)\n", id, c.SiteID(), st.FinalPrice)
 					wg.Done()
@@ -160,6 +172,7 @@ func main() {
 					defaultedCount++
 					revenue += st.FinalPrice
 					mu.Unlock()
+					ledger.Settle(uint64(id), obs.OutcomeDefaulted, st.CompletedAt, st.FinalPrice)
 					defaults.With("client", c.SiteID()).Inc()
 					logger.Warn("contract defaulted", "task", uint64(id), "site", c.SiteID(), "price", st.FinalPrice)
 					fmt.Printf("default  task %d at %s: penalty %.2f\n", id, c.SiteID(), st.FinalPrice)
@@ -170,6 +183,7 @@ func main() {
 					mu.Lock()
 					lostCount++
 					mu.Unlock()
+					ledger.Settle(uint64(id), obs.OutcomeAbandoned, float64(time.Since(start))/float64(*scale), 0)
 					logger.Warn("contract lost: site has no record of it", "task", uint64(id), "site", c.SiteID())
 					wg.Done()
 				}
@@ -212,7 +226,6 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	start := time.Now()
 	placed, declined := 0, 0
 	var prevArrival float64
 	for i, t := range tr.Tasks {
@@ -256,6 +269,13 @@ func main() {
 			}
 		}
 		mu.Unlock()
+		ledger.Open(obs.LedgerEntry{
+			Task: uint64(terms.TaskID), Site: terms.SiteID,
+			Cohort: wt.Cohort, Client: wt.Client,
+			BidValue: wt.Value, QuotedPrice: terms.ExpectedPrice,
+			ExpectedCompletion: terms.ExpectedCompletion,
+			AwardedAt:          float64(time.Since(start)) / float64(*scale),
+		})
 		wg.Add(1)
 		fmt.Printf("contract task %d -> %s: expected completion %.1f, price %.2f\n",
 			bid.TaskID, terms.SiteID, terms.ExpectedCompletion, terms.ExpectedPrice)
@@ -298,6 +318,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("recorded %d submissions to %s\n", rec.Len(), *record)
+	}
+
+	if ledger != nil {
+		w := os.Stdout
+		if *ledgerOut != "-" {
+			f, err := os.Create(*ledgerOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gridclient: ledger:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := ledger.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "gridclient: ledger:", err)
+			os.Exit(1)
+		}
 	}
 
 	mu.Lock()

@@ -1,0 +1,169 @@
+// Command obstop is a polling text dashboard over a fleet of task-service
+// daemons. Each interval it scrapes every target's /metrics exposition and
+// /debug/ledger snapshot and renders one row per site: queue depth, running
+// tasks, live connections, quote rate, contract book, and the
+// realized-vs-expected yield picture from the economic ledger.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// siteSample is one poll of one target's diagnostics endpoints.
+type siteSample struct {
+	target string
+	site   string
+	err    error
+	at     time.Time
+
+	queue   float64
+	running float64
+	conns   float64
+	quotes  float64 // cumulative bid RPCs; rate comes from poll deltas
+
+	ledger    obs.LedgerSnapshot
+	hasLedger bool
+}
+
+// scrape polls one target. A metrics failure marks the whole row down; a
+// ledger failure only blanks the economic columns (brokers serve /metrics
+// but book no contracts).
+func scrape(client *http.Client, target string) siteSample {
+	s := siteSample{target: target, site: target, at: time.Now()}
+	resp, err := client.Get("http://" + target + "/metrics")
+	if err != nil {
+		s.err = err
+		return s
+	}
+	fams, err := obs.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		s.err = err
+		return s
+	}
+	for _, f := range fams {
+		for _, sm := range f.Samples {
+			switch f.Name {
+			case "site_queue_depth":
+				s.queue += sm.Value
+			case "site_running_tasks":
+				s.running += sm.Value
+			case "wire_connections":
+				s.conns += sm.Value
+			case "wire_rpc_total":
+				if sm.Label("type") == "bid" {
+					s.quotes += sm.Value
+				}
+			}
+			if site := sm.Label("site"); site != "" {
+				s.site = site
+			}
+		}
+	}
+	lr, err := client.Get("http://" + target + "/debug/ledger")
+	if err != nil {
+		return s
+	}
+	defer lr.Body.Close()
+	if lr.StatusCode == http.StatusOK && json.NewDecoder(lr.Body).Decode(&s.ledger) == nil {
+		s.hasLedger = true
+		if s.ledger.Site != "" {
+			s.site = s.ledger.Site
+		}
+	}
+	return s
+}
+
+// render writes the fleet table. prev holds the previous poll per target
+// for rate columns; a nil entry renders the rate blank.
+func render(w io.Writer, rows []siteSample, prev map[string]siteSample) {
+	fmt.Fprintf(w, "%-14s %6s %5s %5s %8s %6s %7s %7s %10s %10s %10s\n",
+		"SITE", "QUEUE", "RUN", "CONN", "QUOTE/s", "OPEN", "SETTLED", "DFLT",
+		"EXPECTED", "REALIZED", "EXPOSURE")
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(w, "%-14s DOWN: %v\n", r.target, r.err)
+			continue
+		}
+		rate := "-"
+		if p, ok := prev[r.target]; ok && p.err == nil {
+			if dt := r.at.Sub(p.at).Seconds(); dt > 0 {
+				rate = fmt.Sprintf("%.1f", (r.quotes-p.quotes)/dt)
+			}
+		}
+		open, settled, dflt := "-", "-", "-"
+		expected, realized, exposure := "-", "-", "-"
+		if r.hasLedger {
+			t := r.ledger.Totals
+			open = fmt.Sprintf("%d", t.Open)
+			settled = fmt.Sprintf("%d", t.Settled)
+			dflt = fmt.Sprintf("%d", t.Defaulted)
+			expected = fmt.Sprintf("%.2f", t.ExpectedYield)
+			realized = fmt.Sprintf("%.2f", t.RealizedYield)
+			exposure = fmt.Sprintf("%.2f", t.Exposure)
+		}
+		fmt.Fprintf(w, "%-14s %6.0f %5.0f %5.0f %8s %6s %7s %7s %10s %10s %10s\n",
+			r.site, r.queue, r.running, r.conns, rate, open, settled, dflt,
+			expected, realized, exposure)
+	}
+}
+
+func main() {
+	var (
+		targets  = flag.String("targets", "", "comma-separated diagnostics addresses (host:port of each daemon's -metrics-addr; required)")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		count    = flag.Int("count", 0, "exit after this many polls (0 = run until interrupted)")
+		once     = flag.Bool("once", false, "poll once, print the table, and exit (same as -count 1)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+		noClear  = flag.Bool("no-clear", false, "append tables instead of redrawing in place")
+	)
+	flag.Parse()
+	if *targets == "" {
+		fmt.Fprintln(os.Stderr, "obstop: -targets is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*targets, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	polls := *count
+	if *once {
+		polls = 1
+	}
+	client := &http.Client{Timeout: *timeout}
+	prev := make(map[string]siteSample)
+	for n := 0; ; n++ {
+		if n > 0 {
+			time.Sleep(*interval)
+		}
+		rows := make([]siteSample, len(addrs))
+		for i, a := range addrs {
+			rows[i] = scrape(client, a)
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].site < rows[j].site })
+		if !*noClear && polls != 1 {
+			fmt.Print("\033[2J\033[H")
+		}
+		fmt.Printf("obstop %s  (%d targets, every %s)\n", time.Now().Format("15:04:05"), len(addrs), *interval)
+		render(os.Stdout, rows, prev)
+		for _, r := range rows {
+			prev[r.target] = r
+		}
+		if polls > 0 && n+1 >= polls {
+			return
+		}
+	}
+}

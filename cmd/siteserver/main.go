@@ -33,9 +33,11 @@ func main() {
 		logLevel = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr alongside logs")
-		dataDir  = flag.String("data-dir", "", "journal contracts here for crash recovery (empty runs memory-only)")
-		fsync    = flag.String("fsync", "always", "journal sync policy: always|interval|never")
-		regime   = flag.String("crash-regime", wire.RegimeRequeue, "recovery of runs in flight at a crash: requeue|default")
+		dataDir   = flag.String("data-dir", "", "journal contracts here for crash recovery (empty runs memory-only)")
+		fsync     = flag.String("fsync", "always", "journal sync policy: always|interval|never")
+		regime    = flag.String("crash-regime", wire.RegimeRequeue, "recovery of runs in flight at a crash: requeue|default")
+		flightOut = flag.String("flight-out", "", "write the flight-recorder dump (timeseries + ledger JSON) here on SIGUSR1 and at exit (empty disables the file; the recorder itself always runs)")
+		flightInt = flag.Duration("flight-interval", obs.DefaultFlightInterval, "flight-recorder sampling interval")
 	)
 	flag.Parse()
 
@@ -62,6 +64,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The economic flight recorder: the contract ledger books every award
+	// and settlement (served at /debug/ledger), and the timeseries ring
+	// samples every registered family (served at /debug/timeseries).
+	ledger := obs.NewLedger(obs.LedgerConfig{Site: *id, Policy: pol.Name(), Registry: obs.Default})
+	flight := obs.NewFlight(obs.FlightConfig{Registry: obs.Default, Interval: *flightInt})
+	defer flight.Stop()
+
 	cfg := wire.ServerConfig{
 		SiteID:       *id,
 		Processors:   *procs,
@@ -72,6 +81,7 @@ func main() {
 		IdleTimeout:  *idle,
 		WriteTimeout: *wtimeout,
 		Metrics:      obs.Default,
+		Ledger:       ledger,
 		DataDir:      *dataDir,
 		Fsync:        fsyncPolicy,
 		CrashRegime:  *regime,
@@ -96,7 +106,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *metrics != "" {
-		diag, err := obs.ServeDiag(*metrics, obs.DiagConfig{Logger: logger})
+		diag, err := obs.ServeDiag(*metrics, obs.DiagConfig{Logger: logger, Ledger: ledger, Flight: flight})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "siteserver:", err)
 			os.Exit(1)
@@ -109,12 +119,31 @@ func main() {
 		fmt.Printf("journaling contracts to %s (fsync=%s, crash-regime=%s)\n", *dataDir, fsyncPolicy, *regime)
 	}
 
+	dump := func(why string) {
+		if *flightOut == "" {
+			return
+		}
+		if err := obs.WriteFlightDump(*flightOut, flight, ledger); err != nil {
+			logger.Warn("flight dump failed", "path", *flightOut, "err", err.Error())
+			return
+		}
+		fmt.Printf("flight dump (%s) written to %s\n", why, *flightOut)
+	}
+
 	// SIGTERM/SIGINT run the full Close path: the journal tail is flushed
 	// and the clean-shutdown marker written, so the next start replays
-	// without a torn-tail scan and resumes every open contract.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	// without a torn-tail scan and resumes every open contract. SIGUSR1
+	// dumps the flight recorder without stopping the server.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	for s := range sig {
+		if s == syscall.SIGUSR1 {
+			dump("SIGUSR1")
+			continue
+		}
+		break
+	}
 	fmt.Println("shutting down")
 	_ = srv.Close()
+	dump("shutdown")
 }

@@ -28,8 +28,9 @@ func main() {
 		preempt  = flag.Bool("preempt", false, "enable preemption")
 		restart  = flag.Bool("restart", false, "preemption loses progress")
 		report   = flag.Bool("report", false, "print the per-class distributional report")
-		byCohort = flag.Bool("by-cohort", false, "print per-cohort outcomes (trace-v2 cohort labels)")
-		traceOut = flag.String("trace-out", "", "write the scheduling audit log as JSON task-lifecycle events to this file (\"-\" for stderr)")
+		byCohort  = flag.Bool("by-cohort", false, "print per-cohort outcomes (trace-v2 cohort labels)")
+		traceOut  = flag.String("trace-out", "", "write the scheduling audit log as JSON task-lifecycle events to this file (\"-\" for stderr)")
+		ledgerOut = flag.String("ledger-out", "", "write the final contract-ledger snapshot as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -67,7 +68,7 @@ func main() {
 		Admission:         admPol,
 		DiscountRate:      *discount,
 	}
-	var opts []site.Option
+	var recorders []site.Recorder
 	if *traceOut != "" {
 		w := os.Stderr
 		if *traceOut != "-" {
@@ -79,11 +80,38 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		opts = append(opts, site.WithRecorder(site.NewObsRecorder(nil, obs.NewTracer(w, "sitesim"), "sitesim")))
+		recorders = append(recorders, site.NewObsRecorder(nil, obs.NewTracer(w, "sitesim"), "sitesim"))
+	}
+	var ledger *obs.Ledger
+	if *ledgerOut != "" {
+		ledger = obs.NewLedger(obs.LedgerConfig{
+			Site: "sitesim", Policy: pol.Name(), Capacity: len(tr.Tasks) + 1,
+		})
+		recorders = append(recorders, site.NewLedgerRecorder(ledger))
+	}
+	var opts []site.Option
+	if r := site.MultiRecorder(recorders...); r != nil {
+		opts = append(opts, site.WithRecorder(r))
 	}
 
 	tasks := tr.Clone()
 	m := site.RunTrace(tasks, cfg, opts...)
+	if ledger != nil {
+		w := os.Stdout
+		if *ledgerOut != "-" {
+			f, err := os.Create(*ledgerOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sitesim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := ledger.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "sitesim:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("policy:          %s\n", pol.Name())
 	fmt.Printf("admission:       %s\n", admPol.Name())
 	fmt.Printf("processors:      %d\n", p)

@@ -1,0 +1,116 @@
+// Command tracecat analyzes task-lifecycle trace streams: it reconstructs
+// each task's critical path from the span-structured events the daemons and
+// simulators emit (-trace / -trace-out), audits the span trees for causal
+// holes, and reports where the latency went — negotiation, queue wait,
+// execution, or settlement.
+//
+// Feed it one file or several (client, broker, and site streams of the same
+// run concatenate into whole cross-process paths):
+//
+//	tracecat client.trace site.trace
+//	gridclient -trace 2>both.trace; tracecat -clock wall both.trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		clock  = flag.String("clock", "wall", "latency clock: wall (RFC3339 stamps, cross-process) or sim (emitters' simulation time)")
+		asJSON = flag.Bool("json", false, "emit the per-task paths and breakdowns as JSON instead of the report")
+		strict = flag.Bool("strict", false, "exit non-zero if any path has orphan spans or an incomplete bid->settle chain ends settled")
+	)
+	flag.Parse()
+	if *clock != "wall" && *clock != "sim" {
+		fmt.Fprintf(os.Stderr, "tracecat: unknown clock %q\n", *clock)
+		os.Exit(2)
+	}
+
+	var events []obs.SpanEvent
+	if flag.NArg() == 0 {
+		evs, err := obs.ReadTrace(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecat: stdin:", err)
+			os.Exit(1)
+		}
+		events = evs
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecat:", err)
+			os.Exit(1)
+		}
+		evs, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecat: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		events = append(events, evs...)
+	}
+
+	an := obs.BuildPaths(events)
+	if *asJSON {
+		if err := writeJSON(os.Stdout, an, *clock); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecat:", err)
+			os.Exit(1)
+		}
+	} else {
+		an.WriteBreakdownReport(os.Stdout, *clock)
+	}
+	if *strict {
+		bad := 0
+		for i := range an.Paths {
+			p := &an.Paths[i]
+			if len(p.Orphans) > 0 {
+				fmt.Fprintf(os.Stderr, "tracecat: task %d: orphan spans %v\n", p.Task, p.Orphans)
+				bad++
+			} else if p.Outcome == "settled" && !p.Complete() {
+				fmt.Fprintf(os.Stderr, "tracecat: task %d: settled but its bid->settle chain has holes\n", p.Task)
+				bad++
+			}
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// pathJSON is the machine-readable per-task record.
+type pathJSON struct {
+	Task      uint64        `json:"task"`
+	Req       string        `json:"req,omitempty"`
+	Site      string        `json:"site,omitempty"`
+	Cohort    string        `json:"cohort,omitempty"`
+	Outcome   string        `json:"outcome"`
+	Complete  bool          `json:"complete"`
+	Orphans   []string      `json:"orphans,omitempty"`
+	Breakdown obs.Breakdown `json:"breakdown"`
+}
+
+func writeJSON(w io.Writer, an *obs.TraceAnalysis, clock string) error {
+	out := struct {
+		Events  int        `json:"events"`
+		Orphans int        `json:"orphans"`
+		Paths   []pathJSON `json:"paths"`
+	}{Events: an.Events, Orphans: an.Orphans}
+	for i := range an.Paths {
+		p := &an.Paths[i]
+		out.Paths = append(out.Paths, pathJSON{
+			Task: p.Task, Req: p.Req, Site: p.Site, Cohort: p.Cohort,
+			Outcome: p.Outcome, Complete: p.Complete(), Orphans: p.Orphans,
+			Breakdown: p.Breakdown(clock),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -12,10 +13,12 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/task"
 	"repro/internal/wire"
 )
@@ -165,8 +168,10 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	// Simulated outage, long enough to expire the bounded contract.
 	time.Sleep(100 * time.Millisecond)
 
+	flightPath := filepath.Join(t.TempDir(), "flight.json")
 	p2 := startSiteProc(t, bin,
-		append([]string{"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-crash-regime", "requeue"}, common...)...)
+		append([]string{"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+			"-crash-regime", "requeue", "-flight-out", flightPath}, common...)...)
 	c2, err := wire.Dial(p2.addr)
 	if err != nil {
 		t.Fatal(err)
@@ -253,6 +258,98 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	if out := os.Getenv("CRASH_METRICS_OUT"); out != "" {
 		if err := os.WriteFile(out, body, 0o644); err != nil {
 			t.Errorf("writing CRASH_METRICS_OUT: %v", err)
+		}
+	}
+
+	// The recovered server's economic ledger must reconcile with the
+	// client's view of the same book: every placed contract is on it
+	// (journal-seeded for pre-crash closures, re-opened for survivors),
+	// every one ended settled or defaulted, no settlement arrived for a
+	// contract the ledger never opened, and per-task realized yields match
+	// the prices the client saw.
+	lresp, err := http.Get("http://" + p2.diagAddr + "/debug/ledger")
+	if err != nil {
+		t.Fatalf("fetching ledger: %v", err)
+	}
+	lbody, err := io.ReadAll(lresp.Body)
+	lresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.LedgerSnapshot
+	if err := json.Unmarshal(lbody, &snap); err != nil {
+		t.Fatalf("decoding ledger: %v", err)
+	}
+	if snap.Totals.UnknownSettles != 0 {
+		t.Errorf("ledger booked %d settlements with no matching award", snap.Totals.UnknownSettles)
+	}
+	if snap.Totals.Opened != n {
+		t.Errorf("ledger opened %d contracts, want all %d placed", snap.Totals.Opened, n)
+	}
+	if snap.Totals.Settled+snap.Totals.Defaulted != n || snap.Totals.Open != 0 {
+		t.Errorf("ledger totals %+v: want %d settled+defaulted, none open", snap.Totals, n)
+	}
+	byTask := map[task.ID]obs.LedgerEntry{}
+	for _, e := range snap.Entries {
+		byTask[task.ID(e.Task)] = e
+	}
+	for id, price := range settledAfter {
+		e, ok := byTask[id]
+		if !ok {
+			t.Errorf("settled contract %d missing from the ledger", id)
+			continue
+		}
+		if e.Outcome != obs.OutcomeSettled || math.Abs(e.RealizedYield-price) > 1e-9 {
+			t.Errorf("ledger entry %d = %q/%v, client saw settled/%v", id, e.Outcome, e.RealizedYield, price)
+		}
+	}
+	for id, price := range defaulted {
+		e, ok := byTask[id]
+		if !ok {
+			t.Errorf("defaulted contract %d missing from the ledger", id)
+			continue
+		}
+		if e.Outcome != obs.OutcomeDefaulted || math.Abs(e.RealizedYield-price) > 1e-9 {
+			t.Errorf("ledger entry %d = %q/%v, client saw defaulted/%v", id, e.Outcome, e.RealizedYield, price)
+		}
+	}
+
+	// SIGUSR1 dumps the flight recorder (timeseries + ledger) without
+	// stopping the server; the dump is the chaos job's CI artifact.
+	if err := p2.cmd.Process.Signal(syscall.SIGUSR1); err != nil {
+		t.Fatalf("signaling SIGUSR1: %v", err)
+	}
+	var dump obs.FlightDump
+	dumpDeadline := time.Now().Add(10 * time.Second)
+	for {
+		raw, err := os.ReadFile(flightPath)
+		if err == nil && json.Unmarshal(raw, &dump) == nil && len(dump.Timeseries) > 0 {
+			break
+		}
+		if time.Now().After(dumpDeadline) {
+			t.Fatalf("flight dump never appeared at %s (last error: %v)", flightPath, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if dump.Ledger.Totals.Opened != n {
+		t.Errorf("flight dump ledger opened %d, want %d", dump.Ledger.Totals.Opened, n)
+	}
+	last := dump.Timeseries[len(dump.Timeseries)-1]
+	if last.Values["site_contracts_recovered_total"] <= 0 {
+		t.Errorf("flight timeseries never sampled the recovery counters: %v", last.Values)
+	}
+	if out := os.Getenv("CRASH_LEDGER_OUT"); out != "" {
+		if err := os.WriteFile(out, lbody, 0o644); err != nil {
+			t.Errorf("writing CRASH_LEDGER_OUT: %v", err)
+		}
+	}
+	if out := os.Getenv("CRASH_TIMESERIES_OUT"); out != "" {
+		raw, err := os.ReadFile(flightPath)
+		if err == nil {
+			err = os.WriteFile(out, raw, 0o644)
+		}
+		if err != nil {
+			t.Errorf("writing CRASH_TIMESERIES_OUT: %v", err)
 		}
 	}
 }

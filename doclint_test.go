@@ -1,0 +1,69 @@
+package repro
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// metricRegRe matches a family registration (or re-bind) with a literal
+// name: reg.Counter("site_tasks_total", ...), including multi-line calls.
+var metricRegRe = regexp.MustCompile(`\.(Counter|Gauge|Histogram|GaugeFunc)\(\s*"([a-z_][a-zA-Z0-9_:]*)"`)
+
+// TestMetricFamiliesDocumented greps every metric family name registered
+// anywhere in the source tree and fails if DESIGN.md does not mention it.
+// The scrape is a public interface: a family that ships undocumented is a
+// dashboard nobody can build.
+func TestMetricFamiliesDocumented(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{} // family -> first file registering it
+	err = filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricRegRe.FindAllSubmatch(src, -1) {
+			name := string(m[2])
+			if _, ok := seen[name]; !ok {
+				seen[name] = path
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("found no metric registrations — the scan regex is broken")
+	}
+	var missing []string
+	for name, path := range seen {
+		if !bytes.Contains(design, []byte(name)) {
+			missing = append(missing, name+" (registered in "+path+")")
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("metric family not documented in DESIGN.md: %s", m)
+	}
+}

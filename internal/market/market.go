@@ -33,11 +33,17 @@ type Bid struct {
 	Value   float64 `json:"value"`
 	Decay   float64 `json:"decay"`
 	Bound   float64 `json:"-"` // +Inf for unbounded; the wire codec encodes it as a string
+	// Cohort and Client carry the trace-v2 workload labels end to end for
+	// attribution in metrics and the contract ledger; the market logic
+	// ignores them.
+	Cohort string `json:"cohort,omitempty"`
+	Client int    `json:"client,omitempty"`
 }
 
 // BidFromTask extracts the bid fields from a task.
 func BidFromTask(t *task.Task) Bid {
-	return Bid{TaskID: t.ID, Arrival: t.Arrival, Runtime: t.Runtime, Value: t.Value, Decay: t.Decay, Bound: t.Bound}
+	return Bid{TaskID: t.ID, Arrival: t.Arrival, Runtime: t.Runtime, Value: t.Value, Decay: t.Decay, Bound: t.Bound,
+		Cohort: t.Cohort, Client: t.Client}
 }
 
 // ValueFn returns the bid's value function.

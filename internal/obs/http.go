@@ -20,6 +20,10 @@ type DiagConfig struct {
 	Health func() error
 	// Logger observes server lifecycle problems; nil silences them.
 	Logger *Logger
+	// Ledger, when non-nil, is served at /debug/ledger as JSON.
+	Ledger *Ledger
+	// Flight, when non-nil, is served at /debug/timeseries as JSON.
+	Flight *Flight
 }
 
 // DiagServer is the embeddable diagnostics endpoint every daemon mounts
@@ -75,12 +79,27 @@ func Handler(cfg DiagConfig) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	index := "task-service diagnostics\n\n/metrics\n/healthz\n/debug/pprof/\n/debug/vars\n"
+	if cfg.Ledger != nil {
+		mux.HandleFunc("/debug/ledger", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = cfg.Ledger.WriteJSON(w)
+		})
+		index += "/debug/ledger\n"
+	}
+	if cfg.Flight != nil {
+		mux.HandleFunc("/debug/timeseries", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = cfg.Flight.WriteJSON(w)
+		})
+		index += "/debug/timeseries\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "task-service diagnostics\n\n/metrics\n/healthz\n/debug/pprof/\n/debug/vars\n")
+		fmt.Fprint(w, index)
 	})
 	return mux
 }

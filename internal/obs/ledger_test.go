@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLedgerLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	l := NewLedger(LedgerConfig{Site: "s1", Policy: "firstreward", Registry: reg})
+
+	l.Open(LedgerEntry{Task: 1, Req: "aa", Cohort: "batch", BidValue: 100, QuotedPrice: 80, ExpectedCompletion: 10, AwardedAt: 0})
+	l.Open(LedgerEntry{Task: 2, BidValue: 50, QuotedPrice: 40, ExpectedCompletion: 12, AwardedAt: 1})
+	if got := l.ExpectedTotal(); got != 120 {
+		t.Fatalf("expected total = %v, want 120", got)
+	}
+	if got := l.Exposure(); got != 120 {
+		t.Fatalf("exposure = %v, want 120", got)
+	}
+	if got := l.OpenCount(); got != 2 {
+		t.Fatalf("open = %d, want 2", got)
+	}
+
+	if !l.Settle(1, OutcomeSettled, 14, 60) {
+		t.Fatal("settle of open contract reported unknown")
+	}
+	if got := l.RealizedTotal(); got != 60 {
+		t.Fatalf("realized total = %v, want 60", got)
+	}
+	if got := l.Exposure(); got != 40 {
+		t.Fatalf("exposure after settle = %v, want 40", got)
+	}
+
+	s := l.Snapshot()
+	if s.Site != "s1" {
+		t.Fatalf("snapshot site = %q", s.Site)
+	}
+	var settled *LedgerEntry
+	for i := range s.Entries {
+		if s.Entries[i].Task == 1 {
+			settled = &s.Entries[i]
+		}
+	}
+	if settled == nil {
+		t.Fatal("task 1 missing from snapshot")
+	}
+	if settled.Outcome != OutcomeSettled || settled.RealizedYield != 60 {
+		t.Fatalf("task 1 entry = %+v", settled)
+	}
+	if settled.Penalty != 20 {
+		t.Fatalf("penalty = %v, want quoted-realized = 20", settled.Penalty)
+	}
+	if settled.Lateness != 4 {
+		t.Fatalf("lateness = %v, want 4", settled.Lateness)
+	}
+	if settled.Policy != "firstreward" {
+		t.Fatalf("policy default not applied: %q", settled.Policy)
+	}
+
+	// Roll-ups: one settled batch-cohort cell, one open unlabeled cell.
+	if len(s.Rollups) != 2 {
+		t.Fatalf("rollups = %+v, want 2 cells", s.Rollups)
+	}
+
+	// Summary gauges track the totals.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape := buf.String()
+	for _, want := range []string{
+		`site_yield_expected_total{site="s1"} 120`,
+		`site_yield_realized_total{site="s1"} 60`,
+		`site_penalty_exposure{site="s1"} 40`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, scrape)
+		}
+	}
+}
+
+func TestLedgerUnknownSettleAndIdempotentOpen(t *testing.T) {
+	l := NewLedger(LedgerConfig{Site: "s1"})
+	l.Open(LedgerEntry{Task: 7, QuotedPrice: 10})
+	l.Open(LedgerEntry{Task: 7, QuotedPrice: 999}) // dup award: first terms stand
+	if got := l.ExpectedTotal(); got != 10 {
+		t.Fatalf("expected total after dup open = %v, want 10", got)
+	}
+	if l.Settle(99, OutcomeSettled, 5, -3) {
+		t.Fatal("settle of unknown task reported known")
+	}
+	// Unknown settles still enter the running realized total so
+	// reconciliation never loses value.
+	if got := l.RealizedTotal(); got != -3 {
+		t.Fatalf("realized total = %v, want -3", got)
+	}
+	if got := l.Snapshot().Totals.UnknownSettles; got != 1 {
+		t.Fatalf("unknown settles = %d, want 1", got)
+	}
+	if !l.Settle(7, OutcomeParked, 8, -4) {
+		t.Fatal("settle of open contract reported unknown")
+	}
+	if l.Settle(7, OutcomeParked, 8, -4) {
+		t.Fatal("double settle reported known")
+	}
+}
+
+func TestLedgerEvictionKeepsOpenEntries(t *testing.T) {
+	l := NewLedger(LedgerConfig{Site: "s1", Capacity: 8})
+	// Task 0 stays open for the whole run; it must never be evicted.
+	l.Open(LedgerEntry{Task: 1000, QuotedPrice: 5})
+	for i := 1; i <= 100; i++ {
+		l.Open(LedgerEntry{Task: uint64(i), QuotedPrice: 1})
+		l.Settle(uint64(i), OutcomeSettled, float64(i), 1)
+	}
+	s := l.Snapshot()
+	if len(s.Entries) > 8+2 { // capacity plus compaction slack
+		t.Fatalf("retained %d entries, want <= 10", len(s.Entries))
+	}
+	foundOpen := false
+	for _, e := range s.Entries {
+		if e.Task == 1000 {
+			foundOpen = true
+		}
+	}
+	if !foundOpen {
+		t.Fatal("open entry was evicted")
+	}
+	if s.Totals.Evicted == 0 {
+		t.Fatal("no evictions counted")
+	}
+	// Lifetime totals survive eviction.
+	if s.Totals.Opened != 101 || s.Totals.Settled != 100 {
+		t.Fatalf("totals = %+v", s.Totals)
+	}
+	if got := l.RealizedTotal(); got != 100 {
+		t.Fatalf("realized total = %v, want 100", got)
+	}
+}
+
+func TestLedgerJSONRoundTrip(t *testing.T) {
+	l := NewLedger(LedgerConfig{Site: "s1"})
+	l.Open(LedgerEntry{Task: 1, Req: "ab", Cohort: "interactive", Client: 3, BidValue: 9, QuotedPrice: 7, ExpectedCompletion: 2, AwardedAt: 0.5})
+	l.Settle(1, OutcomeDefaulted, 9, -2.5)
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s LedgerSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("ledger JSON does not parse: %v", err)
+	}
+	if len(s.Entries) != 1 || s.Entries[0].RealizedYield != -2.5 || s.Entries[0].Cohort != "interactive" {
+		t.Fatalf("round-tripped snapshot = %+v", s)
+	}
+	if s.Totals.Defaulted != 1 {
+		t.Fatalf("totals = %+v", s.Totals)
+	}
+}
+
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.Open(LedgerEntry{Task: 1})
+	l.Settle(1, OutcomeSettled, 0, 0)
+	if l.RealizedTotal() != 0 || l.OpenCount() != 0 || l.Exposure() != 0 {
+		t.Fatal("nil ledger leaked state")
+	}
+	if s := l.Snapshot(); len(s.Entries) != 0 {
+		t.Fatal("nil ledger snapshot non-empty")
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger(LedgerConfig{Site: "s1", Capacity: 64})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				id := uint64(w*1000 + i)
+				l.Open(LedgerEntry{Task: id, QuotedPrice: 1})
+				l.Settle(id, OutcomeSettled, 1, 1)
+			}
+		}(w)
+	}
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for i := 0; i < 200; i++ {
+			l.Snapshot()
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		<-done
+	}
+	if got := l.RealizedTotal(); got != 2000 {
+		t.Fatalf("realized total = %v, want 2000", got)
+	}
+}

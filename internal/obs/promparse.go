@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition line: a series name (including any
+// _bucket/_sum/_count suffix), its label pairs, and the value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s PromSample) Label(name string) string { return s.Labels[name] }
+
+// PromFamily is one # TYPE block of a scrape: the family name, the declared
+// type, and every sample that belongs to it.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// metricNameRe and labelNameRe are the Prometheus data-model grammars.
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParsePrometheus parses a text-format (version 0.0.4) scrape into its
+// families. It is strict about line structure — a scrape our exposition
+// writer produced must round-trip — but attaches samples to families by
+// name prefix so histogram _bucket/_sum/_count series land with their
+// parent. Samples appearing before any # TYPE declaration are an error.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var fams []PromFamily
+	byName := make(map[string]int)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if i, ok := byName[name]; ok {
+				fams[i].Help = help
+			} else {
+				byName[name] = len(fams)
+				fams = append(fams, PromFamily{Name: name, Help: help})
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			if i, exists := byName[name]; exists {
+				if fams[i].Type != "" {
+					// Duplicate TYPE declaration: record it as a fresh family
+					// so lint can flag the duplication.
+					byName[name] = len(fams)
+					fams = append(fams, PromFamily{Name: name, Type: typ})
+					continue
+				}
+				fams[i].Type = typ
+			} else {
+				byName[name] = len(fams)
+				fams = append(fams, PromFamily{Name: name, Type: typ})
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fi, ok := byName[s.Name]
+		if !ok {
+			// Histogram child series: attach to the parent family.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base, found := strings.CutSuffix(s.Name, suffix); found {
+					if i, ok2 := byName[base]; ok2 {
+						fi, ok = i, true
+						break
+					}
+				}
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s before any TYPE declaration", lineNo, s.Name)
+		}
+		fams[fi].Samples = append(fams[fi].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// parseSampleLine parses `name{k="v",...} value` (labels optional).
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("malformed labels in %q", line)
+			}
+			name := rest[:eq]
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return s, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' && i+1 < len(rest) {
+					i++
+					switch rest[i] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[i])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return s, fmt.Errorf("unterminated label value in %q", line)
+			}
+			if _, dup := s.Labels[name]; dup {
+				return s, fmt.Errorf("duplicate label %q in %q", name, line)
+			}
+			s.Labels[name] = val.String()
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may trail the value; we never emit one, but tolerate it.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// LintExposition audits a parsed scrape against the Prometheus data model:
+// valid metric and label names, no duplicate families, counters
+// non-negative, histogram buckets cumulative and consistent with their
+// _sum/_count companions. It returns every violation found.
+func LintExposition(fams []PromFamily) []error {
+	var errs []error
+	seen := make(map[string]bool)
+	for _, f := range fams {
+		if !metricNameRe.MatchString(f.Name) {
+			errs = append(errs, fmt.Errorf("family %q: invalid metric name", f.Name))
+		}
+		if seen[f.Name] {
+			errs = append(errs, fmt.Errorf("family %q: duplicate family declaration", f.Name))
+		}
+		seen[f.Name] = true
+		if f.Type == "" {
+			errs = append(errs, fmt.Errorf("family %q: missing TYPE declaration", f.Name))
+		}
+		for _, s := range f.Samples {
+			if !metricNameRe.MatchString(s.Name) {
+				errs = append(errs, fmt.Errorf("family %q: invalid sample name %q", f.Name, s.Name))
+			}
+			for ln := range s.Labels {
+				if !labelNameRe.MatchString(ln) {
+					errs = append(errs, fmt.Errorf("family %q: invalid label name %q", f.Name, ln))
+				}
+			}
+			if f.Type == "counter" && (s.Value < 0 || math.IsNaN(s.Value)) {
+				errs = append(errs, fmt.Errorf("family %q: counter sample %s negative or NaN (%v)", f.Name, s.Name, s.Value))
+			}
+		}
+		if f.Type == "histogram" {
+			errs = append(errs, lintHistogram(f)...)
+		}
+	}
+	return errs
+}
+
+// lintHistogram checks one histogram family: per label set, buckets must be
+// cumulative (non-decreasing in le order), the +Inf bucket must exist and
+// equal _count, and _sum/_count must appear together.
+func lintHistogram(f PromFamily) []error {
+	var errs []error
+	type series struct {
+		buckets  map[float64]float64 // le -> cumulative count
+		sum      *float64
+		count    *float64
+		hasInf   bool
+		infCount float64
+	}
+	bySet := make(map[string]*series)
+	keyOf := func(labels map[string]string, dropLe bool) string {
+		names := make([]string, 0, len(labels))
+		for n := range labels {
+			if dropLe && n == "le" {
+				continue
+			}
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, n := range names {
+			b.WriteString(n)
+			b.WriteByte('=')
+			b.WriteString(labels[n])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	get := func(k string) *series {
+		sr, ok := bySet[k]
+		if !ok {
+			sr = &series{buckets: map[float64]float64{}}
+			bySet[k] = sr
+		}
+		return sr
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le := s.Label("le")
+			sr := get(keyOf(s.Labels, true))
+			if le == "+Inf" {
+				sr.hasInf = true
+				sr.infCount = s.Value
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("family %q: unparseable le=%q", f.Name, le))
+				continue
+			}
+			sr.buckets[bound] = s.Value
+		case f.Name + "_sum":
+			v := s.Value
+			get(keyOf(s.Labels, false)).sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			get(keyOf(s.Labels, false)).count = &v
+		case f.Name:
+			errs = append(errs, fmt.Errorf("family %q: bare sample on a histogram", f.Name))
+		}
+	}
+	keys := make([]string, 0, len(bySet))
+	for k := range bySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sr := bySet[k]
+		if len(sr.buckets) > 0 || sr.hasInf {
+			bounds := make([]float64, 0, len(sr.buckets))
+			for b := range sr.buckets {
+				bounds = append(bounds, b)
+			}
+			sort.Float64s(bounds)
+			prev := math.Inf(-1)
+			prevCum := -1.0
+			for _, b := range bounds {
+				if sr.buckets[b] < prevCum {
+					errs = append(errs, fmt.Errorf("family %q{%s}: bucket le=%v count %v below previous le=%v count %v (not cumulative)",
+						f.Name, k, b, sr.buckets[b], prev, prevCum))
+				}
+				prev, prevCum = b, sr.buckets[b]
+			}
+			if !sr.hasInf {
+				errs = append(errs, fmt.Errorf("family %q{%s}: missing le=\"+Inf\" bucket", f.Name, k))
+			} else {
+				if sr.infCount < prevCum {
+					errs = append(errs, fmt.Errorf("family %q{%s}: +Inf bucket %v below last bucket %v", f.Name, k, sr.infCount, prevCum))
+				}
+				if sr.count != nil && sr.infCount != *sr.count {
+					errs = append(errs, fmt.Errorf("family %q{%s}: +Inf bucket %v != _count %v", f.Name, k, sr.infCount, *sr.count))
+				}
+			}
+		}
+		if (sr.sum == nil) != (sr.count == nil) {
+			errs = append(errs, fmt.Errorf("family %q{%s}: _sum and _count must appear together", f.Name, k))
+		}
+		if sr.count == nil && (len(sr.buckets) > 0 || sr.hasInf) {
+			errs = append(errs, fmt.Errorf("family %q{%s}: buckets without _count", f.Name, k))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("site_tasks_total", "Tasks by event.", "site", "event")
+	c.With("s1", "completed").Add(3)
+	c.With(`s"2\`, "parked").Add(1) // label escaping must round-trip
+	g := reg.Gauge("site_queue_depth", "Queue depth.", "site")
+	g.With("s1").Set(4)
+	h := reg.Histogram("rpc_seconds", "RPC latency.", []float64{0.01, 0.1, 1}, "method")
+	h.With("award").Observe(0.05)
+	h.With("award").Observe(5)
+	reg.GaugeFunc("go_goroutines", "Goroutines.", func() float64 { return 12 })
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse of our own exposition failed: %v", err)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	tasks, ok := byName["site_tasks_total"]
+	if !ok || tasks.Type != "counter" || len(tasks.Samples) != 2 {
+		t.Fatalf("site_tasks_total = %+v", tasks)
+	}
+	found := false
+	for _, s := range tasks.Samples {
+		if s.Label("site") == `s"2\` && s.Label("event") == "parked" && s.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped label did not round-trip: %+v", tasks.Samples)
+	}
+	hist, ok := byName["rpc_seconds"]
+	if !ok || hist.Type != "histogram" {
+		t.Fatalf("rpc_seconds = %+v", hist)
+	}
+	// 4 buckets (3 bounds + Inf) + sum + count.
+	if len(hist.Samples) != 6 {
+		t.Fatalf("histogram samples = %d, want 6", len(hist.Samples))
+	}
+
+	if errs := LintExposition(fams); len(errs) != 0 {
+		t.Fatalf("lint of our own exposition found problems: %v", errs)
+	}
+}
+
+func TestLintExpositionCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		scrape  string
+		wantErr string
+	}{
+		{
+			name:    "malformed metric name",
+			scrape:  "# TYPE bad-name counter\nbad-name 1\n",
+			wantErr: "invalid metric name",
+		},
+		{
+			name:    "duplicate family",
+			scrape:  "# TYPE dup counter\ndup 1\n# TYPE dup counter\ndup 2\n",
+			wantErr: "duplicate family",
+		},
+		{
+			name:    "negative counter",
+			scrape:  "# TYPE c_total counter\nc_total -1\n",
+			wantErr: "negative or NaN",
+		},
+		{
+			name: "bucket monotonicity violation",
+			scrape: "# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" +
+				`h_bucket{le="2"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" +
+				"h_sum 2\nh_count 5\n",
+			wantErr: "not cumulative",
+		},
+		{
+			name: "inf bucket disagrees with count",
+			scrape: "# TYPE h histogram\n" +
+				`h_bucket{le="1"} 2` + "\n" +
+				`h_bucket{le="+Inf"} 4` + "\n" +
+				"h_sum 2\nh_count 5\n",
+			wantErr: "+Inf bucket 4 != _count 5",
+		},
+		{
+			name: "missing inf bucket",
+			scrape: "# TYPE h histogram\n" +
+				`h_bucket{le="1"} 2` + "\n" +
+				"h_sum 2\nh_count 2\n",
+			wantErr: `missing le="+Inf"`,
+		},
+		{
+			name:    "sum without count",
+			scrape:  "# TYPE h histogram\nh_sum 2\n",
+			wantErr: "_sum and _count must appear together",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fams, err := ParsePrometheus(strings.NewReader(tc.scrape))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			errs := LintExposition(fams)
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.wantErr) {
+					return
+				}
+			}
+			t.Fatalf("lint missed %q; got %v", tc.wantErr, errs)
+		})
+	}
+}
+
+func TestParsePrometheusRejectsStrayLines(t *testing.T) {
+	if _, err := ParsePrometheus(strings.NewReader("orphan_sample 1\n")); err == nil {
+		t.Fatal("sample before TYPE accepted")
+	}
+	if _, err := ParsePrometheus(strings.NewReader("# TYPE a counter\na{x=\"unterminated} 1\n")); err == nil {
+		t.Fatal("unterminated label accepted")
+	}
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanEvent is one parsed trace line: a TraceEvent plus the stream metadata
+// (wall-clock timestamp, emitting component) the JSON lines carry.
+type SpanEvent struct {
+	TS        time.Time `json:"ts"`
+	Component string    `json:"component,omitempty"`
+	Stage     string    `json:"stage"`
+	Task      uint64    `json:"task"`
+	Req       string    `json:"req,omitempty"`
+	Span      string    `json:"span,omitempty"`
+	Parent    string    `json:"parent,omitempty"`
+	Dur       float64   `json:"dur,omitempty"`
+	Site      string    `json:"site,omitempty"`
+	T         float64   `json:"t,omitempty"`
+	Value     float64   `json:"value,omitempty"`
+	Cohort    string    `json:"cohort,omitempty"`
+	Client    int       `json:"client,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// traceLine mirrors the JSON-lines schema enough to filter and decode.
+type traceLine struct {
+	TS        string  `json:"ts"`
+	Level     string  `json:"level"`
+	Component string  `json:"component"`
+	Msg       string  `json:"msg"`
+	Stage     string  `json:"stage"`
+	Task      uint64  `json:"task"`
+	Req       string  `json:"req"`
+	Span      string  `json:"span"`
+	Parent    string  `json:"parent"`
+	Dur       float64 `json:"dur"`
+	Site      string  `json:"site"`
+	T         float64 `json:"t"`
+	Value     float64 `json:"value"`
+	Cohort    string  `json:"cohort"`
+	Client    int     `json:"client"`
+	Detail    string  `json:"detail"`
+}
+
+// ReadTrace parses a JSON-lines stream, keeping only task-lifecycle trace
+// events (level "trace", msg "task") and skipping interleaved log lines and
+// lines that don't parse — a trace file is a shared stream, not a schema.
+// Events from tracers predating span derivation get their span IDs
+// reconstructed, so old trace files analyze identically.
+func ReadTrace(r io.Reader) ([]SpanEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []SpanEvent
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] != '{' {
+			continue
+		}
+		var tl traceLine
+		if err := json.Unmarshal([]byte(line), &tl); err != nil {
+			continue
+		}
+		if tl.Level != "trace" || tl.Msg != "task" || tl.Stage == "" {
+			continue
+		}
+		e := SpanEvent{
+			Component: tl.Component,
+			Stage:     tl.Stage,
+			Task:      tl.Task,
+			Req:       tl.Req,
+			Span:      tl.Span,
+			Parent:    tl.Parent,
+			Dur:       tl.Dur,
+			Site:      tl.Site,
+			T:         tl.T,
+			Value:     tl.Value,
+			Cohort:    tl.Cohort,
+			Client:    tl.Client,
+			Detail:    tl.Detail,
+		}
+		if ts, err := time.Parse(time.RFC3339Nano, tl.TS); err == nil {
+			e.TS = ts
+		}
+		if e.Span == "" {
+			e.Span = SpanID(e.Req, e.Task, e.Stage)
+		}
+		if e.Parent == "" {
+			e.Parent = ParentSpanID(e.Req, e.Task, e.Stage)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// Breakdown is a task's critical-path latency split. Durations are seconds
+// of wall clock ("wall") or simulation units ("sim") depending on the
+// analysis clock; a negative field means the trace lacks the bracketing
+// events for that segment.
+type Breakdown struct {
+	Negotiation float64 `json:"negotiation"` // submit → contract
+	Queue       float64 `json:"queue"`       // contract → start
+	Execution   float64 `json:"execution"`   // start → complete (or park)
+	Settlement  float64 `json:"settlement"`  // complete → settle
+	Total       float64 `json:"total"`       // submit → settle
+}
+
+// TaskPath is one task's reconstructed lifecycle: every event sharing a
+// span base, the first event per stage, and the causal health of the tree.
+type TaskPath struct {
+	Task    uint64
+	Req     string
+	Site    string
+	Cohort  string
+	Events  []SpanEvent
+	Stages  map[string]SpanEvent // stage -> earliest event
+	Orphans []string             // span IDs whose parent span has no event in this path
+	Outcome string               // settled, completed, parked, rejected, abandoned, or open
+}
+
+// Complete reports whether the path runs the full bid→settle critical path.
+func (p *TaskPath) Complete() bool {
+	for _, st := range []string{StageSubmit, StageBid, StageContract, StageStart, StageComplete, StageSettle} {
+		if _, ok := p.Stages[st]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// gap returns to - from on the chosen clock, or -1 when either event is
+// missing.
+func (p *TaskPath) gap(clock, from, to string) float64 {
+	a, oka := p.Stages[from]
+	b, okb := p.Stages[to]
+	if !oka || !okb {
+		return -1
+	}
+	if clock == "sim" {
+		return b.T - a.T
+	}
+	if a.TS.IsZero() || b.TS.IsZero() {
+		return -1
+	}
+	return b.TS.Sub(a.TS).Seconds()
+}
+
+// Breakdown splits the path's latency by pipeline segment. clock is "wall"
+// (RFC3339 timestamps; the cross-process default) or "sim" (the emitters'
+// simulation clocks; only meaningful within one clock domain).
+func (p *TaskPath) Breakdown(clock string) Breakdown {
+	neg := p.gap(clock, StageSubmit, StageContract)
+	if neg < 0 {
+		neg = p.gap(clock, StageBid, StageContract)
+	}
+	exec := p.gap(clock, StageStart, StageComplete)
+	if exec < 0 {
+		exec = p.gap(clock, StageStart, StagePark)
+	}
+	return Breakdown{
+		Negotiation: neg,
+		Queue:       p.gap(clock, StageContract, StageStart),
+		Execution:   exec,
+		Settlement:  p.gap(clock, StageComplete, StageSettle),
+		Total:       p.gap(clock, StageSubmit, StageSettle),
+	}
+}
+
+// TraceAnalysis is the result of reconstructing every task path in a trace.
+type TraceAnalysis struct {
+	Paths   []TaskPath
+	Events  int
+	Orphans int // events across all paths whose parent span is absent
+}
+
+// AnalyzeTrace reads a trace stream and reconstructs per-task critical
+// paths. Events group by span base (request ID across processes, task ID
+// within one), so a client's and a site's annotations of the same request
+// land in one path.
+func AnalyzeTrace(r io.Reader) (*TraceAnalysis, error) {
+	events, err := ReadTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildPaths(events), nil
+}
+
+// BuildPaths groups parsed events into per-task paths and audits each
+// path's span tree for orphans (a span whose parent has no event anywhere
+// in the path — a hole in the causal chain).
+func BuildPaths(events []SpanEvent) *TraceAnalysis {
+	byBase := make(map[string]*TaskPath)
+	var order []string
+	for _, e := range events {
+		base := spanBase(e.Req, e.Task)
+		if base == "" {
+			continue
+		}
+		p, ok := byBase[base]
+		if !ok {
+			p = &TaskPath{Task: e.Task, Req: e.Req, Stages: make(map[string]SpanEvent)}
+			byBase[base] = p
+			order = append(order, base)
+		}
+		if p.Task == 0 {
+			p.Task = e.Task
+		}
+		if p.Site == "" && e.Site != "" {
+			p.Site = e.Site
+		}
+		if p.Cohort == "" && e.Cohort != "" {
+			p.Cohort = e.Cohort
+		}
+		p.Events = append(p.Events, e)
+		if prev, ok := p.Stages[e.Stage]; !ok || e.TS.Before(prev.TS) {
+			p.Stages[e.Stage] = e
+		}
+	}
+	an := &TraceAnalysis{Events: len(events)}
+	for _, base := range order {
+		p := byBase[base]
+		present := make(map[string]bool, len(p.Events))
+		for _, e := range p.Events {
+			if e.Span != "" {
+				present[e.Span] = true
+			}
+		}
+		seen := make(map[string]bool)
+		for _, e := range p.Events {
+			if e.Parent != "" && !present[e.Parent] && !seen[e.Parent+"<-"+e.Span] {
+				seen[e.Parent+"<-"+e.Span] = true
+				p.Orphans = append(p.Orphans, e.Span)
+			}
+		}
+		an.Orphans += len(p.Orphans)
+		p.Outcome = pathOutcome(p.Stages)
+		an.Paths = append(an.Paths, *p)
+	}
+	return an
+}
+
+func pathOutcome(stages map[string]SpanEvent) string {
+	switch {
+	case has(stages, StageSettle):
+		return "settled"
+	case has(stages, StageComplete):
+		return "completed"
+	case has(stages, StagePark):
+		return "parked"
+	case has(stages, StageAbandon):
+		return "abandoned"
+	case has(stages, StageContract), has(stages, StageStart):
+		return "open"
+	case has(stages, StageReject):
+		return "rejected"
+	}
+	return "incomplete"
+}
+
+func has(m map[string]SpanEvent, k string) bool { _, ok := m[k]; return ok }
+
+// WriteBreakdownReport renders the human-facing tracecat report: per-stage
+// latency statistics over every path with that segment, plus path counts by
+// outcome and the orphan audit.
+func (an *TraceAnalysis) WriteBreakdownReport(w io.Writer, clock string) {
+	type agg struct {
+		name string
+		vals []float64
+	}
+	aggs := []*agg{
+		{name: "negotiation"}, {name: "queue"}, {name: "execution"}, {name: "settlement"}, {name: "total"},
+	}
+	outcomes := make(map[string]int)
+	complete := 0
+	for i := range an.Paths {
+		p := &an.Paths[i]
+		outcomes[p.Outcome]++
+		if p.Complete() {
+			complete++
+		}
+		b := p.Breakdown(clock)
+		for ai, v := range []float64{b.Negotiation, b.Queue, b.Execution, b.Settlement, b.Total} {
+			if v >= 0 {
+				aggs[ai].vals = append(aggs[ai].vals, v)
+			}
+		}
+	}
+	unit := "s"
+	if clock == "sim" {
+		unit = "su"
+	}
+	fmt.Fprintf(w, "tracecat: %d events, %d tasks, %d complete paths, %d orphan spans\n",
+		an.Events, len(an.Paths), complete, an.Orphans)
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  outcome %-10s %d\n", k, outcomes[k])
+	}
+	fmt.Fprintf(w, "\n%-12s %6s %10s %10s %10s %10s\n", "segment", "n", "mean", "p50", "p95", "max")
+	for _, a := range aggs {
+		if len(a.vals) == 0 {
+			fmt.Fprintf(w, "%-12s %6d %10s %10s %10s %10s\n", a.name, 0, "-", "-", "-", "-")
+			continue
+		}
+		sort.Float64s(a.vals)
+		var sum float64
+		for _, v := range a.vals {
+			sum += v
+		}
+		fmt.Fprintf(w, "%-12s %6d %9.4g%s %9.4g%s %9.4g%s %9.4g%s\n",
+			a.name, len(a.vals), sum/float64(len(a.vals)), unit,
+			quantile(a.vals, 0.5), unit, quantile(a.vals, 0.95), unit, a.vals[len(a.vals)-1], unit)
+	}
+}
+
+// quantile reads q from sorted vals by nearest-rank.
+func quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(q*float64(len(vals)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(vals) {
+		i = len(vals) - 1
+	}
+	return vals[i]
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpanIDDerivation(t *testing.T) {
+	if got := SpanID("ab12", 7, StageBid); got != "ab12:bid" {
+		t.Fatalf("SpanID = %q", got)
+	}
+	if got := ParentSpanID("ab12", 7, StageBid); got != "ab12:submit" {
+		t.Fatalf("ParentSpanID = %q", got)
+	}
+	if got := ParentSpanID("ab12", 7, StageSubmit); got != "" {
+		t.Fatalf("submit parent = %q, want root", got)
+	}
+	// Simulator traces have no request ID: spans key off the task ID.
+	if got := SpanID("", 7, StageStart); got != "t7:start" {
+		t.Fatalf("task-keyed SpanID = %q", got)
+	}
+	if got := SpanID("", 0, StageStart); got != "" {
+		t.Fatalf("unkeyable SpanID = %q, want empty", got)
+	}
+}
+
+// emitLifecycle writes a full bid→settle lifecycle for one request into w,
+// split across two components like a real client + site pair.
+func emitLifecycle(w *bytes.Buffer, req string, taskID uint64) {
+	client := NewTracer(w, "client")
+	site := NewTracer(w, "site")
+	client.Emit(TraceEvent{Stage: StageSubmit, Task: taskID, Req: req, Value: 100, Cohort: "batch"})
+	site.Emit(TraceEvent{Stage: StageBid, Task: taskID, Req: req, Site: "s1", Value: 80})
+	client.Emit(TraceEvent{Stage: StageContract, Task: taskID, Req: req, Site: "s1", Value: 80})
+	site.Emit(TraceEvent{Stage: StageStart, Task: taskID, Req: req, Site: "s1", T: 1})
+	site.Emit(TraceEvent{Stage: StageComplete, Task: taskID, Req: req, Site: "s1", T: 5, Dur: 4, Value: 70})
+	site.Emit(TraceEvent{Stage: StageSettle, Task: taskID, Req: req, Site: "s1", T: 5, Value: 70})
+}
+
+func TestAnalyzeTraceCompletePath(t *testing.T) {
+	var buf bytes.Buffer
+	emitLifecycle(&buf, "aaaa", 1)
+	emitLifecycle(&buf, "bbbb", 2)
+	// Interleave a log line: analysis must skip it.
+	lg := NewLogger(&buf, LevelDebug, "client")
+	lg.Info("unrelated", "k", "v")
+
+	an, err := AnalyzeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(an.Paths))
+	}
+	if an.Orphans != 0 {
+		t.Fatalf("orphans = %d, want 0", an.Orphans)
+	}
+	for _, p := range an.Paths {
+		if !p.Complete() {
+			t.Fatalf("path %s incomplete: stages %v", p.Req, p.Stages)
+		}
+		if p.Outcome != "settled" {
+			t.Fatalf("outcome = %q", p.Outcome)
+		}
+		if p.Cohort != "batch" {
+			t.Fatalf("cohort = %q", p.Cohort)
+		}
+		b := p.Breakdown("wall")
+		for name, v := range map[string]float64{"negotiation": b.Negotiation, "queue": b.Queue, "execution": b.Execution, "settlement": b.Settlement, "total": b.Total} {
+			if v < 0 {
+				t.Fatalf("%s segment missing from a complete path", name)
+			}
+		}
+		bs := p.Breakdown("sim")
+		if bs.Execution != 4 {
+			t.Fatalf("sim execution = %v, want 4", bs.Execution)
+		}
+	}
+
+	var report bytes.Buffer
+	an.WriteBreakdownReport(&report, "wall")
+	out := report.String()
+	for _, want := range []string{"2 complete paths", "0 orphan spans", "negotiation", "settlement"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeTraceOrphanDetection(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, "site")
+	// A settle with no complete (and no upstream at all): its parent span
+	// never appears, so the causal chain has a hole.
+	tr.Emit(TraceEvent{Stage: StageSettle, Task: 9, Req: "cccc", Value: 10})
+	an, err := AnalyzeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Orphans != 1 {
+		t.Fatalf("orphans = %d, want 1", an.Orphans)
+	}
+	if len(an.Paths) != 1 || an.Paths[0].Complete() {
+		t.Fatalf("paths = %+v", an.Paths)
+	}
+}
+
+func TestReadTraceReconstructsLegacySpans(t *testing.T) {
+	// A pre-span trace line (no span/parent keys) must analyze identically.
+	line := `{"ts":"2026-01-02T03:04:05.0Z","level":"trace","component":"site","msg":"task","stage":"bid","task":3,"req":"dddd","site":"s1"}` + "\n"
+	events, err := ReadTrace(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Span != "dddd:bid" || events[0].Parent != "dddd:submit" {
+		t.Fatalf("reconstructed span/parent = %q/%q", events[0].Span, events[0].Parent)
+	}
+}

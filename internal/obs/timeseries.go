@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Totals returns one aggregate value per registered series name: counters
+// and gauges sum their labeled children, gauge funcs are sampled, and each
+// histogram contributes name_sum and name_count. It is the flight
+// recorder's sampling surface — cheap, allocation-light, and label-free so
+// a fixed-interval ring buffer stays small.
+func (r *Registry) Totals() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+
+	out := make(map[string]float64, len(fams))
+	for _, f := range fams {
+		if f.kind == kindGaugeFunc {
+			f.mu.RLock()
+			fn := f.fn
+			f.mu.RUnlock()
+			if fn != nil {
+				out[f.name] = fn()
+			}
+			continue
+		}
+		f.mu.RLock()
+		children := make([]any, 0, len(f.children))
+		for _, c := range f.children {
+			children = append(children, c)
+		}
+		f.mu.RUnlock()
+		switch f.kind {
+		case kindCounter:
+			var sum float64
+			for _, c := range children {
+				sum += c.(*Counter).Value()
+			}
+			out[f.name] = sum
+		case kindGauge:
+			var sum float64
+			for _, c := range children {
+				sum += c.(*Gauge).Value()
+			}
+			out[f.name] = sum
+		case kindHistogram:
+			var sum float64
+			var count uint64
+			for _, c := range children {
+				h := c.(*Histogram)
+				sum += h.Sum()
+				count += h.Count()
+			}
+			out[f.name+"_sum"] = sum
+			out[f.name+"_count"] = float64(count)
+		}
+	}
+	return out
+}
+
+// FlightSample is one fixed-interval reading of every registered family.
+type FlightSample struct {
+	Unix   float64            `json:"unix"` // wall-clock seconds
+	Values map[string]float64 `json:"values"`
+}
+
+// FlightConfig parameterizes a flight recorder.
+type FlightConfig struct {
+	// Registry to sample. Nil means the Default registry.
+	Registry *Registry
+	// Interval between samples. Zero means DefaultFlightInterval.
+	Interval time.Duration
+	// Capacity bounds the ring buffer. Zero means DefaultFlightCapacity.
+	Capacity int
+}
+
+const (
+	// DefaultFlightInterval is one sample per second — ten minutes of
+	// history at the default capacity.
+	DefaultFlightInterval = time.Second
+	// DefaultFlightCapacity bounds the sample ring.
+	DefaultFlightCapacity = 600
+)
+
+// Flight is the flight-recorder time series: a background sampler reading
+// Registry.Totals at a fixed interval into a bounded ring, served at
+// /debug/timeseries and dumped on SIGUSR1 or crash-test teardown. A nil
+// *Flight discards everything.
+type Flight struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu      sync.Mutex
+	ring    []FlightSample
+	head    int // next write position once the ring is full
+	full    bool
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewFlight starts a flight recorder sampling in the background. Callers
+// own the recorder and should Stop it on shutdown.
+func NewFlight(cfg FlightConfig) *Flight {
+	if cfg.Registry == nil {
+		cfg.Registry = Default
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultFlightInterval
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultFlightCapacity
+	}
+	f := &Flight{
+		reg:      cfg.Registry,
+		interval: cfg.Interval,
+		ring:     make([]FlightSample, 0, cfg.Capacity),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go f.run()
+	return f
+}
+
+func (f *Flight) run() {
+	defer close(f.done)
+	tick := time.NewTicker(f.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-tick.C:
+			f.Sample()
+		}
+	}
+}
+
+// Sample takes one reading immediately, outside the fixed cadence — used at
+// dump time so the record always includes the present.
+func (f *Flight) Sample() {
+	if f == nil {
+		return
+	}
+	s := FlightSample{
+		Unix:   float64(time.Now().UnixNano()) / 1e9,
+		Values: f.reg.Totals(),
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stopped {
+		return
+	}
+	if !f.full && len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, s)
+		return
+	}
+	f.full = true
+	f.ring[f.head] = s
+	f.head = (f.head + 1) % len(f.ring)
+}
+
+// Snapshot returns the retained samples, oldest first.
+func (f *Flight) Snapshot() []FlightSample {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightSample, 0, len(f.ring))
+	if f.full {
+		out = append(out, f.ring[f.head:]...)
+		out = append(out, f.ring[:f.head]...)
+	} else {
+		out = append(out, f.ring...)
+	}
+	return out
+}
+
+// WriteJSON writes the retained samples as indented JSON — the
+// /debug/timeseries payload.
+func (f *Flight) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Snapshot())
+}
+
+// Stop halts the background sampler. Safe to call more than once; samples
+// taken so far remain readable.
+func (f *Flight) Stop() {
+	if f == nil {
+		return
+	}
+	f.once.Do(func() {
+		close(f.stop)
+		<-f.done
+		f.mu.Lock()
+		f.stopped = true
+		f.mu.Unlock()
+	})
+}
+
+// FlightDump is the SIGUSR1 / teardown artifact: the time-series ring plus
+// the ledger snapshot in one document.
+type FlightDump struct {
+	Timeseries []FlightSample `json:"timeseries"`
+	Ledger     LedgerSnapshot `json:"ledger"`
+}
+
+// WriteFlightDump takes a final sample and writes the combined dump to
+// path, truncating any previous dump. Either source may be nil.
+func WriteFlightDump(path string, f *Flight, l *Ledger) error {
+	f.Sample()
+	d := FlightDump{Timeseries: f.Snapshot(), Ledger: l.Snapshot()}
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

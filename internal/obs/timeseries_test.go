@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRegistryTotals(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("jobs_total", "", "site")
+	c.With("a").Add(3)
+	c.With("b").Add(4)
+	g := reg.Gauge("depth", "", "site")
+	g.With("a").Set(2)
+	g.With("b").Set(5)
+	reg.GaugeFunc("fn", "", func() float64 { return 9 })
+	h := reg.Histogram("lat", "", []float64{1, 2}, "site")
+	h.With("a").Observe(0.5)
+	h.With("a").Observe(3)
+
+	tot := reg.Totals()
+	if tot["jobs_total"] != 7 {
+		t.Fatalf("counter total = %v, want 7", tot["jobs_total"])
+	}
+	if tot["depth"] != 7 {
+		t.Fatalf("gauge total = %v, want 7", tot["depth"])
+	}
+	if tot["fn"] != 9 {
+		t.Fatalf("gauge func = %v, want 9", tot["fn"])
+	}
+	if tot["lat_sum"] != 3.5 || tot["lat_count"] != 2 {
+		t.Fatalf("histogram totals = %v/%v, want 3.5/2", tot["lat_sum"], tot["lat_count"])
+	}
+	var nilReg *Registry
+	if nilReg.Totals() != nil {
+		t.Fatal("nil registry Totals not nil")
+	}
+}
+
+func TestFlightRingAndDump(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ticks_total", "")
+	f := NewFlight(FlightConfig{Registry: reg, Interval: time.Hour, Capacity: 4})
+	defer f.Stop()
+	for i := 0; i < 10; i++ {
+		c.With().Inc()
+		f.Sample()
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d samples, want 4", len(snap))
+	}
+	// Oldest-first: the retained window is the last four samples (7..10).
+	for i, s := range snap {
+		if want := float64(7 + i); s.Values["ticks_total"] != want {
+			t.Fatalf("sample %d = %v, want %v", i, s.Values["ticks_total"], want)
+		}
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Unix < snap[i-1].Unix {
+			t.Fatal("samples not in time order")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []FlightSample
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("timeseries JSON does not parse: %v", err)
+	}
+	if len(decoded) != 4 {
+		t.Fatalf("decoded %d samples, want 4", len(decoded))
+	}
+
+	l := NewLedger(LedgerConfig{Site: "s1"})
+	l.Open(LedgerEntry{Task: 1, QuotedPrice: 2})
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := WriteFlightDump(path, f, l); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("flight dump does not parse: %v", err)
+	}
+	if len(dump.Timeseries) == 0 || dump.Ledger.Totals.Opened != 1 {
+		t.Fatalf("dump = %d samples, ledger %+v", len(dump.Timeseries), dump.Ledger.Totals)
+	}
+}
+
+func TestFlightBackgroundSampling(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "").With().Inc()
+	f := NewFlight(FlightConfig{Registry: reg, Interval: 2 * time.Millisecond, Capacity: 8})
+	defer f.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(f.Snapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background sampler produced nothing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.Stop()
+	f.Stop() // idempotent
+	n := len(f.Snapshot())
+	time.Sleep(10 * time.Millisecond)
+	if len(f.Snapshot()) != n {
+		t.Fatal("sampler kept running after Stop")
+	}
+}

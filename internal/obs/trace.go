@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"io"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -24,6 +25,57 @@ const (
 	StageAbandon  = "abandon"  // contract died (shutdown, disconnect)
 )
 
+// spanParents maps each lifecycle stage to the stage whose span caused it,
+// giving the flat event stream a causal tree per request: submit is the
+// root; bids and rejects answer the submission; the contract confirms a
+// bid; execution stages hang off the contract; settlement answers the
+// completion.
+var spanParents = map[string]string{
+	StageBid:      StageSubmit,
+	StageReject:   StageSubmit,
+	StageContract: StageBid,
+	StageStart:    StageContract,
+	StagePreempt:  StageStart,
+	StageComplete: StageStart,
+	StagePark:     StageContract,
+	StageSettle:   StageComplete,
+	StageAbandon:  StageContract,
+}
+
+// spanBase keys one task's span tree: the request ID when the event crossed
+// the wire, else the task ID for single-process (simulator) traces.
+func spanBase(req string, taskID uint64) string {
+	if req != "" {
+		return req
+	}
+	if taskID != 0 {
+		return "t" + strconv.FormatUint(taskID, 10)
+	}
+	return ""
+}
+
+// SpanID derives the deterministic span ID for one stage of one request.
+// Determinism is the point: the client and the site annotating the same
+// stage emit the same span ID, so their events merge into one logical span
+// without coordinating state across processes.
+func SpanID(req string, taskID uint64, stage string) string {
+	base := spanBase(req, taskID)
+	if base == "" || stage == "" {
+		return ""
+	}
+	return base + ":" + stage
+}
+
+// ParentSpanID derives the span ID of the stage that caused this one, or ""
+// for root stages (submit) and unknown stages.
+func ParentSpanID(req string, taskID uint64, stage string) string {
+	parent := spanParents[stage]
+	if parent == "" {
+		return ""
+	}
+	return SpanID(req, taskID, parent)
+}
+
 // TraceEvent is one step in a task's lifecycle. Zero-valued fields are
 // omitted from the JSON so each stage carries only what it knows.
 type TraceEvent struct {
@@ -33,6 +85,15 @@ type TraceEvent struct {
 	// Req is the request ID minted at bid time and carried across
 	// processes by the wire protocol.
 	Req string `json:"req,omitempty"`
+	// Span and Parent structure the flat stream into a causal tree. Emit
+	// derives both from (Req, Task, Stage) when left empty, so emitters
+	// need no span bookkeeping.
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	// Dur is the span's duration in simulation units, when the emitter
+	// knows it (e.g. execution time on a complete event). Analysis falls
+	// back to inter-event gaps otherwise.
+	Dur float64 `json:"dur,omitempty"`
 	// Site is the site that acted or was chosen.
 	Site string `json:"site,omitempty"`
 	// T is the event time in simulation units of the emitting process's
@@ -46,6 +107,10 @@ type TraceEvent struct {
 	// emitter is a scheduler.
 	Queued  int `json:"queued,omitempty"`
 	Running int `json:"running,omitempty"`
+	// Cohort and Client carry the trace-v2 workload labels when the task
+	// has them.
+	Cohort string `json:"cohort,omitempty"`
+	Client int    `json:"client,omitempty"`
 	// Detail carries a human-oriented note (reject reasons, error text).
 	Detail string `json:"detail,omitempty"`
 }
@@ -75,15 +140,31 @@ func TracerFor(l *Logger, component string) *Tracer {
 	return &Tracer{lw: l.lw, component: component}
 }
 
-// Emit writes one lifecycle event.
+// Emit writes one lifecycle event, deriving Span and Parent from
+// (Req, Task, Stage) when the emitter left them empty.
 func (t *Tracer) Emit(e TraceEvent) {
 	if t == nil {
 		return
 	}
-	kv := make([]any, 0, 18)
+	if e.Span == "" {
+		e.Span = SpanID(e.Req, e.Task, e.Stage)
+	}
+	if e.Parent == "" {
+		e.Parent = ParentSpanID(e.Req, e.Task, e.Stage)
+	}
+	kv := make([]any, 0, 28)
 	kv = append(kv, "stage", e.Stage, "task", e.Task)
 	if e.Req != "" {
 		kv = append(kv, "req", e.Req)
+	}
+	if e.Span != "" {
+		kv = append(kv, "span", e.Span)
+	}
+	if e.Parent != "" {
+		kv = append(kv, "parent", e.Parent)
+	}
+	if e.Dur != 0 {
+		kv = append(kv, "dur", e.Dur)
 	}
 	if e.Site != "" {
 		kv = append(kv, "site", e.Site)
@@ -99,6 +180,12 @@ func (t *Tracer) Emit(e TraceEvent) {
 	}
 	if e.Running != 0 {
 		kv = append(kv, "running", e.Running)
+	}
+	if e.Cohort != "" {
+		kv = append(kv, "cohort", e.Cohort)
+	}
+	if e.Client != 0 {
+		kv = append(kv, "client", e.Client)
 	}
 	if e.Detail != "" {
 		kv = append(kv, "detail", e.Detail)

@@ -1,0 +1,48 @@
+package site
+
+import (
+	"repro/internal/obs"
+)
+
+// ledgerRecorder feeds the economic contract ledger from the simulator's
+// audit stream: an accepted submission opens a contract at the quoted
+// terms, and completion/parking closes it at the realized yield — the same
+// lifecycle the live wire server books, so sim-vs-live calibration extends
+// to per-contract economics.
+//
+// Settlement ordering matters: the recorder fires inside the engine's
+// sequential event loop in the same order the simulator accumulates
+// Metrics.TotalYield, so the ledger's running realized total is
+// bit-identical to the simulator's reported yield.
+type ledgerRecorder struct {
+	l *obs.Ledger
+}
+
+// NewLedgerRecorder builds a Recorder booking the site's contract
+// lifecycle into l. A nil ledger yields a no-op recorder.
+func NewLedgerRecorder(l *obs.Ledger) Recorder {
+	return ledgerRecorder{l: l}
+}
+
+// Record implements Recorder.
+func (r ledgerRecorder) Record(e Event) {
+	if e.Task == nil {
+		return
+	}
+	switch e.Kind {
+	case EventSubmit:
+		r.l.Open(obs.LedgerEntry{
+			Task:               uint64(e.TaskID),
+			Cohort:             e.Task.Cohort,
+			Client:             e.Task.Client,
+			BidValue:           e.Task.Value,
+			QuotedPrice:        e.ExpectedYield,
+			ExpectedCompletion: e.ExpectedCompletion,
+			AwardedAt:          e.Time,
+		})
+	case EventComplete:
+		r.l.Settle(uint64(e.TaskID), obs.OutcomeSettled, e.Time, e.Value)
+	case EventPark:
+		r.l.Settle(uint64(e.TaskID), obs.OutcomeParked, e.Time, e.Value)
+	}
+}

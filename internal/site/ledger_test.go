@@ -1,0 +1,112 @@
+package site
+
+import (
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestLedgerRealizedYieldBitIdentical pins the ledger to ground truth: for
+// a seeded, contended run (completions, parks, rejections, preemptions),
+// the sum of realized yields over ledger entries must equal the simulator's
+// reported TotalYield bit-for-bit — the ledger books each settlement in the
+// same order, with the same float64 values, as the engine's own
+// accumulation.
+func TestLedgerRealizedYieldBitIdentical(t *testing.T) {
+	spec := integrationSpec(500)
+	spec.Load = 1.8
+	spec.Bound = 50
+	spec.Cohorts = []workload.Cohort{
+		{Name: "batch", Weight: 2},
+		{Name: "interactive", Weight: 1, Clients: 3},
+	}
+	tr, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	ledger := obs.NewLedger(obs.LedgerConfig{
+		Site:     "sim",
+		Policy:   "firstreward",
+		Capacity: len(tr.Tasks) + 1,
+		Registry: reg,
+	})
+	m := RunTrace(tr.Clone(), Config{
+		Processors:  tr.Spec.Processors,
+		Policy:      core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+		Preemptive:  true,
+		ParkExpired: true,
+		Admission:   admission.SlackThreshold{Threshold: 0},
+	}, WithRecorder(NewLedgerRecorder(ledger)))
+
+	if got := ledger.RealizedTotal(); got != m.TotalYield {
+		t.Fatalf("ledger realized total = %v, simulator TotalYield = %v (must be bit-identical)", got, m.TotalYield)
+	}
+
+	s := ledger.Snapshot()
+	if s.Totals.Opened != m.Accepted {
+		t.Fatalf("ledger opened %d contracts, simulator accepted %d", s.Totals.Opened, m.Accepted)
+	}
+	if s.Totals.Settled+s.Totals.Parked != m.Completed {
+		t.Fatalf("ledger closed %d+%d contracts, simulator realized %d outcomes",
+			s.Totals.Settled, s.Totals.Parked, m.Completed)
+	}
+	if s.Totals.Open != 0 {
+		t.Fatalf("%d contracts left open after a drained run", s.Totals.Open)
+	}
+	if s.Totals.UnknownSettles != 0 {
+		t.Fatalf("%d settlements had no matching award", s.Totals.UnknownSettles)
+	}
+	if s.Totals.Parked == 0 {
+		t.Fatal("test wants parks (penalties) in the mix; got none")
+	}
+
+	// Cohort attribution covers every contract.
+	var rolled int
+	cohorts := make(map[string]bool)
+	for _, ru := range s.Rollups {
+		rolled += ru.Contracts
+		cohorts[ru.Cohort] = true
+	}
+	if rolled != s.Totals.Opened {
+		t.Fatalf("rollups cover %d contracts, ledger opened %d", rolled, s.Totals.Opened)
+	}
+	if !cohorts["batch"] || !cohorts["interactive"] {
+		t.Fatalf("cohort attribution missing: %v", cohorts)
+	}
+
+	// The summary gauges agree with the totals.
+	tot := reg.Totals()
+	if tot["site_yield_realized_total"] != m.TotalYield {
+		t.Fatalf("site_yield_realized_total = %v, want %v", tot["site_yield_realized_total"], m.TotalYield)
+	}
+	if tot["site_penalty_exposure"] != 0 {
+		t.Fatalf("exposure after drain = %v, want 0", tot["site_penalty_exposure"])
+	}
+}
+
+// TestLedgerRecorderComposesWithObsRecorder checks the MultiRecorder path
+// sitesim uses: ledger + metrics + audit log on one stream.
+func TestLedgerRecorderComposesWithObsRecorder(t *testing.T) {
+	tr, err := workload.Generate(integrationSpec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ledger := obs.NewLedger(obs.LedgerConfig{Site: "sim", Registry: reg})
+	var audit Log
+	m := RunTrace(tr.Clone(), Config{
+		Processors: tr.Spec.Processors,
+		Policy:     core.FirstPrice{},
+	}, WithRecorder(MultiRecorder(&audit, NewObsRecorder(reg, nil, "sim"), NewLedgerRecorder(ledger))))
+	if got := ledger.RealizedTotal(); got != m.TotalYield {
+		t.Fatalf("composed ledger realized = %v, want %v", got, m.TotalYield)
+	}
+	if audit.Count(EventComplete) == 0 {
+		t.Fatal("audit log saw no completions")
+	}
+}

@@ -13,6 +13,7 @@ import (
 // bound, emits a task-lifecycle trace event in the shared JSON format.
 type obsRecorder struct {
 	tracer *obs.Tracer
+	siteID string
 
 	accepted    *obs.Counter
 	rejected    *obs.Counter
@@ -27,6 +28,11 @@ type obsRecorder struct {
 	rankOps     *obs.Counter
 	quoteHits   *obs.Counter
 	quoteMisses *obs.Counter
+
+	// Trace-v2 cohort attribution: the same outcomes and yields split by
+	// workload cohort (label "none" for unlabeled tasks).
+	cohortTasks *obs.CounterVec
+	cohortYield *obs.CounterVec
 }
 
 // simSlackBuckets mirror the wire layer's admission-slack buckets (see
@@ -41,6 +47,7 @@ func NewObsRecorder(reg *obs.Registry, tracer *obs.Tracer, siteID string) Record
 	quotes := reg.Counter("site_quote_reuse", "Quote evaluations by base-candidate cache outcome.", "site", "result")
 	return &obsRecorder{
 		tracer:      tracer,
+		siteID:      siteID,
 		accepted:    tasks.With(siteID, "accepted"),
 		rejected:    tasks.With(siteID, "rejected"),
 		completed:   tasks.With(siteID, "completed"),
@@ -54,6 +61,8 @@ func NewObsRecorder(reg *obs.Registry, tracer *obs.Tracer, siteID string) Record
 		rankOps:     reg.Counter("site_dispatch_rank_ops", "Full priority-ranking passes spent dispatching.", "site").With(siteID),
 		quoteHits:   quotes.With(siteID, "hit"),
 		quoteMisses: quotes.With(siteID, "miss"),
+		cohortTasks: reg.Counter("site_cohort_tasks_total", "Task outcomes split by trace-v2 workload cohort.", "site", "cohort", "event"),
+		cohortYield: reg.Counter("site_cohort_yield_total", "Realized yield and penalties split by trace-v2 workload cohort.", "site", "cohort", "kind"),
 	}
 }
 
@@ -93,45 +102,77 @@ func (r *obsRecorder) Record(e Event) {
 		r.quoteMisses.Inc()
 		return
 	}
+	cohort := ""
+	if e.Task != nil {
+		cohort = obs.CohortLabel(e.Task.Cohort)
+	}
 	switch e.Kind {
 	case EventSubmit:
 		r.accepted.Inc()
+		r.cohortEvent(cohort, "accepted")
 		if !math.IsInf(e.Value, 0) {
 			r.slack.Observe(e.Value)
 		}
 	case EventReject:
 		r.rejected.Inc()
+		r.cohortEvent(cohort, "rejected")
 		if !math.IsInf(e.Value, 0) {
 			r.slack.Observe(e.Value)
 		}
 	case EventPreempt:
 		r.preemptions.Inc()
+		r.cohortEvent(cohort, "preempted")
 	case EventComplete:
 		r.completed.Inc()
-		r.observeYield(e.Value)
+		r.cohortEvent(cohort, "completed")
+		r.observeYield(cohort, e.Value)
 	case EventPark:
 		r.parked.Inc()
-		r.observeYield(e.Value)
+		r.cohortEvent(cohort, "parked")
+		r.observeYield(cohort, e.Value)
 	}
 	r.queueDepth.Set(float64(e.Queued))
 	r.running.Set(float64(e.Running))
 	if r.tracer != nil {
-		r.tracer.Emit(obs.TraceEvent{
+		ev := obs.TraceEvent{
 			Stage:   stageFor(e.Kind),
 			Task:    uint64(e.TaskID),
+			Site:    r.siteID,
 			T:       e.Time,
 			Value:   e.Value,
 			Queued:  e.Queued,
 			Running: e.Running,
-		})
+		}
+		if e.Task != nil {
+			ev.Cohort = e.Task.Cohort
+			ev.Client = e.Task.Client
+			if e.Kind == EventComplete {
+				ev.Dur = e.Time - e.Task.Start
+			}
+		}
+		r.tracer.Emit(ev)
 	}
 }
 
-func (r *obsRecorder) observeYield(v float64) {
+// cohortEvent books one task outcome against its cohort.
+func (r *obsRecorder) cohortEvent(cohort, event string) {
+	if cohort == "" {
+		return // telemetry event with no task attached
+	}
+	r.cohortTasks.With(r.siteID, cohort, event).Inc()
+}
+
+func (r *obsRecorder) observeYield(cohort string, v float64) {
 	if v >= 0 {
 		r.yield.Add(v)
+		if cohort != "" {
+			r.cohortYield.With(r.siteID, cohort, "realized").Add(v)
+		}
 	} else {
 		r.penalty.Add(-v)
+		if cohort != "" {
+			r.cohortYield.With(r.siteID, cohort, "penalty").Add(-v)
+		}
 	}
 }
 

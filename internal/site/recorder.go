@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/admission"
 	"repro/internal/task"
 )
 
@@ -70,6 +71,14 @@ type Event struct {
 	// journal, which must be able to reconstruct the task on replay) read
 	// it here; they must not mutate or retain it past the call.
 	Task *task.Task
+
+	// ExpectedYield and ExpectedCompletion carry the admission quote's
+	// terms on EventSubmit and EventReject: the yield and completion time
+	// the site promised (or would have promised) at award time. Zero on
+	// other kinds. The contract ledger prices expected-vs-realized yield
+	// from these.
+	ExpectedYield      float64
+	ExpectedCompletion float64
 }
 
 // String renders the event as one log line.
@@ -146,6 +155,26 @@ func (s *Site) record(kind EventKind, t *task.Task, value float64) {
 		Running: len(s.running),
 		Value:   value,
 		Task:    t,
+	})
+}
+
+// recordQuote is the submission-time variant of record: it attaches the
+// admission quote's terms so ledger recorders can book expected yield at
+// award time.
+func (s *Site) recordQuote(kind EventKind, t *task.Task, q admission.Quote) {
+	if s.recorder == nil {
+		return
+	}
+	s.recorder.Record(Event{
+		Time:               s.engine.Now(),
+		Kind:               kind,
+		TaskID:             t.ID,
+		Queued:             len(s.pending),
+		Running:            len(s.running),
+		Value:              q.Slack,
+		Task:               t,
+		ExpectedYield:      q.ExpectedYield,
+		ExpectedCompletion: q.ExpectedCompletion,
 	})
 }
 

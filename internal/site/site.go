@@ -283,7 +283,7 @@ func (s *Site) Submit(t *task.Task) (admission.Quote, bool, error) {
 	if !s.adm.Admit(q) {
 		t.State = task.Rejected
 		s.metrics.Rejected++
-		s.record(EventReject, t, q.Slack)
+		s.recordQuote(EventReject, t, q)
 		return q, false, nil
 	}
 	t.State = task.Queued
@@ -291,7 +291,7 @@ func (s *Site) Submit(t *task.Task) (admission.Quote, bool, error) {
 	s.metrics.AcceptedValue += t.Value
 	s.pending = append(s.pending, t)
 	s.invalidate()
-	s.record(EventSubmit, t, q.Slack)
+	s.recordQuote(EventSubmit, t, q)
 	s.dispatch()
 	return q, true, nil
 }

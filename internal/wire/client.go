@@ -580,11 +580,13 @@ func (n *Negotiator) Negotiate(b market.Bid) (market.ServerBid, bool, error) {
 		b.ReqID = obs.NewRequestID()
 	}
 	eo := n.exchangeObs()
-	eo.trace(obs.TraceEvent{Stage: obs.StageSubmit, Task: uint64(b.TaskID), Req: b.ReqID, Value: b.Value})
+	eo.trace(obs.TraceEvent{Stage: obs.StageSubmit, Task: uint64(b.TaskID), Req: b.ReqID, Value: b.Value,
+		Cohort: b.Cohort, Client: b.Client})
 	offers, offerSites, err := proposeAll(n.Sites, b, n.retries(), n.backoff(), n.quoteWorkers(), eo)
 	if err != nil {
 		eo.failed.Inc()
-		eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(b.TaskID), Req: b.ReqID, Detail: err.Error()})
+		eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(b.TaskID), Req: b.ReqID, Detail: err.Error(),
+			Cohort: b.Cohort, Client: b.Client})
 		return market.ServerBid{}, false, err
 	}
 	for len(offers) > 0 {
@@ -593,13 +595,13 @@ func (n *Negotiator) Negotiate(b market.Bid) (market.ServerBid, bool, error) {
 			break
 		}
 		eo.trace(obs.TraceEvent{Stage: obs.StageBid, Task: uint64(b.TaskID), Req: b.ReqID,
-			Site: offers[i].SiteID, Value: offers[i].ExpectedPrice})
+			Site: offers[i].SiteID, Value: offers[i].ExpectedPrice, Cohort: b.Cohort, Client: b.Client})
 		terms, ok, err := callWithRetry(offerSites[i], n.retries(), n.backoff(), eo,
 			func() (market.ServerBid, bool, error) { return offerSites[i].Award(b, offers[i]) })
 		if err == nil && ok {
 			eo.placed.Inc()
 			eo.trace(obs.TraceEvent{Stage: obs.StageContract, Task: uint64(b.TaskID), Req: b.ReqID,
-				Site: terms.SiteID, Value: terms.ExpectedPrice})
+				Site: terms.SiteID, Value: terms.ExpectedPrice, Cohort: b.Cohort, Client: b.Client})
 			return terms, true, nil
 		}
 		if err != nil {
@@ -609,6 +611,7 @@ func (n *Negotiator) Negotiate(b market.Bid) (market.ServerBid, bool, error) {
 		offerSites = append(offerSites[:i], offerSites[i+1:]...)
 	}
 	eo.declined.Inc()
-	eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(b.TaskID), Req: b.ReqID, Detail: "no site accepted"})
+	eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(b.TaskID), Req: b.ReqID, Detail: "no site accepted",
+		Cohort: b.Cohort, Client: b.Client})
 	return market.ServerBid{}, false, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/task"
 )
 
@@ -49,7 +50,9 @@ type contractRecord struct {
 	Wall  int64 `json:"wall,omitempty"`
 	Scale int64 `json:"scale,omitempty"`
 
-	// recContract: the full bid tuple plus the agreed terms.
+	// recContract: the full bid tuple plus the agreed terms. Cohort and
+	// Client are trace-v2 attribution labels; both omit empty, so journals
+	// from before they existed replay unchanged.
 	TaskID             task.ID `json:"task_id,omitempty"`
 	Req                string  `json:"req,omitempty"`
 	Arrival            float64 `json:"arrival,omitempty"`
@@ -59,6 +62,8 @@ type contractRecord struct {
 	Bound              string  `json:"bound,omitempty"` // EncodeBound form
 	ExpectedCompletion float64 `json:"expected_completion,omitempty"`
 	ExpectedPrice      float64 `json:"expected_price,omitempty"`
+	Cohort             string  `json:"cohort,omitempty"`
+	Client             int     `json:"client,omitempty"`
 
 	// recStart / recSettle / recDefault: event time in site units, and the
 	// settlement price where one was fixed.
@@ -107,14 +112,26 @@ type bookEntry struct {
 	running bool
 }
 
+// closedContract pairs a contract's award terms with the record that
+// closed it, in journal order, so recovery can seed the economic ledger
+// with the pre-crash history as well as the open book.
+type closedContract struct {
+	rec   contractRecord // the original recContract terms
+	kind  string         // recSettle, recDefault, or recAbandon
+	t     float64
+	price float64
+}
+
 // recoveredBook is the journal fold: open contracts in journal order, the
-// closed-contract settlements, and the clock epoch.
+// closed-contract settlements, the closed lifecycle history, and the clock
+// epoch.
 type recoveredBook struct {
-	wall  int64
-	scale int64
-	open  []task.ID
-	book  map[task.ID]*bookEntry
-	done  map[task.ID]settlement
+	wall   int64
+	scale  int64
+	open   []task.ID
+	book   map[task.ID]*bookEntry
+	done   map[task.ID]settlement
+	closed []closedContract
 }
 
 // foldJournal replays the contract journal into the recovered book.
@@ -147,15 +164,19 @@ func foldJournal(j *durable.Journal) (*recoveredBook, error) {
 			}
 			e.running = true
 		case recSettle, recDefault:
-			if _, ok := rb.book[r.TaskID]; !ok {
+			e, ok := rb.book[r.TaskID]
+			if !ok {
 				return fmt.Errorf("wire: journal record %d: %s for unknown task %d", index, r.Kind, r.TaskID)
 			}
+			rb.closed = append(rb.closed, closedContract{rec: e.rec, kind: r.Kind, t: r.T, price: r.Price})
 			rb.close(r.TaskID)
 			rb.done[r.TaskID] = settlement{Defaulted: r.Kind == recDefault, T: r.T, Price: r.Price}
 		case recAbandon:
-			if _, ok := rb.book[r.TaskID]; !ok {
+			e, ok := rb.book[r.TaskID]
+			if !ok {
 				return fmt.Errorf("wire: journal record %d: abandon for unknown task %d", index, r.TaskID)
 			}
+			rb.closed = append(rb.closed, closedContract{rec: e.rec, kind: recAbandon, t: r.T})
 			rb.close(r.TaskID)
 		default:
 			return fmt.Errorf("wire: journal record %d: unknown kind %q", index, r.Kind)
@@ -166,6 +187,32 @@ func foldJournal(j *durable.Journal) (*recoveredBook, error) {
 		return nil, err
 	}
 	return rb, nil
+}
+
+// ledgerEntryFromRecord rebuilds the award-time ledger entry from a
+// journaled contract record.
+func ledgerEntryFromRecord(r contractRecord) obs.LedgerEntry {
+	return obs.LedgerEntry{
+		Task:               uint64(r.TaskID),
+		Req:                r.Req,
+		Cohort:             r.Cohort,
+		Client:             r.Client,
+		BidValue:           r.Value,
+		QuotedPrice:        r.ExpectedPrice,
+		ExpectedCompletion: r.ExpectedCompletion,
+		AwardedAt:          r.Arrival,
+	}
+}
+
+// ledgerOutcome maps a closing journal record kind onto a ledger outcome.
+func ledgerOutcome(kind string) string {
+	switch kind {
+	case recSettle:
+		return obs.OutcomeSettled
+	case recDefault:
+		return obs.OutcomeDefaulted
+	}
+	return obs.OutcomeAbandoned
 }
 
 func (rb *recoveredBook) close(id task.ID) {
@@ -225,6 +272,17 @@ func (s *Server) openJournal() error {
 	s.start = time.Unix(0, rb.wall)
 	now := s.now()
 
+	// Re-seed the economic ledger with the journaled history: contracts
+	// closed before the crash replay their full lifecycle, so the restarted
+	// site's ledger still reconciles against its clients' view of every
+	// contract, not just the ones that survived.
+	if led := s.cfg.Ledger; led != nil {
+		for _, c := range rb.closed {
+			led.Open(ledgerEntryFromRecord(c.rec))
+			led.Settle(uint64(c.rec.TaskID), ledgerOutcome(c.kind), c.t, c.price)
+		}
+	}
+
 	rec := j.Recovery()
 	regime := s.cfg.crashRegime()
 	recovered, defaulted := 0, 0
@@ -237,6 +295,8 @@ func (s *Server) openJournal() error {
 		}
 		t := task.New(id, e.rec.Arrival, e.rec.Runtime, e.rec.Value, e.rec.Decay, bound)
 		t.State = task.Queued
+		t.Cohort = e.rec.Cohort
+		t.Client = e.rec.Client
 		reason := ""
 		switch {
 		case !t.Unbounded() && t.ExpiredAt(now):
@@ -257,6 +317,11 @@ func (s *Server) openJournal() error {
 			if price < 0 {
 				s.m.penalty.Add(-price)
 			}
+			s.m.cohortEvent(e.rec.Cohort, "defaulted")
+			if led := s.cfg.Ledger; led != nil {
+				led.Open(ledgerEntryFromRecord(e.rec))
+				led.Settle(uint64(id), obs.OutcomeDefaulted, now, price)
+			}
 			s.log.Info("contract defaulted in recovery", "task", id, "reason", reason, "price", price)
 			defaulted++
 			continue
@@ -269,6 +334,9 @@ func (s *Server) openJournal() error {
 			s.reqs[id] = e.rec.Req
 		}
 		s.m.recovered.Inc()
+		if led := s.cfg.Ledger; led != nil {
+			led.Open(ledgerEntryFromRecord(e.rec))
+		}
 		recovered++
 	}
 	if err := s.j.Sync(); err != nil {

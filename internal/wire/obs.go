@@ -44,6 +44,18 @@ import (
 //	site_journal_batch_syncs_total{site}             group-commit fsync rounds
 //	site_journal_batch_records_total{site}           records made durable by those rounds
 //	wire_frames_oversized_total{site}                inbound frames over the configured cap
+//
+// Economic ledger and cohort-attribution families (DESIGN.md §13). The
+// yield summaries are gauges despite the _total suffix: realized yield can
+// move down (penalties are negative settlements), which a counter would
+// silently drop. The cohort splits mirror the simulator's obsRecorder so a
+// live site and a sitesim run chart on the same dashboard:
+//
+//	site_yield_expected_total{site}             sum of quoted prices over ledger entries
+//	site_yield_realized_total{site}             sum of realized yields over ledger entries
+//	site_penalty_exposure{site}                 quoted value still open (at risk) on the book
+//	site_cohort_tasks_total{site,cohort,event}  task outcomes split by trace-v2 cohort
+//	site_cohort_yield_total{site,cohort,kind}   realized yield/penalty split by cohort
 
 // slackBuckets cover the admission slack range seen in the paper's
 // regimes: deeply negative (reject territory) through comfortable.
@@ -93,6 +105,12 @@ type serverMetrics struct {
 	batchSyncs        *obs.Counter
 	batchRecords      *obs.Counter
 	framesOversized   *obs.Counter
+
+	// Trace-v2 cohort attribution: outcomes and yields split by workload
+	// cohort, same families the simulator's obsRecorder feeds.
+	site        string
+	cohortTasks *obs.CounterVec
+	cohortYield *obs.CounterVec
 }
 
 func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
@@ -140,6 +158,30 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 		recoverySeconds:   reg.Gauge("site_recovery_seconds", "Time spent replaying the contract journal at startup.", "site").With(site),
 		recoveryRecords:   reg.Gauge("site_recovery_records_replayed", "Whole journal records replayed at startup.", "site").With(site),
 		recoveryTornBytes: reg.Gauge("site_recovery_torn_bytes", "Torn tail bytes truncated during journal recovery.", "site").With(site),
+
+		site:        site,
+		cohortTasks: reg.Counter("site_cohort_tasks_total", "Task outcomes split by trace-v2 workload cohort.", "site", "cohort", "event"),
+		cohortYield: reg.Counter("site_cohort_yield_total", "Realized yield and penalties split by trace-v2 workload cohort.", "site", "cohort", "kind"),
+	}
+}
+
+// cohortEvent books one task outcome against its workload cohort
+// (CohortLabel maps unlabeled tasks to "none").
+func (m *serverMetrics) cohortEvent(cohort, event string) {
+	m.cohortTasks.With(m.site, obs.CohortLabel(cohort), event).Inc()
+}
+
+// observeYield books a settlement into the yield/penalty counters and
+// their cohort splits, matching the simulator recorder's sign convention:
+// non-negative settles as realized yield, negative as penalty (absolute).
+func (m *serverMetrics) observeYield(cohort string, v float64) {
+	lbl := obs.CohortLabel(cohort)
+	if v >= 0 {
+		m.yield.Add(v)
+		m.cohortYield.With(m.site, lbl, "realized").Add(v)
+	} else {
+		m.penalty.Add(-v)
+		m.cohortYield.With(m.site, lbl, "penalty").Add(-v)
 	}
 }
 

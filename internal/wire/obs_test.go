@@ -89,6 +89,71 @@ func stagesFor(events []map[string]any, req string) map[string]bool {
 	return out
 }
 
+// assertSpanPath reconstructs combined trace streams into one task path and
+// checks the span tree end to end: parent/child linkage follows the
+// lifecycle DAG, no span is orphaned, and every duration — per-event and
+// per-segment on the wall clock — is non-negative.
+func assertSpanPath(t *testing.T, combined, req string) {
+	t.Helper()
+	events, err := obs.ReadTrace(strings.NewReader(combined))
+	if err != nil {
+		t.Fatalf("read combined trace: %v", err)
+	}
+	an := obs.BuildPaths(events)
+	var path *obs.TaskPath
+	for i := range an.Paths {
+		if an.Paths[i].Req == req {
+			path = &an.Paths[i]
+		}
+	}
+	if path == nil {
+		t.Fatalf("no task path for req %s in combined trace", req)
+	}
+	if len(path.Orphans) != 0 {
+		t.Errorf("span tree for req %s has orphans: %v", req, path.Orphans)
+	}
+	if !path.Complete() {
+		have := make([]string, 0, len(path.Stages))
+		for st := range path.Stages {
+			have = append(have, st)
+		}
+		t.Errorf("path for req %s misses critical-path stages: have %v", req, have)
+	}
+	for stage, parent := range map[string]string{
+		obs.StageBid:      obs.StageSubmit,
+		obs.StageContract: obs.StageBid,
+		obs.StageStart:    obs.StageContract,
+		obs.StageComplete: obs.StageStart,
+		obs.StageSettle:   obs.StageComplete,
+	} {
+		ev, ok := path.Stages[stage]
+		if !ok {
+			continue
+		}
+		want := obs.SpanID(req, ev.Task, parent)
+		if ev.Parent != want {
+			t.Errorf("stage %s parent span = %q, want %q", stage, ev.Parent, want)
+		}
+		if ev.Span == "" || ev.Span == ev.Parent {
+			t.Errorf("stage %s span = %q (parent %q), want a distinct non-empty span", stage, ev.Span, ev.Parent)
+		}
+	}
+	for _, ev := range path.Events {
+		if ev.Dur < 0 {
+			t.Errorf("event %s/%s carries negative dur %v", ev.Component, ev.Stage, ev.Dur)
+		}
+	}
+	bd := path.Breakdown("wall")
+	for name, d := range map[string]float64{
+		"negotiation": bd.Negotiation, "queue": bd.Queue,
+		"execution": bd.Execution, "settlement": bd.Settlement, "total": bd.Total,
+	} {
+		if d < 0 {
+			t.Errorf("wall-clock %s segment = %v, want >= 0", name, d)
+		}
+	}
+}
+
 // TestServerMetricsAdvance drives one task through propose, award, and
 // settlement and checks every layer's instruments moved: RPC counters and
 // latency histograms, task outcome counters, yield, and settlement
@@ -312,6 +377,9 @@ func TestRequestIDPropagates(t *testing.T) {
 					t.Errorf("server trace missing stage %q for req %s", st, req)
 				}
 			}
+			// The combined client+server streams must reconstruct into one
+			// causally linked span tree with non-negative durations.
+			assertSpanPath(t, clientOut.String()+serverOut.String(), req)
 			return
 		}
 		if time.Now().After(deadline) {
@@ -373,6 +441,9 @@ func TestRequestIDCrossesBroker(t *testing.T) {
 			if !siteStages[obs.StageContract] || !siteStages[obs.StageComplete] {
 				t.Errorf("site stages for %s incomplete: %v", req, siteStages)
 			}
+			// Client, broker, and site annotate one span tree: linked
+			// parent/child spans, no orphans, non-negative durations.
+			assertSpanPath(t, clientOut.String()+brokerOut.String()+siteOut.String(), req)
 			return
 		}
 		if time.Now().After(deadline) {

@@ -48,6 +48,11 @@ type ServerConfig struct {
 	Metrics *obs.Registry
 	// Tracer receives task-lifecycle trace events; nil disables them.
 	Tracer *obs.Tracer
+	// Ledger, when non-nil, books every contract's economic lifecycle
+	// (award terms at acceptance, realized yield at settlement); recovery
+	// re-seeds it from the journal so a restarted site's ledger still
+	// reconciles with its clients' view (DESIGN.md §13).
+	Ledger *obs.Ledger
 
 	// DataDir, when non-empty, enables crash-safe contract durability: every
 	// contract-state transition is journaled there (see internal/durable and
@@ -328,6 +333,8 @@ func (s *Server) Close() error {
 	s.Abandoned += len(s.pending)
 	s.m.abandoned.Add(float64(len(s.pending)))
 	for _, t := range s.pending {
+		s.m.cohortEvent(t.Cohort, "abandoned")
+		s.ledgerCloseLocked(t.ID, obs.OutcomeAbandoned, s.now(), 0)
 		s.traceLocked(obs.StageAbandon, t.ID, "server closed")
 	}
 	s.pending = nil
@@ -338,6 +345,10 @@ func (s *Server) Close() error {
 			delete(s.timers, id)
 			s.Abandoned++
 			s.m.abandoned.Inc()
+			if rt := s.running[id]; rt != nil {
+				s.m.cohortEvent(rt.Cohort, "abandoned")
+			}
+			s.ledgerCloseLocked(id, obs.OutcomeAbandoned, s.now(), 0)
 			s.traceLocked(obs.StageAbandon, id, "server closed mid-run")
 		}
 	}
@@ -511,6 +522,8 @@ func (s *Server) dropOwnerLocked(sc *serverConn) {
 				p.State = task.Rejected
 				s.Abandoned++
 				s.m.abandoned.Inc()
+				s.m.cohortEvent(p.Cohort, "abandoned")
+				s.ledgerCloseLocked(id, obs.OutcomeAbandoned, s.now(), 0)
 				s.traceLocked(obs.StageAbandon, id, "client disconnected")
 				if err := s.appendRecord(contractRecord{Kind: recAbandon, TaskID: id, Reason: "client disconnected"}); err != nil {
 					s.log.Warn("journal abandon record failed", "task", id, "err", err.Error())
@@ -558,6 +571,7 @@ func (s *Server) handleBid(env Envelope) Envelope {
 	s.observeSlack(q.Slack)
 	if !s.cfg.Admission.Admit(q) {
 		s.m.rejected.Inc()
+		s.m.cohortEvent(bid.Cohort, "rejected")
 		s.mu.Lock()
 		s.Rejected++
 		s.traceBidLocked(obs.StageReject, bid, q.Slack, "slack below threshold")
@@ -593,6 +607,7 @@ func (s *Server) handleBidLegacy(bid market.Bid) Envelope {
 	if !s.cfg.Admission.Admit(q) {
 		s.Rejected++
 		s.m.rejected.Inc()
+		s.m.cohortEvent(bid.Cohort, "rejected")
 		s.traceBidLocked(obs.StageReject, bid, q.Slack, "slack below threshold")
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: fmt.Sprintf("slack %.2f below threshold", q.Slack)}
@@ -632,6 +647,8 @@ func (s *Server) traceBidLocked(stage string, bid market.Bid, value float64, det
 		Value:   value,
 		Queued:  len(s.pending),
 		Running: len(s.running),
+		Cohort:  bid.Cohort,
+		Client:  bid.Client,
 		Detail:  detail,
 	})
 }
@@ -713,6 +730,7 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	if !s.cfg.Admission.Admit(q) {
 		s.Rejected++
 		s.m.rejected.Inc()
+		s.m.cohortEvent(bid.Cohort, "rejected")
 		s.traceBidLocked(obs.StageReject, bid, q.Slack, "mix changed since proposal")
 		s.mu.Unlock()
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
@@ -729,6 +747,7 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 		Arrival: t.Arrival, Runtime: t.Runtime, Value: t.Value,
 		Decay: t.Decay, Bound: EncodeBound(t.Bound),
 		ExpectedCompletion: sb.ExpectedCompletion, ExpectedPrice: sb.ExpectedPrice,
+		Cohort: t.Cohort, Client: t.Client,
 	})
 	if jerr != nil {
 		s.mu.Unlock()
@@ -751,6 +770,8 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 		// Memory-only site: nothing to wait for, finish the award inline.
 		s.Accepted++
 		s.m.accepted.Inc()
+		s.m.cohortEvent(t.Cohort, "accepted")
+		s.ledgerOpenLocked(t)
 		s.log.Info("accepted task", "task", t.ID, "runtime", t.Runtime, "expected_completion", q.ExpectedCompletion)
 		s.dispatchLocked()
 		s.mu.Unlock()
@@ -815,6 +836,8 @@ func (s *Server) finishDurableAwards(idx uint64) {
 		delete(s.unsynced, id)
 		s.Accepted++
 		s.m.accepted.Inc()
+		s.m.cohortEvent(u.t.Cohort, "accepted")
+		s.ledgerOpenLocked(u.t)
 		s.log.Info("accepted task", "task", id, "runtime", u.t.Runtime, "expected_completion", u.completion)
 		finished = true
 	}
@@ -855,6 +878,8 @@ func (s *Server) rollbackUnsyncedAward(t *task.Task, idx uint64, serr error) boo
 		s.syncCond.Broadcast()
 		s.Accepted++
 		s.m.accepted.Inc()
+		s.m.cohortEvent(u.t.Cohort, "accepted")
+		s.ledgerOpenLocked(u.t)
 		s.log.Info("accepted task", "task", t.ID, "runtime", u.t.Runtime, "expected_completion", u.completion)
 		s.dispatchLocked()
 		s.mu.Unlock()
@@ -915,6 +940,7 @@ func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
 	if !s.cfg.Admission.Admit(q) {
 		s.Rejected++
 		s.m.rejected.Inc()
+		s.m.cohortEvent(bid.Cohort, "rejected")
 		s.traceBidLocked(obs.StageReject, bid, q.Slack, "mix changed since proposal")
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: "mix changed since proposal"}
@@ -934,6 +960,7 @@ func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
 			Arrival: t.Arrival, Runtime: t.Runtime, Value: t.Value,
 			Decay: t.Decay, Bound: EncodeBound(t.Bound),
 			ExpectedCompletion: sb.ExpectedCompletion, ExpectedPrice: sb.ExpectedPrice,
+			Cohort: t.Cohort, Client: t.Client,
 		})
 		if err == nil {
 			err = s.j.Sync()
@@ -951,6 +978,8 @@ func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
 	s.prices[t.ID] = sb
 	s.Accepted++
 	s.m.accepted.Inc()
+	s.m.cohortEvent(t.Cohort, "accepted")
+	s.ledgerOpenLocked(t)
 	s.syncGaugesLocked()
 	s.traceLocked(obs.StageContract, t.ID, "")
 	s.log.Info("accepted task", "task", t.ID, "runtime", t.Runtime, "expected_completion", q.ExpectedCompletion)
@@ -969,7 +998,44 @@ func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
 // domain, so delay is measured from receipt — the negotiated completion
 // time plays the contractual role.
 func (s *Server) bidTask(bid market.Bid) *task.Task {
-	return task.New(bid.TaskID, s.now(), bid.Runtime, bid.Value, bid.Decay, bid.Bound)
+	t := task.New(bid.TaskID, s.now(), bid.Runtime, bid.Value, bid.Decay, bid.Bound)
+	t.Cohort = bid.Cohort
+	t.Client = bid.Client
+	return t
+}
+
+// ledgerOpenLocked books an accepted contract into the economic ledger
+// with the standing terms from the contract book. Callers must hold s.mu,
+// after the award's bookkeeping (prices, reqs) is in place.
+func (s *Server) ledgerOpenLocked(t *task.Task) {
+	if s.cfg.Ledger == nil {
+		return
+	}
+	sb := s.prices[t.ID]
+	s.cfg.Ledger.Open(obs.LedgerEntry{
+		Task:               uint64(t.ID),
+		Req:                s.reqs[t.ID],
+		Cohort:             t.Cohort,
+		Client:             t.Client,
+		BidValue:           t.Value,
+		QuotedPrice:        sb.ExpectedPrice,
+		ExpectedCompletion: sb.ExpectedCompletion,
+		AwardedAt:          t.Arrival,
+	})
+}
+
+// ledgerCloseLocked settles a ledger entry. Contracts still inside a
+// group-commit window were never ledger-opened (acceptance happens at the
+// durability barrier), so they are skipped rather than booked as unknown
+// settlements. Callers must hold s.mu.
+func (s *Server) ledgerCloseLocked(id task.ID, outcome string, at, realized float64) {
+	if s.cfg.Ledger == nil {
+		return
+	}
+	if _, open := s.unsynced[id]; open {
+		return
+	}
+	s.cfg.Ledger.Settle(uint64(id), outcome, at, realized)
 }
 
 func (s *Server) quoteLocked(bid market.Bid) (admission.Quote, error) {
@@ -1048,6 +1114,8 @@ func (s *Server) complete(t *task.Task) {
 		delete(s.prices, t.ID)
 		s.Abandoned++
 		s.m.abandoned.Inc()
+		s.m.cohortEvent(t.Cohort, "abandoned")
+		s.ledgerCloseLocked(t.ID, obs.OutcomeAbandoned, s.now(), 0)
 		s.traceLocked(obs.StageAbandon, t.ID, "server closed mid-run")
 		delete(s.reqs, t.ID)
 		s.syncGaugesLocked()
@@ -1067,11 +1135,9 @@ func (s *Server) complete(t *task.Task) {
 	s.Completed++
 	s.Revenue += t.Yield
 	s.m.completed.Inc()
-	if t.Yield >= 0 {
-		s.m.yield.Add(t.Yield)
-	} else {
-		s.m.penalty.Add(-t.Yield)
-	}
+	s.m.cohortEvent(t.Cohort, "completed")
+	s.m.observeYield(t.Cohort, t.Yield)
+	s.ledgerCloseLocked(t.ID, obs.OutcomeSettled, now, t.Yield)
 	if standing, ok := s.prices[t.ID]; ok {
 		s.m.lateness.Observe(now - standing.ExpectedCompletion)
 	}
@@ -1083,7 +1149,8 @@ func (s *Server) complete(t *task.Task) {
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Emit(obs.TraceEvent{
 			Stage: obs.StageComplete, Task: uint64(t.ID), Req: req, Site: s.cfg.SiteID,
-			T: now, Value: t.Yield, Queued: len(s.pending), Running: len(s.running),
+			T: now, Value: t.Yield, Dur: now - t.Start, Queued: len(s.pending), Running: len(s.running),
+			Cohort: t.Cohort, Client: t.Client,
 		})
 	}
 	s.dispatchLocked()
@@ -1119,7 +1186,7 @@ func (s *Server) complete(t *task.Task) {
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Emit(obs.TraceEvent{
 			Stage: obs.StageSettle, Task: uint64(t.ID), Req: req, Site: s.cfg.SiteID,
-			T: now, Value: t.Yield,
+			T: now, Value: t.Yield, Cohort: t.Cohort, Client: t.Client,
 		})
 	}
 	s.log.Info("settled task", "task", t.ID, "t", now, "price", t.Yield)

@@ -68,6 +68,10 @@ type Envelope struct {
 	Value   float64 `json:"value,omitempty"`
 	Decay   float64 `json:"decay,omitempty"`
 	Bound   string  `json:"bound,omitempty"` // "inf" or a number, so +Inf survives JSON
+	// Cohort and Client carry the trace-v2 workload labels with the bid so
+	// the site can attribute metrics and ledger entries; opaque otherwise.
+	Cohort string `json:"cohort,omitempty"`
+	Client int    `json:"client,omitempty"`
 
 	// ServerBid / Contract / Settled fields.
 	SiteID             string  `json:"site_id,omitempty"`
@@ -115,6 +119,8 @@ func BidEnvelope(b market.Bid) Envelope {
 		Value:   b.Value,
 		Decay:   b.Decay,
 		Bound:   EncodeBound(b.Bound),
+		Cohort:  b.Cohort,
+		Client:  b.Client,
 	}
 }
 
@@ -145,6 +151,8 @@ func (e Envelope) Bid() (market.Bid, error) {
 		Value:   e.Value,
 		Decay:   e.Decay,
 		Bound:   bound,
+		Cohort:  e.Cohort,
+		Client:  e.Client,
 	}
 	if b.Runtime <= 0 || math.IsNaN(b.Runtime) {
 		return market.Bid{}, fmt.Errorf("wire: bid for task %d has bad runtime %v", b.TaskID, b.Runtime)

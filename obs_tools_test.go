@@ -1,0 +1,263 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/market"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// buildTool compiles one of the cmd/ tools into dir and returns its path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	build := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building %s: %v", name, err)
+	}
+	return bin
+}
+
+// TestObstopFleetTable boots three real siteserver processes, settles one
+// contract at each, and checks obstop renders a fleet table with one live
+// row per site: the ledger columns reflect the settled book and no target
+// reads as down.
+func TestObstopFleetTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	binDir := t.TempDir()
+	siteBin := buildTool(t, binDir, "siteserver")
+	obstopBin := buildTool(t, binDir, "obstop")
+
+	ids := []string{"fleet-a", "fleet-b", "fleet-c"}
+	var diags []string
+	for _, id := range ids {
+		p := startSiteProc(t, siteBin,
+			"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+			"-id", id, "-procs", "2", "-timescale", "1ms",
+			"-admission", "accept-all", "-quiet")
+		diags = append(diags, p.diagAddr)
+
+		c, err := wire.Dial(p.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		settled := make(chan wire.Envelope, 1)
+		c.SetOnSettled(func(e wire.Envelope) { settled <- e })
+		bid := market.Bid{TaskID: 1, Runtime: 5, Value: 50, Decay: 0.1, Bound: math.Inf(1)}
+		sb, ok, err := c.Propose(bid)
+		if err != nil || !ok {
+			t.Fatalf("propose at %s: %v %v", id, ok, err)
+		}
+		if _, ok, err := c.Award(bid, sb); err != nil || !ok {
+			t.Fatalf("award at %s: %v %v", id, ok, err)
+		}
+		select {
+		case <-settled:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("contract at %s never settled", id)
+		}
+		c.Close()
+	}
+
+	out, err := exec.Command(obstopBin, "-once", "-targets", strings.Join(diags, ",")).Output()
+	if err != nil {
+		t.Fatalf("obstop: %v\n%s", err, out)
+	}
+	table := string(out)
+	if strings.Contains(table, "DOWN:") {
+		t.Fatalf("obstop reported a target down:\n%s", table)
+	}
+	for _, col := range []string{"SITE", "QUEUE", "QUOTE/s", "SETTLED", "REALIZED", "EXPOSURE"} {
+		if !strings.Contains(table, col) {
+			t.Errorf("table is missing the %s column:\n%s", col, table)
+		}
+	}
+	for _, id := range ids {
+		row := ""
+		for _, line := range strings.Split(table, "\n") {
+			if strings.HasPrefix(line, id) {
+				row = line
+				break
+			}
+		}
+		if row == "" {
+			t.Errorf("no row for site %s:\n%s", id, table)
+			continue
+		}
+		// SITE QUEUE RUN CONN QUOTE/s OPEN SETTLED DFLT EXPECTED REALIZED EXPOSURE
+		fields := strings.Fields(row)
+		if len(fields) != 11 {
+			t.Errorf("row for %s has %d columns, want 11: %q", id, len(fields), row)
+			continue
+		}
+		if fields[6] != "1" {
+			t.Errorf("site %s shows %s settled contracts, want 1: %q", id, fields[6], row)
+		}
+		if fields[9] == "-" || fields[9] == "0.00" {
+			t.Errorf("site %s shows no realized yield: %q", id, row)
+		}
+	}
+}
+
+// lockedBuf is a concurrency-safe trace sink: server settlement traces are
+// emitted from the dispatch goroutine.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) Bytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.b.Bytes()...)
+}
+
+// tracecatReport mirrors tracecat's -json schema.
+type tracecatReport struct {
+	Events  int `json:"events"`
+	Orphans int `json:"orphans"`
+	Paths   []struct {
+		Task      uint64        `json:"task"`
+		Req       string        `json:"req"`
+		Outcome   string        `json:"outcome"`
+		Complete  bool          `json:"complete"`
+		Orphans   []string      `json:"orphans"`
+		Breakdown obs.Breakdown `json:"breakdown"`
+	} `json:"paths"`
+}
+
+// TestTracecatCriticalPath negotiates a real contract over TCP with both
+// sides tracing, concatenates the two streams, and checks tracecat
+// reconstructs one complete bid→settle critical path with no orphan spans
+// and a non-negative latency breakdown.
+func TestTracecatCriticalPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	tracecatBin := buildTool(t, t.TempDir(), "tracecat")
+
+	var clientOut, siteOut lockedBuf
+	srv, err := wire.NewServer("127.0.0.1:0", wire.ServerConfig{
+		SiteID:       "trace-site",
+		Processors:   1,
+		Policy:       core.FirstReward{Alpha: 0.3, DiscountRate: 0.01},
+		Admission:    admission.AcceptAll{},
+		DiscountRate: 0.01,
+		TimeScale:    time.Millisecond,
+		Tracer:       obs.NewTracer(&siteOut, "siteserver"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	settled := make(chan wire.Envelope, 1)
+	c.SetOnSettled(func(e wire.Envelope) { settled <- e })
+
+	neg := &wire.Negotiator{
+		Sites:   []*wire.SiteClient{c},
+		Retries: -1,
+		Tracer:  obs.NewTracer(&clientOut, "gridclient"),
+	}
+	bid := market.Bid{TaskID: 7, Runtime: 10, Value: 100, Decay: 0.5,
+		Bound: math.Inf(1), Cohort: "batch", Client: 1}
+	if _, ok, err := neg.Negotiate(bid); err != nil || !ok {
+		t.Fatalf("negotiate: %v %v", ok, err)
+	}
+	select {
+	case <-settled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("never settled")
+	}
+
+	// The settle trace is written just after the push: wait until the site
+	// stream contains it before handing the file to tracecat.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evs, err := obs.ReadTrace(bytes.NewReader(siteOut.Bytes()))
+		if err == nil {
+			done := false
+			for _, e := range evs {
+				if e.Stage == obs.StageSettle {
+					done = true
+				}
+			}
+			if done {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("site trace never recorded the settle stage")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "combined.trace")
+	if err := os.WriteFile(tracePath, append(clientOut.Bytes(), siteOut.Bytes()...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(tracecatBin, "-json", "-strict", "-clock", "wall", tracePath).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			t.Fatalf("tracecat -strict failed: %v\nstderr: %s\nstdout: %s", err, ee.Stderr, out)
+		}
+		t.Fatalf("tracecat: %v", err)
+	}
+	var rep tracecatReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("decoding tracecat output: %v\n%s", err, out)
+	}
+	if rep.Orphans != 0 {
+		t.Errorf("tracecat found %d orphan events", rep.Orphans)
+	}
+	if len(rep.Paths) != 1 {
+		t.Fatalf("tracecat reconstructed %d paths, want 1:\n%s", len(rep.Paths), out)
+	}
+	p := rep.Paths[0]
+	if p.Task != 7 || p.Outcome != "settled" || !p.Complete || len(p.Orphans) != 0 {
+		t.Fatalf("path = %+v, want task 7 settled and complete with no orphans", p)
+	}
+	if p.Req == "" {
+		t.Error("path lost its cross-process request ID")
+	}
+	for name, v := range map[string]float64{
+		"negotiation": p.Breakdown.Negotiation,
+		"queue":       p.Breakdown.Queue,
+		"execution":   p.Breakdown.Execution,
+		"settlement":  p.Breakdown.Settlement,
+		"total":       p.Breakdown.Total,
+	} {
+		if v < 0 || math.IsNaN(v) {
+			t.Errorf("breakdown %s = %v, want >= 0", name, v)
+		}
+	}
+	if p.Breakdown.Total < p.Breakdown.Execution {
+		t.Errorf("total %v < execution %v", p.Breakdown.Total, p.Breakdown.Execution)
+	}
+}
