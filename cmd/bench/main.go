@@ -66,7 +66,7 @@ type QuoteResult struct {
 // penalties, Equation 4) between the naive quadratic sum and the sorted
 // prefix-sum sweep; throughput is costs computed per second.
 type KernelResult struct {
-	N                 int     `json:"n"`
+	N                  int     `json:"n"`
 	GeneralCostsPerSec float64 `json:"general_costs_per_sec"`
 	SortedCostsPerSec  float64 `json:"sorted_costs_per_sec"`
 	Speedup            float64 `json:"speedup"`
@@ -89,6 +89,11 @@ func main() {
 		minQuoteSpeedup = flag.Float64("min-quote-speedup", 0, "required concurrent/locked quotes-per-sec ratio at fsync=always in -service mode (0 disables)")
 		minAwardSpeedup = flag.Float64("min-award-speedup", 0, "required concurrent/locked awards-per-sec ratio at fsync=always in -service mode (0 disables)")
 		obsDir          = flag.String("obs-dir", "", "write per-phase flight-recorder dumps (timeseries + ledger JSON) here in -service mode (CI uploads them as artifacts)")
+		shards          = flag.Int("shards", 0, "task-book shards on the benched server in -service mode (0/1 = single book)")
+		benchCodec      = flag.String("codec", "", "codec the -service bench clients request: json|binary (empty = plain v1 JSON)")
+
+		scale       = flag.Bool("scale", false, "run the multi-core scaling sweep (GOMAXPROCS 1 and 4, sharded server, binary codec) instead of the core benches")
+		minScaleEff = flag.Float64("min-scale-efficiency", 0, "required g4-s4-binary/baseline-g1-s1-json quotes-per-sec ratio in -scale mode (0 disables; auto-skipped below 4 CPUs)")
 
 		wl      = flag.Bool("workload", false, "run the bursty-cohort traffic benchmark instead of the core benches")
 		wlTasks = flag.Int("tasks", 4000, "tasks per -workload phase")
@@ -112,6 +117,25 @@ func main() {
 		return
 	}
 
+	if *scale {
+		res, err := runScale(scaleOpts{
+			clients:  *clients,
+			duration: *serviceDur,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fail := checkScale(&res, *baseline, *tolerance, *minScaleEff)
+		writeReport(res, *out)
+		if fail != nil {
+			fatal(fail)
+		}
+		if res.SkipReason != "" {
+			fmt.Fprintln(os.Stderr, "bench: scale efficiency gate skipped:", res.SkipReason)
+		}
+		return
+	}
+
 	if *service {
 		res, err := runService(serviceOpts{
 			clients:     *clients,
@@ -119,6 +143,8 @@ func main() {
 			profileDir:  *profileDir,
 			phaseFilter: *phaseFilter,
 			obsDir:      *obsDir,
+			shards:      *shards,
+			codec:       *benchCodec,
 		})
 		if err != nil {
 			fatal(err)

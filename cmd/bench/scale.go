@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// ScaleResult is the multi-core scaling report schema
+// (results/BENCH_scale.json in CI): the sharded site server measured at
+// GOMAXPROCS=1 and GOMAXPROCS=4, each phase in its own child process so
+// the GOMAXPROCS setting (and a cold runtime) genuinely governs the
+// measurement. The headline is ScalingEfficiency: quotes/sec of the
+// 4-core sharded binary-codec configuration over the 1-core single-shard
+// JSON floor — the end-to-end payoff of the shard + codec work.
+type ScaleResult struct {
+	GeneratedUnix int64   `json:"generated_unix"`
+	GoVersion     string  `json:"go_version"`
+	NumCPU        int     `json:"num_cpu"`
+	Clients       int     `json:"clients"`
+	DurationSec   float64 `json:"duration_sec"`
+
+	Phases []ScalePhase `json:"phases"`
+
+	// ScalingEfficiency is quotes/sec at g4-s4-binary over g1-s1-json,
+	// measured in this run. Meaningful only when NumCPU >= 4; on smaller
+	// machines the phases still run (as a smoke test) but the ratio hovers
+	// near 1 and EfficiencyEnforced records that the gate was skipped.
+	ScalingEfficiency  float64 `json:"scaling_efficiency"`
+	EfficiencyEnforced bool    `json:"efficiency_enforced"`
+	SkipReason         string  `json:"skip_reason,omitempty"`
+}
+
+// ScalePhase is one (GOMAXPROCS, shards, codec) saturation measurement:
+// the concurrent server at fsync=interval under the quote mix, the same
+// workload shape the -service bench gates.
+type ScalePhase struct {
+	Name       string `json:"name"` // e.g. "g1-s1-json"
+	GoMaxProcs int    `json:"go_max_procs"`
+	Shards     int    `json:"shards"`
+	Codec      string `json:"codec"`
+
+	QuotesPerSec float64 `json:"quotes_per_sec"`
+	AwardsPerSec float64 `json:"awards_per_sec"`
+	BidP50Micros float64 `json:"bid_p50_us"`
+	BidP99Micros float64 `json:"bid_p99_us"`
+}
+
+// scalePhases is the sweep: the 1-core floor on both codecs (isolating
+// the codec's own win from the sharding win), then the 4-core sharded
+// binary configuration the efficiency gate measures.
+var scalePhases = []struct {
+	name       string
+	gomaxprocs int
+	shards     int
+	codec      string
+}{
+	{"g1-s1-json", 1, 1, "json"},
+	{"g1-s1-binary", 1, 1, "binary"},
+	{"g4-s4-binary", 4, 4, "binary"},
+}
+
+type scaleOpts struct {
+	clients  int
+	duration time.Duration
+}
+
+// runScale executes the sweep, one child process per phase. The child is
+// this same binary in single-phase -service mode (concurrent/interval/
+// quote) with GOMAXPROCS pinned through the environment — the only way
+// to vary it per measurement without contaminating the parent.
+func runScale(opts scaleOpts) (ScaleResult, error) {
+	res := ScaleResult{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		Clients:       opts.clients,
+		DurationSec:   opts.duration.Seconds(),
+	}
+	for _, ph := range scalePhases {
+		p, err := runScalePhase(ph.name, ph.gomaxprocs, ph.shards, ph.codec, opts)
+		if err != nil {
+			return res, fmt.Errorf("scale phase %s: %w", ph.name, err)
+		}
+		res.Phases = append(res.Phases, p)
+		fmt.Fprintf(os.Stderr, "bench: scale %s: %.0f quotes/s, %.0f awards/s, bid p99 %.0fµs\n",
+			p.Name, p.QuotesPerSec, p.AwardsPerSec, p.BidP99Micros)
+	}
+	if floor, ok := findScalePhase(res.Phases, "g1-s1-json"); ok {
+		if top, ok := findScalePhase(res.Phases, "g4-s4-binary"); ok && floor.QuotesPerSec > 0 {
+			res.ScalingEfficiency = top.QuotesPerSec / floor.QuotesPerSec
+		}
+	}
+	return res, nil
+}
+
+func findScalePhase(phases []ScalePhase, name string) (ScalePhase, bool) {
+	for _, p := range phases {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ScalePhase{}, false
+}
+
+// runScalePhase re-executes this binary as a single-phase -service child
+// with GOMAXPROCS pinned in its environment and reads the phase back.
+func runScalePhase(name string, gomaxprocs, shards int, codec string, opts scaleOpts) (ScalePhase, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return ScalePhase{}, err
+	}
+	tmp, err := os.CreateTemp("", "bench-scale-*.json")
+	if err != nil {
+		return ScalePhase{}, err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	args := []string{"-service",
+		"-clients", strconv.Itoa(opts.clients),
+		"-duration", opts.duration.String(),
+		"-phase-filter", "concurrent/interval/quote",
+		"-shards", strconv.Itoa(shards),
+		"-codec", codec,
+		"-out", tmp.Name()}
+	cmd := exec.Command(exe, args...)
+	cmd.Stderr = os.Stderr
+	cmd.Env = append(os.Environ(), "GOMAXPROCS="+strconv.Itoa(gomaxprocs))
+	if err := cmd.Run(); err != nil {
+		return ScalePhase{}, fmt.Errorf("child bench: %w", err)
+	}
+	raw, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		return ScalePhase{}, err
+	}
+	var child ServiceResult
+	if err := json.Unmarshal(raw, &child); err != nil {
+		return ScalePhase{}, fmt.Errorf("child report: %w", err)
+	}
+	p, ok := findPhase(child.Phases, "concurrent", "interval", "quote")
+	if !ok {
+		return ScalePhase{}, fmt.Errorf("child report missing concurrent/interval/quote phase")
+	}
+	if child.GoMaxProcs != gomaxprocs {
+		return ScalePhase{}, fmt.Errorf("child ran at GOMAXPROCS=%d, want %d", child.GoMaxProcs, gomaxprocs)
+	}
+	return ScalePhase{
+		Name:         name,
+		GoMaxProcs:   gomaxprocs,
+		Shards:       shards,
+		Codec:        codec,
+		QuotesPerSec: p.QuotesPerSec,
+		AwardsPerSec: p.AwardsPerSec,
+		BidP50Micros: p.BidP50Micros,
+		BidP99Micros: p.BidP99Micros,
+	}, nil
+}
+
+// checkScale enforces the multi-core gates against the committed
+// baseline: the 1-core phases must hold their throughput floors, and —
+// on a machine with at least 4 CPUs — the 4-core sharded binary phase
+// must clear minEfficiency times the baseline's committed 1-core JSON
+// floor. On smaller machines the efficiency gate is recorded as skipped
+// rather than failed: a 1-core runner cannot demonstrate scaling, only
+// regressions.
+func checkScale(res *ScaleResult, baselinePath string, tolerance, minEfficiency float64) error {
+	if res.NumCPU < 4 {
+		res.SkipReason = fmt.Sprintf("efficiency gate needs >= 4 CPUs, have %d", res.NumCPU)
+	} else {
+		res.EfficiencyEnforced = minEfficiency > 0
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base ScaleResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	for _, b := range base.Phases {
+		if b.GoMaxProcs != 1 {
+			continue // multi-core floors only make sense on multi-core runners
+		}
+		cur, ok := findScalePhase(res.Phases, b.Name)
+		if !ok {
+			continue
+		}
+		if cur.QuotesPerSec < b.QuotesPerSec*(1-tolerance) {
+			return fmt.Errorf("quotes/sec at %s regressed: %.0f vs baseline floor %.0f (tolerance %.0f%%)",
+				b.Name, cur.QuotesPerSec, b.QuotesPerSec, tolerance*100)
+		}
+	}
+	if !res.EfficiencyEnforced || minEfficiency <= 0 {
+		return nil
+	}
+	floor, ok := findScalePhase(base.Phases, "g1-s1-json")
+	if !ok || floor.QuotesPerSec <= 0 {
+		return fmt.Errorf("baseline %s has no g1-s1-json floor", baselinePath)
+	}
+	top, ok := findScalePhase(res.Phases, "g4-s4-binary")
+	if !ok {
+		return fmt.Errorf("run has no g4-s4-binary phase")
+	}
+	if ratio := top.QuotesPerSec / floor.QuotesPerSec; ratio < minEfficiency {
+		return fmt.Errorf("scaling efficiency %.2fx (g4-s4-binary %.0f quotes/s over committed 1-core floor %.0f) is below the required %.1fx",
+			ratio, top.QuotesPerSec, floor.QuotesPerSec, minEfficiency)
+	}
+	return nil
+}

@@ -69,6 +69,8 @@ type serviceOpts struct {
 	profileDir  string
 	phaseFilter string // "mode/fsync/mix" substring match; empty runs all
 	obsDir      string // write per-phase flight dumps (timeseries + ledger) here
+	shards      int    // task-book shards on the benched server (0/1 = single book)
+	codec       string // codec the bench clients request ("" = plain v1 JSON)
 }
 
 // runService measures eight phases: {locked, concurrent} × {always,
@@ -243,6 +245,12 @@ func runPhaseIsolated(mode, fsyncName, mix string, opts serviceOpts) (ServicePha
 	if opts.obsDir != "" {
 		args = append(args, "-obs-dir", opts.obsDir)
 	}
+	if opts.shards > 1 {
+		args = append(args, "-shards", strconv.Itoa(opts.shards))
+	}
+	if opts.codec != "" {
+		args = append(args, "-codec", opts.codec)
+	}
 	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
@@ -293,6 +301,7 @@ func runServicePhase(mode, fsyncName string, fsync durable.FsyncPolicy, mix stri
 		Fsync:        fsync,
 		FsyncEvery:   5 * time.Millisecond,
 		LegacyLocked: mode == "locked",
+		Shards:       opts.shards,
 	})
 	if err != nil {
 		return ServicePhase{}, err
@@ -316,7 +325,7 @@ func runServicePhase(mode, fsyncName string, fsync durable.FsyncPolicy, mix stri
 		go func(w int) {
 			defer wg.Done()
 			st := &stats[w]
-			c, err := wire.Dial(srv.Addr())
+			c, err := wire.DialConfig(srv.Addr(), wire.ClientConfig{Codec: opts.codec})
 			if err != nil {
 				st.err = err
 				return

@@ -20,18 +20,19 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7700", "listen address for clients")
-		sites    = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
-		selector = flag.String("selector", "best-yield", "server-bid selector spec: best-yield|earliest")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
-		retries  = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
-		backoff  = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
-		workers  = flag.Int("quote-workers", 0, "max sites quoted concurrently per exchange (0 = default of 8)")
-		idle     = flag.Duration("idle-timeout", 2*time.Minute, "close client connections quiet for this long (negative disables)")
-		quiet    = flag.Bool("quiet", false, "suppress brokering logs")
-		logLevel = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
-		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr alongside logs")
+		addr      = flag.String("addr", "127.0.0.1:7700", "listen address for clients")
+		sites     = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
+		selector  = flag.String("selector", "best-yield", "server-bid selector spec: best-yield|earliest")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
+		retries   = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
+		backoff   = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
+		workers   = flag.Int("quote-workers", 0, "max sites quoted concurrently per exchange (0 = default of 8)")
+		codec     = flag.String("codec", "", "codec to request when dialing sites: json|binary (empty = plain v1 JSON, no handshake)")
+		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close client connections quiet for this long (negative disables)")
+		quiet     = flag.Bool("quiet", false, "suppress brokering logs")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		trace     = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr alongside logs")
 		flightOut = flag.String("flight-out", "", "write the flight-recorder timeseries dump here on SIGUSR1 and at exit (empty disables the file; the recorder itself always runs)")
 		flightInt = flag.Duration("flight-interval", obs.DefaultFlightInterval, "flight-recorder sampling interval")
 	)
@@ -56,6 +57,7 @@ func main() {
 		QuoteWorkers:   *workers,
 		IdleTimeout:    *idle,
 		Metrics:        obs.Default,
+		SiteCodec:      *codec,
 	}
 	for _, sa := range strings.Split(*sites, ",") {
 		cfg.SiteAddrs = append(cfg.SiteAddrs, strings.TrimSpace(sa))

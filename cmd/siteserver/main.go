@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -20,19 +21,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7600", "listen address")
-		id       = flag.String("id", "site-0", "site identifier")
-		procs    = flag.Int("procs", 4, "processors")
-		policy   = flag.String("policy", "firstreward:alpha=0.3,rate=0.01", "scheduling policy spec (see core.ParseSpec)")
-		admSpec  = flag.String("admission", "slack:threshold=0", "admission policy spec (accept-all, slack:threshold=X, min-yield:threshold=X)")
-		discount = flag.Float64("discount", 0.01, "discount rate for quoting expected yield")
-		scale    = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit")
-		idle     = flag.Duration("idle-timeout", 2*time.Minute, "close connections quiet for this long (negative disables)")
-		wtimeout = flag.Duration("write-timeout", 10*time.Second, "per-write deadline for replies and settlements (negative disables)")
-		quiet    = flag.Bool("quiet", false, "suppress serving logs")
-		logLevel = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
-		trace    = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr alongside logs")
+		addr      = flag.String("addr", "127.0.0.1:7600", "listen address")
+		id        = flag.String("id", "site-0", "site identifier")
+		procs     = flag.Int("procs", 4, "processors")
+		shards    = flag.Int("shards", 1, "task-book shards (1 = single book; >1 spreads the book across cores)")
+		codecs    = flag.String("codecs", "", "comma-separated codecs offered to v2 clients (empty allows every registered codec; json is always available)")
+		policy    = flag.String("policy", "firstreward:alpha=0.3,rate=0.01", "scheduling policy spec (see core.ParseSpec)")
+		admSpec   = flag.String("admission", "slack:threshold=0", "admission policy spec (accept-all, slack:threshold=X, min-yield:threshold=X)")
+		discount  = flag.Float64("discount", 0.01, "discount rate for quoting expected yield")
+		scale     = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit")
+		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close connections quiet for this long (negative disables)")
+		wtimeout  = flag.Duration("write-timeout", 10*time.Second, "per-write deadline for replies and settlements (negative disables)")
+		quiet     = flag.Bool("quiet", false, "suppress serving logs")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		trace     = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr alongside logs")
 		dataDir   = flag.String("data-dir", "", "journal contracts here for crash recovery (empty runs memory-only)")
 		fsync     = flag.String("fsync", "always", "journal sync policy: always|interval|never")
 		regime    = flag.String("crash-regime", wire.RegimeRequeue, "recovery of runs in flight at a crash: requeue|default")
@@ -71,9 +74,18 @@ func main() {
 	flight := obs.NewFlight(obs.FlightConfig{Registry: obs.Default, Interval: *flightInt})
 	defer flight.Stop()
 
+	var allowCodecs []string
+	if *codecs != "" {
+		for _, name := range strings.Split(*codecs, ",") {
+			allowCodecs = append(allowCodecs, strings.TrimSpace(name))
+		}
+	}
+
 	cfg := wire.ServerConfig{
 		SiteID:       *id,
 		Processors:   *procs,
+		Shards:       *shards,
+		Codecs:       allowCodecs,
 		Policy:       pol,
 		Admission:    adm,
 		DiscountRate: *discount,
@@ -114,7 +126,7 @@ func main() {
 		defer diag.Close()
 		fmt.Printf("diagnostics on http://%s/metrics\n", diag.Addr())
 	}
-	fmt.Printf("site %s listening on %s (%d processors, %s)\n", *id, srv.Addr(), *procs, cfg.Policy.Name())
+	fmt.Printf("site %s listening on %s (%d processors, %d shards, %s)\n", *id, srv.Addr(), *procs, *shards, cfg.Policy.Name())
 	if *dataDir != "" {
 		fmt.Printf("journaling contracts to %s (fsync=%s, crash-regime=%s)\n", *dataDir, fsyncPolicy, *regime)
 	}

@@ -109,16 +109,23 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 		t.Fatalf("building siteserver: %v", err)
 	}
 
+	// The harness runs against the sharded book and negotiates the binary
+	// codec on both the pre-crash and recovered connections: crash
+	// recovery, settlement push, and ledger reconciliation must all hold
+	// on the v2 wire exactly as on the v1 JSON path.
 	dataDir := t.TempDir()
 	common := []string{
-		"-procs", "2", "-timescale", "2ms", "-admission", "accept-all",
+		"-procs", "2", "-shards", "4", "-timescale", "2ms", "-admission", "accept-all",
 		"-data-dir", dataDir, "-fsync", "always", "-quiet",
 	}
 	p1 := startSiteProc(t, bin, append([]string{"-addr", "127.0.0.1:0"}, common...)...)
 
-	c, err := wire.Dial(p1.addr)
+	c, err := wire.DialConfig(p1.addr, wire.ClientConfig{Codec: wire.CodecBinary})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got := c.NegotiatedCodec(); got != wire.CodecBinary {
+		t.Fatalf("negotiated %q, want %q", got, wire.CodecBinary)
 	}
 	var mu sync.Mutex
 	settledBefore := map[task.ID]float64{}
@@ -172,7 +179,7 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	p2 := startSiteProc(t, bin,
 		append([]string{"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
 			"-crash-regime", "requeue", "-flight-out", flightPath}, common...)...)
-	c2, err := wire.Dial(p2.addr)
+	c2, err := wire.DialConfig(p2.addr, wire.ClientConfig{Codec: wire.CodecBinary})
 	if err != nil {
 		t.Fatal(err)
 	}

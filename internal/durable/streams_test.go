@@ -1,0 +1,74 @@
+package durable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestAppendBatchedStreamAccounting checks the per-round distinct-stream
+// count a sharded writer sees through OnBatch: records tagged with K
+// stream IDs before a barrier report streams=K for that round, the
+// counter resets between rounds, and stream tags change nothing about
+// what is recovered.
+func TestAppendBatchedStreamAccounting(t *testing.T) {
+	dir := t.TempDir()
+	type round struct{ records, streams int }
+	var mu sync.Mutex
+	var rounds []round
+	j, err := Open(dir, Options{
+		Fsync: FsyncAlways,
+		OnBatch: func(_ uint64, records, streams int) {
+			mu.Lock()
+			rounds = append(rounds, round{records, streams})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: three shards append before one barrier.
+	var last uint64
+	for i := 0; i < 6; i++ {
+		last, err = j.AppendBatchedStream(i%3, []byte(fmt.Sprintf("r1-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.SyncBarrier(last); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: a single shard.
+	if last, err = j.AppendBatchedStream(7, []byte("r2-0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SyncBarrier(last); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	got := append([]round(nil), rounds...)
+	mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("observed %d rounds, want 2: %+v", len(got), got)
+	}
+	if got[0] != (round{6, 3}) {
+		t.Fatalf("round 1 = %+v, want {6 3}", got[0])
+	}
+	if got[1] != (round{1, 1}) {
+		t.Fatalf("round 2 = %+v, want {1 1}", got[1])
+	}
+
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if recs := collect(t, j2); len(recs) != 7 {
+		t.Fatalf("replayed %d records, want 7 (streams must not affect recovery)", len(recs))
+	}
+}

@@ -1,0 +1,64 @@
+package site
+
+import "repro/internal/task"
+
+// MergeQuoteSnapshots assembles the site-wide quotable view from per-shard
+// snapshots. Shard snapshots partition one logical book: the merged
+// pending set is the k-way merge of the shards' pending lists by their
+// global booking-order stamps (Seqs), and the merged running set is the
+// concatenation of the shards' running slots. Policy, processor count, and
+// discount rate are taken from the first part — every shard of one site
+// publishes identical scheduling parameters, with Procs already the
+// site-wide total.
+//
+// With one part the part itself is returned untouched, so the single-shard
+// configuration quotes against exactly the snapshot it published — the
+// bit-identity anchor for the shard-count differential tests. The merged
+// snapshot's Version is zero: shard versions are validated individually
+// (each part against its shard's live counter), not through the merge.
+func MergeQuoteSnapshots(parts []*QuoteSnapshot) *QuoteSnapshot {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	merged := &QuoteSnapshot{
+		Procs:        parts[0].Procs,
+		Policy:       parts[0].Policy,
+		DiscountRate: parts[0].DiscountRate,
+	}
+	var npend, nrun int
+	for _, p := range parts {
+		npend += len(p.Pending)
+		nrun += len(p.Running)
+	}
+	if nrun > 0 {
+		merged.Running = make([]RunningSlot, 0, nrun)
+		for _, p := range parts {
+			merged.Running = append(merged.Running, p.Running...)
+		}
+	}
+	if npend > 0 {
+		merged.Pending = make([]*task.Task, 0, npend)
+		merged.Seqs = make([]uint64, 0, npend)
+		idx := make([]int, len(parts))
+		for len(merged.Pending) < npend {
+			best := -1
+			var bestSeq uint64
+			for i, p := range parts {
+				if idx[i] >= len(p.Pending) {
+					continue
+				}
+				seq := uint64(0)
+				if idx[i] < len(p.Seqs) {
+					seq = p.Seqs[idx[i]]
+				}
+				if best == -1 || seq < bestSeq {
+					best, bestSeq = i, seq
+				}
+			}
+			merged.Pending = append(merged.Pending, parts[best].Pending[idx[best]])
+			merged.Seqs = append(merged.Seqs, bestSeq)
+			idx[best]++
+		}
+	}
+	return merged
+}

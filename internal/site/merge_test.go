@@ -1,0 +1,116 @@
+package site
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+// mergeTestTasks builds a deterministic pending set with staggered
+// arrivals, runtimes, and values, so rankings are non-trivial.
+func mergeTestTasks(n int) []*task.Task {
+	ts := make([]*task.Task, 0, n)
+	for i := 1; i <= n; i++ {
+		arrival := float64(i) * 3.5
+		runtime := 5 + float64(i%7)*2.25
+		value := 40 + float64((i*37)%100)
+		decay := 0.5 + float64(i%4)*0.75
+		ts = append(ts, task.New(task.ID(i), arrival, runtime, value, decay, math.Inf(1)))
+	}
+	return ts
+}
+
+// TestMergeQuoteSnapshotsSinglePartPassthrough pins the bit-identity
+// anchor: one part merges to itself, untouched.
+func TestMergeQuoteSnapshotsSinglePartPassthrough(t *testing.T) {
+	qs := &QuoteSnapshot{Procs: 2, Policy: core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}}
+	if got := MergeQuoteSnapshots([]*QuoteSnapshot{qs}); got != qs {
+		t.Fatalf("single part not returned untouched: %p != %p", got, qs)
+	}
+}
+
+// TestMergeQuoteSnapshotsOrder checks that a pending set partitioned by
+// task ID across K shard snapshots merges back into exact booking order.
+func TestMergeQuoteSnapshotsOrder(t *testing.T) {
+	tasks := mergeTestTasks(17)
+	for _, k := range []int{2, 3, 4, 5} {
+		parts := make([]*QuoteSnapshot, k)
+		for i := range parts {
+			parts[i] = &QuoteSnapshot{Procs: 3}
+		}
+		for i, tt := range tasks {
+			p := parts[int(uint64(tt.ID)%uint64(k))]
+			p.Pending = append(p.Pending, tt)
+			p.Seqs = append(p.Seqs, uint64(i+1))
+		}
+		merged := MergeQuoteSnapshots(parts)
+		if len(merged.Pending) != len(tasks) {
+			t.Fatalf("k=%d: merged %d tasks, want %d", k, len(merged.Pending), len(tasks))
+		}
+		for i, tt := range merged.Pending {
+			if tt.ID != tasks[i].ID {
+				t.Fatalf("k=%d: position %d holds task %d, want %d", k, i, tt.ID, tasks[i].ID)
+			}
+			if merged.Seqs[i] != uint64(i+1) {
+				t.Fatalf("k=%d: position %d has seq %d, want %d", k, i, merged.Seqs[i], i+1)
+			}
+		}
+	}
+}
+
+// TestMergeQuoteDifferential is the price half of the shard-invariance
+// contract: quoting a probe against the k-way merged view must produce a
+// bit-identical quote to the single-book oracle holding the same state,
+// for every shard count and probe. Running slots are deliberately spread
+// across the parts in a different concatenation order than the oracle
+// holds, since the candidate scheduler's ranking is order-independent.
+func TestMergeQuoteDifferential(t *testing.T) {
+	tasks := mergeTestTasks(13)
+	policy := core.FirstReward{Alpha: 0.3, DiscountRate: 0.01}
+	running := []RunningSlot{{Start: 10, Runtime: 30}, {Start: 22, Runtime: 8}, {Start: 40, Runtime: 55}}
+	oracle := &QuoteSnapshot{Procs: 4, Policy: policy, DiscountRate: 0.01, Running: running}
+	for i, tt := range tasks {
+		oracle.Pending = append(oracle.Pending, tt)
+		oracle.Seqs = append(oracle.Seqs, uint64(i+1))
+	}
+	now := 60.0
+	probes := []*task.Task{
+		task.New(100, 59, 12, 500, 3, math.Inf(1)),
+		task.New(101, 60, 2, 15, 0.25, 40),
+		task.New(102, 58, 80, 900, 1, math.Inf(1)),
+	}
+
+	for _, k := range []int{2, 3, 4} {
+		parts := make([]*QuoteSnapshot, k)
+		for i := range parts {
+			parts[i] = &QuoteSnapshot{Procs: 4, Policy: policy, DiscountRate: 0.01}
+		}
+		for i, tt := range tasks {
+			p := parts[int(uint64(tt.ID)%uint64(k))]
+			p.Pending = append(p.Pending, tt)
+			p.Seqs = append(p.Seqs, uint64(i+1))
+		}
+		// Scatter running slots round-robin so concatenation order differs
+		// from the oracle's.
+		for i, r := range running {
+			p := parts[(i+1)%k]
+			p.Running = append(p.Running, r)
+		}
+		merged := MergeQuoteSnapshots(parts)
+		for _, probe := range probes {
+			oq, oerr := oracle.Quote(now, probe)
+			mq, merr := merged.Quote(now, probe)
+			if (oerr == nil) != (merr == nil) {
+				t.Fatalf("k=%d probe %d: error mismatch: %v vs %v", k, probe.ID, oerr, merr)
+			}
+			if oerr != nil {
+				continue
+			}
+			if oq != mq {
+				t.Fatalf("k=%d probe %d: quote diverges:\noracle: %+v\nmerged: %+v", k, probe.ID, oq, mq)
+			}
+		}
+	}
+}

@@ -35,6 +35,13 @@ type QuoteSnapshot struct {
 	DiscountRate float64
 	Pending      []*task.Task
 	Running      []RunningSlot
+
+	// Seqs, when non-nil, is parallel to Pending: each task's global
+	// booking-order stamp. Sharded publishers fill it so that
+	// MergeQuoteSnapshots can reassemble the site-wide pending set in the
+	// exact arrival order a single-shard book would hold; single-book
+	// publishers (the simulator) leave it nil.
+	Seqs []uint64
 }
 
 // BusyUntil prices each occupied processor's release time as of now, with

@@ -37,6 +37,13 @@ type BrokerConfig struct {
 	// connections and the site connections alike; zero means the default
 	// (1 MiB).
 	MaxFrameBytes int
+	// Codecs restricts which codecs the broker negotiates on its
+	// client-facing connections (ServerConfig semantics: nil allows every
+	// registered codec, JSON is always the floor).
+	Codecs []string
+	// SiteCodec names the codec to request when dialing each site; empty
+	// means plain v1 JSON with no handshake (ClientConfig semantics).
+	SiteCodec string
 	// Logger receives brokering events as structured JSON lines; nil
 	// silences them.
 	Logger *obs.Logger
@@ -87,6 +94,7 @@ type brokerMetrics struct {
 	relayLost       *obs.Counter
 	lateness        *obs.Histogram
 	framesOversized *obs.Counter
+	codecs          *obs.CounterVec
 }
 
 func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
@@ -97,8 +105,11 @@ func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
 		relayLost:       settles.With("broker", "undeliverable"),
 		lateness:        reg.Histogram("market_settlement_lateness", "Completion time minus contracted completion, in simulation units.", latenessBuckets, "site").With("broker"),
 		framesOversized: reg.Counter("wire_frames_oversized_total", "Inbound frames rejected for exceeding the configured size cap.", "site").With("broker"),
+		codecs:          reg.Counter("wire_codec_negotiated_total", "Connections by negotiated wire codec.", "site", "codec"),
 	}
 }
+
+func (m *brokerMetrics) codecNegotiated(codec string) { m.codecs.With("broker", codec).Inc() }
 
 // NewBrokerServer connects to every site and starts listening on addr.
 func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
@@ -118,7 +129,7 @@ func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
 		conns:  make(map[*serverConn]struct{}),
 	}
 	for _, sa := range cfg.SiteAddrs {
-		sc, err := DialConfig(sa, ClientConfig{RequestTimeout: cfg.RequestTimeout, MaxFrameBytes: cfg.MaxFrameBytes})
+		sc, err := DialConfig(sa, ClientConfig{RequestTimeout: cfg.RequestTimeout, MaxFrameBytes: cfg.MaxFrameBytes, Codec: cfg.SiteCodec})
 		if err != nil {
 			b.closeSites()
 			return nil, fmt.Errorf("wire: broker dialing site %s: %w", sa, err)
@@ -187,7 +198,7 @@ func (b *BrokerServer) acceptLoop() {
 
 func (b *BrokerServer) serve(conn net.Conn) {
 	wt := ServerConfig{WriteTimeout: b.cfg.WriteTimeout}.writeTimeout()
-	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn), writeTimeout: wt}
+	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn), writeTimeout: wt, codec: defaultCodec()}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -209,16 +220,24 @@ func (b *BrokerServer) serve(conn net.Conn) {
 	idle := ServerConfig{IdleTimeout: b.cfg.IdleTimeout}.idleTimeout()
 	br := bufio.NewReaderSize(conn, 64*1024)
 	limit := maxFrameBytes(b.cfg.MaxFrameBytes)
-	var frame []byte
+	rd := defaultCodec()
+	var scratch []byte
+	var env Envelope
+	first := true
 	for {
 		if idle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(idle))
 		}
-		line, err := readFrame(br, limit, &frame)
-		if err != nil {
-			if errors.Is(err, ErrTooLong) {
+		if err := rd.Read(br, limit, &scratch, &env); err != nil {
+			switch {
+			case errors.Is(err, ErrTooLong):
 				b.m.framesOversized.Inc()
 				b.eo.log.Warn("oversized frame discarded", "remote", conn.RemoteAddr().String(), "limit_bytes", limit)
+				if serr := sc.send(Envelope{Type: TypeError, Reason: err.Error()}); serr != nil {
+					return
+				}
+				continue
+			case IsProtocolError(err):
 				if serr := sc.send(Envelope{Type: TypeError, Reason: err.Error()}); serr != nil {
 					return
 				}
@@ -229,13 +248,34 @@ func (b *BrokerServer) serve(conn net.Conn) {
 			}
 			return
 		}
-		if len(line) == 0 {
+		if env.Type == TypeHello {
+			if !first {
+				if serr := sc.send(Envelope{Type: TypeError, ReqID: env.ReqID, Reason: "wire: hello after session established"}); serr != nil {
+					return
+				}
+				continue
+			}
+			first = false
+			reply, next, ok := helloReply(env, b.cfg.Codecs, "broker")
+			// The reply always travels as v1 JSON; only after it is flushed
+			// does the connection switch codecs.
+			if serr := sc.send(reply); serr != nil {
+				return
+			}
+			if ok {
+				sc.setCodec(next)
+				rd = next
+				b.m.codecNegotiated(next.Name())
+				b.eo.log.Info("negotiated wire codec", "remote", conn.RemoteAddr().String(), "codec", next.Name())
+			} else {
+				b.m.codecNegotiated(codecLabelV1)
+			}
 			continue
 		}
-		env, err := Unmarshal(line)
-		if err != nil {
-			_ = sc.send(Envelope{Type: TypeError, Reason: err.Error()})
-			continue
+		if first {
+			// A bare envelope as the first frame is a v1 client.
+			first = false
+			b.m.codecNegotiated(codecLabelV1)
 		}
 		var reply Envelope
 		switch env.Type {

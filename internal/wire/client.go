@@ -42,6 +42,12 @@ type ClientConfig struct {
 	// surfaced as a protocol-error reply to the in-flight exchange instead
 	// of killing the connection; zero means the default (1 MiB).
 	MaxFrameBytes int
+	// Codec names the wire codec to request via the hello/welcome
+	// handshake on every dial (and redial). Empty means no handshake: the
+	// connection speaks bare protocol v1 JSON, exactly as before the codec
+	// negotiation existed. A v1 server that does not understand the hello
+	// downgrades the connection to JSON rather than failing the dial.
+	Codec string
 }
 
 const (
@@ -79,16 +85,19 @@ type SiteClient struct {
 	cfg  ClientConfig
 
 	// mu serializes request/response exchanges and redials, so that
-	// conn/bw/replies are stable for the duration of a roundTrip.
+	// conn/bw/replies/codec are stable for the duration of a roundTrip.
 	mu      sync.Mutex
 	bw      *bufio.Writer
 	replies chan Envelope
+	codec   Codec  // negotiated write-side codec for the live connection
+	enc     []byte // reusable encode buffer, guarded by mu
 
 	// stateMu guards the fields below, which are read from the readLoop
 	// goroutine and from accessors while an exchange is in flight.
 	stateMu   sync.Mutex
 	conn      net.Conn
 	siteID    string
+	codecName string
 	readErr   error
 	onSettled func(Envelope)
 	closed    bool
@@ -99,28 +108,50 @@ func Dial(addr string) (*SiteClient, error) {
 	return DialConfig(addr, ClientConfig{})
 }
 
-// DialConfig connects to a site server with explicit timeouts.
+// DialConfig connects to a site server with explicit timeouts, running
+// the codec handshake when cfg.Codec is set.
 func DialConfig(addr string, cfg ClientConfig) (*SiteClient, error) {
-	conn, err := net.DialTimeout("tcp", addr, cfg.dialTimeout())
+	c := &SiteClient{addr: addr, cfg: cfg}
+	conn, codec, err := c.dialNegotiated()
 	if err != nil {
 		return nil, err
 	}
-	c := &SiteClient{addr: addr, cfg: cfg}
-	c.resetConnLocked(conn)
+	c.resetConnLocked(conn, codec)
 	return c, nil
+}
+
+// dialNegotiated establishes a fresh connection and, when the config asks
+// for a codec, runs the hello/welcome exchange on it before any other
+// traffic. On handshake failure the connection is closed, never leaked.
+func (c *SiteClient) dialNegotiated() (net.Conn, Codec, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.dialTimeout())
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.cfg.Codec == "" {
+		return conn, defaultCodec(), nil
+	}
+	codec, err := clientHandshake(conn, c.cfg.Codec, c.cfg.dialTimeout())
+	if err != nil {
+		_ = conn.Close()
+		return nil, nil, err
+	}
+	return conn, codec, nil
 }
 
 // resetConnLocked installs conn as the client's live connection and starts
 // its read loop. Callers must hold mu (or be the constructor).
-func (c *SiteClient) resetConnLocked(conn net.Conn) {
+func (c *SiteClient) resetConnLocked(conn net.Conn, codec Codec) {
 	replies := make(chan Envelope, 16)
 	c.stateMu.Lock()
 	c.conn = conn
+	c.codecName = codec.Name()
 	c.readErr = nil
 	c.stateMu.Unlock()
 	c.bw = bufio.NewWriter(conn)
 	c.replies = replies
-	go c.readLoop(conn, replies)
+	c.codec = codec
+	go c.readLoop(conn, replies, codec)
 }
 
 // Close tears the connection down. Subsequent calls and redials fail with
@@ -146,11 +177,11 @@ func (c *SiteClient) Redial() error {
 	old := c.conn
 	c.stateMu.Unlock()
 	_ = old.Close()
-	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.dialTimeout())
+	conn, codec, err := c.dialNegotiated()
 	if err != nil {
 		return err
 	}
-	c.resetConnLocked(conn)
+	c.resetConnLocked(conn, codec)
 	return nil
 }
 
@@ -162,6 +193,14 @@ func (c *SiteClient) SiteID() string {
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	return c.siteID
+}
+
+// NegotiatedCodec returns the name of the codec the live connection
+// speaks: the handshake's pick, or "json" for a plain v1 connection.
+func (c *SiteClient) NegotiatedCodec() string {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.codecName
 }
 
 // SetOnSettled installs the settlement observer. The callback runs on the
@@ -196,31 +235,27 @@ func (c *SiteClient) takeReadErr() error {
 // readLoop consumes one connection's replies until it dies. It owns the
 // conn and replies channel it was started with, so a Redial swapping the
 // client's fields cannot race it.
-func (c *SiteClient) readLoop(conn net.Conn, replies chan Envelope) {
+func (c *SiteClient) readLoop(conn net.Conn, replies chan Envelope, codec Codec) {
 	br := bufio.NewReaderSize(conn, 64*1024)
 	limit := maxFrameBytes(c.cfg.MaxFrameBytes)
-	var frame []byte
+	var scratch []byte
+	var env Envelope
 	for {
-		line, err := readFrame(br, limit, &frame)
-		if err != nil {
+		if err := codec.Read(br, limit, &scratch, &env); err != nil {
 			if errors.Is(err, ErrTooLong) {
-				// The oversized frame was drained through its newline, so the
-				// stream is still framed: answer the in-flight exchange with
-				// the protocol error and keep the connection alive.
+				// The oversized frame was drained whole, so the stream is
+				// still framed: answer the in-flight exchange with the
+				// protocol error and keep the connection alive.
 				replies <- Envelope{Type: TypeError, Reason: err.Error()}
 				continue
 			}
+			// A frame that does not decode (ProtocolError) poisons the
+			// connection from the client's side: replies are matched to
+			// requests by order, so a dropped frame would desynchronize
+			// every later exchange.
 			if !errors.Is(err, io.EOF) {
 				c.setReadErr(err)
 			}
-			break
-		}
-		if len(line) == 0 {
-			continue
-		}
-		env, err := Unmarshal(line)
-		if err != nil {
-			c.setReadErr(err)
 			break
 		}
 		if env.SiteID != "" {
@@ -255,7 +290,14 @@ func (c *SiteClient) roundTrip(e Envelope) (Envelope, error) {
 	if timeout > 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(timeout))
 	}
-	if err := writeEnvelope(c.bw, e); err != nil {
+	buf, err := c.codec.Append(c.enc[:0], &e)
+	if cap(buf) <= maxPooledEncBuf {
+		c.enc = buf
+	}
+	if err != nil {
+		return Envelope{}, err
+	}
+	if _, err := c.bw.Write(buf); err != nil {
 		return Envelope{}, err
 	}
 	if err := c.bw.Flush(); err != nil {

@@ -77,9 +77,10 @@ func TestServerDifferentialLegacyVsConcurrent(t *testing.T) {
 		settleWG.Wait()
 		srv.mu.Lock()
 		accepted, rejected, completed = srv.Accepted, srv.Rejected, srv.Completed
-		openContracts := len(srv.prices)
-		unsynced := len(srv.unsynced)
 		srv.mu.Unlock()
+		book := srv.countBook()
+		openContracts := book.prices
+		unsynced := book.unsynced
 		if openContracts != 0 || unsynced != 0 {
 			t.Fatalf("book not drained: %d open, %d unsynced", openContracts, unsynced)
 		}
@@ -233,8 +234,9 @@ func TestServerStressRace(t *testing.T) {
 
 			srv.mu.Lock()
 			accepted, rejected, completed := srv.Accepted, srv.Rejected, srv.Completed
-			open, unsynced, settled := len(srv.prices), len(srv.unsynced), len(srv.settled)
 			srv.mu.Unlock()
+			book := srv.countBook()
+			open, unsynced, settled := book.prices, book.unsynced, book.settled
 			if unsynced != 0 {
 				t.Fatalf("%d contracts left unsynced", unsynced)
 			}

@@ -72,17 +72,20 @@ type contractRecord struct {
 	Reason string  `json:"reason,omitempty"`
 }
 
-func (s *Server) appendRecord(r contractRecord) error {
-	_, _, err := s.appendRecordIdx(r)
+func (s *Server) appendRecord(shard int, r contractRecord) error {
+	_, _, err := s.appendRecordIdx(shard, r)
 	return err
 }
 
-// appendRecordIdx journals r and returns its index for a later
-// durable.SyncBarrier. In the concurrent server the append is batched —
-// FsyncAlways durability is deferred to the caller's barrier so concurrent
-// awards share one fsync; legacy mode keeps the inline per-record sync.
-// journaled is false when the server runs without a journal.
-func (s *Server) appendRecordIdx(r contractRecord) (idx uint64, journaled bool, err error) {
+// appendRecordIdx journals r on the shard's stream and returns its index
+// for a later durable.SyncBarrier. In the concurrent server the append is
+// batched — FsyncAlways durability is deferred to the caller's barrier so
+// concurrent awards share one fsync; legacy mode keeps the inline
+// per-record sync. The shard tag feeds the journal's per-round stream
+// accounting (how many shards each group-commit round covered); it does
+// not change durability or recovery. journaled is false when the server
+// runs without a journal.
+func (s *Server) appendRecordIdx(shard int, r contractRecord) (idx uint64, journaled bool, err error) {
 	if s.j == nil {
 		return 0, false, nil
 	}
@@ -93,7 +96,7 @@ func (s *Server) appendRecordIdx(r contractRecord) (idx uint64, journaled bool, 
 	if s.cfg.LegacyLocked {
 		idx, err = s.j.Append(b)
 	} else {
-		idx, err = s.j.AppendBatched(b)
+		idx, err = s.j.AppendBatchedStream(shard, b)
 	}
 	return idx, err == nil, err
 }
@@ -233,9 +236,10 @@ func (s *Server) openJournal() error {
 	j, err := durable.Open(s.cfg.DataDir, durable.Options{
 		Fsync:      s.cfg.Fsync,
 		FsyncEvery: s.cfg.FsyncEvery,
-		OnBatch: func(_ uint64, records int) {
+		OnBatch: func(_ uint64, records, streams int) {
 			s.m.batchSyncs.Inc()
 			s.m.batchRecords.Add(float64(records))
+			s.m.batchStreams.Add(float64(streams))
 		},
 	})
 	if err != nil {
@@ -247,12 +251,14 @@ func (s *Server) openJournal() error {
 		return err
 	}
 	s.j = j
-	s.settled = rb.done
+	for id, st := range rb.done {
+		s.shardFor(id).settled[id] = st
+	}
 
 	scale := int64(s.cfg.TimeScale)
 	if rb.wall == 0 {
 		// Fresh journal: pin the clock origin as the first durable record.
-		if err := s.appendRecord(contractRecord{Kind: recEpoch, Wall: s.start.UnixNano(), Scale: scale}); err != nil {
+		if err := s.appendRecord(0, contractRecord{Kind: recEpoch, Wall: s.start.UnixNano(), Scale: scale}); err != nil {
 			j.Close()
 			return err
 		}
@@ -288,6 +294,7 @@ func (s *Server) openJournal() error {
 	recovered, defaulted := 0, 0
 	for _, id := range rb.open {
 		e := rb.book[id]
+		sh := s.shardFor(id)
 		bound, err := DecodeBound(e.rec.Bound)
 		if err != nil {
 			j.Close()
@@ -306,11 +313,11 @@ func (s *Server) openJournal() error {
 		}
 		if reason != "" {
 			price := math.Min(0, t.YieldAtCompletion(now))
-			if err := s.appendRecord(contractRecord{Kind: recDefault, TaskID: id, T: now, Price: price, Reason: reason}); err != nil {
+			if err := s.appendRecord(sh.id, contractRecord{Kind: recDefault, TaskID: id, T: now, Price: price, Reason: reason}); err != nil {
 				j.Close()
 				return err
 			}
-			s.settled[id] = settlement{Defaulted: true, T: now, Price: price}
+			sh.settled[id] = settlement{Defaulted: true, T: now, Price: price}
 			s.Defaulted++
 			s.Revenue += price
 			s.m.defaulted.Inc()
@@ -326,12 +333,14 @@ func (s *Server) openJournal() error {
 			defaulted++
 			continue
 		}
-		// Honor the contract: requeue (a crashed run restarts from zero).
-		s.pending = append(s.pending, t)
-		s.prices[id] = market.ServerBid{SiteID: s.cfg.SiteID, TaskID: id,
+		// Honor the contract: requeue (a crashed run restarts from zero) on
+		// its shard of record, in journal order — the arrival stamps the
+		// merged queue reassembles are assigned in replay sequence.
+		sh.addPendingLocked(t)
+		sh.prices[id] = market.ServerBid{SiteID: s.cfg.SiteID, TaskID: id,
 			ExpectedCompletion: e.rec.ExpectedCompletion, ExpectedPrice: e.rec.ExpectedPrice}
 		if e.rec.Req != "" {
-			s.reqs[id] = e.rec.Req
+			sh.reqs[id] = e.rec.Req
 		}
 		s.m.recovered.Inc()
 		if led := s.cfg.Ledger; led != nil {
@@ -344,8 +353,10 @@ func (s *Server) openJournal() error {
 		return err
 	}
 	s.Accepted += recovered
-	s.syncGaugesLocked()
-	s.dispatchLocked()
+	for _, sh := range s.shards {
+		sh.syncGaugesLocked()
+	}
+	s.dispatch()
 
 	s.m.recoverySeconds.Set(time.Since(began).Seconds())
 	s.m.recoveryRecords.Set(float64(rec.Records))

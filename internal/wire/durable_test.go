@@ -339,10 +339,7 @@ func waitRunning(t *testing.T, srv *Server, id task.ID) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		srv.mu.Lock()
-		_, running := srv.running[id]
-		srv.mu.Unlock()
-		if running {
+		if srv.taskRunning(id) {
 			return
 		}
 		if time.Now().After(deadline) {

@@ -75,12 +75,13 @@ func TestServerCloseDuringSettlement(t *testing.T) {
 		t.Errorf("settled %d tasks, want 0 (all were mid-run at Close)", got)
 	}
 	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	if srv.Abandoned != n {
-		t.Errorf("abandoned %d, want %d", srv.Abandoned, n)
+	abandoned := srv.Abandoned
+	srv.mu.Unlock()
+	if abandoned != n {
+		t.Errorf("abandoned %d, want %d", abandoned, n)
 	}
-	if len(srv.timers) != 0 {
-		t.Errorf("%d completion timers still tracked after Close", len(srv.timers))
+	if timers := srv.countBook().timers; timers != 0 {
+		t.Errorf("%d completion timers still tracked after Close", timers)
 	}
 }
 
@@ -158,8 +159,9 @@ func TestClientVanishesMidContract(t *testing.T) {
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
+		book := srv.countBook()
+		owners, prices, pending := book.owners, book.prices, book.pending
 		srv.mu.Lock()
-		owners, prices, pending := len(srv.owners), len(srv.prices), len(srv.pending)
 		completed, abandoned := srv.Completed, srv.Abandoned
 		srv.mu.Unlock()
 		if owners == 0 && prices == 0 && pending == 0 && completed+abandoned == n {

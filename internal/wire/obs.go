@@ -45,6 +45,15 @@ import (
 //	site_journal_batch_records_total{site}           records made durable by those rounds
 //	wire_frames_oversized_total{site}                inbound frames over the configured cap
 //
+// Sharded-book and codec-negotiation families (DESIGN.md §14), added with
+// the multi-core site sharding and the versioned wire handshake:
+//
+//	site_shard_queue_depth{site,shard}       pending tasks per book shard
+//	site_shard_running_tasks{site,shard}     running tasks per book shard
+//	site_shard_tasks_total{site,shard,event} accepted/completed per book shard
+//	site_journal_batch_streams_total{site}   distinct shard streams covered by group-commit rounds
+//	wire_codec_negotiated_total{site,codec}  connections by negotiated codec ("json-v1" = pre-handshake client)
+//
 // Economic ledger and cohort-attribution families (DESIGN.md §13). The
 // yield summaries are gauges despite the _total suffix: realized yield can
 // move down (penalties are negative settlements), which a counter would
@@ -104,7 +113,15 @@ type serverMetrics struct {
 	validateMismatch  *obs.Counter
 	batchSyncs        *obs.Counter
 	batchRecords      *obs.Counter
+	batchStreams      *obs.Counter
 	framesOversized   *obs.Counter
+
+	// Sharded-book and codec-negotiation families. The shard vecs are bound
+	// per shard at server construction; codecs is bound per negotiated name.
+	shardQueue *obs.GaugeVec
+	shardRun   *obs.GaugeVec
+	shardTasks *obs.CounterVec
+	codecs     *obs.CounterVec
 
 	// Trace-v2 cohort attribution: outcomes and yields split by workload
 	// cohort, same families the simulator's obsRecorder feeds.
@@ -152,7 +169,12 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 		validateMismatch:  validates.With(site, "mismatch"),
 		batchSyncs:        reg.Counter("site_journal_batch_syncs_total", "Group-commit fsync rounds.", "site").With(site),
 		batchRecords:      reg.Counter("site_journal_batch_records_total", "Journal records made durable by group-commit rounds.", "site").With(site),
+		batchStreams:      reg.Counter("site_journal_batch_streams_total", "Distinct shard journal streams covered by group-commit rounds.", "site").With(site),
 		framesOversized:   reg.Counter("wire_frames_oversized_total", "Inbound frames rejected for exceeding the configured size cap.", "site").With(site),
+		shardQueue:        reg.Gauge("site_shard_queue_depth", "Pending (queued, not running) tasks per book shard.", "site", "shard"),
+		shardRun:          reg.Gauge("site_shard_running_tasks", "Tasks occupying processors, by owning book shard.", "site", "shard"),
+		shardTasks:        reg.Counter("site_shard_tasks_total", "Task outcomes per book shard.", "site", "shard", "event"),
+		codecs:            reg.Counter("wire_codec_negotiated_total", "Connections by negotiated wire codec; json-v1 means a pre-handshake v1 client.", "site", "codec"),
 		recovered:         reg.Counter("site_contracts_recovered_total", "Open contracts honored after a restart.", "site").With(site),
 		defaulted:         reg.Counter("site_contracts_defaulted_total", "Contracts closed with a penalty during crash recovery.", "site").With(site),
 		recoverySeconds:   reg.Gauge("site_recovery_seconds", "Time spent replaying the contract journal at startup.", "site").With(site),
@@ -169,6 +191,12 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 // (CohortLabel maps unlabeled tasks to "none").
 func (m *serverMetrics) cohortEvent(cohort, event string) {
 	m.cohortTasks.With(m.site, obs.CohortLabel(cohort), event).Inc()
+}
+
+// codecNegotiated counts one connection settling on a wire codec. The
+// codecLabelV1 pseudo-name records clients that never sent a hello.
+func (m *serverMetrics) codecNegotiated(codec string) {
+	m.codecs.With(m.site, codec).Inc()
 }
 
 // observeYield books a settlement into the yield/penalty counters and

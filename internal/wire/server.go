@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"net"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,11 +73,21 @@ type ServerConfig struct {
 	// RegimeDefault settles them as defaulted at the decayed price floor.
 	CrashRegime string
 
-	// MaxFrameBytes caps one inbound protocol frame (a newline-delimited
-	// JSON envelope). An oversized frame is answered with a protocol error
-	// and logged, and the connection keeps serving; zero means the default
-	// (1 MiB).
+	// MaxFrameBytes caps one inbound protocol frame. An oversized frame is
+	// answered with a protocol error and logged, and the connection keeps
+	// serving; zero means the default (1 MiB).
 	MaxFrameBytes int
+	// Shards splits the contract book into this many independently locked
+	// shards keyed by task ID (DESIGN.md §14). Bids quote against the k-way
+	// merge of the shards' published snapshots, and dispatch plans over the
+	// merged queue under one global planner lock, so admission decisions and
+	// prices do not depend on the shard count. Zero or one means a single
+	// shard; LegacyLocked forces one.
+	Shards int
+	// Codecs restricts which wire codecs the server will negotiate in the
+	// v2 hello/welcome handshake. Empty allows every registered codec; JSON
+	// is always allowed as the mandatory fallback.
+	Codecs []string
 	// LegacyLocked serves every RPC under the single global mutex and syncs
 	// each award's journal record inline — the pre-snapshot, pre-group-commit
 	// architecture. It exists as the differential oracle and benchmark
@@ -89,6 +101,13 @@ func (c ServerConfig) crashRegime() string {
 		return RegimeRequeue
 	}
 	return c.CrashRegime
+}
+
+func (c ServerConfig) shardCount() int {
+	if c.LegacyLocked || c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
 }
 
 const (
@@ -120,38 +139,34 @@ func (c ServerConfig) writeTimeout() time.Duration {
 // admission logic as the simulated site, executing tasks on wall-clock
 // timers and serving the Figure 1 protocol over TCP. Scheduling is
 // non-preemptive.
+//
+// The contract book is split into shards keyed by task ID. Each shard owns
+// its own lock, its own slice of the book, and its own published quote
+// snapshot; processors are a single site-wide pool filled by a global
+// dispatch planner that locks every shard. Lock order is always
+// dispatchMu → shard locks (ascending) → mu; mu is a leaf guarding only
+// connections, the closed flag, and the exported stats.
 type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
 	log *obs.Logger
 	m   serverMetrics
 
-	mu      sync.Mutex
-	start   time.Time
-	pending []*task.Task
-	owners  map[task.ID]*serverConn
-	prices  map[task.ID]market.ServerBid
-	reqs    map[task.ID]string // lifecycle trace IDs of live contracts
-	running map[task.ID]*task.Task
-	timers  map[task.ID]*time.Timer
-	conns   map[*serverConn]struct{}
-	closed  bool
+	start  time.Time
+	shards []*bookShard
+	// seq stamps every booked contract with its global arrival order, so
+	// the merged pending queue can be reassembled in exactly the order a
+	// single-shard book would hold it.
+	seq atomic.Uint64
+	// nQueued/nRunning mirror the site-wide pending and running totals for
+	// gauges and trace events without touching every shard.
+	nQueued  atomic.Int64
+	nRunning atomic.Int64
+	// dispatchMu serializes the global dispatch planner: dispatch locks all
+	// shards to plan over the merged queue, and the planner lock keeps two
+	// dispatchers from interleaving their shard acquisitions.
+	dispatchMu sync.Mutex
 
-	// version counts scheduling-state changes under mu. Every mutation
-	// republishes a snapshot carrying the new version to board, and an
-	// award's optimistic quote is honored only if the live version still
-	// matches its snapshot's (DESIGN.md §11).
-	version uint64
-	board   site.Board
-	// unsynced holds contracts booked but whose journal record is still
-	// inside a group-commit window: quotes see them, dispatch skips them,
-	// and duplicate awards or queries for them wait on syncCond until the
-	// barrier resolves into an ack or a refusal. An entry is removed
-	// exactly once — by the batch sweep (accepted) or by its own award's
-	// rollback (refused) — so the map doubles as the decision token when
-	// a failed round races a later successful one.
-	unsynced map[task.ID]unsyncedAward
-	syncCond *sync.Cond
 	// swept is the durability frontier the last finished batch sweep
 	// covered. An award whose journal index is below it knows its
 	// bookkeeping is done and skips the post-barrier lock acquisition
@@ -159,12 +174,12 @@ type Server struct {
 	// for post-barrier work.
 	swept atomic.Uint64
 
-	// Contract durability (nil j means the server is memory-only). settled
-	// retains closed contracts for status queries and award idempotency; it
-	// is bounded by the contract count, which suits a task service whose
-	// journal is similarly append-only.
-	j       *durable.Journal
-	settled map[task.ID]settlement
+	// Contract durability (nil j means the server is memory-only).
+	j *durable.Journal
+
+	mu     sync.Mutex
+	conns  map[*serverConn]struct{}
+	closed bool
 
 	wg      sync.WaitGroup // connection + accept goroutines
 	timerWG sync.WaitGroup // in-flight completion callbacks
@@ -178,7 +193,49 @@ type Server struct {
 	Abandoned int // tasks dropped by shutdown or client disconnect
 }
 
-// unsyncedAward is a contract booked under the state lock whose journal
+// bookShard is one lock's worth of the contract book: the pending queue,
+// running set, contract terms, and completion timers for every task whose
+// ID hashes here, plus the shard's own published quote snapshot. settled
+// retains closed contracts for status queries and award idempotency; it is
+// bounded by the contract count, which suits a task service whose journal
+// is similarly append-only.
+type bookShard struct {
+	s  *Server
+	id int
+
+	mu      sync.Mutex
+	pending []*task.Task
+	seqs    []uint64 // parallel to pending: global booking-order stamps
+	owners  map[task.ID]*serverConn
+	prices  map[task.ID]market.ServerBid
+	reqs    map[task.ID]string // lifecycle trace IDs of live contracts
+	running map[task.ID]*task.Task
+	timers  map[task.ID]*time.Timer
+	settled map[task.ID]settlement
+	// unsynced holds contracts booked but whose journal record is still
+	// inside a group-commit window: quotes see them, dispatch skips them,
+	// and duplicate awards or queries for them wait on syncCond until the
+	// barrier resolves into an ack or a refusal. An entry is removed
+	// exactly once — by the batch sweep (accepted) or by its own award's
+	// rollback (refused) — so the map doubles as the decision token when
+	// a failed round races a later successful one.
+	unsynced map[task.ID]unsyncedAward
+	syncCond *sync.Cond
+
+	// version counts this shard's scheduling-state changes. It is written
+	// under mu and stamped into every published snapshot, so an award can
+	// validate each shard part of its optimistic quote against the live
+	// counter without taking the other shards' locks.
+	version atomic.Uint64
+	board   site.Board
+
+	mQueue     *obs.Gauge
+	mRunning   *obs.Gauge
+	mAccepted  *obs.Counter
+	mCompleted *obs.Counter
+}
+
+// unsyncedAward is a contract booked under the shard lock whose journal
 // record has not yet been covered by a group-commit round. It carries
 // what the batch sweep needs to finish the award's bookkeeping on the
 // awarding goroutine's behalf.
@@ -193,26 +250,37 @@ type serverConn struct {
 	conn         net.Conn
 	bw           *bufio.Writer
 	writeTimeout time.Duration
+	codec        Codec  // write-side codec; swapped once at handshake, under mu
+	enc          []byte // reusable encode buffer, guarded by mu
+}
+
+func (c *serverConn) setCodec(codec Codec) {
+	c.mu.Lock()
+	c.codec = codec
+	c.mu.Unlock()
 }
 
 func (c *serverConn) send(e Envelope) error {
-	// Encode into a pooled buffer before taking the write lock: a marshal
-	// error writes nothing, and concurrent senders only serialize on the
-	// actual socket write.
-	eb, err := encodeEnvelope(e)
+	// Encode into the connection's scratch buffer under the write lock: an
+	// encode error writes nothing, and the buffer is reused frame after
+	// frame so steady-state sends allocate nothing.
+	c.mu.Lock()
+	buf, err := c.codec.Append(c.enc[:0], &e)
 	if err != nil {
+		c.mu.Unlock()
 		return err
 	}
-	c.mu.Lock()
+	if cap(buf) <= maxPooledEncBuf {
+		c.enc = buf
+	}
 	if c.writeTimeout > 0 {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	}
-	_, err = c.bw.Write(eb.buf.Bytes())
+	_, err = c.bw.Write(buf)
 	if err == nil {
 		err = c.bw.Flush()
 	}
 	c.mu.Unlock()
-	releaseEncBuf(eb)
 	return err
 }
 
@@ -225,6 +293,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("wire: policy is required")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("wire: shards %d must be >= 0", cfg.Shards)
+	}
 	if cfg.Admission == nil {
 		cfg.Admission = admission.AcceptAll{}
 	}
@@ -234,26 +305,45 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if r := cfg.crashRegime(); r != RegimeRequeue && r != RegimeDefault {
 		return nil, fmt.Errorf("wire: unknown crash regime %q", cfg.CrashRegime)
 	}
+	for _, name := range cfg.Codecs {
+		if _, ok := CodecByName(name); !ok {
+			return nil, fmt.Errorf("wire: unknown codec %q", name)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		ln:       ln,
-		log:      cfg.Logger.With("site", cfg.SiteID),
-		m:        newServerMetrics(cfg.Metrics, cfg.SiteID),
-		start:    time.Now(),
-		owners:   make(map[task.ID]*serverConn),
-		prices:   make(map[task.ID]market.ServerBid),
-		reqs:     make(map[task.ID]string),
-		running:  make(map[task.ID]*task.Task),
-		timers:   make(map[task.ID]*time.Timer),
-		conns:    make(map[*serverConn]struct{}),
-		settled:  make(map[task.ID]settlement),
-		unsynced: make(map[task.ID]unsyncedAward),
+		cfg:   cfg,
+		ln:    ln,
+		log:   cfg.Logger.With("site", cfg.SiteID),
+		m:     newServerMetrics(cfg.Metrics, cfg.SiteID),
+		start: time.Now(),
+		conns: make(map[*serverConn]struct{}),
 	}
-	s.syncCond = sync.NewCond(&s.mu)
+	nshards := cfg.shardCount()
+	s.shards = make([]*bookShard, nshards)
+	for i := range s.shards {
+		lbl := strconv.Itoa(i)
+		sh := &bookShard{
+			s:          s,
+			id:         i,
+			owners:     make(map[task.ID]*serverConn),
+			prices:     make(map[task.ID]market.ServerBid),
+			reqs:       make(map[task.ID]string),
+			running:    make(map[task.ID]*task.Task),
+			timers:     make(map[task.ID]*time.Timer),
+			settled:    make(map[task.ID]settlement),
+			unsynced:   make(map[task.ID]unsyncedAward),
+			mQueue:     s.m.shardQueue.With(cfg.SiteID, lbl),
+			mRunning:   s.m.shardRun.With(cfg.SiteID, lbl),
+			mAccepted:  s.m.shardTasks.With(cfg.SiteID, lbl, "accepted"),
+			mCompleted: s.m.shardTasks.With(cfg.SiteID, lbl, "completed"),
+		}
+		sh.syncCond = sync.NewCond(&sh.mu)
+		s.shards[i] = sh
+	}
 	if cfg.DataDir != "" {
 		// Recovery runs to completion before the listener accepts: the
 		// first bid already quotes against the recovered queue.
@@ -262,58 +352,102 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 			return nil, err
 		}
 	}
-	// Publish the initial snapshot (empty, or the recovered queue) before
+	// Publish the initial snapshots (empty, or the recovered queue) before
 	// the first connection can arrive.
-	s.publishLocked()
+	for _, sh := range s.shards {
+		sh.publishLocked()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
 
-// snapshotLocked captures the scheduling state as an immutable quote
-// snapshot. Callers must hold s.mu (or run before the accept loop starts).
-func (s *Server) snapshotLocked() *site.QuoteSnapshot {
+// shardFor maps a task to its shard of record. Every piece of a contract's
+// state lives on the one shard its ID hashes to.
+func (s *Server) shardFor(id task.ID) *bookShard {
+	return s.shards[uint64(id)%uint64(len(s.shards))]
+}
+
+// snapshotLocked captures the shard's scheduling state as an immutable
+// quote snapshot. Callers must hold sh.mu (or run before the accept loop
+// starts).
+func (sh *bookShard) snapshotLocked() *site.QuoteSnapshot {
+	s := sh.s
 	qs := &site.QuoteSnapshot{
-		Version:      s.version,
+		Version:      sh.version.Load(),
 		Procs:        s.cfg.Processors,
 		Policy:       s.cfg.Policy,
 		DiscountRate: s.cfg.DiscountRate,
 	}
-	if len(s.pending) > 0 {
-		qs.Pending = make([]*task.Task, len(s.pending))
-		for i, t := range s.pending {
+	if len(sh.pending) > 0 {
+		qs.Pending = make([]*task.Task, len(sh.pending))
+		for i, t := range sh.pending {
 			cp := *t
 			qs.Pending[i] = &cp
 		}
+		qs.Seqs = append([]uint64(nil), sh.seqs...)
 	}
-	if len(s.running) > 0 {
-		qs.Running = make([]site.RunningSlot, 0, len(s.running))
-		for _, rt := range s.running {
+	if len(sh.running) > 0 {
+		qs.Running = make([]site.RunningSlot, 0, len(sh.running))
+		for _, rt := range sh.running {
 			qs.Running = append(qs.Running, site.RunningSlot{Start: rt.Start, Runtime: rt.Runtime})
 		}
 	}
 	return qs
 }
 
-// publishLocked rebuilds and publishes the quote snapshot. Callers must
-// hold s.mu (or run before the accept loop starts). Legacy mode skips
+// publishLocked rebuilds and publishes the shard's quote snapshot. Callers
+// must hold sh.mu (or run before the accept loop starts). Legacy mode skips
 // publication entirely so its cost profile stays faithful to the pre-PR
 // single-lock server.
-func (s *Server) publishLocked() {
-	if s.cfg.LegacyLocked {
+func (sh *bookShard) publishLocked() {
+	if sh.s.cfg.LegacyLocked {
 		return
 	}
-	s.board.Publish(s.snapshotLocked())
-	s.m.snapshotPublishes.Inc()
+	sh.board.Publish(sh.snapshotLocked())
+	sh.s.m.snapshotPublishes.Inc()
 }
 
-// bumpLocked marks the scheduling state changed and republishes the
+// bumpLocked marks the shard's scheduling state changed and republishes its
 // snapshot. Every mutation of pending/running must bump before releasing
-// s.mu, or an award could validate its optimistic quote against a version
-// that no longer describes the live state. Callers must hold s.mu.
-func (s *Server) bumpLocked() {
-	s.version++
-	s.publishLocked()
+// sh.mu, or an award could validate its optimistic quote against a version
+// that no longer describes the live state. Callers must hold sh.mu.
+func (sh *bookShard) bumpLocked() {
+	sh.version.Add(1)
+	sh.publishLocked()
+}
+
+// mergedSnapshot assembles the site-wide quotable view: the k-way merge of
+// every shard's published snapshot, plus the parts themselves for award
+// validation. With one shard the snapshot is the published part untouched
+// and parts is nil.
+func (s *Server) mergedSnapshot() (*site.QuoteSnapshot, []*site.QuoteSnapshot) {
+	if len(s.shards) == 1 {
+		return s.shards[0].board.Load(), nil
+	}
+	parts := make([]*site.QuoteSnapshot, len(s.shards))
+	for i, sh := range s.shards {
+		parts[i] = sh.board.Load()
+	}
+	return site.MergeQuoteSnapshots(parts), parts
+}
+
+// boardsCurrent reports whether every shard's live version still matches
+// the snapshot part it published — the sharded form of the award-time
+// optimistic-quote validation. Shards other than the caller's own (whose
+// lock is held) may move immediately after the check; that window is the
+// same one any lock-free quote already has, and admission re-quotes under
+// the shard lock when it matters.
+func (s *Server) boardsCurrent(snap *site.QuoteSnapshot, parts []*site.QuoteSnapshot) bool {
+	if parts == nil {
+		return snap != nil && s.shards[0].version.Load() == snap.Version
+	}
+	for i, sh := range s.shards {
+		if parts[i] == nil || sh.version.Load() != parts[i].Version {
+			return false
+		}
+	}
+	return true
 }
 
 // Addr returns the server's listen address.
@@ -330,34 +464,48 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	s.Abandoned += len(s.pending)
-	s.m.abandoned.Add(float64(len(s.pending)))
-	for _, t := range s.pending {
-		s.m.cohortEvent(t.Cohort, "abandoned")
-		s.ledgerCloseLocked(t.ID, obs.OutcomeAbandoned, s.now(), 0)
-		s.traceLocked(obs.StageAbandon, t.ID, "server closed")
-	}
-	s.pending = nil
-	for id, tm := range s.timers {
-		if tm.Stop() {
-			// The callback will never run; release its drain slot.
-			s.timerWG.Done()
-			delete(s.timers, id)
-			s.Abandoned++
-			s.m.abandoned.Inc()
-			if rt := s.running[id]; rt != nil {
-				s.m.cohortEvent(rt.Cohort, "abandoned")
-			}
-			s.ledgerCloseLocked(id, obs.OutcomeAbandoned, s.now(), 0)
-			s.traceLocked(obs.StageAbandon, id, "server closed mid-run")
-		}
-	}
-	s.syncGaugesLocked()
 	conns := make([]*serverConn, 0, len(s.conns))
 	for sc := range s.conns {
 		conns = append(conns, sc)
 	}
 	s.mu.Unlock()
+
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		npend := len(sh.pending)
+		if npend > 0 {
+			s.mu.Lock()
+			s.Abandoned += npend
+			s.mu.Unlock()
+			s.m.abandoned.Add(float64(npend))
+		}
+		for _, t := range sh.pending {
+			s.m.cohortEvent(t.Cohort, "abandoned")
+			sh.ledgerCloseLocked(t.ID, obs.OutcomeAbandoned, s.now(), 0)
+			sh.traceLocked(obs.StageAbandon, t.ID, "server closed")
+		}
+		s.nQueued.Add(-int64(npend))
+		sh.pending = nil
+		sh.seqs = nil
+		for id, tm := range sh.timers {
+			if tm.Stop() {
+				// The callback will never run; release its drain slot.
+				s.timerWG.Done()
+				delete(sh.timers, id)
+				s.mu.Lock()
+				s.Abandoned++
+				s.mu.Unlock()
+				s.m.abandoned.Inc()
+				if rt := sh.running[id]; rt != nil {
+					s.m.cohortEvent(rt.Cohort, "abandoned")
+				}
+				sh.ledgerCloseLocked(id, obs.OutcomeAbandoned, s.now(), 0)
+				sh.traceLocked(obs.StageAbandon, id, "server closed mid-run")
+			}
+		}
+		sh.syncGaugesLocked()
+		sh.mu.Unlock()
+	}
 
 	err := s.ln.Close()
 	for _, sc := range conns {
@@ -376,35 +524,68 @@ func (s *Server) Close() error {
 	return err
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // now returns the current time in simulation units since server start.
 func (s *Server) now() float64 {
 	return float64(time.Since(s.start)) / float64(s.cfg.TimeScale)
 }
 
-// syncGaugesLocked refreshes the queue-depth and running-task gauges after
-// any scheduler state change. Callers must hold s.mu.
-func (s *Server) syncGaugesLocked() {
-	s.m.queueDepth.Set(float64(len(s.pending)))
-	s.m.runningTasks.Set(float64(len(s.running)))
+// syncGaugesLocked refreshes the shard and site-wide queue-depth and
+// running-task gauges after a scheduler state change. Callers must hold
+// sh.mu.
+func (sh *bookShard) syncGaugesLocked() {
+	s := sh.s
+	sh.mQueue.Set(float64(len(sh.pending)))
+	sh.mRunning.Set(float64(len(sh.running)))
+	s.m.queueDepth.Set(float64(s.nQueued.Load()))
+	s.m.runningTasks.Set(float64(s.nRunning.Load()))
 }
 
-// traceLocked emits a lifecycle event for a task the server knows by ID,
-// resolving its request ID from the live-contract table. Callers must hold
-// s.mu.
-func (s *Server) traceLocked(stage string, id task.ID, detail string) {
+// traceLocked emits a lifecycle event for a task this shard knows by ID,
+// resolving its request ID from the shard's live-contract table. Callers
+// must hold sh.mu.
+func (sh *bookShard) traceLocked(stage string, id task.ID, detail string) {
+	s := sh.s
 	if s.cfg.Tracer == nil {
 		return
 	}
 	s.cfg.Tracer.Emit(obs.TraceEvent{
 		Stage:   stage,
 		Task:    uint64(id),
-		Req:     s.reqs[id],
+		Req:     sh.reqs[id],
 		Site:    s.cfg.SiteID,
 		T:       s.now(),
-		Queued:  len(s.pending),
-		Running: len(s.running),
+		Queued:  int(s.nQueued.Load()),
+		Running: int(s.nRunning.Load()),
 		Detail:  detail,
 	})
+}
+
+// addPendingLocked books t at the tail of the shard's queue with the next
+// global arrival stamp. Callers must hold sh.mu.
+func (sh *bookShard) addPendingLocked(t *task.Task) {
+	sh.pending = append(sh.pending, t)
+	sh.seqs = append(sh.seqs, sh.s.seq.Add(1))
+	sh.s.nQueued.Add(1)
+}
+
+// removePendingLocked drops t (by identity) from the shard's queue.
+// Callers must hold sh.mu.
+func (sh *bookShard) removePendingLocked(t *task.Task) bool {
+	for i, p := range sh.pending {
+		if p == t {
+			sh.pending = append(sh.pending[:i], sh.pending[i+1:]...)
+			sh.seqs = append(sh.seqs[:i], sh.seqs[i+1:]...)
+			sh.s.nQueued.Add(-1)
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) acceptLoop() {
@@ -423,7 +604,7 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serve(conn net.Conn) {
-	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn), writeTimeout: s.cfg.writeTimeout()}
+	sc := &serverConn{conn: conn, bw: bufio.NewWriter(conn), writeTimeout: s.cfg.writeTimeout(), codec: defaultCodec()}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -438,25 +619,33 @@ func (s *Server) serve(conn net.Conn) {
 		s.m.connections.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, sc)
-		s.dropOwnerLocked(sc)
 		s.mu.Unlock()
+		s.dropOwner(sc)
 	}()
 
 	idle := s.cfg.idleTimeout()
 	br := bufio.NewReaderSize(conn, 64*1024)
 	limit := maxFrameBytes(s.cfg.MaxFrameBytes)
-	var frame []byte
+	rd := defaultCodec()
+	var scratch []byte
+	var env Envelope
+	first := true
 	for {
 		if idle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(idle))
 		}
-		line, err := readFrame(br, limit, &frame)
-		if err != nil {
-			if errors.Is(err, ErrTooLong) {
-				// The oversized frame was drained through its newline: report
-				// the protocol error and keep serving the connection.
+		if err := rd.Read(br, limit, &scratch, &env); err != nil {
+			switch {
+			case errors.Is(err, ErrTooLong):
+				// The oversized frame was drained whole: report the protocol
+				// error and keep serving the connection.
 				s.m.framesOversized.Inc()
 				s.log.Warn("oversized frame discarded", "remote", conn.RemoteAddr().String(), "limit_bytes", limit)
+				if serr := sc.send(Envelope{Type: TypeError, Reason: err.Error()}); serr != nil {
+					return
+				}
+				continue
+			case IsProtocolError(err):
 				if serr := sc.send(Envelope{Type: TypeError, Reason: err.Error()}); serr != nil {
 					return
 				}
@@ -473,13 +662,36 @@ func (s *Server) serve(conn net.Conn) {
 			}
 			return
 		}
-		if len(line) == 0 {
+		if env.Type == TypeHello {
+			if !first {
+				// A handshake can only open a session; mid-session hellos are
+				// protocol errors, answered without dropping the connection.
+				if serr := sc.send(Envelope{Type: TypeError, ReqID: env.ReqID, Reason: "wire: hello after session established"}); serr != nil {
+					return
+				}
+				continue
+			}
+			first = false
+			reply, next, ok := helloReply(env, s.cfg.Codecs, s.cfg.SiteID)
+			// The reply always travels as v1 JSON; only after it is flushed
+			// does the connection switch codecs.
+			if serr := sc.send(reply); serr != nil {
+				return
+			}
+			if ok {
+				sc.setCodec(next)
+				rd = next
+				s.m.codecNegotiated(next.Name())
+				s.log.Info("negotiated wire codec", "remote", conn.RemoteAddr().String(), "codec", next.Name())
+			} else {
+				s.m.codecNegotiated(codecLabelV1)
+			}
 			continue
 		}
-		env, err := Unmarshal(line)
-		if err != nil {
-			_ = sc.send(Envelope{Type: TypeError, Reason: err.Error()})
-			continue
+		if first {
+			// A bare envelope as the first frame is a v1 client.
+			first = false
+			s.m.codecNegotiated(codecLabelV1)
 		}
 		began := time.Now()
 		var reply Envelope
@@ -505,55 +717,61 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-// dropOwnerLocked forgets a disconnected client's contracts: queued tasks
-// are discarded (nobody is left to pay for them), running tasks finish but
-// settle into the void. Callers must hold s.mu.
-func (s *Server) dropOwnerLocked(sc *serverConn) {
-	for id, owner := range s.owners {
-		if owner != sc {
-			continue
-		}
-		delete(s.owners, id)
-		delete(s.reqs, id)
-		dropped := false
-		for i, p := range s.pending {
-			if p.ID == id {
-				s.pending = append(s.pending[:i], s.pending[i+1:]...)
-				p.State = task.Rejected
-				s.Abandoned++
-				s.m.abandoned.Inc()
-				s.m.cohortEvent(p.Cohort, "abandoned")
-				s.ledgerCloseLocked(id, obs.OutcomeAbandoned, s.now(), 0)
-				s.traceLocked(obs.StageAbandon, id, "client disconnected")
-				if err := s.appendRecord(contractRecord{Kind: recAbandon, TaskID: id, Reason: "client disconnected"}); err != nil {
-					s.log.Warn("journal abandon record failed", "task", id, "err", err.Error())
+// dropOwner forgets a disconnected client's contracts: queued tasks are
+// discarded (nobody is left to pay for them), running tasks finish but
+// settle into the void.
+func (s *Server) dropOwner(sc *serverConn) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, owner := range sh.owners {
+			if owner != sc {
+				continue
+			}
+			delete(sh.owners, id)
+			delete(sh.reqs, id)
+			dropped := false
+			for _, p := range sh.pending {
+				if p.ID == id {
+					sh.removePendingLocked(p)
+					p.State = task.Rejected
+					s.mu.Lock()
+					s.Abandoned++
+					s.mu.Unlock()
+					s.m.abandoned.Inc()
+					s.m.cohortEvent(p.Cohort, "abandoned")
+					sh.ledgerCloseLocked(id, obs.OutcomeAbandoned, s.now(), 0)
+					sh.traceLocked(obs.StageAbandon, id, "client disconnected")
+					if err := s.appendRecord(sh.id, contractRecord{Kind: recAbandon, TaskID: id, Reason: "client disconnected"}); err != nil {
+						s.log.Warn("journal abandon record failed", "task", id, "err", err.Error())
+					}
+					s.log.Info("dropped queued task: client disconnected", "task", id)
+					dropped = true
+					break
 				}
-				s.log.Info("dropped queued task: client disconnected", "task", id)
-				dropped = true
-				break
+			}
+			if dropped {
+				delete(sh.prices, id)
+				continue
+			}
+			// A running task survives owner loss: the contract is still open,
+			// so its standing terms stay on the book for Query re-adoption and
+			// the eventual settlement.
+			if _, isRunning := sh.running[id]; isRunning {
+				s.log.Info("task orphaned mid-run: client disconnected", "task", id)
 			}
 		}
-		if dropped {
-			delete(s.prices, id)
-			continue
-		}
-		// A running task survives owner loss: the contract is still open,
-		// so its standing terms stay on the book for Query re-adoption and
-		// the eventual settlement.
-		if _, isRunning := s.running[id]; isRunning {
-			s.log.Info("task orphaned mid-run: client disconnected", "task", id)
-		}
+		sh.syncGaugesLocked()
+		sh.bumpLocked()
+		sh.mu.Unlock()
 	}
-	s.syncGaugesLocked()
-	s.bumpLocked()
 }
 
 // handleBid quotes a bid against the current candidate schedule without
 // committing resources. The concurrent path ranks the bid against the
-// published snapshot with zero lock acquisitions: quoting is a pure read,
-// so any number of bids evaluate in parallel with each other and with the
-// scheduler. Only bookkeeping (reject counters, trace events) briefly takes
-// the state lock.
+// merged published snapshots with zero lock acquisitions: quoting is a pure
+// read, so any number of bids evaluate in parallel with each other and with
+// the scheduler. Only bookkeeping (reject counters) briefly takes the stats
+// lock.
 func (s *Server) handleBid(env Envelope) Envelope {
 	bid, err := env.Bid()
 	if err != nil {
@@ -562,7 +780,7 @@ func (s *Server) handleBid(env Envelope) Envelope {
 	if s.cfg.LegacyLocked {
 		return s.handleBidLegacy(bid)
 	}
-	snap := s.board.Load()
+	snap, _ := s.mergedSnapshot()
 	s.m.snapshotQuotes.Inc()
 	q, err := snap.Quote(s.now(), s.bidTask(bid))
 	if err != nil {
@@ -574,16 +792,12 @@ func (s *Server) handleBid(env Envelope) Envelope {
 		s.m.cohortEvent(bid.Cohort, "rejected")
 		s.mu.Lock()
 		s.Rejected++
-		s.traceBidLocked(obs.StageReject, bid, q.Slack, "slack below threshold")
 		s.mu.Unlock()
+		s.traceBid(obs.StageReject, bid, q.Slack, "slack below threshold")
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: fmt.Sprintf("slack %.2f below threshold", q.Slack)}
 	}
-	if s.cfg.Tracer != nil {
-		s.mu.Lock()
-		s.traceBidLocked(obs.StageBid, bid, q.Slack, "")
-		s.mu.Unlock()
-	}
+	s.traceBid(obs.StageBid, bid, q.Slack, "")
 	return Envelope{
 		Type:               TypeServerBid,
 		TaskID:             bid.TaskID,
@@ -594,25 +808,30 @@ func (s *Server) handleBid(env Envelope) Envelope {
 }
 
 // handleBidLegacy is the pre-snapshot bid path: the whole quote runs under
-// the global state lock. Kept as the differential oracle and benchmark
+// the single shard's lock. Kept as the differential oracle and benchmark
 // baseline.
 func (s *Server) handleBidLegacy(bid market.Bid) Envelope {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	q, err := s.quoteLocked(bid)
+	sh := s.shards[0]
+	sh.mu.Lock()
+	q, err := sh.quoteLocked(bid)
 	if err != nil {
+		sh.mu.Unlock()
 		return Envelope{Type: TypeError, Reason: err.Error()}
 	}
 	s.observeSlack(q.Slack)
 	if !s.cfg.Admission.Admit(q) {
+		s.mu.Lock()
 		s.Rejected++
+		s.mu.Unlock()
 		s.m.rejected.Inc()
 		s.m.cohortEvent(bid.Cohort, "rejected")
-		s.traceBidLocked(obs.StageReject, bid, q.Slack, "slack below threshold")
+		s.traceBid(obs.StageReject, bid, q.Slack, "slack below threshold")
+		sh.mu.Unlock()
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: fmt.Sprintf("slack %.2f below threshold", q.Slack)}
 	}
-	s.traceBidLocked(obs.StageBid, bid, q.Slack, "")
+	s.traceBid(obs.StageBid, bid, q.Slack, "")
+	sh.mu.Unlock()
 	return Envelope{
 		Type:               TypeServerBid,
 		TaskID:             bid.TaskID,
@@ -631,10 +850,11 @@ func (s *Server) observeSlack(slack float64) {
 	}
 }
 
-// traceBidLocked emits a bid-time lifecycle event for a task that may not
-// yet (or ever) have an entry in the live-contract table, carrying the
-// bid's own request ID. Callers must hold s.mu.
-func (s *Server) traceBidLocked(stage string, bid market.Bid, value float64, detail string) {
+// traceBid emits a bid-time lifecycle event for a task that may not yet
+// (or ever) have an entry in the live-contract table, carrying the bid's
+// own request ID. Queue and running counts come from the site-wide atomic
+// mirrors, so no lock is needed.
+func (s *Server) traceBid(stage string, bid market.Bid, value float64, detail string) {
 	if s.cfg.Tracer == nil {
 		return
 	}
@@ -645,8 +865,8 @@ func (s *Server) traceBidLocked(stage string, bid market.Bid, value float64, det
 		Site:    s.cfg.SiteID,
 		T:       s.now(),
 		Value:   value,
-		Queued:  len(s.pending),
-		Running: len(s.running),
+		Queued:  int(s.nQueued.Load()),
+		Running: int(s.nRunning.Load()),
 		Cohort:  bid.Cohort,
 		Client:  bid.Client,
 		Detail:  detail,
@@ -660,17 +880,17 @@ func (s *Server) traceBidLocked(stage string, bid market.Bid, value float64, det
 // connection-level failure.
 //
 // The concurrent path is optimistic-then-validate: the quote is computed
-// lock-free against the published snapshot, and the state lock is taken
-// only to check that the live version still matches the snapshot's —
-// a mismatch means the scheduling state moved underneath the quote, and
-// the award re-quotes under the lock. The journal append happens under the
-// lock (fixing the contract's place in the record order), but the fsync
-// wait happens outside it via SyncBarrier, so concurrent awards share one
-// group-commit fsync instead of serializing the disk behind the lock.
-// Until the barrier lands, the contract is booked but marked unsynced:
-// quotes price it, dispatch skips it, and duplicate awards or queries for
-// it wait — so nothing observable (an ack, a running task, an adopted
-// owner) can outrace the disk, preserving the PR 4 guarantee.
+// lock-free against the merged published snapshots, and only the task's own
+// shard lock is taken to check that every shard's live version still
+// matches its part — a mismatch means the scheduling state moved underneath
+// the quote, and the award re-quotes under the shard lock. The journal
+// append happens under the lock (fixing the contract's place in the record
+// order), but the fsync wait happens outside it via SyncBarrier, so
+// concurrent awards share one group-commit fsync instead of serializing the
+// disk behind the lock. Until the barrier lands, the contract is booked but
+// marked unsynced: quotes price it, dispatch skips it, and duplicate awards
+// or queries for it wait — so nothing observable (an ack, a running task,
+// an adopted owner) can outrace the disk, preserving the PR 4 guarantee.
 func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	bid, err := env.Bid()
 	if err != nil {
@@ -680,23 +900,24 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 		return s.handleAwardLegacy(bid, sc)
 	}
 	// Optimistic quote, before any lock.
-	snap := s.board.Load()
+	snap, parts := s.mergedSnapshot()
 	s.m.snapshotQuotes.Inc()
 	q, qerr := snap.Quote(s.now(), s.bidTask(bid))
 
-	s.mu.Lock()
+	sh := s.shardFor(bid.TaskID)
+	sh.mu.Lock()
 	// An award racing a contract still inside a group-commit window waits
 	// for the barrier: the book cannot answer until the journal does.
-	s.waitSyncedLocked(bid.TaskID)
+	sh.waitSyncedLocked(bid.TaskID)
 	// Idempotency is keyed off the contract book, which the journal rebuilds
 	// across restarts: a client retrying an award after a site crash gets
 	// its standing terms back, not a second contract.
-	if standing, dup := s.prices[bid.TaskID]; dup {
-		s.owners[bid.TaskID] = sc // the retrying connection owns the settlement now
+	if standing, dup := sh.prices[bid.TaskID]; dup {
+		sh.owners[bid.TaskID] = sc // the retrying connection owns the settlement now
 		if bid.ReqID != "" {
-			s.reqs[bid.TaskID] = bid.ReqID
+			sh.reqs[bid.TaskID] = bid.ReqID
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return Envelope{
 			Type:               TypeContract,
 			TaskID:             bid.TaskID,
@@ -707,32 +928,33 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	}
 	// A retried award whose contract already settled (the run beat the
 	// retry) reports the closed contract instead of executing it twice.
-	if st, ok := s.settled[bid.TaskID]; ok {
-		reply := s.statusEnvelopeLocked(bid.TaskID, st)
-		s.mu.Unlock()
-		return reply
+	if st, ok := sh.settled[bid.TaskID]; ok {
+		sh.mu.Unlock()
+		return s.statusEnvelope(bid.TaskID, st)
 	}
-	// Validate the optimistic quote: if the scheduling state has not moved
-	// since the snapshot was published, the lock-free quote is exactly what
-	// a locked re-quote would compute and is honored as-is.
-	if qerr == nil && snap.Version == s.version {
+	// Validate the optimistic quote: if no shard's scheduling state has
+	// moved since its snapshot was published, the lock-free quote is what a
+	// locked re-quote would compute and is honored as-is.
+	if qerr == nil && s.boardsCurrent(snap, parts) {
 		s.m.validateMatch.Inc()
 	} else {
 		s.m.validateMismatch.Inc()
 		s.m.lockedQuotes.Inc()
-		q, qerr = s.quoteLocked(bid)
+		q, qerr = sh.quoteLocked(bid)
 	}
 	if qerr != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return Envelope{Type: TypeError, Reason: qerr.Error()}
 	}
 	s.observeSlack(q.Slack)
 	if !s.cfg.Admission.Admit(q) {
+		s.mu.Lock()
 		s.Rejected++
+		s.mu.Unlock()
 		s.m.rejected.Inc()
 		s.m.cohortEvent(bid.Cohort, "rejected")
-		s.traceBidLocked(obs.StageReject, bid, q.Slack, "mix changed since proposal")
-		s.mu.Unlock()
+		s.traceBid(obs.StageReject, bid, q.Slack, "mix changed since proposal")
+		sh.mu.Unlock()
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: "mix changed since proposal"}
 	}
@@ -740,9 +962,9 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 	t.State = task.Queued
 	sb := market.ServerBid{SiteID: s.cfg.SiteID, TaskID: t.ID,
 		ExpectedCompletion: q.ExpectedCompletion, ExpectedPrice: q.ExpectedYield}
-	// Append under the lock — the record order matches the book order — but
-	// do not wait for the disk here.
-	idx, journaled, jerr := s.appendRecordIdx(contractRecord{
+	// Append under the shard lock — the record order matches the book order
+	// within the shard's stream — but do not wait for the disk here.
+	idx, journaled, jerr := s.appendRecordIdx(sh.id, contractRecord{
 		Kind: recContract, TaskID: t.ID, Req: bid.ReqID,
 		Arrival: t.Arrival, Runtime: t.Runtime, Value: t.Value,
 		Decay: t.Decay, Bound: EncodeBound(t.Bound),
@@ -750,31 +972,34 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 		Cohort: t.Cohort, Client: t.Client,
 	})
 	if jerr != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		s.log.Warn("journal write failed, refusing award", "task", t.ID, "err", jerr.Error())
 		return Envelope{Type: TypeError, Reason: "site journal unavailable"}
 	}
-	s.pending = append(s.pending, t)
-	s.owners[t.ID] = sc
+	sh.addPendingLocked(t)
+	sh.owners[t.ID] = sc
 	if bid.ReqID != "" {
-		s.reqs[t.ID] = bid.ReqID
+		sh.reqs[t.ID] = bid.ReqID
 	}
-	s.prices[t.ID] = sb
+	sh.prices[t.ID] = sb
 	if journaled {
-		s.unsynced[t.ID] = unsyncedAward{idx: idx, t: t, completion: q.ExpectedCompletion}
+		sh.unsynced[t.ID] = unsyncedAward{idx: idx, t: t, completion: q.ExpectedCompletion}
 	}
-	s.syncGaugesLocked()
-	s.traceLocked(obs.StageContract, t.ID, "")
-	s.bumpLocked()
+	sh.syncGaugesLocked()
+	sh.traceLocked(obs.StageContract, t.ID, "")
+	sh.bumpLocked()
 	if !journaled {
 		// Memory-only site: nothing to wait for, finish the award inline.
+		s.mu.Lock()
 		s.Accepted++
-		s.m.accepted.Inc()
-		s.m.cohortEvent(t.Cohort, "accepted")
-		s.ledgerOpenLocked(t)
-		s.log.Info("accepted task", "task", t.ID, "runtime", t.Runtime, "expected_completion", q.ExpectedCompletion)
-		s.dispatchLocked()
 		s.mu.Unlock()
+		s.m.accepted.Inc()
+		sh.mAccepted.Inc()
+		s.m.cohortEvent(t.Cohort, "accepted")
+		sh.ledgerOpenLocked(t)
+		s.log.Info("accepted task", "task", t.ID, "runtime", t.Runtime, "expected_completion", q.ExpectedCompletion)
+		sh.mu.Unlock()
+		s.dispatch()
 		return Envelope{
 			Type:               TypeContract,
 			TaskID:             t.ID,
@@ -783,7 +1008,7 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 			ExpectedPrice:      sb.ExpectedPrice,
 		}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Wait for durability outside the lock. Concurrent awards waiting here
 	// share one fsync round; the ack below still never outruns the disk.
@@ -806,52 +1031,61 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 }
 
 // waitSyncedLocked blocks while id's contract sits inside a group-commit
-// window. Callers must hold s.mu.
-func (s *Server) waitSyncedLocked(id task.ID) {
+// window. Callers must hold sh.mu.
+func (sh *bookShard) waitSyncedLocked(id task.ID) {
 	for {
-		if _, open := s.unsynced[id]; !open {
+		if _, open := sh.unsynced[id]; !open {
 			return
 		}
-		s.syncCond.Wait()
+		sh.syncCond.Wait()
 	}
 }
 
 // finishDurableAwards completes the bookkeeping for every award the
 // journal's durability frontier now covers: accepted counters, the
 // acceptance log line, and one dispatch for the whole batch. The first
-// finisher of a group-commit round sweeps for everyone in it; awards
-// that find the swept frontier already past their record skip the lock
-// entirely, so the post-barrier cost is per round, not per award.
+// finisher of a group-commit round sweeps every shard for everyone in it;
+// awards that find the swept frontier already past their record skip the
+// locks entirely, so the post-barrier cost is per round, not per award.
 func (s *Server) finishDurableAwards(idx uint64) {
 	if s.swept.Load() > idx {
 		return
 	}
-	durable := s.j.Durable()
-	s.mu.Lock()
+	durableIdx := s.j.Durable()
 	finished := false
-	for id, u := range s.unsynced {
-		if u.idx >= durable {
-			continue
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		shardFinished := false
+		for id, u := range sh.unsynced {
+			if u.idx >= durableIdx {
+				continue
+			}
+			delete(sh.unsynced, id)
+			s.mu.Lock()
+			s.Accepted++
+			s.mu.Unlock()
+			s.m.accepted.Inc()
+			sh.mAccepted.Inc()
+			s.m.cohortEvent(u.t.Cohort, "accepted")
+			sh.ledgerOpenLocked(u.t)
+			s.log.Info("accepted task", "task", id, "runtime", u.t.Runtime, "expected_completion", u.completion)
+			shardFinished = true
 		}
-		delete(s.unsynced, id)
-		s.Accepted++
-		s.m.accepted.Inc()
-		s.m.cohortEvent(u.t.Cohort, "accepted")
-		s.ledgerOpenLocked(u.t)
-		s.log.Info("accepted task", "task", id, "runtime", u.t.Runtime, "expected_completion", u.completion)
-		finished = true
+		if shardFinished {
+			sh.syncCond.Broadcast()
+			finished = true
+		}
+		sh.mu.Unlock()
 	}
 	if finished {
-		s.syncCond.Broadcast()
-		s.dispatchLocked()
+		s.dispatch()
 	}
 	for {
 		cur := s.swept.Load()
-		if cur >= durable || s.swept.CompareAndSwap(cur, durable) {
+		if cur >= durableIdx || s.swept.CompareAndSwap(cur, durableIdx) {
 			break
 		}
 	}
-	s.mu.Unlock()
 }
 
 // rollbackUnsyncedAward unwinds a booked-but-unsynced contract after its
@@ -867,58 +1101,63 @@ func (s *Server) finishDurableAwards(idx uint64) {
 // journal foldable if the contract's bytes did reach the disk (the failed
 // sync leaves that unknowable).
 func (s *Server) rollbackUnsyncedAward(t *task.Task, idx uint64, serr error) bool {
-	s.mu.Lock()
-	u, present := s.unsynced[t.ID]
+	sh := s.shardFor(t.ID)
+	sh.mu.Lock()
+	u, present := sh.unsynced[t.ID]
 	if !present {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return false // swept as accepted by a later successful round
 	}
 	if s.j.Durable() > idx {
-		delete(s.unsynced, t.ID)
-		s.syncCond.Broadcast()
+		delete(sh.unsynced, t.ID)
+		sh.syncCond.Broadcast()
+		s.mu.Lock()
 		s.Accepted++
-		s.m.accepted.Inc()
-		s.m.cohortEvent(u.t.Cohort, "accepted")
-		s.ledgerOpenLocked(u.t)
-		s.log.Info("accepted task", "task", t.ID, "runtime", u.t.Runtime, "expected_completion", u.completion)
-		s.dispatchLocked()
 		s.mu.Unlock()
+		s.m.accepted.Inc()
+		sh.mAccepted.Inc()
+		s.m.cohortEvent(u.t.Cohort, "accepted")
+		sh.ledgerOpenLocked(u.t)
+		s.log.Info("accepted task", "task", t.ID, "runtime", u.t.Runtime, "expected_completion", u.completion)
+		sh.mu.Unlock()
+		s.dispatch()
 		return false
 	}
-	delete(s.unsynced, t.ID)
-	s.syncCond.Broadcast()
-	if _, open := s.prices[t.ID]; open {
-		s.removePendingLocked(t)
-		delete(s.owners, t.ID)
-		delete(s.prices, t.ID)
-		delete(s.reqs, t.ID)
+	delete(sh.unsynced, t.ID)
+	sh.syncCond.Broadcast()
+	if _, open := sh.prices[t.ID]; open {
+		sh.removePendingLocked(t)
+		delete(sh.owners, t.ID)
+		delete(sh.prices, t.ID)
+		delete(sh.reqs, t.ID)
 		t.State = task.Rejected
-		if aerr := s.appendRecord(contractRecord{Kind: recAbandon, TaskID: t.ID, Reason: "award refused: journal sync failed"}); aerr != nil {
+		if aerr := s.appendRecord(sh.id, contractRecord{Kind: recAbandon, TaskID: t.ID, Reason: "award refused: journal sync failed"}); aerr != nil {
 			s.log.Warn("journal abandon record failed", "task", t.ID, "err", aerr.Error())
 		}
-		s.syncGaugesLocked()
-		s.bumpLocked()
+		sh.syncGaugesLocked()
+		sh.bumpLocked()
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	s.log.Warn("journal sync failed, refusing award", "task", t.ID, "err", serr.Error())
 	return true
 }
 
 // handleAwardLegacy is the pre-group-commit award path: quote, journal
-// append, and fsync all execute under the global state lock, serializing
+// append, and fsync all execute under the single shard's lock, serializing
 // every award behind the disk. Kept as the differential oracle and
 // benchmark baseline.
 func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shards[0]
+	sh.mu.Lock()
 	// Idempotency is keyed off the contract book, which the journal rebuilds
 	// across restarts: a client retrying an award after a site crash gets
 	// its standing terms back, not a second contract.
-	if standing, dup := s.prices[bid.TaskID]; dup {
-		s.owners[bid.TaskID] = sc // the retrying connection owns the settlement now
+	if standing, dup := sh.prices[bid.TaskID]; dup {
+		sh.owners[bid.TaskID] = sc // the retrying connection owns the settlement now
 		if bid.ReqID != "" {
-			s.reqs[bid.TaskID] = bid.ReqID
+			sh.reqs[bid.TaskID] = bid.ReqID
 		}
+		sh.mu.Unlock()
 		return Envelope{
 			Type:               TypeContract,
 			TaskID:             bid.TaskID,
@@ -929,19 +1168,24 @@ func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
 	}
 	// A retried award whose contract already settled (the run beat the
 	// retry) reports the closed contract instead of executing it twice.
-	if st, ok := s.settled[bid.TaskID]; ok {
-		return s.statusEnvelopeLocked(bid.TaskID, st)
+	if st, ok := sh.settled[bid.TaskID]; ok {
+		sh.mu.Unlock()
+		return s.statusEnvelope(bid.TaskID, st)
 	}
-	q, err := s.quoteLocked(bid)
+	q, err := sh.quoteLocked(bid)
 	if err != nil {
+		sh.mu.Unlock()
 		return Envelope{Type: TypeError, Reason: err.Error()}
 	}
 	s.observeSlack(q.Slack)
 	if !s.cfg.Admission.Admit(q) {
+		s.mu.Lock()
 		s.Rejected++
+		s.mu.Unlock()
 		s.m.rejected.Inc()
 		s.m.cohortEvent(bid.Cohort, "rejected")
-		s.traceBidLocked(obs.StageReject, bid, q.Slack, "mix changed since proposal")
+		s.traceBid(obs.StageReject, bid, q.Slack, "mix changed since proposal")
+		sh.mu.Unlock()
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: "mix changed since proposal"}
 	}
@@ -955,7 +1199,7 @@ func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
 		// holding a contract envelope can always find it again after a
 		// crash; a failed write refuses the award instead of promising
 		// durability the site does not have.
-		err := s.appendRecord(contractRecord{
+		err := s.appendRecord(sh.id, contractRecord{
 			Kind: recContract, TaskID: t.ID, Req: bid.ReqID,
 			Arrival: t.Arrival, Runtime: t.Runtime, Value: t.Value,
 			Decay: t.Decay, Bound: EncodeBound(t.Bound),
@@ -966,24 +1210,29 @@ func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
 			err = s.j.Sync()
 		}
 		if err != nil {
+			sh.mu.Unlock()
 			s.log.Warn("journal write failed, refusing award", "task", t.ID, "err", err.Error())
 			return Envelope{Type: TypeError, Reason: "site journal unavailable"}
 		}
 	}
-	s.pending = append(s.pending, t)
-	s.owners[t.ID] = sc
+	sh.addPendingLocked(t)
+	sh.owners[t.ID] = sc
 	if bid.ReqID != "" {
-		s.reqs[t.ID] = bid.ReqID
+		sh.reqs[t.ID] = bid.ReqID
 	}
-	s.prices[t.ID] = sb
+	sh.prices[t.ID] = sb
+	s.mu.Lock()
 	s.Accepted++
+	s.mu.Unlock()
 	s.m.accepted.Inc()
+	sh.mAccepted.Inc()
 	s.m.cohortEvent(t.Cohort, "accepted")
-	s.ledgerOpenLocked(t)
-	s.syncGaugesLocked()
-	s.traceLocked(obs.StageContract, t.ID, "")
+	sh.ledgerOpenLocked(t)
+	sh.syncGaugesLocked()
+	sh.traceLocked(obs.StageContract, t.ID, "")
 	s.log.Info("accepted task", "task", t.ID, "runtime", t.Runtime, "expected_completion", q.ExpectedCompletion)
-	s.dispatchLocked()
+	sh.mu.Unlock()
+	s.dispatch()
 	return Envelope{
 		Type:               TypeContract,
 		TaskID:             t.ID,
@@ -1005,16 +1254,17 @@ func (s *Server) bidTask(bid market.Bid) *task.Task {
 }
 
 // ledgerOpenLocked books an accepted contract into the economic ledger
-// with the standing terms from the contract book. Callers must hold s.mu,
+// with the standing terms from the contract book. Callers must hold sh.mu,
 // after the award's bookkeeping (prices, reqs) is in place.
-func (s *Server) ledgerOpenLocked(t *task.Task) {
+func (sh *bookShard) ledgerOpenLocked(t *task.Task) {
+	s := sh.s
 	if s.cfg.Ledger == nil {
 		return
 	}
-	sb := s.prices[t.ID]
+	sb := sh.prices[t.ID]
 	s.cfg.Ledger.Open(obs.LedgerEntry{
 		Task:               uint64(t.ID),
-		Req:                s.reqs[t.ID],
+		Req:                sh.reqs[t.ID],
 		Cohort:             t.Cohort,
 		Client:             t.Client,
 		BidValue:           t.Value,
@@ -1027,140 +1277,210 @@ func (s *Server) ledgerOpenLocked(t *task.Task) {
 // ledgerCloseLocked settles a ledger entry. Contracts still inside a
 // group-commit window were never ledger-opened (acceptance happens at the
 // durability barrier), so they are skipped rather than booked as unknown
-// settlements. Callers must hold s.mu.
-func (s *Server) ledgerCloseLocked(id task.ID, outcome string, at, realized float64) {
+// settlements. Callers must hold sh.mu.
+func (sh *bookShard) ledgerCloseLocked(id task.ID, outcome string, at, realized float64) {
+	s := sh.s
 	if s.cfg.Ledger == nil {
 		return
 	}
-	if _, open := s.unsynced[id]; open {
+	if _, open := sh.unsynced[id]; open {
 		return
 	}
 	s.cfg.Ledger.Settle(uint64(id), outcome, at, realized)
 }
 
-func (s *Server) quoteLocked(bid market.Bid) (admission.Quote, error) {
+// quoteLocked evaluates a bid with the shard lock held: the shard's own
+// part is rebuilt from its live state, the other shards contribute their
+// latest published snapshots, and the merge is priced exactly as the
+// lock-free path would. With one shard this is the full locked quote of
+// the pre-shard server, bit for bit.
+func (sh *bookShard) quoteLocked(bid market.Bid) (admission.Quote, error) {
+	s := sh.s
 	// Live servers quote at wall-clock instants, so consecutive quotes
 	// never share a base schedule: every evaluation is a full build,
 	// counted as a cache miss so the site_quote_reuse series is comparable
-	// with the simulator's. The evaluation itself runs through a throwaway
-	// snapshot so the locked and lock-free paths share one arithmetic —
-	// identical float expressions, bit-identical quotes.
+	// with the simulator's.
 	s.m.quoteMisses.Inc()
 	probe := s.bidTask(bid)
-	return s.snapshotLocked().Quote(s.now(), probe)
+	if len(s.shards) == 1 {
+		return sh.snapshotLocked().Quote(s.now(), probe)
+	}
+	parts := make([]*site.QuoteSnapshot, len(s.shards))
+	for i, other := range s.shards {
+		if other == sh {
+			parts[i] = sh.snapshotLocked()
+		} else {
+			parts[i] = other.board.Load()
+		}
+	}
+	return site.MergeQuoteSnapshots(parts).Quote(s.now(), probe)
 }
 
-// dispatchLocked starts pending tasks while processors are free. The
-// queue is ranked once per dispatch event (core.PlanStarts re-ranks per
-// start only when the policy's order is not stable under removal), and
-// every free processor is filled from that plan. Each started task's
-// completion timer is tracked so Close can cancel it or wait for its
-// callback to drain.
-func (s *Server) dispatchLocked() {
-	if s.closed {
+// dispatch starts pending tasks while processors are free. The planner
+// locks every shard (ascending, under dispatchMu) and plans over the
+// merged queue in global arrival order, so the processor pool is a single
+// site-wide resource and start decisions are invariant in the shard count.
+// Each started task's completion timer is tracked so Close can cancel it
+// or wait for its callback to drain.
+func (s *Server) dispatch() {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	s.dispatchAllLocked()
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// dispatchAllLocked is the planner body. Callers must hold dispatchMu and
+// every shard lock.
+func (s *Server) dispatchAllLocked() {
+	if s.isClosed() {
 		return
 	}
 	now := s.now()
-	free := s.cfg.Processors - len(s.running)
+	running := 0
+	npend := 0
+	for _, sh := range s.shards {
+		running += len(sh.running)
+		npend += len(sh.pending)
+	}
+	free := s.cfg.Processors - running
 	// Contracts still inside a group-commit window are quotable but not
 	// startable: if their sync fails the award is rolled back, and rollback
 	// must only ever touch the queue, never a running timer.
-	eligible := s.pending
-	if len(s.unsynced) > 0 {
-		eligible = make([]*task.Task, 0, len(s.pending))
-		for _, t := range s.pending {
-			if _, open := s.unsynced[t.ID]; !open {
+	eligible := make([]*task.Task, 0, npend)
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		for _, t := range sh.pending {
+			if _, open := sh.unsynced[t.ID]; !open {
 				eligible = append(eligible, t)
 			}
+		}
+	} else {
+		// Merge the shards' queues back into global arrival order.
+		type seqTask struct {
+			seq uint64
+			t   *task.Task
+		}
+		all := make([]seqTask, 0, npend)
+		for _, sh := range s.shards {
+			for i, t := range sh.pending {
+				if _, open := sh.unsynced[t.ID]; open {
+					continue
+				}
+				all = append(all, seqTask{seq: sh.seqs[i], t: t})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+		for _, st := range all {
+			eligible = append(eligible, st.t)
 		}
 	}
 	starts, ranks := core.PlanStarts(s.cfg.Policy, now, free, eligible)
 	if ranks > 0 {
 		s.m.rankOps.Add(float64(ranks))
 	}
+	touched := make(map[*bookShard]struct{}, len(starts))
 	for _, t := range starts {
-		s.removePendingLocked(t)
+		sh := s.shardFor(t.ID)
+		sh.removePendingLocked(t)
 		t.State = task.Running
 		t.Start = now
-		s.running[t.ID] = t
-		if err := s.appendRecord(contractRecord{Kind: recStart, TaskID: t.ID, T: now}); err != nil {
+		sh.running[t.ID] = t
+		s.nRunning.Add(1)
+		if err := s.appendRecord(sh.id, contractRecord{Kind: recStart, TaskID: t.ID, T: now}); err != nil {
 			// Non-fatal: a lost start record only weakens the crash regime
 			// (the task recovers as queued instead of crash-preempted).
 			s.log.Warn("journal start record failed", "task", t.ID, "err", err.Error())
 		}
-		s.syncGaugesLocked()
-		s.traceLocked(obs.StageStart, t.ID, "")
+		sh.syncGaugesLocked()
+		sh.traceLocked(obs.StageStart, t.ID, "")
 		s.log.Info("running task", "task", t.ID, "runtime", t.Runtime)
 		dur := time.Duration(t.Runtime * float64(s.cfg.TimeScale))
 		s.timerWG.Add(1)
-		s.timers[t.ID] = time.AfterFunc(dur, func() {
+		tt := t
+		sh.timers[t.ID] = time.AfterFunc(dur, func() {
 			defer s.timerWG.Done()
-			s.complete(t)
+			s.complete(tt)
 		})
+		touched[sh] = struct{}{}
 	}
-	if len(starts) > 0 {
-		s.bumpLocked()
+	for sh := range touched {
+		sh.bumpLocked()
 	}
 }
 
 func (s *Server) complete(t *task.Task) {
-	s.mu.Lock()
-	delete(s.timers, t.ID)
-	if s.closed {
+	sh := s.shardFor(t.ID)
+	sh.mu.Lock()
+	delete(sh.timers, t.ID)
+	if s.isClosed() {
 		// Shutdown racing the timer: abandon rather than settle, so no
 		// settlement is sent after Close returns.
-		delete(s.running, t.ID)
-		delete(s.owners, t.ID)
-		delete(s.prices, t.ID)
+		delete(sh.running, t.ID)
+		s.nRunning.Add(-1)
+		delete(sh.owners, t.ID)
+		delete(sh.prices, t.ID)
+		s.mu.Lock()
 		s.Abandoned++
+		s.mu.Unlock()
 		s.m.abandoned.Inc()
 		s.m.cohortEvent(t.Cohort, "abandoned")
-		s.ledgerCloseLocked(t.ID, obs.OutcomeAbandoned, s.now(), 0)
-		s.traceLocked(obs.StageAbandon, t.ID, "server closed mid-run")
-		delete(s.reqs, t.ID)
-		s.syncGaugesLocked()
-		s.mu.Unlock()
+		sh.ledgerCloseLocked(t.ID, obs.OutcomeAbandoned, s.now(), 0)
+		sh.traceLocked(obs.StageAbandon, t.ID, "server closed mid-run")
+		delete(sh.reqs, t.ID)
+		sh.syncGaugesLocked()
+		sh.mu.Unlock()
 		return
 	}
 	now := s.now()
 	t.State = task.Completed
 	t.Completion = now
 	t.Yield = t.YieldAtCompletion(now)
-	delete(s.running, t.ID)
-	settleIdx, settleJournaled, err := s.appendRecordIdx(contractRecord{Kind: recSettle, TaskID: t.ID, T: now, Price: t.Yield})
+	delete(sh.running, t.ID)
+	s.nRunning.Add(-1)
+	settleIdx, settleJournaled, err := s.appendRecordIdx(sh.id, contractRecord{Kind: recSettle, TaskID: t.ID, T: now, Price: t.Yield})
 	if err != nil {
 		s.log.Warn("journal settle record failed", "task", t.ID, "err", err.Error())
 	}
-	s.settled[t.ID] = settlement{T: now, Price: t.Yield}
+	sh.settled[t.ID] = settlement{T: now, Price: t.Yield}
+	s.mu.Lock()
 	s.Completed++
 	s.Revenue += t.Yield
+	s.mu.Unlock()
 	s.m.completed.Inc()
+	sh.mCompleted.Inc()
 	s.m.cohortEvent(t.Cohort, "completed")
 	s.m.observeYield(t.Cohort, t.Yield)
-	s.ledgerCloseLocked(t.ID, obs.OutcomeSettled, now, t.Yield)
-	if standing, ok := s.prices[t.ID]; ok {
+	sh.ledgerCloseLocked(t.ID, obs.OutcomeSettled, now, t.Yield)
+	if standing, ok := sh.prices[t.ID]; ok {
 		s.m.lateness.Observe(now - standing.ExpectedCompletion)
 	}
-	owner := s.owners[t.ID]
-	req := s.reqs[t.ID]
-	delete(s.owners, t.ID)
-	delete(s.prices, t.ID)
-	delete(s.reqs, t.ID)
+	owner := sh.owners[t.ID]
+	req := sh.reqs[t.ID]
+	delete(sh.owners, t.ID)
+	delete(sh.prices, t.ID)
+	delete(sh.reqs, t.ID)
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Emit(obs.TraceEvent{
 			Stage: obs.StageComplete, Task: uint64(t.ID), Req: req, Site: s.cfg.SiteID,
-			T: now, Value: t.Yield, Dur: now - t.Start, Queued: len(s.pending), Running: len(s.running),
+			T: now, Value: t.Yield, Dur: now - t.Start,
+			Queued: int(s.nQueued.Load()), Running: int(s.nRunning.Load()),
 			Cohort: t.Cohort, Client: t.Client,
 		})
 	}
-	s.dispatchLocked()
-	s.syncGaugesLocked()
-	s.bumpLocked()
+	sh.syncGaugesLocked()
+	sh.bumpLocked()
 	// A settle record under FsyncAlways must be durable before the
 	// settlement push, as it was when Append synced inline; it rides the
 	// shared group-commit barrier, outside the lock.
 	settleSync := settleJournaled && !s.cfg.LegacyLocked && s.cfg.Fsync == durable.FsyncAlways
-	s.mu.Unlock()
+	sh.mu.Unlock()
+
+	s.dispatch()
 
 	if settleSync {
 		if serr := s.j.SyncBarrier(settleIdx); serr != nil {
@@ -1198,20 +1518,21 @@ func (s *Server) complete(t *task.Task) {
 // how a client that redialed after a site restart re-subscribes to the
 // settlement push it would otherwise never receive.
 func (s *Server) handleQuery(env Envelope, sc *serverConn) Envelope {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := env.TaskID
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	// A query racing a contract inside a group-commit window waits for the
 	// barrier: adopting an owner for a contract that may yet be refused
 	// would leak an observable effect past a failed sync.
-	s.waitSyncedLocked(id)
-	if st, ok := s.settled[id]; ok {
-		return s.statusEnvelopeLocked(id, st)
+	sh.waitSyncedLocked(id)
+	if st, ok := sh.settled[id]; ok {
+		return s.statusEnvelope(id, st)
 	}
-	if sb, open := s.prices[id]; open {
-		s.owners[id] = sc
+	if sb, open := sh.prices[id]; open {
+		sh.owners[id] = sc
 		if env.ReqID != "" {
-			s.reqs[id] = env.ReqID
+			sh.reqs[id] = env.ReqID
 		}
 		return Envelope{
 			Type: TypeStatus, TaskID: id, SiteID: s.cfg.SiteID,
@@ -1223,9 +1544,8 @@ func (s *Server) handleQuery(env Envelope, sc *serverConn) Envelope {
 	return Envelope{Type: TypeStatus, TaskID: id, SiteID: s.cfg.SiteID, ContractState: ContractUnknown}
 }
 
-// statusEnvelopeLocked frames a closed contract's settlement. Callers must
-// hold s.mu.
-func (s *Server) statusEnvelopeLocked(id task.ID, st settlement) Envelope {
+// statusEnvelope frames a closed contract's settlement.
+func (s *Server) statusEnvelope(id task.ID, st settlement) Envelope {
 	state := ContractSettled
 	if st.Defaulted {
 		state = ContractDefaulted
@@ -1236,11 +1556,33 @@ func (s *Server) statusEnvelopeLocked(id task.ID, st settlement) Envelope {
 	}
 }
 
-func (s *Server) removePendingLocked(t *task.Task) {
-	for i, p := range s.pending {
-		if p == t {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			return
-		}
+// bookCounts is an aggregated census of the sharded contract book; tests
+// and diagnostics use it instead of reaching into per-shard maps.
+type bookCounts struct {
+	pending, running, timers, owners, prices, unsynced, settled int
+}
+
+func (s *Server) countBook() bookCounts {
+	var b bookCounts
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		b.pending += len(sh.pending)
+		b.running += len(sh.running)
+		b.timers += len(sh.timers)
+		b.owners += len(sh.owners)
+		b.prices += len(sh.prices)
+		b.unsynced += len(sh.unsynced)
+		b.settled += len(sh.settled)
+		sh.mu.Unlock()
 	}
+	return b
+}
+
+// taskRunning reports whether id currently occupies a processor.
+func (s *Server) taskRunning(id task.ID) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.running[id]
+	return ok
 }

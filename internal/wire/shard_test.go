@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/task"
+)
+
+// shardScript drives the deterministic backlog script from the legacy
+// differential test against a server with the given shard count and wire
+// codec, and returns the observable decision sequence. Decisions are
+// driven by queue backlog in steps of whole task runtimes, which dwarf
+// the microseconds of clock skew between runs, so the sequence is
+// reproducible regardless of sharding or codec.
+func shardScript(t *testing.T, shards int, codec string) (decisions []string, accepted, rejected, completed int) {
+	t.Helper()
+	srv := startServer(t, ServerConfig{
+		Processors: 1,
+		TimeScale:  time.Millisecond,
+		Admission:  admission.SlackThreshold{Threshold: -150},
+		DataDir:    t.TempDir(),
+		Fsync:      durable.FsyncAlways,
+		Shards:     shards,
+	})
+	c := dialServerCodec(t, srv, codec)
+	if got := c.NegotiatedCodec(); got != codec {
+		t.Fatalf("negotiated %q, want %q", got, codec)
+	}
+	var settleWG sync.WaitGroup
+	c.SetOnSettled(func(Envelope) { settleWG.Done() })
+
+	// Each awarded task adds 100 units (100ms) of backlog on the single
+	// processor, stepping the quoted slack down by 100 per award (value
+	// 1000, decay 2 → slack = 500 - backlog), so the -150 threshold flips
+	// from accept to reject mid-script with a 50-unit margin. Task IDs
+	// cover every residue mod 4, so a 4-shard book spreads the script
+	// across all shards.
+	for i := 1; i <= 12; i++ {
+		bid := testBid(task.ID(i), 100)
+		bid.Decay = 2
+		sb, ok, err := c.Propose(bid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			decisions = append(decisions, fmt.Sprintf("propose %d: reject", i))
+			continue
+		}
+		decisions = append(decisions, fmt.Sprintf("propose %d: ok", i))
+		settleWG.Add(1)
+		if _, ok, err = c.Award(bid, sb); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			settleWG.Done()
+			decisions = append(decisions, fmt.Sprintf("award %d: reject", i))
+			continue
+		}
+		decisions = append(decisions, fmt.Sprintf("award %d: ok", i))
+		// Duplicate award: must come back as the standing contract.
+		if _, ok, err = c.Award(bid, sb); err != nil || !ok {
+			t.Fatalf("duplicate award %d = %v %v", i, ok, err)
+		}
+		st, err := c.Query(task.ID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		decisions = append(decisions, fmt.Sprintf("query %d: %s", i, st.State))
+	}
+	settleWG.Wait()
+	srv.mu.Lock()
+	accepted, rejected, completed = srv.Accepted, srv.Rejected, srv.Completed
+	srv.mu.Unlock()
+	book := srv.countBook()
+	if book.prices != 0 || book.unsynced != 0 {
+		t.Fatalf("book not drained: %d open, %d unsynced", book.prices, book.unsynced)
+	}
+	return decisions, accepted, rejected, completed
+}
+
+// TestServerDifferentialShards pins the shard-count invariance contract:
+// the accept/reject decision sequence, duplicate-award answers, query
+// states, and final stats must be identical whether the book is one
+// shard speaking JSON (the oracle — PR 5's exact server) or many shards
+// speaking the binary codec.
+func TestServerDifferentialShards(t *testing.T) {
+	oracleDec, oa, or, oc := shardScript(t, 1, CodecJSON)
+	for _, cfg := range []struct {
+		shards int
+		codec  string
+	}{
+		{4, CodecBinary},
+		{4, CodecJSON},
+		{3, CodecBinary},
+	} {
+		name := fmt.Sprintf("%d shards, %s", cfg.shards, cfg.codec)
+		dec, a, r, c := shardScript(t, cfg.shards, cfg.codec)
+		if strings.Join(oracleDec, "\n") != strings.Join(dec, "\n") {
+			t.Fatalf("%s: decision sequence diverges from 1-shard JSON oracle:\noracle:\n%s\ngot:\n%s",
+				name, strings.Join(oracleDec, "\n"), strings.Join(dec, "\n"))
+		}
+		if a != oa || r != or || c != oc {
+			t.Fatalf("%s: stats diverge: oracle %d/%d/%d, got %d/%d/%d", name, oa, or, oc, a, r, c)
+		}
+	}
+	if oa == 0 || or == 0 {
+		t.Fatalf("script exercised only one decision: accepted %d, rejected %d", oa, or)
+	}
+}
+
+// TestServerShardedCrashRecovery reboots a 4-shard server from its
+// journal and checks the recovered book matches what a 1-shard recovery
+// of the same journal reports: recovery is shard-count independent
+// because the journal is a single logical stream.
+func TestServerShardedCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	var open []task.ID
+	{
+		srv := startServer(t, ServerConfig{
+			Processors: 1,
+			TimeScale:  time.Second, // tasks far from finishing at kill time
+			DataDir:    dir,
+			Fsync:      durable.FsyncAlways,
+			Shards:     4,
+		})
+		c := dialServerCodec(t, srv, CodecBinary)
+		for i := 1; i <= 5; i++ {
+			bid := testBid(task.ID(i), 1000)
+			sb, ok, err := c.Propose(bid)
+			if err != nil || !ok {
+				t.Fatalf("propose %d: %v %v", i, ok, err)
+			}
+			if _, ok, err := c.Award(bid, sb); err != nil || !ok {
+				t.Fatalf("award %d: %v %v", i, ok, err)
+			}
+			open = append(open, task.ID(i))
+		}
+		srv.Close() // open contracts survive in the journal
+	}
+
+	for _, shards := range []int{1, 4} {
+		srv := startServer(t, ServerConfig{
+			Processors: 1,
+			TimeScale:  time.Second,
+			DataDir:    dir,
+			Fsync:      durable.FsyncAlways,
+			Shards:     shards,
+		})
+		srv.mu.Lock()
+		recovered := srv.Accepted
+		srv.mu.Unlock()
+		if recovered != len(open) {
+			t.Fatalf("shards=%d: recovered %d contracts, want %d", shards, recovered, len(open))
+		}
+		book := srv.countBook()
+		if book.prices != len(open) {
+			t.Fatalf("shards=%d: %d open contracts in book, want %d", shards, book.prices, len(open))
+		}
+		c := dialServerCodec(t, srv, CodecBinary)
+		for _, id := range open {
+			st, err := c.Query(id)
+			if err != nil || st.State != ContractOpen {
+				t.Fatalf("shards=%d: query %d = %+v, %v", shards, id, st, err)
+			}
+		}
+		srv.Close()
+	}
+}
+
+// TestServerShardMetrics checks the per-shard instrument wiring: shard
+// accept counters must sum to the site-wide accepted count, and tasks
+// must land on the shard their ID maps to.
+func TestServerShardMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := startServer(t, ServerConfig{Processors: 2, Shards: 4, Metrics: reg})
+	c := dialServerCodec(t, srv, CodecBinary)
+	var settleWG sync.WaitGroup
+	c.SetOnSettled(func(Envelope) { settleWG.Done() })
+	const n = 8
+	for i := 1; i <= n; i++ {
+		bid := testBid(task.ID(i), 5)
+		sb, ok, err := c.Propose(bid)
+		if err != nil || !ok {
+			t.Fatalf("propose %d: %v %v", i, ok, err)
+		}
+		settleWG.Add(1)
+		if _, ok, err := c.Award(bid, sb); err != nil || !ok {
+			t.Fatalf("award %d: %v %v", i, ok, err)
+		}
+	}
+	settleWG.Wait()
+
+	var accepted, completed float64
+	for i := 0; i < 4; i++ {
+		lbl := strconv.Itoa(i)
+		a := srv.m.shardTasks.With("test-site", lbl, "accepted").Value()
+		if a == 0 {
+			t.Errorf("shard %d accepted no tasks; IDs 1..%d should cover every shard", i, n)
+		}
+		accepted += a
+		completed += srv.m.shardTasks.With("test-site", lbl, "completed").Value()
+	}
+	if accepted != n || completed != n {
+		t.Fatalf("shard counters sum to %v accepted / %v completed, want %d / %d", accepted, completed, n, n)
+	}
+}

@@ -1,6 +1,6 @@
-// Package wire implements the negotiation protocol of Figure 1 over TCP
-// with JSON framing, so a client or broker can negotiate with real
-// task-service site processes.
+// Package wire implements the negotiation protocol of Figure 1 over TCP,
+// so a client or broker can negotiate with real task-service site
+// processes.
 //
 // The protocol is the paper's single exchange pair plus the award:
 //
@@ -11,12 +11,15 @@
 //	site -> client: {"type":"contract", ...}       contract opened
 //	site -> client: {"type":"settled", ...}        pushed at task completion
 //
-// Messages are newline-delimited JSON objects. Each connection carries one
-// client's traffic; a site serves many connections concurrently.
+// Every connection opens speaking protocol v1: newline-delimited JSON
+// objects, one client's traffic per connection. A v2 client may open with
+// a hello instead, offering codec names; the server answers with a
+// welcome naming the codec both sides switch to for the rest of the
+// connection (see Codec). Peers that never send a hello stay on v1 JSON,
+// byte-for-byte compatible with every earlier release.
 package wire
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
@@ -40,6 +43,20 @@ const (
 	// how a client reconciles after a site restart (DESIGN.md §10).
 	TypeQuery  = "query"
 	TypeStatus = "status"
+	// TypeHello opens codec negotiation: a v2 client's first frame, always
+	// JSON, carrying Proto and the codec names it offers in preference
+	// order. TypeWelcome is the server's JSON answer naming the codec the
+	// connection switches to. A v1 server answers hello with TypeError and
+	// keeps serving, which is how a v2 client detects it must stay on
+	// JSON.
+	TypeHello   = "hello"
+	TypeWelcome = "welcome"
+)
+
+// Protocol versions exchanged in hello/welcome.
+const (
+	ProtoV1 = 1 // bare JSON envelopes, no handshake
+	ProtoV2 = 2 // hello/welcome codec negotiation
 )
 
 // Contract states reported by TypeStatus replies.
@@ -85,6 +102,13 @@ type Envelope struct {
 
 	// Error / Reject detail.
 	Reason string `json:"reason,omitempty"`
+
+	// Handshake fields (hello/welcome only). Proto is the highest protocol
+	// version the sender speaks; Codecs is the hello's offered codec names
+	// in preference order; Codec is the welcome's chosen codec.
+	Proto  int      `json:"proto,omitempty"`
+	Codec  string   `json:"codec,omitempty"`
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // EncodeBound renders a penalty bound for the wire.
@@ -160,6 +184,15 @@ func (e Envelope) Bid() (market.Bid, error) {
 	if b.Decay < 0 || math.IsNaN(b.Decay) || math.IsInf(b.Decay, 0) {
 		return market.Bid{}, fmt.Errorf("wire: bid for task %d has bad decay %v", b.TaskID, b.Decay)
 	}
+	// Value and Arrival feed yield accounting and the ledger's
+	// expected-vs-realized totals directly; a NaN or infinite value (or a
+	// NaN/negative arrival) would poison every aggregate it touches.
+	if math.IsNaN(b.Value) || math.IsInf(b.Value, 0) {
+		return market.Bid{}, fmt.Errorf("wire: bid for task %d has bad value %v", b.TaskID, b.Value)
+	}
+	if b.Arrival < 0 || math.IsNaN(b.Arrival) {
+		return market.Bid{}, fmt.Errorf("wire: bid for task %d has bad arrival %v", b.TaskID, b.Arrival)
+	}
 	return b, nil
 }
 
@@ -177,22 +210,23 @@ func (e Envelope) ServerBid() (market.ServerBid, error) {
 }
 
 // Marshal renders the envelope as one JSON line.
+//
+// Deprecated: Marshal is a thin wrapper over the JSON Codec's Append and
+// remains only for external callers; in-tree paths encode through a
+// connection's negotiated Codec.
 func Marshal(e Envelope) ([]byte, error) {
-	b, err := json.Marshal(e)
-	if err != nil {
-		return nil, err
-	}
-	return append(b, '\n'), nil
+	return jsonCodec{}.Append(nil, &e)
 }
 
 // Unmarshal parses one JSON line into an envelope.
+//
+// Deprecated: Unmarshal is a thin wrapper over the JSON Codec's decoding
+// and remains only for external callers; in-tree paths decode through a
+// connection's negotiated Codec.
 func Unmarshal(line []byte) (Envelope, error) {
 	var e Envelope
-	if err := json.Unmarshal(line, &e); err != nil {
-		return Envelope{}, fmt.Errorf("wire: %w", err)
-	}
-	if e.Type == "" {
-		return Envelope{}, fmt.Errorf("wire: missing message type")
+	if err := decodeJSONEnvelope(line, &e); err != nil {
+		return Envelope{}, err
 	}
 	return e, nil
 }
