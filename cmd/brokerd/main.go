@@ -28,6 +28,11 @@ func main() {
 		backoff   = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
 		workers   = flag.Int("quote-workers", 0, "max sites quoted concurrently per exchange (0 = default of 8)")
 		codec     = flag.String("codec", "", "codec to request when dialing sites: json|binary (empty = plain v1 JSON, no handshake)")
+		cbFails   = flag.Int("circuit-failures", 0, "consecutive site failures that trip its circuit breaker open (0 = default of 3, negative disables)")
+		cbCool    = flag.Duration("circuit-cooldown", 0, "open-breaker wait before a half-open probe (0 = default of 1s)")
+		retryBud  = flag.Float64("retry-budget", 0, "retry credit earned per successful site exchange (0 = default of 0.25, negative = unlimited blind retry)")
+		hedge     = flag.Duration("hedge-delay", 0, "hedged-quote delay per site (0 = adaptive from latency quantiles, negative disables hedging)")
+		parked    = flag.Int("parked-settlements", 0, "settlements parked for disconnected owners, recoverable by query (0 = default of 64, negative disables)")
 		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close client connections quiet for this long (negative disables)")
 		quiet     = flag.Bool("quiet", false, "suppress brokering logs")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
@@ -50,14 +55,19 @@ func main() {
 	}
 
 	cfg := wire.BrokerConfig{
-		Selector:       sel,
-		RequestTimeout: *timeout,
-		Retries:        *retries,
-		Backoff:        *backoff,
-		QuoteWorkers:   *workers,
-		IdleTimeout:    *idle,
-		Metrics:        obs.Default,
-		SiteCodec:      *codec,
+		Selector:          sel,
+		RequestTimeout:    *timeout,
+		Retries:           *retries,
+		Backoff:           *backoff,
+		QuoteWorkers:      *workers,
+		IdleTimeout:       *idle,
+		Metrics:           obs.Default,
+		SiteCodec:         *codec,
+		CircuitFailures:   *cbFails,
+		CircuitCooldown:   *cbCool,
+		RetryBudget:       *retryBud,
+		HedgeDelay:        *hedge,
+		ParkedSettlements: *parked,
 	}
 	for _, sa := range strings.Split(*sites, ",") {
 		cfg.SiteAddrs = append(cfg.SiteAddrs, strings.TrimSpace(sa))

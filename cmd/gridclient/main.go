@@ -21,23 +21,24 @@ import (
 
 func main() {
 	var (
-		sites     = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
-		n         = flag.Int("n", 20, "tasks to submit")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		mean      = flag.Duration("interarrival", 200*time.Millisecond, "mean wall-clock gap between submissions")
-		scale     = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit (must match the servers)")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
-		codec     = flag.String("codec", "", "codec to request from each site: json|binary (empty = plain v1 JSON, no handshake)")
-		retries   = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
-		backoff   = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
-		selector  = flag.String("selector", "best-yield", "server-bid selector spec: best-yield|earliest")
-		reconcile = flag.Duration("reconcile", 2*time.Second, "poll outstanding contracts this often while draining (0 disables)")
-		logLevel  = flag.String("log-level", "warn", "minimum log level: debug|info|warn|error")
-		metrics   = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
-		trace     = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr")
-		record    = flag.String("record", "", "write the stream of bids actually submitted as a trace-v2 file on exit")
-		replay    = flag.String("replay", "", "replay a trace file instead of generating: submit its tasks in order, pacing by arrival gaps times -timescale (overrides -n, -seed, -interarrival)")
-		ledgerOut = flag.String("ledger-out", "", "write the client-side contract ledger as JSON on exit (\"-\" for stdout; empty disables)")
+		sites       = flag.String("sites", "127.0.0.1:7600", "comma-separated site addresses")
+		n           = flag.Int("n", 20, "tasks to submit")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		mean        = flag.Duration("interarrival", 200*time.Millisecond, "mean wall-clock gap between submissions")
+		scale       = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit (must match the servers)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout against each site")
+		codec       = flag.String("codec", "", "codec to request from each site: json|binary (empty = plain v1 JSON, no handshake)")
+		retries     = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
+		backoff     = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
+		selector    = flag.String("selector", "best-yield", "server-bid selector spec: best-yield|earliest")
+		deadlineBud = flag.Duration("deadline", 0, "deadline budget minted on each bid; it shrinks per hop and sites refuse to quote spent work (0 disables)")
+		reconcile   = flag.Duration("reconcile", 2*time.Second, "poll outstanding contracts this often while draining (0 disables)")
+		logLevel    = flag.String("log-level", "warn", "minimum log level: debug|info|warn|error")
+		metrics     = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		trace       = flag.Bool("trace", false, "emit task-lifecycle trace events (JSON) to stderr")
+		record      = flag.String("record", "", "write the stream of bids actually submitted as a trace-v2 file on exit")
+		replay      = flag.String("replay", "", "replay a trace file instead of generating: submit its tasks in order, pacing by arrival gaps times -timescale (overrides -n, -seed, -interarrival)")
+		ledgerOut   = flag.String("ledger-out", "", "write the client-side contract ledger as JSON on exit (\"-\" for stdout; empty disables)")
 	)
 	flag.Parse()
 
@@ -192,13 +193,14 @@ func main() {
 		}
 	}
 	neg := &wire.Negotiator{
-		Sites:    clients,
-		Selector: sel,
-		Retries:  *retries,
-		Backoff:  *backoff,
-		Logger:   logger,
-		Metrics:  obs.Default,
-		Tracer:   tracer,
+		Sites:          clients,
+		Selector:       sel,
+		Retries:        *retries,
+		Backoff:        *backoff,
+		DeadlineBudget: *deadlineBud,
+		Logger:         logger,
+		Metrics:        obs.Default,
+		Tracer:         tracer,
 	}
 
 	var tr *workload.Trace

@@ -30,6 +30,8 @@ func main() {
 		admSpec   = flag.String("admission", "slack:threshold=0", "admission policy spec (accept-all, slack:threshold=X, min-yield:threshold=X)")
 		discount  = flag.Float64("discount", 0.01, "discount rate for quoting expected yield")
 		scale     = flag.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one simulation time unit")
+		maxPend   = flag.Int("max-pending", 0, "pending-book depth cap: past it bids are shed with a priced reject (0 disables the overload valve)")
+		maxBids   = flag.Int("max-inflight-bids", 0, "cap on concurrently evaluating bid quotes (0 disables)")
 		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close connections quiet for this long (negative disables)")
 		wtimeout  = flag.Duration("write-timeout", 10*time.Second, "per-write deadline for replies and settlements (negative disables)")
 		quiet     = flag.Bool("quiet", false, "suppress serving logs")
@@ -82,21 +84,23 @@ func main() {
 	}
 
 	cfg := wire.ServerConfig{
-		SiteID:       *id,
-		Processors:   *procs,
-		Shards:       *shards,
-		Codecs:       allowCodecs,
-		Policy:       pol,
-		Admission:    adm,
-		DiscountRate: *discount,
-		TimeScale:    *scale,
-		IdleTimeout:  *idle,
-		WriteTimeout: *wtimeout,
-		Metrics:      obs.Default,
-		Ledger:       ledger,
-		DataDir:      *dataDir,
-		Fsync:        fsyncPolicy,
-		CrashRegime:  *regime,
+		SiteID:          *id,
+		Processors:      *procs,
+		Shards:          *shards,
+		Codecs:          allowCodecs,
+		Policy:          pol,
+		Admission:       adm,
+		DiscountRate:    *discount,
+		TimeScale:       *scale,
+		MaxPending:      *maxPend,
+		MaxInflightBids: *maxBids,
+		IdleTimeout:     *idle,
+		WriteTimeout:    *wtimeout,
+		Metrics:         obs.Default,
+		Ledger:          ledger,
+		DataDir:         *dataDir,
+		Fsync:           fsyncPolicy,
+		CrashRegime:     *regime,
 	}
 	logger := obs.NewLogger(os.Stderr, lv, "siteserver")
 	if !*quiet {

@@ -20,14 +20,14 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("trace", "", "trace file from tracegen (required)")
-		procs    = flag.Int("procs", 0, "processors (default: trace's spec)")
-		policy   = flag.String("policy", "firstprice", "policy spec: fcfs|srpt|swpt|firstprice|pv[:rate=]|firstreward[:alpha=,rate=,general]|scheduledprice[:procs=,rounds=]")
-		adm      = flag.String("admission", "", "admission spec: accept-all|slack[:threshold=]|min-yield[:threshold=] (empty: accept-all)")
-		discount = flag.Float64("discount", 0.01, "discount rate for admission slack quoting")
-		preempt  = flag.Bool("preempt", false, "enable preemption")
-		restart  = flag.Bool("restart", false, "preemption loses progress")
-		report   = flag.Bool("report", false, "print the per-class distributional report")
+		in        = flag.String("trace", "", "trace file from tracegen (required)")
+		procs     = flag.Int("procs", 0, "processors (default: trace's spec)")
+		policy    = flag.String("policy", "firstprice", "policy spec: fcfs|srpt|swpt|firstprice|pv[:rate=]|firstreward[:alpha=,rate=,general]|scheduledprice[:procs=,rounds=]")
+		adm       = flag.String("admission", "", "admission spec: accept-all|slack[:threshold=]|min-yield[:threshold=] (empty: accept-all)")
+		discount  = flag.Float64("discount", 0.01, "discount rate for admission slack quoting")
+		preempt   = flag.Bool("preempt", false, "enable preemption")
+		restart   = flag.Bool("restart", false, "preemption loses progress")
+		report    = flag.Bool("report", false, "print the per-class distributional report")
 		byCohort  = flag.Bool("by-cohort", false, "print per-cohort outcomes (trace-v2 cohort labels)")
 		traceOut  = flag.String("trace-out", "", "write the scheduling audit log as JSON task-lifecycle events to this file (\"-\" for stderr)")
 		ledgerOut = flag.String("ledger-out", "", "write the final contract-ledger snapshot as JSON to this file (\"-\" for stdout)")

@@ -38,6 +38,11 @@ type Bid struct {
 	// ignores them.
 	Cohort string `json:"cohort,omitempty"`
 	Client int    `json:"client,omitempty"`
+	// Deadline is the negotiation budget in wall-clock milliseconds still
+	// remaining when the bid was last put on the wire (negative once spent,
+	// zero when no budget was minted); the market logic ignores it — only
+	// the wire layer stamps and consumes it.
+	Deadline float64 `json:"deadline_ms,omitempty"`
 }
 
 // BidFromTask extracts the bid fields from a task.

@@ -155,10 +155,10 @@ func TestScrapeParseRoundTrip(t *testing.T) {
 	samples, types := scrape(t, r)
 
 	want := map[string]float64{
-		`rt_requests_total{site="s-1",type="bid"}`:           42,
+		`rt_requests_total{site="s-1",type="bid"}`:             42,
 		`rt_requests_total{site="we\"ird\\site",type="award"}`: 1,
-		`rt_depth`:                        -3.5,
-		`rt_sampled`:                      12.25,
+		`rt_depth`:                            -3.5,
+		`rt_sampled`:                          12.25,
 		`rt_lat_bucket{site="s-1",le="0.5"}`:  1,
 		`rt_lat_bucket{site="s-1",le="2"}`:    2,
 		`rt_lat_bucket{site="s-1",le="+Inf"}`: 3,

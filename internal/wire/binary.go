@@ -52,6 +52,7 @@ const (
 	binFieldProto
 	binFieldCodec
 	binFieldCodecs
+	binFieldDeadline
 	numBinFields
 )
 
@@ -93,7 +94,8 @@ var binTypeNames = [...]string{
 
 func (binaryCodec) Append(dst []byte, e *Envelope) ([]byte, error) {
 	floats := [...]float64{e.Arrival, e.Runtime, e.Value, e.Decay,
-		e.ExpectedCompletion, e.ExpectedPrice, e.CompletedAt, e.FinalPrice}
+		e.ExpectedCompletion, e.ExpectedPrice, e.CompletedAt, e.FinalPrice,
+		e.Deadline}
 	for _, f := range floats {
 		if math.IsNaN(f) || math.IsInf(f, 0) {
 			return dst, fmt.Errorf("wire: unsupported value %v in binary envelope", f)
@@ -135,6 +137,7 @@ func (binaryCodec) Append(dst []byte, e *Envelope) ([]byte, error) {
 	setIf(e.Proto != 0, binFieldProto)
 	setIf(e.Codec != "", binFieldCodec)
 	setIf(len(e.Codecs) != 0, binFieldCodecs)
+	setIf(e.Deadline != 0, binFieldDeadline)
 	dst = binary.AppendUvarint(dst, bits)
 
 	has := func(field int) bool { return bits&(1<<field) != 0 }
@@ -197,6 +200,9 @@ func (binaryCodec) Append(dst []byte, e *Envelope) ([]byte, error) {
 		for _, c := range e.Codecs {
 			dst = appendBinString(dst, c)
 		}
+	}
+	if has(binFieldDeadline) {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Deadline))
 	}
 
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
@@ -404,6 +410,9 @@ func decodeBinary(b []byte, e *Envelope) error {
 				e.Codecs = append(e.Codecs, r.string())
 			}
 		}
+	}
+	if has(binFieldDeadline) {
+		e.Deadline = r.float()
 	}
 	if r.err != nil {
 		return r.err

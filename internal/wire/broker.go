@@ -44,6 +44,26 @@ type BrokerConfig struct {
 	// SiteCodec names the codec to request when dialing each site; empty
 	// means plain v1 JSON with no handshake (ClientConfig semantics).
 	SiteCodec string
+	// CircuitFailures is the consecutive-failure streak that trips a
+	// site's circuit breaker open; zero means the default (3), negative
+	// disables the breakers entirely (DESIGN.md §15).
+	CircuitFailures int
+	// CircuitCooldown is how long an open breaker waits before admitting
+	// a half-open probe; zero means the default (1s).
+	CircuitCooldown time.Duration
+	// RetryBudget is the retry credit a site earns per successful
+	// exchange (token bucket, capped at 8). Zero means the default
+	// (0.25 — one retry per four successes, steady-state); negative
+	// restores unlimited blind retry.
+	RetryBudget float64
+	// HedgeDelay tunes hedged quoting: zero means adaptive (the 0.9
+	// latency quantile per site, clamped to [5ms, 1s]), positive is a
+	// fixed delay, negative disables hedging.
+	HedgeDelay time.Duration
+	// ParkedSettlements bounds the ring of settlements parked for
+	// disconnected owners, recoverable via query; zero means the default
+	// (64), negative disables parking.
+	ParkedSettlements int
 	// Logger receives brokering events as structured JSON lines; nil
 	// silences them.
 	Logger *obs.Logger
@@ -59,6 +79,20 @@ func (c BrokerConfig) retries() int           { return defaultedRetries(c.Retrie
 func (c BrokerConfig) backoff() time.Duration { return defaultedBackoff(c.Backoff) }
 func (c BrokerConfig) quoteWorkers() int      { return defaultedQuoteWorkers(c.QuoteWorkers) }
 
+// defaultParkedSettlements bounds the parked-settlement ring when the
+// config leaves it zero.
+const defaultParkedSettlements = 64
+
+func (c BrokerConfig) parkedCap() int {
+	if c.ParkedSettlements == 0 {
+		return defaultParkedSettlements
+	}
+	if c.ParkedSettlements < 0 {
+		return 0
+	}
+	return c.ParkedSettlements
+}
+
 // BrokerServer is Figure 1's broker as a standalone process: clients speak
 // the ordinary bid/award protocol to it, and it coordinates the fan-out,
 // selection, and award against the site servers, relaying settlements back
@@ -67,14 +101,16 @@ func (c BrokerConfig) quoteWorkers() int      { return defaultedQuoteWorkers(c.Q
 type BrokerServer struct {
 	cfg   BrokerConfig
 	ln    net.Listener
-	sites []*SiteClient
+	sites []*brokerSite
 	eo    exchangeObs
 	m     brokerMetrics
 
 	mu     sync.Mutex
-	chosen map[task.ID]*SiteClient      // accepted proposal awaiting award
+	chosen map[task.ID]*brokerSite      // accepted proposal awaiting award
+	placed map[task.ID]*brokerSite      // awarded task -> holding site
 	owners map[task.ID]*serverConn      // awarded task -> client connection
 	terms  map[task.ID]market.ServerBid // contract terms, for settlement lateness
+	parked []Envelope                   // settlements held for disconnected owners (bounded ring)
 	conns  map[*serverConn]struct{}
 	closed bool
 
@@ -86,6 +122,44 @@ type BrokerServer struct {
 	Declined   int
 }
 
+// brokerSite is one site the broker federates: the primary connection,
+// the per-site health machinery (circuit breaker, retry budget, latency
+// window), and a lazily dialed second connection that carries hedged
+// quotes — the primary serializes its exchanges, so a hedge racing the
+// primary needs its own lane.
+type brokerSite struct {
+	addr    string
+	primary *SiteClient
+	health  *siteHealth
+
+	hedgeMu sync.Mutex
+	hedge   *SiteClient
+}
+
+// hedgeLane returns the site's hedge connection, dialing it on first use.
+func (bs *brokerSite) hedgeLane(cfg BrokerConfig) (*SiteClient, error) {
+	bs.hedgeMu.Lock()
+	defer bs.hedgeMu.Unlock()
+	if bs.hedge != nil {
+		return bs.hedge, nil
+	}
+	sc, err := DialConfig(bs.addr, ClientConfig{RequestTimeout: cfg.RequestTimeout, MaxFrameBytes: cfg.MaxFrameBytes, Codec: cfg.SiteCodec})
+	if err != nil {
+		return nil, err
+	}
+	bs.hedge = sc
+	return sc, nil
+}
+
+func (bs *brokerSite) closeLanes() {
+	_ = bs.primary.Close()
+	bs.hedgeMu.Lock()
+	if bs.hedge != nil {
+		_ = bs.hedge.Close()
+	}
+	bs.hedgeMu.Unlock()
+}
+
 // brokerMetrics are the broker's own instruments, beyond the shared
 // exchange set.
 type brokerMetrics struct {
@@ -95,6 +169,17 @@ type brokerMetrics struct {
 	lateness        *obs.Histogram
 	framesOversized *obs.Counter
 	codecs          *obs.CounterVec
+
+	// Fleet-resilience instruments (DESIGN.md §15).
+	circuitState       *obs.GaugeVec
+	circuitTransitions *obs.CounterVec
+	hedges             *obs.CounterVec
+	retryExhausted     *obs.CounterVec
+	parked             *obs.Gauge
+	parkedEvicted      *obs.Counter
+	parkedRecovered    *obs.Counter
+	deadlineExpired    *obs.Counter
+	defaultReconciled  *obs.CounterVec
 }
 
 func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
@@ -106,6 +191,16 @@ func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
 		lateness:        reg.Histogram("market_settlement_lateness", "Completion time minus contracted completion, in simulation units.", latenessBuckets, "site").With("broker"),
 		framesOversized: reg.Counter("wire_frames_oversized_total", "Inbound frames rejected for exceeding the configured size cap.", "site").With("broker"),
 		codecs:          reg.Counter("wire_codec_negotiated_total", "Connections by negotiated wire codec.", "site", "codec"),
+
+		circuitState:       reg.Gauge("broker_circuit_state", "Per-site circuit breaker state: 0 closed, 1 half-open, 2 open.", "site"),
+		circuitTransitions: reg.Counter("broker_circuit_transitions_total", "Circuit breaker transitions, by destination state.", "site", "to"),
+		hedges:             reg.Counter("broker_hedge_total", "Hedged quote attempts launched past the adaptive delay.", "site"),
+		retryExhausted:     reg.Counter("broker_site_retry_exhausted_total", "Retries refused because a site's retry budget was spent.", "site"),
+		parked:             reg.Gauge("broker_parked_settlements", "Settlements currently parked for disconnected owners.").With(),
+		parkedEvicted:      reg.Counter("broker_parked_evicted_total", "Parked settlements evicted when the ring overflowed.").With(),
+		parkedRecovered:    reg.Counter("broker_parked_recovered_total", "Parked settlements recovered by a reconnecting owner's query.").With(),
+		deadlineExpired:    reg.Counter("wire_deadline_expired_total", "Bids refused because their deadline budget was already spent on arrival.", "site").With("broker"),
+		defaultReconciled:  reg.Counter("broker_default_reconciled_total", "Open contracts declared defaulted because the holder site lost them (e.g. abandoned on a severed connection).", "site"),
 	}
 }
 
@@ -123,7 +218,8 @@ func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
 		cfg:    cfg,
 		eo:     newExchangeObs(cfg.Metrics, cfg.Logger.With("role", "broker"), cfg.Tracer, "broker"),
 		m:      newBrokerMetrics(cfg.Metrics),
-		chosen: make(map[task.ID]*SiteClient),
+		chosen: make(map[task.ID]*brokerSite),
+		placed: make(map[task.ID]*brokerSite),
 		owners: make(map[task.ID]*serverConn),
 		terms:  make(map[task.ID]market.ServerBid),
 		conns:  make(map[*serverConn]struct{}),
@@ -135,7 +231,11 @@ func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
 			return nil, fmt.Errorf("wire: broker dialing site %s: %w", sa, err)
 		}
 		sc.SetOnSettled(b.relaySettlement)
-		b.sites = append(b.sites, sc)
+		b.sites = append(b.sites, &brokerSite{
+			addr:    sa,
+			primary: sc,
+			health:  newSiteHealth(sa, cfg.CircuitFailures, cfg.CircuitCooldown, cfg.RetryBudget, &b.m),
+		})
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -176,8 +276,8 @@ func (b *BrokerServer) Close() error {
 }
 
 func (b *BrokerServer) closeSites() {
-	for _, sc := range b.sites {
-		_ = sc.Close()
+	for _, bs := range b.sites {
+		bs.closeLanes()
 	}
 }
 
@@ -283,6 +383,8 @@ func (b *BrokerServer) serve(conn net.Conn) {
 			reply = b.handleBid(env)
 		case TypeAward:
 			reply = b.handleAward(env, sc)
+		case TypeQuery:
+			reply = b.handleQuery(env, sc)
 		default:
 			reply = Envelope{Type: TypeError, Reason: fmt.Sprintf("unexpected message %q", env.Type)}
 		}
@@ -306,11 +408,15 @@ func (b *BrokerServer) dropOwnerLocked(sc *serverConn) {
 	}
 }
 
-// handleBid fans the bid out to every site and answers with the selected
-// server bid, remembering the winning site for the award. Sites that fail
-// the exchange drop out; only if every site fails does the client get an
-// error instead of a reject.
+// handleBid fans the bid out to the sites whose circuit breakers admit it
+// and answers with the selected server bid, remembering the winning site
+// for the award. Each site call is hedged past the adaptive delay and
+// retried under the site's retry budget; a bid whose deadline budget is
+// already spent is refused locally without touching any site. Sites that
+// fail the exchange drop out; only if every attempted site fails does the
+// client get an error instead of a reject.
 func (b *BrokerServer) handleBid(env Envelope) Envelope {
+	recv := time.Now()
 	bid, err := env.Bid()
 	if err != nil {
 		return Envelope{Type: TypeError, Reason: err.Error()}
@@ -320,7 +426,18 @@ func (b *BrokerServer) handleBid(env Envelope) Envelope {
 	b.mu.Unlock()
 	b.eo.trace(obs.TraceEvent{Stage: obs.StageSubmit, Task: uint64(bid.TaskID), Req: bid.ReqID, Value: bid.Value})
 
-	offers, offerSites, err := proposeAll(b.sites, bid, b.cfg.retries(), b.cfg.backoff(), b.cfg.quoteWorkers(), b.eo)
+	if DeadlineSpent(bid.Deadline) {
+		b.m.deadlineExpired.Inc()
+		b.mu.Lock()
+		b.Declined++
+		b.mu.Unlock()
+		b.eo.declined.Inc()
+		b.eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(bid.TaskID), Req: bid.ReqID, Detail: "deadline budget spent"})
+		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: "broker",
+			Reason: shedReasonPrefix + "deadline budget spent"}
+	}
+
+	offers, offerSites, sheds, err := b.proposeFleet(bid, recv)
 	if err != nil {
 		b.eo.failed.Inc()
 		b.eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(bid.TaskID), Req: bid.ReqID, Detail: err.Error()})
@@ -335,8 +452,14 @@ func (b *BrokerServer) handleBid(env Envelope) Envelope {
 		b.Declined++
 		b.mu.Unlock()
 		b.eo.declined.Inc()
-		b.eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(bid.TaskID), Req: bid.ReqID, Detail: "no site accepted"})
-		return Envelope{Type: TypeReject, TaskID: bid.TaskID, Reason: "no site accepted"}
+		reason := "no site accepted"
+		if len(offers) == 0 && sheds > 0 {
+			// Every refusal was an overload shed; keep the shed marker on
+			// the relayed reject so clients account it as shed, not policy.
+			reason = fmt.Sprintf("%sno site accepted (%d shed)", shedReasonPrefix, sheds)
+		}
+		b.eo.trace(obs.TraceEvent{Stage: obs.StageReject, Task: uint64(bid.TaskID), Req: bid.ReqID, Detail: reason})
+		return Envelope{Type: TypeReject, TaskID: bid.TaskID, Reason: reason}
 	}
 
 	b.mu.Lock()
@@ -380,13 +503,18 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 	// Register the settlement route before the award leaves: the site starts
 	// the task the moment it accepts, so a short run's settlement push can
 	// race the award reply back through relaySettlement. A settlement that
-	// finds no owner is dropped, so the owner must be in place first.
+	// finds no owner is parked, so the owner should be in place first.
 	b.mu.Lock()
 	b.owners[bid.TaskID] = owner
 	b.mu.Unlock()
 
-	terms, ok, err := callWithRetry(site, b.cfg.retries(), b.cfg.backoff(), b.eo,
-		func() (market.ServerBid, bool, error) { return site.Award(bid, sb) })
+	// The award goes to the chosen site whatever its breaker says — it is
+	// the only site holding the quote, and committed work is never shed.
+	awardStart := time.Now()
+	terms, ok, err := b.budgetedCall(site, func() (market.ServerBid, bool, error) {
+		return site.primary.Award(bid, sb)
+	})
+	site.health.onResult(err == nil, time.Since(awardStart), false)
 	if err != nil {
 		b.mu.Lock()
 		delete(b.owners, bid.TaskID)
@@ -411,6 +539,7 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 	// consumed); only record terms for a contract that is still open.
 	if _, open := b.owners[bid.TaskID]; open {
 		b.terms[bid.TaskID] = terms
+		b.placed[bid.TaskID] = site
 	}
 	b.Placed++
 	b.mu.Unlock()
@@ -426,18 +555,23 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 	}
 }
 
-// relaySettlement pushes a site's settlement to the owning client.
+// relaySettlement pushes a site's settlement to the owning client. A
+// settlement whose owner has disconnected is parked in a bounded ring
+// instead of dropped; a reconnecting client recovers it with a query.
 func (b *BrokerServer) relaySettlement(e Envelope) {
 	b.mu.Lock()
 	owner := b.owners[e.TaskID]
 	terms, hasTerms := b.terms[e.TaskID]
 	delete(b.owners, e.TaskID)
 	delete(b.terms, e.TaskID)
-	b.mu.Unlock()
+	delete(b.placed, e.TaskID)
 	if owner == nil {
-		b.eo.log.Warn("settlement for unknown task", "task", e.TaskID, "req", e.ReqID)
+		b.parkLocked(e)
+		b.mu.Unlock()
+		b.eo.log.Warn("settlement parked: no connected owner", "task", e.TaskID, "req", e.ReqID)
 		return
 	}
+	b.mu.Unlock()
 	if hasTerms {
 		b.m.lateness.Observe(e.CompletedAt - terms.ExpectedCompletion)
 	}
@@ -449,4 +583,288 @@ func (b *BrokerServer) relaySettlement(e Envelope) {
 		return
 	}
 	b.m.relayed.Inc()
+}
+
+// parkLocked holds a settlement whose owner is gone in the bounded parked
+// ring, evicting the oldest entry when full. Callers must hold b.mu.
+func (b *BrokerServer) parkLocked(e Envelope) {
+	capacity := b.cfg.parkedCap()
+	if capacity <= 0 {
+		b.m.relayLost.Inc()
+		return
+	}
+	b.parked = append(b.parked, e)
+	if len(b.parked) > capacity {
+		b.parked = append(b.parked[:0], b.parked[1:]...)
+		b.m.parkedEvicted.Inc()
+		b.m.relayLost.Inc()
+	}
+	b.m.parked.Set(float64(len(b.parked)))
+}
+
+// handleQuery answers a client's contract-state query. A parked settlement
+// for the task is recovered (and removed from the ring); an open contract
+// re-adopts the querying connection as the settlement owner; otherwise the
+// sites are polled — the holding site first when known.
+func (b *BrokerServer) handleQuery(env Envelope, sc *serverConn) Envelope {
+	id := env.TaskID
+	b.mu.Lock()
+	for i, p := range b.parked {
+		if p.TaskID != id {
+			continue
+		}
+		b.parked = append(b.parked[:i], b.parked[i+1:]...)
+		b.m.parked.Set(float64(len(b.parked)))
+		b.m.parkedRecovered.Inc()
+		b.mu.Unlock()
+		b.eo.log.Info("parked settlement recovered", "task", id)
+		return Envelope{Type: TypeStatus, TaskID: id, SiteID: p.SiteID,
+			ContractState: ContractSettled, CompletedAt: p.CompletedAt, FinalPrice: p.FinalPrice}
+	}
+	terms, open := b.terms[id]
+	holder := b.placed[id]
+	if open {
+		// The contract is live by the broker's book; the querying
+		// connection becomes the owner so the eventual settlement push
+		// reaches it.
+		b.owners[id] = sc
+		b.mu.Unlock()
+		// Confirm with the holder site: a settlement push that rode a
+		// severed connection never reached the broker, leaving the book
+		// stale — this query is the recovery path for those contracts.
+		// A failed or still-open confirmation keeps the standing answer.
+		if holder != nil {
+			st, err := holder.primary.Query(id)
+			if err == nil && st.State != ContractOpen && st.State != "" {
+				// Settled/defaulted: the push rode a severed connection and
+				// never arrived. Unknown: the site lost the contract outright
+				// (it abandons queued work when its owner connection dies) —
+				// the fleet's promise is broken, so the broker declares the
+				// default rather than answering "open" forever.
+				state := st.State
+				if state == ContractUnknown {
+					state = ContractDefaulted
+					b.m.defaultReconciled.With(holder.addr).Inc()
+					b.eo.log.Warn("holder site lost open contract; reconciled as default", "task", id, "site", holder.addr)
+				} else {
+					b.eo.log.Info("stale open contract reconciled by query", "task", id, "state", state)
+				}
+				b.mu.Lock()
+				delete(b.owners, id)
+				delete(b.terms, id)
+				delete(b.placed, id)
+				b.mu.Unlock()
+				return Envelope{Type: TypeStatus, TaskID: id, SiteID: holder.primary.SiteID(),
+					ContractState: state, CompletedAt: st.CompletedAt, FinalPrice: st.FinalPrice}
+			}
+		}
+		return Envelope{Type: TypeStatus, TaskID: id, SiteID: terms.SiteID,
+			ContractState: ContractOpen, ExpectedCompletion: terms.ExpectedCompletion, ExpectedPrice: terms.ExpectedPrice}
+	}
+	b.mu.Unlock()
+
+	sites := b.sites
+	if holder != nil {
+		sites = []*brokerSite{holder}
+	}
+	for _, bs := range sites {
+		st, err := bs.primary.Query(id)
+		if err != nil || st.State == ContractUnknown || st.State == "" {
+			continue
+		}
+		if st.State == ContractOpen {
+			b.mu.Lock()
+			b.owners[id] = sc
+			b.terms[id] = market.ServerBid{TaskID: id, SiteID: bs.primary.SiteID(),
+				ExpectedCompletion: st.ExpectedCompletion, ExpectedPrice: st.ExpectedPrice}
+			b.placed[id] = bs
+			b.mu.Unlock()
+		}
+		return Envelope{Type: TypeStatus, TaskID: id, SiteID: bs.primary.SiteID(),
+			ContractState: st.State, CompletedAt: st.CompletedAt, FinalPrice: st.FinalPrice,
+			ExpectedCompletion: st.ExpectedCompletion, ExpectedPrice: st.ExpectedPrice}
+	}
+	return Envelope{Type: TypeStatus, TaskID: id, SiteID: "broker", ContractState: ContractUnknown}
+}
+
+// proposeResult is one site's answer to a hedged, budget-retried proposal.
+type proposeResult struct {
+	sb     market.ServerBid
+	ok     bool
+	reason string
+	err    error
+}
+
+// proposeFleet fans one bid out to the sites whose breakers admit it,
+// hedging each call past the site's adaptive delay. When every breaker is
+// open it falls back to probing all sites — quoting nothing forever would
+// starve the fleet even after the sites recover. It returns the accepted
+// offers, their sites, and how many refusals were overload sheds; the
+// error is non-nil only when every attempted site failed.
+func (b *BrokerServer) proposeFleet(bid market.Bid, recv time.Time) ([]market.ServerBid, []*brokerSite, int, error) {
+	type cand struct {
+		bs    *brokerSite
+		probe bool
+	}
+	cands := make([]cand, 0, len(b.sites))
+	for _, bs := range b.sites {
+		if ok, probe := bs.health.allow(); ok {
+			cands = append(cands, cand{bs, probe})
+		}
+	}
+	if len(cands) == 0 {
+		for _, bs := range b.sites {
+			cands = append(cands, cand{bs, true})
+		}
+	}
+
+	results := make([]proposeResult, len(cands))
+	workers := b.cfg.quoteWorkers()
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range cands {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = b.hedgedPropose(cands[i].bs, bid, recv, cands[i].probe)
+		}(i)
+	}
+	wg.Wait()
+
+	var offers []market.ServerBid
+	var offerSites []*brokerSite
+	sheds, errored := 0, 0
+	var firstErr error
+	for i, r := range results {
+		switch {
+		case r.err != nil:
+			errored++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wire: site %s: %w", cands[i].bs.addr, r.err)
+			}
+			b.eo.dropouts.Inc()
+		case r.ok:
+			offers = append(offers, r.sb)
+			offerSites = append(offerSites, cands[i].bs)
+		default:
+			if IsShedReason(r.reason) {
+				sheds++
+			}
+		}
+	}
+	if errored == len(cands) {
+		return nil, nil, sheds, firstErr
+	}
+	return offers, offerSites, sheds, nil
+}
+
+// hedgedPropose runs one site's proposal with tail-latency hedging: the
+// primary lane fires immediately, and if it has not answered within the
+// site's hedge delay a second attempt races it on the hedge lane. The
+// first success wins; stragglers still report into the site's health.
+// Probes never hedge — a half-open breaker grants exactly one exchange.
+func (b *BrokerServer) hedgedPropose(bs *brokerSite, bid market.Bid, recv time.Time, probe bool) proposeResult {
+	resCh := make(chan proposeResult, 2)
+	attempt := func(sc *SiteClient) {
+		start := time.Now()
+		r := b.budgetedPropose(bs, sc, bid, recv, probe)
+		bs.health.onResult(r.err == nil, time.Since(start), probe)
+		resCh <- r
+	}
+	go attempt(bs.primary)
+	outstanding := 1
+
+	var timerC <-chan time.Time
+	if !probe && b.cfg.HedgeDelay >= 0 {
+		d := b.cfg.HedgeDelay
+		if d == 0 {
+			d = bs.health.hedgeDelay()
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+
+	var failed proposeResult
+	errored := 0
+	for {
+		select {
+		case r := <-resCh:
+			if r.err == nil {
+				return r
+			}
+			errored++
+			if failed.err == nil {
+				failed = r
+			}
+			if errored == outstanding {
+				return failed
+			}
+		case <-timerC:
+			timerC = nil
+			lane, err := bs.hedgeLane(b.cfg)
+			if err != nil {
+				// No second lane to be had; keep waiting on the primary.
+				continue
+			}
+			bs.health.mHedges.Inc()
+			outstanding++
+			go attempt(lane)
+		}
+	}
+}
+
+// budgetedPropose is one lane's proposal with budgeted retry: each retry
+// after a transient failure spends a token from the site's retry budget,
+// and an empty bucket ends the attempt. The bid's deadline budget is
+// re-stamped with the broker's queueing-and-retry delay before every send,
+// so the site sees what actually remains. A half-open probe's first retry
+// is free — a freshly restarted site always needs the reconnect, and a
+// site with an empty bucket could otherwise never demonstrate recovery.
+func (b *BrokerServer) budgetedPropose(bs *brokerSite, sc *SiteClient, bid market.Bid, recv time.Time, probe bool) proposeResult {
+	retries := b.cfg.retries()
+	backoff := b.cfg.backoff()
+	for attempt := 0; ; attempt++ {
+		stamped := bid
+		if stamped.Deadline != 0 {
+			stamped.Deadline = ShrinkDeadline(bid.Deadline, time.Since(recv))
+		}
+		sb, ok, reason, err := sc.ProposeDetail(stamped)
+		if err == nil {
+			return proposeResult{sb: sb, ok: ok, reason: reason}
+		}
+		if attempt >= retries || !transientErr(err) {
+			return proposeResult{err: err}
+		}
+		if !(probe && attempt == 0) && !bs.health.takeRetryToken() {
+			return proposeResult{err: err}
+		}
+		b.eo.retries.Inc()
+		time.Sleep(retryDelay(backoff, attempt))
+		_ = sc.Redial()
+	}
+}
+
+// budgetedCall is callWithRetry under the site's retry budget, for award
+// forwarding on the primary lane.
+func (b *BrokerServer) budgetedCall(bs *brokerSite, f func() (market.ServerBid, bool, error)) (market.ServerBid, bool, error) {
+	retries := b.cfg.retries()
+	backoff := b.cfg.backoff()
+	for attempt := 0; ; attempt++ {
+		sb, ok, err := f()
+		if err == nil || attempt >= retries || !transientErr(err) {
+			return sb, ok, err
+		}
+		if !bs.health.takeRetryToken() {
+			return sb, ok, err
+		}
+		b.eo.retries.Inc()
+		time.Sleep(retryDelay(backoff, attempt))
+		_ = bs.primary.Redial()
+	}
 }

@@ -327,20 +327,29 @@ func (c *SiteClient) roundTrip(e Envelope) (Envelope, error) {
 // Propose submits a sealed bid and returns the server bid, or ok=false on
 // rejection.
 func (c *SiteClient) Propose(b market.Bid) (market.ServerBid, bool, error) {
+	sb, ok, _, err := c.ProposeDetail(b)
+	return sb, ok, err
+}
+
+// ProposeDetail is Propose plus the rejection reason, which overload-aware
+// callers (the broker) use to tell a shed — a priced refusal from the
+// site's overload valve, IsShedReason(reason) — from an admission-policy
+// decline. The reason is empty when the site accepts.
+func (c *SiteClient) ProposeDetail(b market.Bid) (market.ServerBid, bool, string, error) {
 	reply, err := c.roundTrip(BidEnvelope(b))
 	if err != nil {
-		return market.ServerBid{}, false, err
+		return market.ServerBid{}, false, "", err
 	}
 	switch reply.Type {
 	case TypeServerBid:
 		sb, err := reply.ServerBid()
-		return sb, err == nil, err
+		return sb, err == nil, "", err
 	case TypeReject:
-		return market.ServerBid{}, false, nil
+		return market.ServerBid{}, false, reply.Reason, nil
 	case TypeError:
-		return market.ServerBid{}, false, fmt.Errorf("wire: site error: %s", reply.Reason)
+		return market.ServerBid{}, false, "", fmt.Errorf("wire: site error: %s", reply.Reason)
 	default:
-		return market.ServerBid{}, false, fmt.Errorf("wire: unexpected reply %q", reply.Type)
+		return market.ServerBid{}, false, "", fmt.Errorf("wire: unexpected reply %q", reply.Type)
 	}
 }
 
@@ -349,14 +358,22 @@ func (c *SiteClient) Propose(b market.Bid) (market.ServerBid, bool, error) {
 // and it now rejects. Awards are idempotent on the server, so a transiently
 // failed award is safe to retry on the same site.
 func (c *SiteClient) Award(b market.Bid, sb market.ServerBid) (market.ServerBid, bool, error) {
+	terms, ok, _, err := c.AwardDetail(b, sb)
+	return terms, ok, err
+}
+
+// AwardDetail is Award plus the rejection reason, so overload-aware callers
+// can tell a shed at award time (the book filled between quote and award)
+// from an ordinary decline. The reason is empty when the award lands.
+func (c *SiteClient) AwardDetail(b market.Bid, sb market.ServerBid) (market.ServerBid, bool, string, error) {
 	reply, err := c.roundTrip(AwardEnvelope(b, sb))
 	if err != nil {
-		return market.ServerBid{}, false, err
+		return market.ServerBid{}, false, "", err
 	}
 	switch reply.Type {
 	case TypeContract:
 		terms, err := reply.ServerBid()
-		return terms, err == nil, err
+		return terms, err == nil, "", err
 	case TypeStatus:
 		// A retried award can race its own settlement: the site already
 		// delivered (or defaulted) the contract and reports the closed
@@ -364,15 +381,15 @@ func (c *SiteClient) Award(b market.Bid, sb market.ServerBid) (market.ServerBid,
 		// at the final price; a default is a decline.
 		if reply.ContractState == ContractSettled {
 			return market.ServerBid{SiteID: reply.SiteID, TaskID: reply.TaskID,
-				ExpectedCompletion: reply.CompletedAt, ExpectedPrice: reply.FinalPrice}, true, nil
+				ExpectedCompletion: reply.CompletedAt, ExpectedPrice: reply.FinalPrice}, true, "", nil
 		}
-		return market.ServerBid{}, false, nil
+		return market.ServerBid{}, false, "", nil
 	case TypeReject:
-		return market.ServerBid{}, false, nil
+		return market.ServerBid{}, false, reply.Reason, nil
 	case TypeError:
-		return market.ServerBid{}, false, fmt.Errorf("wire: site error: %s", reply.Reason)
+		return market.ServerBid{}, false, "", fmt.Errorf("wire: site error: %s", reply.Reason)
 	default:
-		return market.ServerBid{}, false, fmt.Errorf("wire: unexpected reply %q", reply.Type)
+		return market.ServerBid{}, false, "", fmt.Errorf("wire: unexpected reply %q", reply.Type)
 	}
 }
 
@@ -450,6 +467,12 @@ type Negotiator struct {
 	// bound keeps a federation-wide exchange from opening an unbounded
 	// goroutine (and socket) burst per bid.
 	QuoteWorkers int
+	// DeadlineBudget mints a deadline budget on each bid that carries
+	// none: the budget rides the envelope as deadline_ms, shrinks at each
+	// hop (a relaying broker re-stamps it with its queueing and retry
+	// delay), and a site refuses to quote work whose budget is already
+	// spent. Zero leaves bids unbudgeted (DESIGN.md §15).
+	DeadlineBudget time.Duration
 	// Logger observes per-site failures as structured JSON lines; nil
 	// silences them.
 	Logger *obs.Logger
@@ -620,6 +643,9 @@ func (n *Negotiator) Negotiate(b market.Bid) (market.ServerBid, bool, error) {
 	}
 	if b.ReqID == "" {
 		b.ReqID = obs.NewRequestID()
+	}
+	if n.DeadlineBudget > 0 && b.Deadline == 0 {
+		b.Deadline = float64(n.DeadlineBudget) / float64(time.Millisecond)
 	}
 	eo := n.exchangeObs()
 	eo.trace(obs.TraceEvent{Stage: obs.StageSubmit, Task: uint64(b.TaskID), Req: b.ReqID, Value: b.Value,

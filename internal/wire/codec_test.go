@@ -69,6 +69,9 @@ func codecTestEnvelopes() []Envelope {
 		{Type: "future-type", TaskID: 1, Reason: "unknown type travels via the inline-string escape"},
 		{Type: TypeBid, TaskID: 1, Runtime: 1}, // empty Cohort, zero Client
 		{Type: TypeBid, TaskID: math.MaxUint64, Runtime: 1, Client: -5},
+		{Type: TypeBid, TaskID: 2, Runtime: 1, Deadline: 1500.25},
+		{Type: TypeBid, TaskID: 3, Runtime: 1, Deadline: -1}, // budget present but spent
+		{Type: TypeAward, TaskID: 4, Runtime: 1, SiteID: "site-a", Deadline: 12.5},
 	}
 }
 
@@ -97,6 +100,7 @@ func TestBinaryRejectsNonFinite(t *testing.T) {
 		{Type: TypeBid, Runtime: math.Inf(1)},
 		{Type: TypeSettled, FinalPrice: math.Inf(-1)},
 		{Type: TypeServerBid, ExpectedCompletion: math.NaN()},
+		{Type: TypeBid, Deadline: math.NaN()},
 	}
 	for _, e := range bad {
 		if _, err := bc.Append(nil, &e); err == nil {
@@ -234,6 +238,8 @@ func FuzzCodecDifferential(f *testing.F) {
 	f.Add([]byte(`{"type":"bid","cohort":"","client":0}`))
 	f.Add([]byte(`{"type":"hello","proto":2,"codecs":[]}`))
 	f.Add([]byte(`{"type":"bid","value":-0.0}`))
+	f.Add([]byte(`{"type":"bid","task_id":1,"runtime":1,"deadline_ms":250.5}`))
+	f.Add([]byte(`{"type":"bid","task_id":1,"runtime":1,"deadline_ms":-1}`))
 
 	jc, _ := CodecByName(CodecJSON)
 	bc, _ := CodecByName(CodecBinary)

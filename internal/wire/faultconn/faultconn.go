@@ -29,6 +29,9 @@ type Conn struct {
 	// cutAfter is the number of written bytes still allowed before the
 	// link is severed; negative means unlimited.
 	cutAfter int64
+	// discard swallows writes without touching the wire: the peer's
+	// traffic is read and acknowledged, but nothing ever comes back.
+	discard bool
 }
 
 // Wrap makes a fault-injecting wrapper around c with no faults armed.
@@ -56,6 +59,15 @@ func (c *Conn) SetWriteDelay(d time.Duration) {
 func (c *Conn) CutAfter(n int) {
 	c.mu.Lock()
 	c.cutAfter = int64(n)
+	c.mu.Unlock()
+}
+
+// SetDiscard arms the blackhole fault: writes are swallowed (reported as
+// fully written) without touching the wire, so the peer's requests are
+// read but never answered.
+func (c *Conn) SetDiscard(on bool) {
+	c.mu.Lock()
+	c.discard = on
 	c.mu.Unlock()
 }
 
@@ -94,9 +106,13 @@ func (c *Conn) budget(n int) (allowed int, sever bool) {
 func (c *Conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	d := c.writeDelay
+	discard := c.discard
 	c.mu.Unlock()
 	if d > 0 {
 		time.Sleep(d)
+	}
+	if discard {
+		return len(p), nil
 	}
 	allowed, sever := c.budget(len(p))
 	if !sever {
@@ -121,8 +137,11 @@ type Proxy struct {
 
 	mu         sync.Mutex
 	links      map[*link]struct{}
+	drained    map[net.Conn]struct{} // blackholed connections being drained
 	writeDelay time.Duration
-	cutAfter   int // pending CutAfter for new links; -1 = disarmed
+	cutAfter   int  // pending CutAfter for new links; -1 = disarmed
+	blackhole  bool // accept and read, never reply
+	partition  bool // refuse new connections, sever live ones
 	closed     bool
 }
 
@@ -146,7 +165,8 @@ func NewProxy(target string) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Proxy{ln: ln, target: target, links: make(map[*link]struct{}), cutAfter: -1}
+	p := &Proxy{ln: ln, target: target, links: make(map[*link]struct{}),
+		drained: make(map[net.Conn]struct{}), cutAfter: -1}
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -179,6 +199,33 @@ func (p *Proxy) CutAfter(n int) {
 	p.mu.Unlock()
 }
 
+// SetBlackhole toggles blackhole mode: the proxy keeps accepting
+// connections and reading the peers' traffic, but nothing is ever
+// forwarded or answered in either direction — the failure mode of a host
+// that is up but wedged. New connections in blackhole mode are drained
+// without even dialing the target, so a dead target still blackholes.
+func (p *Proxy) SetBlackhole(on bool) {
+	p.mu.Lock()
+	p.blackhole = on
+	for l := range p.links {
+		l.toServer.SetDiscard(on)
+		l.toClient.SetDiscard(on)
+	}
+	p.mu.Unlock()
+}
+
+// SetPartition toggles partition mode: live links are severed and new
+// connections are refused (accepted and immediately closed) until the
+// partition heals — the failure mode of a network split.
+func (p *Proxy) SetPartition(on bool) {
+	p.mu.Lock()
+	p.partition = on
+	p.mu.Unlock()
+	if on {
+		p.KillConnections()
+	}
+}
+
 // KillConnections drops every live proxied connection immediately. New
 // connections are still accepted, so a redialing client reconnects.
 func (p *Proxy) KillConnections() {
@@ -187,9 +234,16 @@ func (p *Proxy) KillConnections() {
 	for l := range p.links {
 		links = append(links, l)
 	}
+	drained := make([]net.Conn, 0, len(p.drained))
+	for c := range p.drained {
+		drained = append(drained, c)
+	}
 	p.mu.Unlock()
 	for _, l := range links {
 		l.close()
+	}
+	for _, c := range drained {
+		_ = c.Close()
 	}
 }
 
@@ -210,6 +264,31 @@ func (p *Proxy) acceptLoop() {
 		client, err := p.ln.Accept()
 		if err != nil {
 			return
+		}
+		p.mu.Lock()
+		partition, blackhole := p.partition, p.blackhole
+		p.mu.Unlock()
+		if partition {
+			_ = client.Close()
+			continue
+		}
+		if blackhole {
+			// Drain the peer forever without dialing the target; the
+			// connection looks accepted and healthy until the first wait
+			// for a reply.
+			p.mu.Lock()
+			p.drained[client] = struct{}{}
+			p.mu.Unlock()
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				_, _ = io.Copy(io.Discard, client)
+				_ = client.Close()
+				p.mu.Lock()
+				delete(p.drained, client)
+				p.mu.Unlock()
+			}()
+			continue
 		}
 		server, err := net.Dial("tcp", p.target)
 		if err != nil {

@@ -264,7 +264,7 @@ func TestBrokerHandshake(t *testing.T) {
 	if got := c.NegotiatedCodec(); got != CodecBinary {
 		t.Fatalf("client-to-broker codec = %q, want %q", got, CodecBinary)
 	}
-	if got := b.sites[0].NegotiatedCodec(); got != CodecBinary {
+	if got := b.sites[0].primary.NegotiatedCodec(); got != CodecBinary {
 		t.Fatalf("broker-to-site codec = %q, want %q", got, CodecBinary)
 	}
 

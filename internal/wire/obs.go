@@ -65,6 +65,21 @@ import (
 //	site_penalty_exposure{site}                 quoted value still open (at risk) on the book
 //	site_cohort_tasks_total{site,cohort,event}  task outcomes split by trace-v2 cohort
 //	site_cohort_yield_total{site,cohort,kind}   realized yield/penalty split by cohort
+//
+// Fleet-resilience families (DESIGN.md §15): the server's value-aware
+// overload valve, the deadline budget, and the broker's per-site health
+// machinery:
+//
+//	site_shed_total{site,reason}              bids refused by the overload valve (book_full/value_floor/inflight/deadline)
+//	site_shed_floor{site}                     marginal-yield floor currently in force
+//	wire_deadline_expired_total{site}         bids refused because their deadline budget was spent on arrival
+//	broker_circuit_state{site}                per-site breaker state (0 closed, 1 half-open, 2 open)
+//	broker_circuit_transitions_total{site,to} breaker transitions by destination state
+//	broker_hedge_total{site}                  hedged quote RPCs issued against the site
+//	broker_site_retry_exhausted_total{site}   exchanges abandoned with the site's retry budget empty
+//	broker_parked_settlements{}               settlements parked for disconnected owners
+//	broker_parked_evicted_total{}             parked settlements evicted by ring overflow
+//	broker_parked_recovered_total{}           parked settlements recovered by a client query
 
 // slackBuckets cover the admission slack range seen in the paper's
 // regimes: deeply negative (reject territory) through comfortable.
@@ -128,6 +143,12 @@ type serverMetrics struct {
 	site        string
 	cohortTasks *obs.CounterVec
 	cohortYield *obs.CounterVec
+
+	// Fleet-resilience instruments: the overload valve and the deadline
+	// budget (DESIGN.md §15).
+	shed            *obs.CounterVec
+	shedFloor       *obs.Gauge
+	deadlineExpired *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
@@ -184,7 +205,16 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 		site:        site,
 		cohortTasks: reg.Counter("site_cohort_tasks_total", "Task outcomes split by trace-v2 workload cohort.", "site", "cohort", "event"),
 		cohortYield: reg.Counter("site_cohort_yield_total", "Realized yield and penalties split by trace-v2 workload cohort.", "site", "cohort", "kind"),
+
+		shed:            reg.Counter("site_shed_total", "Bids refused by the overload valve, by reason.", "site", "reason"),
+		shedFloor:       reg.Gauge("site_shed_floor", "Marginal-yield floor currently enforced by the overload valve.", "site").With(site),
+		deadlineExpired: reg.Counter("wire_deadline_expired_total", "Bids refused because their deadline budget was already spent on arrival.", "site").With(site),
 	}
+}
+
+// shedEvent books one shed refusal against its reason.
+func (m *serverMetrics) shedEvent(reason string) {
+	m.shed.With(m.site, reason).Inc()
 }
 
 // cohortEvent books one task outcome against its workload cohort

@@ -77,6 +77,17 @@ type ServerConfig struct {
 	// answered with a protocol error and logged, and the connection keeps
 	// serving; zero means the default (1 MiB).
 	MaxFrameBytes int
+	// MaxPending caps the pending book's depth (DESIGN.md §15). As the
+	// queue approaches the cap the site sheds by value — bids whose
+	// expected yield falls below a depth-scaled marginal-yield floor get a
+	// fast priced reject carrying that floor — and at the cap every new
+	// bid and award is refused. Zero leaves the book unbounded, the
+	// pre-resilience behavior.
+	MaxPending int
+	// MaxInflightBids caps concurrently evaluating bid quotes site-wide;
+	// overflow bids are shed immediately without quoting. Zero disables
+	// the gate.
+	MaxInflightBids int
 	// Shards splits the contract book into this many independently locked
 	// shards keyed by task ID (DESIGN.md §14). Bids quote against the k-way
 	// merge of the shards' published snapshots, and dispatch plans over the
@@ -147,10 +158,11 @@ func (c ServerConfig) writeTimeout() time.Duration {
 // dispatchMu → shard locks (ascending) → mu; mu is a leaf guarding only
 // connections, the closed flag, and the exported stats.
 type Server struct {
-	cfg ServerConfig
-	ln  net.Listener
-	log *obs.Logger
-	m   serverMetrics
+	cfg  ServerConfig
+	ln   net.Listener
+	log  *obs.Logger
+	m    serverMetrics
+	shed *shedGate
 
 	start  time.Time
 	shards []*bookShard
@@ -191,6 +203,7 @@ type Server struct {
 	Defaulted int // contracts closed without delivery during crash recovery
 	Revenue   float64
 	Abandoned int // tasks dropped by shutdown or client disconnect
+	Shed      int // bids refused by the overload valve (not policy rejects)
 }
 
 // bookShard is one lock's worth of the contract book: the pending queue,
@@ -296,6 +309,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("wire: shards %d must be >= 0", cfg.Shards)
 	}
+	if cfg.MaxPending < 0 || cfg.MaxInflightBids < 0 {
+		return nil, fmt.Errorf("wire: shed caps (%d pending, %d inflight) must be >= 0", cfg.MaxPending, cfg.MaxInflightBids)
+	}
 	if cfg.Admission == nil {
 		cfg.Admission = admission.AcceptAll{}
 	}
@@ -319,6 +335,7 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		ln:    ln,
 		log:   cfg.Logger.With("site", cfg.SiteID),
 		m:     newServerMetrics(cfg.Metrics, cfg.SiteID),
+		shed:  newShedGate(cfg.MaxPending, cfg.MaxInflightBids),
 		start: time.Now(),
 		conns: make(map[*serverConn]struct{}),
 	}
@@ -777,6 +794,19 @@ func (s *Server) handleBid(env Envelope) Envelope {
 	if err != nil {
 		return Envelope{Type: TypeError, Reason: err.Error()}
 	}
+	// A bid whose deadline budget was spent in transit is dead on arrival:
+	// any quote would expire before the client could act on it. Refuse
+	// before quoting — the whole point is not to spend capacity on it.
+	if DeadlineSpent(bid.Deadline) {
+		s.m.deadlineExpired.Inc()
+		return s.shedReject(bid, shedReasonDeadline, "deadline budget spent", s.shedFloorNow())
+	}
+	// The in-flight gate bounds concurrent quote evaluations; overflow is
+	// shed immediately, unpriced work costing the site nothing.
+	if !s.shed.acquire() {
+		return s.shedReject(bid, shedReasonInflight, "bid quota exhausted", s.shedFloorNow())
+	}
+	defer s.shed.release()
 	if s.cfg.LegacyLocked {
 		return s.handleBidLegacy(bid)
 	}
@@ -785,6 +815,9 @@ func (s *Server) handleBid(env Envelope) Envelope {
 	q, err := snap.Quote(s.now(), s.bidTask(bid))
 	if err != nil {
 		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+	if floor, reason := s.shed.evaluate(int(s.nQueued.Load()), q.ExpectedYield); reason != "" {
+		return s.shedReject(bid, reason, fmt.Sprintf("yield %.2f below floor %.2f at depth %d", q.ExpectedYield, floor, s.nQueued.Load()), floor)
 	}
 	s.observeSlack(q.Slack)
 	if !s.cfg.Admission.Admit(q) {
@@ -797,6 +830,7 @@ func (s *Server) handleBid(env Envelope) Envelope {
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: fmt.Sprintf("slack %.2f below threshold", q.Slack)}
 	}
+	s.shed.observeAdmit(q.ExpectedYield)
 	s.traceBid(obs.StageBid, bid, q.Slack, "")
 	return Envelope{
 		Type:               TypeServerBid,
@@ -809,7 +843,8 @@ func (s *Server) handleBid(env Envelope) Envelope {
 
 // handleBidLegacy is the pre-snapshot bid path: the whole quote runs under
 // the single shard's lock. Kept as the differential oracle and benchmark
-// baseline.
+// baseline. The caller has already run the deadline and in-flight gates;
+// the value floor applies here exactly as on the snapshot path.
 func (s *Server) handleBidLegacy(bid market.Bid) Envelope {
 	sh := s.shards[0]
 	sh.mu.Lock()
@@ -817,6 +852,10 @@ func (s *Server) handleBidLegacy(bid market.Bid) Envelope {
 	if err != nil {
 		sh.mu.Unlock()
 		return Envelope{Type: TypeError, Reason: err.Error()}
+	}
+	if floor, reason := s.shed.evaluate(int(s.nQueued.Load()), q.ExpectedYield); reason != "" {
+		sh.mu.Unlock()
+		return s.shedReject(bid, reason, fmt.Sprintf("yield %.2f below floor %.2f at depth %d", q.ExpectedYield, floor, s.nQueued.Load()), floor)
 	}
 	s.observeSlack(q.Slack)
 	if !s.cfg.Admission.Admit(q) {
@@ -830,6 +869,7 @@ func (s *Server) handleBidLegacy(bid market.Bid) Envelope {
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: fmt.Sprintf("slack %.2f below threshold", q.Slack)}
 	}
+	s.shed.observeAdmit(q.ExpectedYield)
 	s.traceBid(obs.StageBid, bid, q.Slack, "")
 	sh.mu.Unlock()
 	return Envelope{
@@ -958,6 +998,15 @@ func (s *Server) handleAward(env Envelope, sc *serverConn) Envelope {
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: "mix changed since proposal"}
 	}
+	// The overload valve applies at award exactly as at bid: quoting never
+	// reserves a slot, so this is the only gate that actually bounds the
+	// book. Deadline expiry deliberately does not apply — an award is a
+	// commitment the client already made, not a quote that can go stale.
+	if floor, reason := s.shed.evaluate(int(s.nQueued.Load()), q.ExpectedYield); reason != "" {
+		sh.mu.Unlock()
+		return s.shedReject(bid, reason, fmt.Sprintf("yield %.2f below floor %.2f at depth %d", q.ExpectedYield, floor, s.nQueued.Load()), floor)
+	}
+	s.shed.observeAdmit(q.ExpectedYield)
 	t := s.bidTask(bid)
 	t.State = task.Queued
 	sb := market.ServerBid{SiteID: s.cfg.SiteID, TaskID: t.ID,
@@ -1189,6 +1238,11 @@ func (s *Server) handleAwardLegacy(bid market.Bid, sc *serverConn) Envelope {
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, SiteID: s.cfg.SiteID,
 			Reason: "mix changed since proposal"}
 	}
+	if floor, reason := s.shed.evaluate(int(s.nQueued.Load()), q.ExpectedYield); reason != "" {
+		sh.mu.Unlock()
+		return s.shedReject(bid, reason, fmt.Sprintf("yield %.2f below floor %.2f at depth %d", q.ExpectedYield, floor, s.nQueued.Load()), floor)
+	}
+	s.shed.observeAdmit(q.ExpectedYield)
 	t := s.bidTask(bid)
 	t.State = task.Queued
 	sb := market.ServerBid{SiteID: s.cfg.SiteID, TaskID: t.ID,

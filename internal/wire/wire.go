@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"time"
 
 	"repro/internal/market"
 	"repro/internal/task"
@@ -90,6 +91,18 @@ type Envelope struct {
 	Cohort string `json:"cohort,omitempty"`
 	Client int    `json:"client,omitempty"`
 
+	// Deadline is the bid's remaining negotiation budget in wall-clock
+	// milliseconds, minted once at bid time and re-stamped (shrunk by the
+	// local wait so far) at every hop: client → broker → site. Zero means
+	// no budget was minted; a negative value means the budget is present
+	// but already spent — senders whose remainder rounds to exactly zero
+	// stamp -1, since a zero field is indistinguishable from "absent"
+	// under both codecs' omitempty semantics. A site refuses to quote a
+	// bid whose budget is spent (the quote would be dead on arrival), but
+	// never refuses an award: committed work is finished regardless of
+	// how stale the negotiation that placed it has become (DESIGN.md §15).
+	Deadline float64 `json:"deadline_ms,omitempty"`
+
 	// ServerBid / Contract / Settled fields.
 	SiteID             string  `json:"site_id,omitempty"`
 	ExpectedCompletion float64 `json:"expected_completion,omitempty"`
@@ -110,6 +123,27 @@ type Envelope struct {
 	Codec  string   `json:"codec,omitempty"`
 	Codecs []string `json:"codecs,omitempty"`
 }
+
+// ShrinkDeadline returns the deadline budget d (milliseconds remaining)
+// after elapsed local wall-clock time has been spent at this hop. A zero d
+// (no budget minted) passes through untouched; any other remainder that
+// would land on exactly zero is nudged to -1 so the "present but spent"
+// state survives omitempty encoding. DeadlineSpent reports whether a
+// budget is present and exhausted.
+func ShrinkDeadline(d float64, elapsed time.Duration) float64 {
+	if d == 0 {
+		return 0
+	}
+	d -= float64(elapsed) / float64(time.Millisecond)
+	if d == 0 {
+		return -1
+	}
+	return d
+}
+
+// DeadlineSpent reports whether the deadline budget d is present (minted)
+// and already exhausted. Zero means no budget, so it is never spent.
+func DeadlineSpent(d float64) bool { return d < 0 }
 
 // EncodeBound renders a penalty bound for the wire.
 func EncodeBound(b float64) string {
@@ -145,6 +179,8 @@ func BidEnvelope(b market.Bid) Envelope {
 		Bound:   EncodeBound(b.Bound),
 		Cohort:  b.Cohort,
 		Client:  b.Client,
+
+		Deadline: b.Deadline,
 	}
 }
 
@@ -177,6 +213,8 @@ func (e Envelope) Bid() (market.Bid, error) {
 		Bound:   bound,
 		Cohort:  e.Cohort,
 		Client:  e.Client,
+
+		Deadline: e.Deadline,
 	}
 	if b.Runtime <= 0 || math.IsNaN(b.Runtime) {
 		return market.Bid{}, fmt.Errorf("wire: bid for task %d has bad runtime %v", b.TaskID, b.Runtime)
@@ -192,6 +230,12 @@ func (e Envelope) Bid() (market.Bid, error) {
 	}
 	if b.Arrival < 0 || math.IsNaN(b.Arrival) {
 		return market.Bid{}, fmt.Errorf("wire: bid for task %d has bad arrival %v", b.TaskID, b.Arrival)
+	}
+	// Deadline may be negative (budget present but spent) but never
+	// non-finite: the broker and site subtract their own wait from it, and
+	// NaN/Inf would make every downstream remaining-time comparison lie.
+	if math.IsNaN(b.Deadline) || math.IsInf(b.Deadline, 0) {
+		return market.Bid{}, fmt.Errorf("wire: bid for task %d has bad deadline %v", b.TaskID, b.Deadline)
 	}
 	return b, nil
 }
