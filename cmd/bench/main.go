@@ -98,8 +98,39 @@ func main() {
 		wl      = flag.Bool("workload", false, "run the bursty-cohort traffic benchmark instead of the core benches")
 		wlTasks = flag.Int("tasks", 4000, "tasks per -workload phase")
 		wlRate  = flag.Float64("rate", 1500, "mean offered bids/sec in -workload mode (bursts preserved around it)")
+
+		fleet           = flag.Bool("fleet", false, "run the digest-routing fleet benchmark (fanout vs top-k) instead of the core benches")
+		fleetSites      = flag.Int("fleet-sites", 50, "site servers in the -fleet benchmark")
+		fleetClients    = flag.Int("fleet-clients", 1000, "closed-loop clients in the -fleet benchmark")
+		fleetBids       = flag.Int("fleet-bids", 4000, "bids submitted per -fleet phase")
+		fleetTopK       = flag.Int("fleet-topk", 8, "candidate sites per bid in the -fleet top-k phase")
+		fleetRate       = flag.Float64("fleet-rate", 200, "mean offered bids/sec in -fleet mode (bursts preserved around it)")
+		minFleetSpeedup = flag.Float64("min-fleet-speedup", 0, "required fanout/topk p99 quote-latency ratio in -fleet mode (0 disables; auto-skipped below 4 CPUs)")
+		minYieldRatio   = flag.Float64("min-yield-ratio", 0, "required topk/fanout realized-yield ratio in -fleet mode (0 disables; auto-skipped below 4 CPUs)")
 	)
 	flag.Parse()
+
+	if *fleet {
+		res, err := runFleet(fleetOpts{
+			sites:   *fleetSites,
+			clients: *fleetClients,
+			bids:    *fleetBids,
+			topk:    *fleetTopK,
+			rate:    *fleetRate,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fail := checkFleet(&res, *baseline, *tolerance, *minFleetSpeedup, *minYieldRatio)
+		writeReport(res, *out)
+		if fail != nil {
+			fatal(fail)
+		}
+		if res.SkipReason != "" {
+			fmt.Fprintln(os.Stderr, "bench: fleet routing gates skipped:", res.SkipReason)
+		}
+		return
+	}
 
 	if *wl {
 		res, err := runWorkload(workloadOpts{

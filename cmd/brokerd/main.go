@@ -27,7 +27,12 @@ func main() {
 		retries   = flag.Int("retries", 2, "per-site retries on transient failures (negative disables)")
 		backoff   = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt")
 		workers   = flag.Int("quote-workers", 0, "max sites quoted concurrently per exchange (0 = default of 8)")
-		codec     = flag.String("codec", "", "codec to request when dialing sites: json|binary (empty = plain v1 JSON, no handshake)")
+		codec     = flag.String("codec", "", "codec to request when dialing sites: json|binary|v1 (empty = negotiate binary with JSON fallback, v1 = plain v1 JSON with no handshake)")
+		route     = flag.String("route", wire.RouteTopK, "quote routing policy: topk (digest-ranked top-k sites) | fanout (every breaker-admitted site)")
+		topk      = flag.Int("topk", 4, "candidate sites per bid under -route=topk (0 = full fan-out, same as -route=fanout)")
+		digestInt = flag.Duration("digest-interval", 0, "load-digest push cadence requested from sites (0 = default of 250ms)")
+		peers     = flag.String("peers", "", "comma-separated peer broker addresses for consistent-hash sharding (empty = standalone)")
+		advertise = flag.String("advertise", "", "this broker's own address in the peer ring (empty = -addr)")
 		cbFails   = flag.Int("circuit-failures", 0, "consecutive site failures that trip its circuit breaker open (0 = default of 3, negative disables)")
 		cbCool    = flag.Duration("circuit-cooldown", 0, "open-breaker wait before a half-open probe (0 = default of 1s)")
 		retryBud  = flag.Float64("retry-budget", 0, "retry credit earned per successful site exchange (0 = default of 0.25, negative = unlimited blind retry)")
@@ -54,6 +59,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *route != wire.RouteTopK && *route != wire.RouteFanout {
+		fmt.Fprintf(os.Stderr, "brokerd: unknown -route %q (want %s or %s)\n", *route, wire.RouteTopK, wire.RouteFanout)
+		os.Exit(2)
+	}
+	if *topk <= 0 {
+		// k=0 means "quote everyone" — exactly fan-out.
+		*route = wire.RouteFanout
+	}
+
 	cfg := wire.BrokerConfig{
 		Selector:          sel,
 		RequestTimeout:    *timeout,
@@ -63,6 +77,9 @@ func main() {
 		IdleTimeout:       *idle,
 		Metrics:           obs.Default,
 		SiteCodec:         *codec,
+		Route:             *route,
+		TopK:              *topk,
+		DigestInterval:    *digestInt,
 		CircuitFailures:   *cbFails,
 		CircuitCooldown:   *cbCool,
 		RetryBudget:       *retryBud,
@@ -71,6 +88,17 @@ func main() {
 	}
 	for _, sa := range strings.Split(*sites, ",") {
 		cfg.SiteAddrs = append(cfg.SiteAddrs, strings.TrimSpace(sa))
+	}
+	if *peers != "" {
+		for _, pa := range strings.Split(*peers, ",") {
+			if pa = strings.TrimSpace(pa); pa != "" {
+				cfg.Peers = append(cfg.Peers, pa)
+			}
+		}
+		cfg.SelfID = *advertise
+		if cfg.SelfID == "" {
+			cfg.SelfID = *addr
+		}
 	}
 	logger := obs.NewLogger(os.Stderr, lv, "brokerd")
 	if !*quiet {
@@ -103,7 +131,14 @@ func main() {
 		defer diag.Close()
 		fmt.Printf("diagnostics on http://%s/metrics\n", diag.Addr())
 	}
-	fmt.Printf("broker listening on %s for %d site(s)\n", b.Addr(), len(cfg.SiteAddrs))
+	fmt.Printf("broker listening on %s for %d site(s), route=%s", b.Addr(), len(cfg.SiteAddrs), cfg.Route)
+	if cfg.Route == wire.RouteTopK {
+		fmt.Printf(" k=%d", cfg.TopK)
+	}
+	if len(cfg.Peers) > 0 {
+		fmt.Printf(", %d peer(s) as %s", len(cfg.Peers), cfg.SelfID)
+	}
+	fmt.Println()
 
 	dump := func(why string) {
 		if *flightOut == "" {

@@ -33,6 +33,27 @@ type siteSample struct {
 
 	ledger    obs.LedgerSnapshot
 	hasLedger bool
+
+	// Broker routing table (DESIGN.md §16): per backend site, the age of
+	// its last load digest and the cumulative bids routed to it. Empty for
+	// plain site daemons.
+	routes map[string]routeStat
+}
+
+// routeStat is one backend site's slice of a broker's routing state.
+type routeStat struct {
+	age    float64 // seconds since the site's last digest push
+	hasAge bool
+	routed float64 // cumulative bids routed to the site
+}
+
+// route returns the named backend's routing slot, allocating the map on
+// first use so plain site rows carry none.
+func (s *siteSample) route(site string) routeStat {
+	if s.routes == nil {
+		s.routes = make(map[string]routeStat)
+	}
+	return s.routes[site]
 }
 
 // scrape polls one target. A metrics failure marks the whole row down; a
@@ -64,6 +85,20 @@ func scrape(client *http.Client, target string) siteSample {
 				if sm.Label("type") == "bid" {
 					s.quotes += sm.Value
 				}
+			case "broker_digest_age_seconds":
+				if site := sm.Label("site"); site != "" {
+					st := s.route(site)
+					st.age, st.hasAge = sm.Value, true
+					s.routes[site] = st
+				}
+				continue
+			case "broker_routed_total":
+				if site := sm.Label("site"); site != "" {
+					st := s.route(site)
+					st.routed = sm.Value
+					s.routes[site] = st
+				}
+				continue
 			}
 			if site := sm.Label("site"); site != "" {
 				s.site = site
@@ -115,6 +150,54 @@ func render(w io.Writer, rows []siteSample, prev map[string]siteSample) {
 		fmt.Fprintf(w, "%-14s %6.0f %5.0f %5.0f %8s %6s %7s %7s %10s %10s %10s\n",
 			r.site, r.queue, r.running, r.conns, rate, open, settled, dflt,
 			expected, realized, exposure)
+		renderRoutes(w, r, prev)
+	}
+}
+
+// routeShare returns the bids routed to one backend since the previous
+// poll and the total routed across all backends in the same window
+// (cumulative values on the first poll).
+func (r siteSample) routeShare(site string, prev map[string]siteSample) (float64, float64) {
+	cur := r.routes[site].routed
+	base, total := 0.0, 0.0
+	p, ok := prev[r.target]
+	if ok && p.err == nil && p.routes != nil {
+		base = p.routes[site].routed
+	}
+	for s2, st := range r.routes {
+		d := st.routed
+		if ok && p.err == nil && p.routes != nil {
+			d -= p.routes[s2].routed
+		}
+		total += d
+	}
+	return cur - base, total
+}
+
+// renderRoutes appends a broker row's per-site routing sub-table: each
+// backend's digest age and its share of the bids routed since the last
+// poll. A digest aging past the TTL is a site the broker is about to
+// drop from the ranking.
+func renderRoutes(w io.Writer, r siteSample, prev map[string]siteSample) {
+	if len(r.routes) == 0 {
+		return
+	}
+	sites := make([]string, 0, len(r.routes))
+	for s := range r.routes {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		st := r.routes[site]
+		age := "-"
+		if st.hasAge {
+			age = fmt.Sprintf("%.0fms", st.age*1e3)
+		}
+		share := "-"
+		if routed, total := r.routeShare(site, prev); total > 0 {
+			share = fmt.Sprintf("%.0f%%", 100*routed/total)
+		}
+		fmt.Fprintf(w, "  └ %-24s digest %7s   route share %5s\n", site, age, share)
 	}
 }
 

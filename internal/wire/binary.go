@@ -53,6 +53,14 @@ const (
 	binFieldCodec
 	binFieldCodecs
 	binFieldDeadline
+	binFieldQueue
+	binFieldRunning
+	binFieldProcs
+	binFieldBacklog
+	binFieldFloor
+	binFieldShedding
+	binFieldInterval
+	binFieldForwarded
 	numBinFields
 )
 
@@ -82,6 +90,10 @@ func binTypeCode(t string) (byte, bool) {
 		return 10, true
 	case TypeWelcome:
 		return 11, true
+	case TypeDigestSub:
+		return 12, true
+	case TypeDigest:
+		return 13, true
 	}
 	return 0, false
 }
@@ -90,12 +102,13 @@ var binTypeNames = [...]string{
 	1: TypeBid, 2: TypeServerBid, 3: TypeReject, 4: TypeAward,
 	5: TypeContract, 6: TypeSettled, 7: TypeError, 8: TypeQuery,
 	9: TypeStatus, 10: TypeHello, 11: TypeWelcome,
+	12: TypeDigestSub, 13: TypeDigest,
 }
 
 func (binaryCodec) Append(dst []byte, e *Envelope) ([]byte, error) {
 	floats := [...]float64{e.Arrival, e.Runtime, e.Value, e.Decay,
 		e.ExpectedCompletion, e.ExpectedPrice, e.CompletedAt, e.FinalPrice,
-		e.Deadline}
+		e.Deadline, e.Backlog, e.Floor, e.Interval}
 	for _, f := range floats {
 		if math.IsNaN(f) || math.IsInf(f, 0) {
 			return dst, fmt.Errorf("wire: unsupported value %v in binary envelope", f)
@@ -138,6 +151,14 @@ func (binaryCodec) Append(dst []byte, e *Envelope) ([]byte, error) {
 	setIf(e.Codec != "", binFieldCodec)
 	setIf(len(e.Codecs) != 0, binFieldCodecs)
 	setIf(e.Deadline != 0, binFieldDeadline)
+	setIf(e.Queue != 0, binFieldQueue)
+	setIf(e.Running != 0, binFieldRunning)
+	setIf(e.Procs != 0, binFieldProcs)
+	setIf(e.Backlog != 0, binFieldBacklog)
+	setIf(e.Floor != 0, binFieldFloor)
+	setIf(e.Shedding, binFieldShedding)
+	setIf(e.Interval != 0, binFieldInterval)
+	setIf(e.Forwarded, binFieldForwarded)
 	dst = binary.AppendUvarint(dst, bits)
 
 	has := func(field int) bool { return bits&(1<<field) != 0 }
@@ -203,6 +224,25 @@ func (binaryCodec) Append(dst []byte, e *Envelope) ([]byte, error) {
 	}
 	if has(binFieldDeadline) {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Deadline))
+	}
+	if has(binFieldQueue) {
+		dst = binary.AppendVarint(dst, int64(e.Queue))
+	}
+	if has(binFieldRunning) {
+		dst = binary.AppendVarint(dst, int64(e.Running))
+	}
+	if has(binFieldProcs) {
+		dst = binary.AppendVarint(dst, int64(e.Procs))
+	}
+	if has(binFieldBacklog) {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Backlog))
+	}
+	if has(binFieldFloor) {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Floor))
+	}
+	// Shedding and Forwarded are booleans: the presence bit is the value.
+	if has(binFieldInterval) {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Interval))
 	}
 
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
@@ -414,6 +454,26 @@ func decodeBinary(b []byte, e *Envelope) error {
 	if has(binFieldDeadline) {
 		e.Deadline = r.float()
 	}
+	if has(binFieldQueue) {
+		e.Queue = int(r.varint())
+	}
+	if has(binFieldRunning) {
+		e.Running = int(r.varint())
+	}
+	if has(binFieldProcs) {
+		e.Procs = int(r.varint())
+	}
+	if has(binFieldBacklog) {
+		e.Backlog = r.float()
+	}
+	if has(binFieldFloor) {
+		e.Floor = r.float()
+	}
+	e.Shedding = has(binFieldShedding)
+	if has(binFieldInterval) {
+		e.Interval = r.float()
+	}
+	e.Forwarded = has(binFieldForwarded)
 	if r.err != nil {
 		return r.err
 	}

@@ -42,8 +42,30 @@ type BrokerConfig struct {
 	// registered codec, JSON is always the floor).
 	Codecs []string
 	// SiteCodec names the codec to request when dialing each site; empty
-	// means plain v1 JSON with no handshake (ClientConfig semantics).
+	// means negotiate the binary codec (falling back to JSON when the site
+	// declines the handshake); SiteCodecV1 opts into plain v1 JSON with no
+	// handshake at all.
 	SiteCodec string
+	// Route selects the quote fan-out policy: RouteFanout (the zero value)
+	// quotes every breaker-admitted site, RouteTopK quotes only the TopK
+	// sites ranked by their load digests (DESIGN.md §16).
+	Route string
+	// TopK is the candidate-set size under RouteTopK; zero means the
+	// default (4).
+	TopK int
+	// DigestInterval is the cadence the broker asks sites to push load
+	// digests at; zero means the default (250ms). It only matters under
+	// RouteTopK.
+	DigestInterval time.Duration
+	// Peers are the other brokers in a sharded deployment: each client is
+	// owned by exactly one broker under rendezvous hashing, and a bid or
+	// award that lands on the wrong broker is forwarded to its owner.
+	// Empty means an unsharded, standalone broker.
+	Peers []string
+	// SelfID is this broker's own identity in the peer ring — the address
+	// its peers dial it at. Empty means the listener address, which only
+	// works when peers dial that exact string.
+	SelfID string
 	// CircuitFailures is the consecutive-failure streak that trips a
 	// site's circuit breaker open; zero means the default (3), negative
 	// disables the breakers entirely (DESIGN.md §15).
@@ -75,9 +97,61 @@ type BrokerConfig struct {
 	Tracer *obs.Tracer
 }
 
+// Routing policies and the v1 site-codec opt-out.
+const (
+	RouteFanout = "fanout"
+	RouteTopK   = "topk"
+	SiteCodecV1 = "v1"
+
+	defaultTopK = 4
+)
+
 func (c BrokerConfig) retries() int           { return defaultedRetries(c.Retries) }
 func (c BrokerConfig) backoff() time.Duration { return defaultedBackoff(c.Backoff) }
 func (c BrokerConfig) quoteWorkers() int      { return defaultedQuoteWorkers(c.QuoteWorkers) }
+
+// siteCodec resolves the codec requested on site dials: binary by default
+// (the handshake falls back to JSON against a v1 site), none for the
+// explicit v1 opt-out.
+func (c BrokerConfig) siteCodec() string {
+	switch c.SiteCodec {
+	case "":
+		return CodecBinary
+	case SiteCodecV1:
+		return ""
+	}
+	return c.SiteCodec
+}
+
+func (c BrokerConfig) topK() int {
+	if c.TopK <= 0 {
+		return defaultTopK
+	}
+	return c.TopK
+}
+
+func (c BrokerConfig) digestInterval() time.Duration {
+	if c.DigestInterval <= 0 {
+		return defaultDigestInterval
+	}
+	return c.DigestInterval
+}
+
+func (c BrokerConfig) topkEnabled() bool { return c.Route == RouteTopK }
+
+// laneConfig is the client configuration for every lane the broker dials —
+// site primaries, hedge lanes, and peer lanes. The dial (including the
+// codec handshake) is bounded by the same budget as a request: a redial
+// against a wedged host must fail within the request timeout, or the
+// lane's serialized exchanges stall faster than its breaker can open.
+func (c BrokerConfig) laneConfig() ClientConfig {
+	return ClientConfig{
+		RequestTimeout: c.RequestTimeout,
+		DialTimeout:    c.RequestTimeout,
+		MaxFrameBytes:  c.MaxFrameBytes,
+		Codec:          c.siteCodec(),
+	}
+}
 
 // defaultParkedSettlements bounds the parked-settlement ring when the
 // config leaves it zero.
@@ -105,16 +179,24 @@ type BrokerServer struct {
 	eo    exchangeObs
 	m     brokerMetrics
 
-	mu     sync.Mutex
-	chosen map[task.ID]*brokerSite      // accepted proposal awaiting award
-	placed map[task.ID]*brokerSite      // awarded task -> holding site
-	owners map[task.ID]*serverConn      // awarded task -> client connection
-	terms  map[task.ID]market.ServerBid // contract terms, for settlement lateness
-	parked []Envelope                   // settlements held for disconnected owners (bounded ring)
-	conns  map[*serverConn]struct{}
-	closed bool
+	mu       sync.Mutex
+	chosen   map[task.ID]*brokerSite      // accepted proposal awaiting award
+	placed   map[task.ID]*brokerSite      // awarded task -> holding site
+	owners   map[task.ID]*serverConn      // awarded task -> client connection
+	terms    map[task.ID]market.ServerBid // contract terms, for settlement lateness
+	fwdOwner map[task.ID]string           // task forwarded to a peer -> that peer's ring id
+	parked   []Envelope                   // settlements held for disconnected owners (bounded ring)
+	conns    map[*serverConn]struct{}
+	closed   bool
 
-	wg sync.WaitGroup
+	// Peer ring for consistent-hash broker sharding (DESIGN.md §16).
+	peerMu    sync.Mutex
+	selfID    string
+	ring      []string
+	peerLanes map[string]*SiteClient
+
+	stop chan struct{} // closed by Close; stops the digest loop
+	wg   sync.WaitGroup
 
 	// Stats, guarded by mu.
 	Negotiated int
@@ -134,6 +216,17 @@ type brokerSite struct {
 
 	hedgeMu sync.Mutex
 	hedge   *SiteClient
+
+	// Digest table slot (DESIGN.md §16): the last load digest the site
+	// pushed, when it arrived, and the subscription bookkeeping that keeps
+	// the pushes flowing across reconnects.
+	digestMu    sync.Mutex
+	digest      Envelope
+	digestAt    time.Time
+	inflight    float64 // per-proc backlog awarded since the last push (sim units)
+	subInFlight bool
+	nextSubAt   time.Time
+	mDigestAge  *obs.Gauge
 }
 
 // hedgeLane returns the site's hedge connection, dialing it on first use.
@@ -143,7 +236,7 @@ func (bs *brokerSite) hedgeLane(cfg BrokerConfig) (*SiteClient, error) {
 	if bs.hedge != nil {
 		return bs.hedge, nil
 	}
-	sc, err := DialConfig(bs.addr, ClientConfig{RequestTimeout: cfg.RequestTimeout, MaxFrameBytes: cfg.MaxFrameBytes, Codec: cfg.SiteCodec})
+	sc, err := DialConfig(bs.addr, cfg.laneConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +273,13 @@ type brokerMetrics struct {
 	parkedRecovered    *obs.Counter
 	deadlineExpired    *obs.Counter
 	defaultReconciled  *obs.CounterVec
+
+	// Digest routing and broker sharding (DESIGN.md §16).
+	digestAge       *obs.GaugeVec
+	routeCandidates *obs.Histogram
+	routeFallback   *obs.Counter
+	routed          *obs.CounterVec
+	peerForwarded   *obs.CounterVec
 }
 
 func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
@@ -201,6 +301,12 @@ func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
 		parkedRecovered:    reg.Counter("broker_parked_recovered_total", "Parked settlements recovered by a reconnecting owner's query.").With(),
 		deadlineExpired:    reg.Counter("wire_deadline_expired_total", "Bids refused because their deadline budget was already spent on arrival.", "site").With("broker"),
 		defaultReconciled:  reg.Counter("broker_default_reconciled_total", "Open contracts declared defaulted because the holder site lost them (e.g. abandoned on a severed connection).", "site"),
+
+		digestAge:       reg.Gauge("broker_digest_age_seconds", "Age of each site's last load digest; absent until the first digest arrives.", "site"),
+		routeCandidates: reg.Histogram("broker_route_candidates", "Candidate sites quoted per bid after routing.", []float64{0, 1, 2, 4, 8, 16, 32, 64}).With(),
+		routeFallback:   reg.Counter("broker_route_fallback_total", "Bids routed by full fan-out because fewer than k digests were fresh.").With(),
+		routed:          reg.Counter("broker_routed_total", "Bids quoted to each site after routing.", "site"),
+		peerForwarded:   reg.Counter("broker_peer_forwarded_total", "Envelopes forwarded to the owning broker shard.", "peer"),
 	}
 }
 
@@ -215,27 +321,35 @@ func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
 		cfg.Selector = market.BestYield{}
 	}
 	b := &BrokerServer{
-		cfg:    cfg,
-		eo:     newExchangeObs(cfg.Metrics, cfg.Logger.With("role", "broker"), cfg.Tracer, "broker"),
-		m:      newBrokerMetrics(cfg.Metrics),
-		chosen: make(map[task.ID]*brokerSite),
-		placed: make(map[task.ID]*brokerSite),
-		owners: make(map[task.ID]*serverConn),
-		terms:  make(map[task.ID]market.ServerBid),
-		conns:  make(map[*serverConn]struct{}),
+		cfg:       cfg,
+		eo:        newExchangeObs(cfg.Metrics, cfg.Logger.With("role", "broker"), cfg.Tracer, "broker"),
+		m:         newBrokerMetrics(cfg.Metrics),
+		chosen:    make(map[task.ID]*brokerSite),
+		placed:    make(map[task.ID]*brokerSite),
+		owners:    make(map[task.ID]*serverConn),
+		terms:     make(map[task.ID]market.ServerBid),
+		fwdOwner:  make(map[task.ID]string),
+		conns:     make(map[*serverConn]struct{}),
+		peerLanes: make(map[string]*SiteClient),
+		stop:      make(chan struct{}),
 	}
 	for _, sa := range cfg.SiteAddrs {
-		sc, err := DialConfig(sa, ClientConfig{RequestTimeout: cfg.RequestTimeout, MaxFrameBytes: cfg.MaxFrameBytes, Codec: cfg.SiteCodec})
+		sc, err := DialConfig(sa, cfg.laneConfig())
 		if err != nil {
 			b.closeSites()
 			return nil, fmt.Errorf("wire: broker dialing site %s: %w", sa, err)
 		}
 		sc.SetOnSettled(b.relaySettlement)
-		b.sites = append(b.sites, &brokerSite{
+		bs := &brokerSite{
 			addr:    sa,
 			primary: sc,
 			health:  newSiteHealth(sa, cfg.CircuitFailures, cfg.CircuitCooldown, cfg.RetryBudget, &b.m),
-		})
+		}
+		bs.mDigestAge = b.m.digestAge.With(sa)
+		if cfg.topkEnabled() {
+			sc.SetOnDigest(bs.noteDigest)
+		}
+		b.sites = append(b.sites, bs)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -243,6 +357,17 @@ func NewBrokerServer(addr string, cfg BrokerConfig) (*BrokerServer, error) {
 		return nil, err
 	}
 	b.ln = ln
+	if len(cfg.Peers) > 0 {
+		self := cfg.SelfID
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		b.SetPeers(self, cfg.Peers)
+	}
+	if cfg.topkEnabled() {
+		b.wg.Add(1)
+		go b.digestLoop()
+	}
 	b.wg.Add(1)
 	go b.acceptLoop()
 	return b, nil
@@ -266,12 +391,18 @@ func (b *BrokerServer) Close() error {
 	}
 	b.mu.Unlock()
 
+	close(b.stop)
 	err := b.ln.Close()
 	for _, sc := range conns {
 		_ = sc.conn.Close()
 	}
 	b.wg.Wait()
 	b.closeSites()
+	b.peerMu.Lock()
+	for _, lane := range b.peerLanes {
+		_ = lane.Close()
+	}
+	b.peerMu.Unlock()
 	return err
 }
 
@@ -380,11 +511,18 @@ func (b *BrokerServer) serve(conn net.Conn) {
 		var reply Envelope
 		switch env.Type {
 		case TypeBid:
-			reply = b.handleBid(env)
+			if peer := b.peerOwner(env); peer != "" {
+				reply = b.forwardBid(peer, env)
+			} else {
+				reply = b.handleBid(env)
+			}
 		case TypeAward:
-			reply = b.handleAward(env, sc)
+			reply = b.routeAward(env, sc)
 		case TypeQuery:
 			reply = b.handleQuery(env, sc)
+			if reply.ContractState == ContractUnknown && !env.Forwarded {
+				reply = b.queryPeers(env, sc, reply)
+			}
 		default:
 			reply = Envelope{Type: TypeError, Reason: fmt.Sprintf("unexpected message %q", env.Type)}
 		}
@@ -534,6 +672,9 @@ func (b *BrokerServer) handleAward(env Envelope, owner *serverConn) Envelope {
 			Site: sb.SiteID, Detail: "site mix changed since proposal"})
 		return Envelope{Type: TypeReject, TaskID: bid.TaskID, Reason: "site mix changed since proposal"}
 	}
+	if b.cfg.topkEnabled() {
+		site.noteRouted(bid.Runtime)
+	}
 	b.mu.Lock()
 	// The settlement may already have been relayed (and the owner entry
 	// consumed); only record terms for a contract that is still open.
@@ -565,6 +706,7 @@ func (b *BrokerServer) relaySettlement(e Envelope) {
 	delete(b.owners, e.TaskID)
 	delete(b.terms, e.TaskID)
 	delete(b.placed, e.TaskID)
+	delete(b.fwdOwner, e.TaskID)
 	if owner == nil {
 		b.parkLocked(e)
 		b.mu.Unlock()
@@ -695,27 +837,18 @@ type proposeResult struct {
 	err    error
 }
 
-// proposeFleet fans one bid out to the sites whose breakers admit it,
-// hedging each call past the site's adaptive delay. When every breaker is
-// open it falls back to probing all sites — quoting nothing forever would
-// starve the fleet even after the sites recover. It returns the accepted
-// offers, their sites, and how many refusals were overload sheds; the
-// error is non-nil only when every attempted site failed.
+// proposeFleet quotes one bid against the sites the router picks —
+// every breaker-admitted site under fan-out, the top-k digest-ranked
+// sites under top-k routing — hedging each call past the site's adaptive
+// delay. When every breaker is open it falls back to probing all sites —
+// quoting nothing forever would starve the fleet even after the sites
+// recover. It returns the accepted offers, their sites, and how many
+// refusals were overload sheds; the error is non-nil only when every
+// attempted site failed.
 func (b *BrokerServer) proposeFleet(bid market.Bid, recv time.Time) ([]market.ServerBid, []*brokerSite, int, error) {
-	type cand struct {
-		bs    *brokerSite
-		probe bool
-	}
-	cands := make([]cand, 0, len(b.sites))
-	for _, bs := range b.sites {
-		if ok, probe := bs.health.allow(); ok {
-			cands = append(cands, cand{bs, probe})
-		}
-	}
-	if len(cands) == 0 {
-		for _, bs := range b.sites {
-			cands = append(cands, cand{bs, true})
-		}
+	cands := b.routeCandidates(bid)
+	for _, c := range cands {
+		b.m.routed.With(c.bs.addr).Inc()
 	}
 
 	results := make([]proposeResult, len(cands))

@@ -100,6 +100,7 @@ type SiteClient struct {
 	codecName string
 	readErr   error
 	onSettled func(Envelope)
+	onDigest  func(Envelope)
 	closed    bool
 }
 
@@ -218,6 +219,22 @@ func (c *SiteClient) settledFn() func(Envelope) {
 	return c.onSettled
 }
 
+// SetOnDigest installs the load-digest observer for TypeDigest pushes.
+// Like SetOnSettled it runs on the read goroutine, must not block on
+// another exchange with this client, and survives redials — though the
+// subscription itself does not (see SubscribeDigests).
+func (c *SiteClient) SetOnDigest(fn func(Envelope)) {
+	c.stateMu.Lock()
+	c.onDigest = fn
+	c.stateMu.Unlock()
+}
+
+func (c *SiteClient) digestFn() func(Envelope) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.onDigest
+}
+
 func (c *SiteClient) setReadErr(err error) {
 	c.stateMu.Lock()
 	if c.readErr == nil {
@@ -265,6 +282,14 @@ func (c *SiteClient) readLoop(conn net.Conn, replies chan Envelope, codec Codec)
 		}
 		if env.Type == TypeSettled {
 			if fn := c.settledFn(); fn != nil {
+				fn(env)
+			}
+			continue
+		}
+		if env.Type == TypeDigest {
+			// Digest pushes are unsolicited, like settlements: routing them
+			// into replies would desynchronize request/reply matching.
+			if fn := c.digestFn(); fn != nil {
 				fn(env)
 			}
 			continue
@@ -431,6 +456,36 @@ func (c *SiteClient) Query(id task.ID) (ContractStatus, error) {
 	}
 }
 
+// ErrDigestUnsupported reports a site that declined a digest subscription
+// — a v1 site, or one predating the digest protocol. The connection is
+// healthy; the subscriber simply gets no digests from it.
+var ErrDigestUnsupported = errors.New("wire: site does not support digest subscriptions")
+
+// SubscribeDigests asks the site to push TypeDigest envelopes to this
+// connection roughly every interval (the site jitters each gap over
+// [T/2, 3T/2)). Pushes land on the OnDigest callback. The subscription is
+// per connection: a Redial silently drops it, so subscribers re-subscribe
+// when digests stop arriving. A site that does not speak the digest
+// protocol returns ErrDigestUnsupported.
+func (c *SiteClient) SubscribeDigests(interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("wire: digest interval %v must be > 0", interval)
+	}
+	ms := float64(interval) / float64(time.Millisecond)
+	reply, err := c.roundTrip(Envelope{Type: TypeDigestSub, Interval: ms})
+	if err != nil {
+		return err
+	}
+	switch reply.Type {
+	case TypeDigestSub:
+		return nil
+	case TypeError:
+		return fmt.Errorf("%w: %s", ErrDigestUnsupported, reply.Reason)
+	default:
+		return fmt.Errorf("wire: unexpected digest subscription reply %q", reply.Type)
+	}
+}
+
 // transientErr reports whether err looks like a connection-level failure
 // worth a bounded retry after Redial, as opposed to a protocol error.
 func transientErr(err error) bool {
@@ -533,6 +588,17 @@ func (n *Negotiator) exchangeObs() exchangeObs {
 	return n.eo
 }
 
+// jitterBetween draws a duration uniformly from [lo, hi). It is the shared
+// de-synchronizer: retry backoff and the sites' digest push cadence both
+// draw from it, so neither a redialing herd nor a 50-site fleet ever acts
+// in lockstep.
+func jitterBetween(lo, hi time.Duration) time.Duration {
+	if hi <= lo+1 {
+		return lo
+	}
+	return lo + time.Duration(rand.Int63n(int64(hi-lo)))
+}
+
 // retryDelay is the exponential backoff for the given attempt, jittered
 // uniformly over [d/2, d). Without jitter, every client that lost the same
 // site retries in lockstep and a restarting site takes the whole herd's
@@ -542,7 +608,14 @@ func retryDelay(backoff time.Duration, attempt int) time.Duration {
 	if d <= 1 {
 		return d
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+	return jitterBetween(d/2, d)
+}
+
+// digestJitter spreads one digest push interval uniformly over
+// [T/2, 3T/2), so sites subscribed at the same instant drift apart instead
+// of thundering the broker on a synchronized tick (DESIGN.md §16).
+func digestJitter(d time.Duration) time.Duration {
+	return jitterBetween(d/2, d+d/2)
 }
 
 // callWithRetry runs one site exchange with bounded retry and jittered

@@ -72,6 +72,13 @@ func codecTestEnvelopes() []Envelope {
 		{Type: TypeBid, TaskID: 2, Runtime: 1, Deadline: 1500.25},
 		{Type: TypeBid, TaskID: 3, Runtime: 1, Deadline: -1}, // budget present but spent
 		{Type: TypeAward, TaskID: 4, Runtime: 1, SiteID: "site-a", Deadline: 12.5},
+		{Type: TypeDigestSub, Interval: 250},
+		{Type: TypeDigestSub, SiteID: "site-a", Interval: 62.5}, // the ack echoes the clamped cadence
+		{Type: TypeDigest, SiteID: "site-a", Queue: 12, Running: 4, Procs: 4, Backlog: 37.5, Floor: 1.25, Shedding: true, Interval: 250},
+		{Type: TypeDigest, SiteID: "site-b"},                                    // idle site: all-zero digest
+		{Type: TypeDigest, SiteID: "site-c", Queue: -1, Running: -2, Procs: -3}, // counts are varints, negatives survive
+		{Type: TypeBid, TaskID: 5, Runtime: 1, Forwarded: true},                 // peer-forwarded loop guard
+		{Type: TypeAward, TaskID: 5, Runtime: 1, SiteID: "site-a", Forwarded: true},
 	}
 }
 
@@ -129,7 +136,7 @@ func TestBinaryDecodeErrors(t *testing.T) {
 	}{
 		{"empty frame", frame()},
 		{"unknown type code", frame(200, 0)},
-		{"unknown bitmap bits", frame(1, 0xFF, 0xFF, 0xFF, 0x7F)},
+		{"unknown bitmap bits", frame(1, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)},
 		{"trailing bytes", frame(8, 0, 9, 9)}, // query, empty bitmap, junk
 		{"truncated string", frame(7, 1<<binFieldReason&0x7F, 10)},
 	}

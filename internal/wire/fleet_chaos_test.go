@@ -360,3 +360,258 @@ func TestFleetChaos(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetRoutedChaos is the §16 extension of the chaos harness: the same
+// four faulty sites, now behind TWO digest-routed top-k brokers sharded by
+// consistent hashing. Clients carry distinct workload identities so a
+// share of every client's traffic mis-hashes and must be peer-forwarded.
+// Killing a routed-to site mid-run must trip its breaker on both brokers,
+// expire its digest, and redistribute routing to the surviving sites —
+// and at the end every bid is accounted: settled + defaulted + shed +
+// refused == submitted with zero unknowns.
+func TestFleetRoutedChaos(t *testing.T) {
+	const nSites = 4
+	var (
+		sites   []*Server
+		proxies []*faultconn.Proxy
+		addrs   []string
+	)
+	for i := 0; i < nSites; i++ {
+		srv := startServer(t, ServerConfig{
+			SiteID:     "site-" + string(rune('a'+i)),
+			Processors: 2,
+			MaxPending: 8,
+			TimeScale:  time.Millisecond,
+		})
+		p, err := faultconn.NewProxy(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		sites = append(sites, srv)
+		proxies = append(proxies, p)
+		addrs = append(addrs, p.Addr())
+	}
+
+	// Two brokers over the same fleet. The digest cadence is slow enough
+	// (150ms, TTL 450ms) that a killed site stays ranked — and keeps
+	// drawing doomed quotes — long enough to trip its breaker before the
+	// stale digest drops it from the candidate set.
+	mkBroker := func(reg *obs.Registry) *BrokerServer {
+		b, err := NewBrokerServer("127.0.0.1:0", BrokerConfig{
+			SiteAddrs:       addrs,
+			Route:           RouteTopK,
+			TopK:            2,
+			DigestInterval:  150 * time.Millisecond,
+			RequestTimeout:  250 * time.Millisecond,
+			Retries:         1,
+			Backoff:         5 * time.Millisecond,
+			CircuitFailures: 3,
+			CircuitCooldown: 100 * time.Millisecond,
+			Metrics:         reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { b.Close() })
+		return b
+	}
+	regA, regB := obs.NewRegistry(), obs.NewRegistry()
+	bA, bB := mkBroker(regA), mkBroker(regB)
+	bA.SetPeers(bA.Addr(), []string{bB.Addr()})
+	bB.SetPeers(bB.Addr(), []string{bA.Addr()})
+	waitDigestsFresh(t, bA)
+	waitDigestsFresh(t, bB)
+
+	dialC := func(b *BrokerServer) *SiteClient {
+		c, err := DialConfig(b.Addr(), ClientConfig{RequestTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	cA, cB := dialC(bA), dialC(bB)
+
+	var (
+		settledCh          = make(chan task.ID, 2048)
+		open               = map[task.ID]bool{}
+		submitted          int
+		shed, refused      int
+		settled, defaulted int
+	)
+	onSettled := func(e Envelope) { settledCh <- e.TaskID }
+	cA.SetOnSettled(onSettled)
+	cB.SetOnSettled(onSettled)
+	drainSettled := func() {
+		for {
+			select {
+			case id := <-settledCh:
+				if open[id] {
+					delete(open, id)
+					settled++
+				}
+			default:
+				return
+			}
+		}
+	}
+
+	// submit alternates clients and spreads bids over 16 workload
+	// identities, so roughly half of each client's traffic lands on the
+	// broker that does not own it and gets forwarded.
+	submit := func(id task.ID, runtime float64) {
+		t.Helper()
+		submitted++
+		c := cA
+		if id%2 == 0 {
+			c = cB
+		}
+		bid := testBid(id, runtime)
+		bid.Cohort = "routed"
+		bid.Client = int(id%16) + 1
+		sb, ok, reason, err := c.ProposeDetail(bid)
+		if err != nil {
+			refused++
+			return
+		}
+		if !ok {
+			if IsShedReason(reason) {
+				shed++
+			} else {
+				refused++
+			}
+			return
+		}
+		if _, ok, areason, err := c.AwardDetail(bid, sb); err != nil {
+			refused++
+		} else if !ok {
+			if IsShedReason(areason) {
+				shed++
+			} else {
+				refused++
+			}
+		} else {
+			open[id] = true
+		}
+	}
+
+	id := task.ID(1)
+
+	// Phase A: healthy sharded fleet.
+	for i := 0; i < 40; i++ {
+		submit(id, 30)
+		drainSettled()
+		id++
+	}
+	for _, b := range []*BrokerServer{bA, bB} {
+		for i, bs := range b.sites {
+			if st := bs.health.snapshotState(); st != circuitClosed {
+				t.Fatalf("healthy phase: site %d circuit = %d, want closed", i, st)
+			}
+		}
+	}
+
+	// Phase B: kill a routed-to site. With the whole fleet near-idle the
+	// digest scores tie and the stable ranking quotes the first two sites,
+	// so site 0 is drawing quotes when its links die.
+	proxies[0].SetPartition(true)
+	deadline := time.Now().Add(20 * time.Second)
+	for bA.sites[0].health.snapshotState() != circuitOpen || bB.sites[0].health.snapshotState() != circuitOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("killed site's circuits never opened: A=%d B=%d",
+				bA.sites[0].health.snapshotState(), bB.sites[0].health.snapshotState())
+		}
+		submit(id, 30)
+		drainSettled()
+		id++
+	}
+
+	// The dead site's digest must go stale on both brokers (no pushes can
+	// arrive through a partitioned proxy), dropping it from the ranking.
+	ttl := digestTTL(bA.cfg.digestInterval())
+	deadline = time.Now().Add(5 * time.Second)
+	for bA.sites[0].digestFresh(time.Now(), ttl) || bB.sites[0].digestFresh(time.Now(), ttl) {
+		if time.Now().After(deadline) {
+			t.Fatal("killed site's digest never went stale")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Steady chaos: routing has redistributed; the fleet keeps placing.
+	before := len(open) + settled
+	for i := 0; i < 40; i++ {
+		submit(id, 30)
+		drainSettled()
+		id++
+		time.Sleep(5 * time.Millisecond)
+	}
+	if placed := len(open) + settled - before; placed == 0 {
+		t.Error("sharded fleet placed nothing after the routed-to site died")
+	}
+
+	// Phase C: heal. Probes must reclose the breakers, and the digest
+	// subscription must survive the lane redial and refresh the table.
+	proxies[0].SetPartition(false)
+	deadline = time.Now().Add(20 * time.Second)
+	for bA.sites[0].health.snapshotState() != circuitClosed || bB.sites[0].health.snapshotState() != circuitClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("killed site's circuits never reclosed: A=%d B=%d",
+				bA.sites[0].health.snapshotState(), bB.sites[0].health.snapshotState())
+		}
+		time.Sleep(20 * time.Millisecond)
+		submit(id, 30)
+		drainSettled()
+		id++
+	}
+	waitDigestsFresh(t, bA)
+	waitDigestsFresh(t, bB)
+
+	// Drain and reconcile by query through the submitting client's broker.
+	deadline = time.Now().Add(60 * time.Second)
+	for len(open) > 0 && time.Now().Before(deadline) {
+		drainSettled()
+		for tid := range open {
+			c := cA
+			if tid%2 == 0 {
+				c = cB
+			}
+			st, err := c.Query(tid)
+			if err != nil {
+				continue
+			}
+			switch st.State {
+			case ContractSettled:
+				delete(open, tid)
+				settled++
+			case ContractDefaulted:
+				delete(open, tid)
+				defaulted++
+			}
+		}
+		if len(open) > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	unknown := len(open)
+
+	if got := settled + defaulted + shed + refused; got != submitted || unknown != 0 {
+		t.Errorf("accounting: settled %d + defaulted %d + shed %d + refused %d = %d, want %d submitted (unknown %d)",
+			settled, defaulted, shed, refused, got, submitted, unknown)
+	}
+
+	// Sharding must actually have happened: mis-hashed bids were forwarded
+	// between the two brokers in both directions combined.
+	fwd := metricSum(t, regA, "broker_peer_forwarded_total") + metricSum(t, regB, "broker_peer_forwarded_total")
+	if fwd == 0 {
+		t.Error("no envelope was ever peer-forwarded: sharding is not exercised")
+	}
+	// And top-k routing was live, not permanently falling back to fan-out.
+	routedBids := metricSum(t, regA, "broker_route_candidates_count") + metricSum(t, regB, "broker_route_candidates_count")
+	fallbacks := metricSum(t, regA, "broker_route_fallback_total") + metricSum(t, regB, "broker_route_fallback_total")
+	if routedBids > 0 && fallbacks >= routedBids {
+		t.Errorf("every routed bid fell back to fan-out (%v of %v)", fallbacks, routedBids)
+	}
+	t.Logf("routed chaos: submitted %d settled %d defaulted %d shed %d refused %d forwarded %v fallbacks %v",
+		submitted, settled, defaulted, shed, refused, fwd, fallbacks)
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -282,4 +283,111 @@ func TestBrokerHandshake(t *testing.T) {
 	if n := b.m.codecs.With("broker", CodecBinary).Value(); n != 1 {
 		t.Fatalf("broker binary connections counted = %v, want 1", n)
 	}
+}
+
+// TestBrokerSiteCodecDefaults extends the handshake-fallback matrix to
+// the broker's site-facing dials: the default BrokerConfig negotiates
+// binary, SiteCodecV1 opts out of the handshake entirely, and a v1 site
+// downgrades the lane to JSON while declining digest subscriptions
+// without poisoning the exchange path.
+func TestBrokerSiteCodecDefaults(t *testing.T) {
+	t.Run("default negotiates binary", func(t *testing.T) {
+		srv := startServer(t, ServerConfig{})
+		b, err := NewBrokerServer("127.0.0.1:0", BrokerConfig{SiteAddrs: []string{srv.Addr()}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		if got := b.sites[0].primary.NegotiatedCodec(); got != CodecBinary {
+			t.Fatalf("default broker-to-site codec = %q, want %q", got, CodecBinary)
+		}
+		c := dialBroker(t, b)
+		exerciseExchange(t, c, 21)
+	})
+
+	t.Run("v1 opt-out skips the handshake", func(t *testing.T) {
+		srv := startServer(t, ServerConfig{})
+		b, err := NewBrokerServer("127.0.0.1:0", BrokerConfig{
+			SiteAddrs: []string{srv.Addr()},
+			SiteCodec: SiteCodecV1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		if got := b.sites[0].primary.NegotiatedCodec(); got != CodecJSON {
+			t.Fatalf("v1 opt-out lane codec = %q, want %q", got, CodecJSON)
+		}
+		c := dialBroker(t, b)
+		exerciseExchange(t, c, 22)
+	})
+
+	t.Run("v1 site downgrades and declines digests", func(t *testing.T) {
+		// A v1 site stub: answers bids with rejects, everything else —
+		// including hello and digest_sub — with TypeError, on any number
+		// of connections.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func(conn net.Conn) {
+					defer conn.Close()
+					br := bufio.NewReader(conn)
+					var frame []byte
+					for {
+						line, err := readFrame(br, DefaultMaxFrameBytes, &frame)
+						if err != nil {
+							return
+						}
+						env, err := Unmarshal(line)
+						if err != nil {
+							continue
+						}
+						var reply Envelope
+						if env.Type == TypeBid {
+							reply = Envelope{Type: TypeReject, TaskID: env.TaskID, Reason: "v1 stub declines"}
+						} else {
+							reply = Envelope{Type: TypeError, Reason: fmt.Sprintf("unexpected message %q", env.Type)}
+						}
+						reply.ReqID = env.ReqID
+						out, _ := Marshal(reply)
+						if _, err := conn.Write(out); err != nil {
+							return
+						}
+					}
+				}(conn)
+			}
+		}()
+
+		b, err := NewBrokerServer("127.0.0.1:0", BrokerConfig{
+			SiteAddrs: []string{ln.Addr().String()},
+			Route:     RouteTopK,
+		})
+		if err != nil {
+			t.Fatalf("broker against v1 site failed instead of downgrading: %v", err)
+		}
+		defer b.Close()
+		if got := b.sites[0].primary.NegotiatedCodec(); got != CodecJSON {
+			t.Fatalf("lane against v1 site = %q, want %q downgrade", got, CodecJSON)
+		}
+
+		// The digest subscription is declined, not fatal.
+		if err := b.sites[0].primary.SubscribeDigests(defaultDigestInterval); !errors.Is(err, ErrDigestUnsupported) {
+			t.Fatalf("digest subscription against v1 site: %v, want ErrDigestUnsupported", err)
+		}
+
+		// The exchange path still works: with no digests anywhere top-k
+		// falls back to fan-out and relays the stub's clean reject.
+		c := dialBroker(t, b)
+		if _, ok, err := c.Propose(testBid(23, 5)); err != nil || ok {
+			t.Fatalf("propose via broker against v1 stub: ok=%v err=%v, want clean decline", ok, err)
+		}
+	})
 }

@@ -80,6 +80,17 @@ import (
 //	broker_parked_settlements{}               settlements parked for disconnected owners
 //	broker_parked_evicted_total{}             parked settlements evicted by ring overflow
 //	broker_parked_recovered_total{}           parked settlements recovered by a client query
+//
+// Digest-routing and broker-sharding families (DESIGN.md §16): the site's
+// load-digest pushes, the broker's staleness-aware digest table, top-k
+// candidate selection, and the consistent-hash peer ring:
+//
+//	site_digest_push_total{site}        load digests pushed to subscribed connections
+//	broker_digest_age_seconds{site}     age of each site's last digest in the broker's table
+//	broker_routed_total{site}           bids quoted to each site after routing
+//	broker_route_candidates{}           candidate sites quoted per bid (histogram)
+//	broker_route_fallback_total{}       bids routed by full fan-out for want of fresh digests
+//	broker_peer_forwarded_total{peer}   envelopes forwarded to the owning broker shard
 
 // slackBuckets cover the admission slack range seen in the paper's
 // regimes: deeply negative (reject territory) through comfortable.
@@ -149,6 +160,10 @@ type serverMetrics struct {
 	shed            *obs.CounterVec
 	shedFloor       *obs.Gauge
 	deadlineExpired *obs.Counter
+
+	// Digest-routing family (DESIGN.md §16): load digests pushed to
+	// subscribed connections.
+	digestPushes *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
@@ -209,6 +224,8 @@ func newServerMetrics(reg *obs.Registry, site string) serverMetrics {
 		shed:            reg.Counter("site_shed_total", "Bids refused by the overload valve, by reason.", "site", "reason"),
 		shedFloor:       reg.Gauge("site_shed_floor", "Marginal-yield floor currently enforced by the overload valve.", "site").With(site),
 		deadlineExpired: reg.Counter("wire_deadline_expired_total", "Bids refused because their deadline budget was already spent on arrival.", "site").With(site),
+
+		digestPushes: reg.Counter("site_digest_push_total", "Load digests pushed to subscribed connections.", "site").With(site),
 	}
 }
 

@@ -265,6 +265,34 @@ type serverConn struct {
 	writeTimeout time.Duration
 	codec        Codec  // write-side codec; swapped once at handshake, under mu
 	enc          []byte // reusable encode buffer, guarded by mu
+
+	// digestMu guards the connection's digest-push subscription; a
+	// re-subscription replaces the running pusher, and the serve loop stops
+	// it at disconnect so a long push interval cannot outlive the conn.
+	digestMu   sync.Mutex
+	digestStop chan struct{}
+}
+
+// startDigest installs stop as the connection's digest-pusher cancel
+// channel, stopping any previous pusher (a re-subscription replaces the
+// old cadence rather than doubling the pushes).
+func (c *serverConn) startDigest(stop chan struct{}) {
+	c.digestMu.Lock()
+	if c.digestStop != nil {
+		close(c.digestStop)
+	}
+	c.digestStop = stop
+	c.digestMu.Unlock()
+}
+
+// stopDigest cancels the connection's digest pusher, if any.
+func (c *serverConn) stopDigest() {
+	c.digestMu.Lock()
+	if c.digestStop != nil {
+		close(c.digestStop)
+		c.digestStop = nil
+	}
+	c.digestMu.Unlock()
 }
 
 func (c *serverConn) setCodec(codec Codec) {
@@ -632,6 +660,7 @@ func (s *Server) serve(conn net.Conn) {
 	s.mu.Unlock()
 	s.m.connections.Add(1)
 	defer func() {
+		sc.stopDigest()
 		conn.Close()
 		s.m.connections.Add(-1)
 		s.mu.Lock()
@@ -724,6 +753,8 @@ func (s *Server) serve(conn net.Conn) {
 		case TypeQuery:
 			reply = s.handleQuery(env, sc)
 			s.m.rpcQuery.Inc()
+		case TypeDigestSub:
+			reply = s.handleDigestSub(env, sc)
 		default:
 			reply = Envelope{Type: TypeError, Reason: fmt.Sprintf("unexpected message %q", env.Type)}
 		}

@@ -52,6 +52,16 @@ const (
 	// JSON.
 	TypeHello   = "hello"
 	TypeWelcome = "welcome"
+	// TypeDigestSub subscribes the requesting connection to periodic load
+	// digests from a site: the request carries the desired push interval
+	// (Interval, milliseconds) and the site echoes a TypeDigestSub ack with
+	// the effective interval before the first push. TypeDigest is the
+	// pushed digest itself — queue depth, running count, backlog horizon,
+	// shed floor, shed state — demultiplexed client-side like TypeSettled.
+	// A v1 site answers the subscription with TypeError, which subscribers
+	// treat as "no digests here", not a failure (DESIGN.md §16).
+	TypeDigestSub = "digest_sub"
+	TypeDigest    = "digest"
 )
 
 // Protocol versions exchanged in hello/welcome.
@@ -122,6 +132,27 @@ type Envelope struct {
 	Proto  int      `json:"proto,omitempty"`
 	Codec  string   `json:"codec,omitempty"`
 	Codecs []string `json:"codecs,omitempty"`
+
+	// Digest fields (digest/digest_sub only, DESIGN.md §16). Queue and
+	// Running are the site's pending and running task counts; Procs its
+	// processor count; Backlog the expected per-processor work horizon in
+	// simulation units (remaining running time plus queued runtimes, over
+	// Procs); Floor the overload valve's current marginal-yield floor; and
+	// Shedding whether the valve's depth ramp is active. Interval is the
+	// push cadence in milliseconds — the subscriber's request and the
+	// site's ack both carry it.
+	Queue    int     `json:"queue,omitempty"`
+	Running  int     `json:"running,omitempty"`
+	Procs    int     `json:"procs,omitempty"`
+	Backlog  float64 `json:"backlog,omitempty"`
+	Floor    float64 `json:"floor,omitempty"`
+	Shedding bool    `json:"shedding,omitempty"`
+	Interval float64 `json:"interval_ms,omitempty"`
+
+	// Forwarded marks an envelope relayed between broker shards (rendezvous
+	// hashing, DESIGN.md §16): the receiving broker serves it locally even
+	// if its own ring view disagrees, so a forward can never loop.
+	Forwarded bool `json:"fwd,omitempty"`
 }
 
 // ShrinkDeadline returns the deadline budget d (milliseconds remaining)
